@@ -1,0 +1,220 @@
+//! PlanetLab simulation.
+//!
+//! PlanetLab nodes live at research/academic institutions and are
+//! famously flaky: the paper could only sample ~59 relays out of 500
+//! allocated nodes because nodes must be "consistently accessible and
+//! pingable before each measurement round" (§2.3.1, footnote 3). The
+//! simulation gives every node a reliability level and answers
+//! round-by-round availability queries, so the selection logic has the
+//! same failure surface as the real platform.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shortcuts_geo::CityId;
+use shortcuts_netsim::{HostId, HostKind, HostRegistry};
+use shortcuts_topology::{AsType, Asn, Topology};
+
+/// A PlanetLab site: one research institution hosting a few nodes.
+#[derive(Debug, Clone)]
+pub struct PlanetLabSite {
+    /// Site index.
+    pub id: u32,
+    /// Hosting research AS.
+    pub asn: Asn,
+    /// Site city.
+    pub city: CityId,
+    /// Node indexes (into [`PlanetLab::nodes`]).
+    pub nodes: Vec<u32>,
+}
+
+/// A PlanetLab node.
+#[derive(Debug, Clone)]
+pub struct PlanetLabNode {
+    /// Node index.
+    pub id: u32,
+    /// Owning site.
+    pub site: u32,
+    /// Netsim host for the node's address.
+    pub host: HostId,
+    /// Hosting AS (same as the site's).
+    pub asn: Asn,
+    /// City (same as the site's).
+    pub city: CityId,
+    /// Probability the node is up in any given round.
+    pub reliability: f64,
+}
+
+/// The simulated PlanetLab deployment.
+#[derive(Debug)]
+pub struct PlanetLab {
+    sites: Vec<PlanetLabSite>,
+    nodes: Vec<PlanetLabNode>,
+    seed: u64,
+}
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct PlanetLabConfig {
+    /// Min/max nodes per site.
+    pub nodes_per_site: (usize, usize),
+    /// Reliability range nodes are drawn from (uniform).
+    pub reliability: (f64, f64),
+}
+
+impl Default for PlanetLabConfig {
+    fn default() -> Self {
+        PlanetLabConfig {
+            nodes_per_site: (2, 4),
+            reliability: (0.3, 0.95),
+        }
+    }
+}
+
+impl PlanetLab {
+    /// Generates one site per research AS in the topology.
+    pub fn generate(
+        topo: &Topology,
+        hosts: &mut HostRegistry,
+        cfg: &PlanetLabConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites = Vec::new();
+        let mut nodes = Vec::new();
+        for asn in topo.asns_of_type(AsType::Research) {
+            let info = topo.expect_as(asn);
+            let Some(&pop) = info.pops.first() else {
+                continue;
+            };
+            let city = topo.pop(pop).city;
+            let site_id = sites.len() as u32;
+            let n = rng.gen_range(cfg.nodes_per_site.0..=cfg.nodes_per_site.1);
+            let mut site_nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let access_ms = rng.gen_range(0.2..1.2); // campus server room
+                let Ok(host) = hosts
+                    .add_host_with_access(topo, asn, Some(city), HostKind::Server, access_ms)
+                else {
+                    continue;
+                };
+                let id = nodes.len() as u32;
+                nodes.push(PlanetLabNode {
+                    id,
+                    site: site_id,
+                    host,
+                    asn,
+                    city,
+                    reliability: rng.gen_range(cfg.reliability.0..cfg.reliability.1),
+                });
+                site_nodes.push(id);
+            }
+            sites.push(PlanetLabSite {
+                id: site_id,
+                asn,
+                city,
+                nodes: site_nodes,
+            });
+        }
+        PlanetLab { sites, nodes, seed }
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[PlanetLabSite] {
+        &self.sites
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[PlanetLabNode] {
+        &self.nodes
+    }
+
+    /// Whether a node is accessible in `round` (deterministic per
+    /// (deployment seed, node, round)).
+    pub fn is_up(&self, node: u32, round: u32) -> bool {
+        let n = &self.nodes[node as usize];
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(node) << 32 | u64::from(round)),
+        );
+        rng.gen_bool(n.reliability)
+    }
+
+    /// Nodes accessible in **both** `round` and the preceding check
+    /// (the paper requires nodes "consistently accessible ... before
+    /// each measurement round").
+    pub fn consistently_up(&self, round: u32) -> Vec<&PlanetLabNode> {
+        self.nodes
+            .iter()
+            .filter(|n| self.is_up(n.id, round) && (round == 0 || self.is_up(n.id, round - 1)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_topology::TopologyConfig;
+
+    fn deployment() -> (Topology, PlanetLab) {
+        let topo = Topology::generate(&TopologyConfig::small(), 55);
+        let mut hosts = HostRegistry::new();
+        let pl = PlanetLab::generate(&topo, &mut hosts, &PlanetLabConfig::default(), 2);
+        (topo, pl)
+    }
+
+    #[test]
+    fn one_site_per_research_as() {
+        let (topo, pl) = deployment();
+        assert_eq!(
+            pl.sites().len(),
+            topo.asns_of_type(AsType::Research).len()
+        );
+        for s in pl.sites() {
+            assert!(!s.nodes.is_empty());
+            assert_eq!(topo.expect_as(s.asn).as_type, AsType::Research);
+        }
+    }
+
+    #[test]
+    fn availability_is_deterministic() {
+        let (_, pl) = deployment();
+        for node in 0..pl.nodes().len() as u32 {
+            for round in 0..5 {
+                assert_eq!(pl.is_up(node, round), pl.is_up(node, round));
+            }
+        }
+    }
+
+    #[test]
+    fn flakiness_reduces_usable_nodes() {
+        let (_, pl) = deployment();
+        let total = pl.nodes().len();
+        let mut usable_counts = Vec::new();
+        for round in 1..10 {
+            usable_counts.push(pl.consistently_up(round).len());
+        }
+        let avg = usable_counts.iter().sum::<usize>() as f64 / usable_counts.len() as f64;
+        assert!(avg < total as f64, "some nodes must be down");
+        assert!(avg > 0.0, "not all nodes down");
+    }
+
+    #[test]
+    fn consistently_up_requires_two_rounds() {
+        let (_, pl) = deployment();
+        for round in 1..5 {
+            for n in pl.consistently_up(round) {
+                assert!(pl.is_up(n.id, round));
+                assert!(pl.is_up(n.id, round - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_within_config_range() {
+        let (_, pl) = deployment();
+        for n in pl.nodes() {
+            assert!((0.3..0.95).contains(&n.reliability));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmark for the end-to-end pipeline: one full
+//! measurement round over the small world, and the §2.2 colo filter
+//! funnel. This is the number that tells you how long a 45-round
+//! paper-scale reproduction will take.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shortcuts_core::colo::{run_pipeline, ColoPipelineConfig};
+use shortcuts_core::workflow::{Campaign, CampaignConfig};
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_netsim::clock::SimTime;
+use shortcuts_netsim::PingEngine;
+use shortcuts_topology::routing::Router;
+
+fn bench_campaign_round(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    c.bench_function("campaign/one_round_small_world", |b| {
+        b.iter(|| {
+            let mut cfg = CampaignConfig::small();
+            cfg.rounds = 1;
+            black_box(Campaign::new(&world, cfg).run())
+        })
+    });
+}
+
+fn bench_colo_funnel(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    let router = Router::new(&world.topo);
+    let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let vantage = world.looking_glasses.lgs()[0].host;
+    c.bench_function("campaign/colo_filter_funnel", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(run_pipeline(
+                &world,
+                &engine,
+                vantage,
+                SimTime(0.0),
+                &ColoPipelineConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_world_build(c: &mut Criterion) {
+    c.bench_function("campaign/world_build_small", |b| {
+        b.iter(|| black_box(World::build(&WorldConfig::small(), 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_world_build, bench_colo_funnel, bench_campaign_round
+}
+criterion_main!(benches);

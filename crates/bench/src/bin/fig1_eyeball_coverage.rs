@@ -1,0 +1,51 @@
+//! Fig. 1 — number of covered ASes and countries vs. cutoff Internet
+//! user coverage.
+//!
+//! Paper reference points: at a 10 % cutoff, 494 ASes qualify and
+//! 223/225 countries are covered; above ~30 % the AS and country curves
+//! converge (one AS per country).
+
+use shortcuts_bench::{build_world, print_header};
+use shortcuts_core::eyeball::select_eyeballs;
+
+fn main() {
+    let world = build_world();
+    print_header("Fig. 1: eyeball coverage vs cutoff", &world, 0);
+
+    println!("{:>10} {:>10} {:>12}", "cutoff(%)", "#ASes", "#countries");
+    let cutoffs: Vec<f64> = (0..=20).map(|i| f64::from(i) * 5.0).collect();
+    for p in world.apnic.coverage_curve(&cutoffs) {
+        println!(
+            "{:>10.0} {:>10} {:>12}",
+            p.cutoff_pct, p.n_ases, p.n_countries
+        );
+    }
+
+    let at10_ases = world.apnic.ases_above(10.0).len();
+    let at10_countries = world.apnic.countries_above(10.0).len();
+    let total_countries = world.topo.cities.countries().len();
+    println!();
+    println!(
+        "at 10% cutoff: {at10_ases} ASes across {at10_countries}/{total_countries} countries \
+         (paper: 494 ASes, 223/225 countries)"
+    );
+
+    // The verification step of §2.1 (paper: all 494 verified manually).
+    let sel = select_eyeballs(&world, 10.0);
+    println!(
+        "verified as eyeballs: {}/{} candidate tuples",
+        sel.verified.len(),
+        sel.candidates.len()
+    );
+
+    // Convergence observation: above ~30% mostly one AS per country.
+    for cutoff in [30.0, 40.0, 50.0] {
+        let per_country = world.apnic.ases_per_country(cutoff);
+        let multi = per_country.values().filter(|&&n| n > 1).count();
+        println!(
+            "at {cutoff:>2.0}%: {} covered countries, {} with more than one AS",
+            per_country.len(),
+            multi
+        );
+    }
+}

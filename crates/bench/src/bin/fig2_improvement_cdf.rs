@@ -1,0 +1,75 @@
+//! Fig. 2 — CDF of latency improvements vs. direct paths, per relay
+//! type (best relay per type per case).
+//!
+//! Paper reference: COR improves 76 % of total cases, RAR_other 58 %,
+//! PLR 43 %, RAR_eye 35 %; median improvements 12–14 ms; COR/RAR_other
+//! exceed 100 ms in ~6 % of improved cases; median of 8 COR relays
+//! improve each improved pair.
+
+use shortcuts_bench::{bar, build_world, print_header, rounds_from_env, run_campaign};
+use shortcuts_core::analysis::improvement::ImprovementAnalysis;
+use shortcuts_core::RelayType;
+
+fn main() {
+    let world = build_world();
+    let rounds = rounds_from_env();
+    print_header("Fig. 2: improvement CDF per relay type", &world, rounds);
+
+    let results = run_campaign(&world);
+    println!(
+        "campaign: {} cases, {:.2} M pings, avg {:.0} endpoints/round, avg relays/round COR={:.0} PLR={:.0} RAR_other={:.0} RAR_eye={:.0}",
+        results.total_cases(),
+        results.pings_sent as f64 / 1e6,
+        results.avg_endpoints,
+        results.avg_relays[0],
+        results.avg_relays[1],
+        results.avg_relays[2],
+        results.avg_relays[3],
+    );
+    println!("(paper: ~90K direct pairs, 8.7 M pings, 82 endpoints, 129 COR / 59 PLR / 102 RAR_other / 82 RAR_eye)\n");
+
+    let analysis = ImprovementAnalysis::compute(&results);
+    let paper_improved = [76.0, 43.0, 58.0, 35.0];
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>10} {:>14}",
+        "type", "improved%", "paper%", "median(ms)", ">100ms%", "med#improving"
+    );
+    for t in RelayType::ALL {
+        let ti = analysis.for_type(t);
+        println!(
+            "{:<10} {:>9.1}% {:>7.0}% {:>12.1} {:>9.1}% {:>14.0}",
+            t.label(),
+            100.0 * ti.improved_fraction,
+            paper_improved[t.index()],
+            ti.median_improvement_ms,
+            100.0 * ti.over_100ms_fraction,
+            ti.median_improving_relays,
+        );
+    }
+
+    println!("\nCDF of improvements (fraction of improved cases with improvement <= x):");
+    let xs: Vec<f64> = vec![1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0];
+    print!("{:>8}", "x(ms)");
+    for t in RelayType::ALL {
+        print!(" {:>10}", t.label());
+    }
+    println!();
+    let cdfs: Vec<Vec<(f64, f64)>> = RelayType::ALL.iter().map(|&t| analysis.cdf(t, &xs)).collect();
+    for (i, &x) in xs.iter().enumerate() {
+        print!("{:>8.0}", x);
+        for c in &cdfs {
+            print!(" {:>10.3}", c[i].1);
+        }
+        println!();
+    }
+
+    println!("\nimproved share of total cases:");
+    for t in RelayType::ALL {
+        let f = analysis.for_type(t).improved_fraction;
+        println!("  {:<10} {} {:>5.1}%", t.label(), bar(f, 40), 100.0 * f);
+    }
+    println!(
+        "\nany type improves: {:.1}% of total cases (paper: 83%)",
+        100.0 * analysis.any_improved_fraction
+    );
+}

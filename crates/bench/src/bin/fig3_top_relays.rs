@@ -1,0 +1,72 @@
+//! Fig. 3 — % of total cases improved vs. number of top relays
+//! (ranked by improvement frequency).
+//!
+//! Paper reference: the curve rises steeply for COR (heavy hitters);
+//! 10 COR relays in 6 facilities reach ~58 % of total cases (~75 % of
+//! the improved cases), matching RAR_other's *final* coverage, which
+//! needs well over 100 relays.
+
+use shortcuts_bench::{build_world, print_header, rounds_from_env, run_campaign};
+use shortcuts_core::analysis::top_relays::TopRelayAnalysis;
+use shortcuts_core::RelayType;
+use std::collections::HashSet;
+
+fn main() {
+    let world = build_world();
+    let rounds = rounds_from_env();
+    print_header("Fig. 3: % of total cases improved vs #top relays", &world, rounds);
+
+    let results = run_campaign(&world);
+    let analyses: Vec<TopRelayAnalysis> = RelayType::ALL
+        .iter()
+        .map(|&t| TopRelayAnalysis::compute(&results, t, 1000))
+        .collect();
+
+    print!("{:>8}", "#relays");
+    for t in RelayType::ALL {
+        print!(" {:>10}", t.label());
+    }
+    println!("   (fraction of total cases improved)");
+    for k in [1usize, 2, 3, 5, 10, 20, 30, 40, 50, 75, 100] {
+        print!("{:>8}", k);
+        for a in &analyses {
+            print!(" {:>10.3}", a.coverage_at(k));
+        }
+        println!();
+    }
+    print!("{:>8}", "all");
+    for a in &analyses {
+        print!(" {:>10.3}", a.coverage.last().copied().unwrap_or(0.0));
+    }
+    println!();
+
+    // The paper's headline: top-10 COR, how many facilities, what share
+    // of improved cases?
+    let cor = &analyses[RelayType::Cor.index()];
+    let top10 = cor.top_hosts(10);
+    let facilities: HashSet<_> = top10
+        .iter()
+        .filter_map(|h| results.relay_meta.get(h).and_then(|m| m.facility))
+        .collect();
+    let total_cor = cor.coverage.last().copied().unwrap_or(0.0);
+    let at10 = cor.coverage_at(10);
+    println!();
+    println!(
+        "top-10 COR relays live in {} facilities and improve {:.1}% of total cases \
+         ({:.0}% of COR's final coverage) — paper: 6 facilities, 58% of total, ~75% of improved",
+        facilities.len(),
+        100.0 * at10,
+        100.0 * at10 / total_cor.max(1e-9),
+    );
+    for (frac, label) in [(0.75, "75%"), (0.9, "90%")] {
+        for (a, t) in analyses.iter().zip(RelayType::ALL) {
+            if let Some(k) = a.relays_for_fraction(frac) {
+                println!(
+                    "  {:<10} needs {:>4} relays for {label} of its final coverage",
+                    t.label(),
+                    k
+                );
+            }
+        }
+    }
+}

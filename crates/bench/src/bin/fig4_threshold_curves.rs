@@ -1,0 +1,55 @@
+//! Fig. 4 — % of total cases improved vs. improvement threshold, for
+//! the top-10 relays and all relays of each type.
+//!
+//! Paper reference: top-10 COR beats the top-10 of every other type and
+//! tracks RAR_other-ALL closely; the top-10-vs-all gap is minimal for
+//! PLR (~5 %); with only the top-10 COR, ~20 % of all pairs still gain
+//! more than 20 ms.
+
+use shortcuts_bench::{build_world, print_header, rounds_from_env, run_campaign};
+use shortcuts_core::analysis::threshold::ThresholdCurve;
+use shortcuts_core::RelayType;
+
+fn main() {
+    let world = build_world();
+    let rounds = rounds_from_env();
+    print_header("Fig. 4: % improved vs threshold (top-10 / all)", &world, rounds);
+
+    let results = run_campaign(&world);
+    let xs: Vec<f64> = (0..=10).map(|i| f64::from(i) * 10.0).collect();
+
+    let mut curves = Vec::new();
+    for t in RelayType::ALL {
+        curves.push(ThresholdCurve::compute(&results, t, Some(10), &xs));
+        curves.push(ThresholdCurve::compute(&results, t, None, &xs));
+    }
+
+    print!("{:>8}", "x(ms)");
+    for t in RelayType::ALL {
+        print!(" {:>9}-10 {:>9}-A", t.label(), t.label());
+    }
+    println!();
+    for (i, &x) in xs.iter().enumerate() {
+        print!("{:>8.0}", x);
+        for c in &curves {
+            print!(" {:>11.3}", c.points[i].1);
+        }
+        println!();
+    }
+
+    println!();
+    let cor10 = &curves[0];
+    println!(
+        "top-10 COR: {:.1}% of all pairs gain more than 20 ms (paper: ~20%)",
+        100.0 * cor10.fraction_at(20.0)
+    );
+    for t in RelayType::ALL {
+        let top = &curves[t.index() * 2];
+        let all = &curves[t.index() * 2 + 1];
+        println!(
+            "  {:<10} top-10 vs all gap at 0 ms: {:.1} percentage points",
+            t.label(),
+            100.0 * (all.fraction_at(0.0) - top.fraction_at(0.0))
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! §3 in-text scalar results: country-change effect, intercontinental
+//! share, the 320 ms VoIP threshold, temporal stability (CV), per-round
+//! consistency, and ping-direction symmetry.
+//!
+//! Paper references:
+//! - COR relays in a different country than both endpoints improve 75 %
+//!   of cases; sharing a country with an endpoint drops this to 50 %.
+//! - 74 % of RAE pairs are intercontinental.
+//! - 19 % of direct paths exceed 320 ms; with COR relays, 11 %.
+//! - CV of pair RTTs < 10 % for 90 % of pairs; CV range 0–40 %.
+//! - COR wins > 75 % in every round; ~80 % of bidirectional pairs agree
+//!   within 5 %.
+
+use shortcuts_bench::{build_world, print_header, rounds_from_env, run_campaign};
+use shortcuts_core::analysis::country::{intercontinental_fraction, CountryAnalysis};
+use shortcuts_core::analysis::stability::{per_round_improved_fraction, StabilityAnalysis};
+use shortcuts_core::analysis::symmetry::SymmetryAnalysis;
+use shortcuts_core::analysis::voip::VoipAnalysis;
+use shortcuts_core::RelayType;
+
+fn main() {
+    let world = build_world();
+    let rounds = rounds_from_env();
+    print_header("§3 scalar results", &world, rounds);
+    let results = run_campaign(&world);
+
+    println!("-- Changing countries and paths --");
+    println!(
+        "{:<10} {:>18} {:>18}",
+        "type", "diff-country", "same-country"
+    );
+    for t in RelayType::ALL {
+        let a = CountryAnalysis::compute(&results, t);
+        println!(
+            "{:<10} {:>16.0}% ({:>5}) {:>14.0}% ({:>5})",
+            t.label(),
+            100.0 * a.different_country_rate(),
+            a.different_country_cases,
+            100.0 * a.same_country_rate(),
+            a.same_country_cases,
+        );
+    }
+    println!("(paper, COR: 75% vs 50%)");
+    println!(
+        "intercontinental RAE pairs: {:.0}% (paper: 74%)\n",
+        100.0 * intercontinental_fraction(&results)
+    );
+
+    println!("-- VoIP 320 ms threshold --");
+    let v = VoipAnalysis::compute(&results);
+    println!(
+        "direct paths over {} ms: {:.1}% (paper: 19%); with COR relays: {:.1}% (paper: 11%)\n",
+        v.threshold_ms,
+        100.0 * v.direct_over,
+        100.0 * v.with_cor_over
+    );
+
+    println!("-- Stability over time --");
+    let s = StabilityAnalysis::compute(&results, 3.min(rounds as usize));
+    println!(
+        "pairs with CV < 10%: {:.0}% (paper: 90%); max CV: {:.0}% (paper: <=40%)",
+        100.0 * s.fraction_below(0.10),
+        100.0 * s.max_cv()
+    );
+    for t in RelayType::ALL {
+        let fracs = per_round_improved_fraction(&results, t);
+        let min = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fracs.iter().cloned().fold(0.0_f64, f64::max);
+        println!(
+            "  {:<10} per-round improved fraction: min {:.2} max {:.2}",
+            t.label(),
+            min,
+            max
+        );
+    }
+    println!("(paper: COR >0.75 in every round, RAR_other >0.5, others <0.5)\n");
+
+    println!("-- Ping-direction symmetry --");
+    let sy = SymmetryAnalysis::compute(&results);
+    println!(
+        "{} bidirectional pairs; {:.0}% within 5% (paper: ~80%); mean signed diff {:+.2}% (paper: ~0%)",
+        sy.samples,
+        100.0 * sy.within_5pct,
+        100.0 * sy.mean_signed_diff
+    );
+}

@@ -1,0 +1,117 @@
+//! Shared numeric helpers for the analyses.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` for empty input.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Coefficient of variation (stddev / mean); `None` if empty or the
+/// mean is zero.
+pub fn coefficient_of_variation(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    if m.abs() < f64::EPSILON {
+        return None;
+    }
+    Some(std_dev(values)? / m)
+}
+
+/// `p`-th percentile (0–100) with linear interpolation; `None` for
+/// empty input.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(v[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Empirical CDF sampled at the given x values: for each `x`, the
+/// fraction of `values <= x`.
+pub fn cdf_at(values: &[f64], xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.iter()
+        .map(|&x| {
+            let count = v.partition_point(|&y| y <= x);
+            (x, count as f64 / v.len().max(1) as f64)
+        })
+        .collect()
+}
+
+/// Fraction of values strictly greater than `threshold`.
+pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_basics() {
+        let cv = coefficient_of_variation(&[10.0, 10.0, 10.0]).unwrap();
+        assert_eq!(cv, 0.0);
+        assert!(coefficient_of_variation(&[]).is_none());
+        assert!(coefficient_of_variation(&[0.0, 0.0]).is_none());
+        let cv = coefficient_of_variation(&[8.0, 12.0]).unwrap();
+        assert!((cv - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let values = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let xs: Vec<f64> = (0..=6).map(f64::from).collect();
+        let cdf = cdf_at(&values, &xs);
+        assert_eq!(cdf.first().unwrap().1, 0.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        // fraction at x=3 is 3/5.
+        assert!((cdf[3].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_works() {
+        assert_eq!(fraction_above(&[1.0, 2.0, 3.0, 4.0], 2.0), 0.5);
+        assert_eq!(fraction_above(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Ping-direction symmetry check.
+//!
+//! §2.5: "for ~80 % of the RAE2RAE cases, the difference between
+//! initiating the ping from one node instead of its counterpart does
+//! not exceed 5 %, while it is averaged out to ~0 %". The campaign
+//! measures a sample of pairs in both directions; this module computes
+//! the same two statistics.
+
+use crate::workflow::CampaignResults;
+
+/// Symmetry statistics over forward/reverse measured pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct SymmetryAnalysis {
+    /// Number of bidirectionally measured pairs.
+    pub samples: usize,
+    /// Fraction of pairs whose relative difference is ≤ 5 %.
+    pub within_5pct: f64,
+    /// Mean signed relative difference (should be ~0: no systematic
+    /// direction bias).
+    pub mean_signed_diff: f64,
+}
+
+impl SymmetryAnalysis {
+    /// Computes the statistics from the campaign's symmetry samples.
+    pub fn compute(results: &CampaignResults) -> Self {
+        let samples = &results.symmetry_samples;
+        if samples.is_empty() {
+            return SymmetryAnalysis {
+                samples: 0,
+                within_5pct: 0.0,
+                mean_signed_diff: 0.0,
+            };
+        }
+        let mut within = 0usize;
+        let mut signed_sum = 0.0;
+        for &(fwd, rev) in samples {
+            let base = fwd.max(rev).max(f64::EPSILON);
+            let rel = (fwd - rev).abs() / base;
+            if rel <= 0.05 {
+                within += 1;
+            }
+            signed_sum += (fwd - rev) / base;
+        }
+        SymmetryAnalysis {
+            samples: samples.len(),
+            within_5pct: within as f64 / samples.len() as f64,
+            mean_signed_diff: signed_sum / samples.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{Campaign, CampaignConfig};
+    use crate::world::{World, WorldConfig};
+
+    #[test]
+    fn campaign_symmetry_matches_paper_shape() {
+        let world = World::build(&WorldConfig::small(), 71);
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = 2;
+        cfg.symmetry_sample_prob = 0.3;
+        let r = Campaign::new(&world, cfg).run();
+        let s = SymmetryAnalysis::compute(&r);
+        assert!(s.samples > 20, "need symmetry samples, got {}", s.samples);
+        // Most pairs within 5% (paper: ~80%).
+        assert!(s.within_5pct > 0.5, "within5 {}", s.within_5pct);
+        // No systematic bias.
+        assert!(s.mean_signed_diff.abs() < 0.05, "bias {}", s.mean_signed_diff);
+    }
+
+    #[test]
+    fn empty_samples_are_handled() {
+        let world = World::build(&WorldConfig::small(), 71);
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = 1;
+        cfg.symmetry_sample_prob = 0.0;
+        let r = Campaign::new(&world, cfg).run();
+        let s = SymmetryAnalysis::compute(&r);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.within_5pct, 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! §2.1 — endpoint selection at eyeball networks.
+//!
+//! The pipeline: take the APNIC user-coverage table, keep (AS, country)
+//! tuples above the cutoff coverage (the paper settles on 10 % after
+//! sweeping Fig. 1), *verify* each AS really is an eyeball (the authors
+//! manually checked 494 official websites; the simulation's stand-in is
+//! the topology's ground-truth AS classification — exactly what a manual
+//! check would discover), then gather RIPE Atlas probes in the verified
+//! tuples that pass the five probe criteria, and per measurement round
+//! sample **one AS per country, one probe per AS** to keep country-level
+//! diversity without over-weighting densely probed ISPs.
+
+use crate::world::World;
+use rand::prelude::*;
+use shortcuts_atlas::ripe::{Probe, ProbeFilter};
+use shortcuts_geo::CountryCode;
+use shortcuts_topology::{AsType, Asn};
+use std::collections::BTreeMap;
+
+/// A verified eyeball presence: this AS serves end users in this country.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VerifiedEyeball {
+    /// The eyeball AS.
+    pub asn: Asn,
+    /// Country where the coverage was measured.
+    pub country: CountryCode,
+}
+
+/// Outcome of the §2.1 selection, with intermediate counts for
+/// reporting.
+#[derive(Debug, Clone)]
+pub struct EyeballSelection {
+    /// Tuples above the coverage cutoff, before verification.
+    pub candidates: Vec<(Asn, CountryCode)>,
+    /// Tuples that passed eyeball verification.
+    pub verified: Vec<VerifiedEyeball>,
+}
+
+/// Runs candidate selection + verification at `cutoff_pct` coverage.
+pub fn select_eyeballs(world: &World, cutoff_pct: f64) -> EyeballSelection {
+    let candidates = world.apnic.tuples_above(cutoff_pct);
+    let verified = candidates
+        .iter()
+        .filter(|(asn, _)| {
+            // "Manual verification": does the AS actually sell last-mile
+            // access to end users? Ground truth stands in for the
+            // website check.
+            world
+                .topo
+                .as_info(*asn)
+                .is_some_and(|i| i.as_type == AsType::Eyeball)
+        })
+        .map(|&(asn, country)| VerifiedEyeball { asn, country })
+        .collect();
+    EyeballSelection {
+        candidates,
+        verified,
+    }
+}
+
+/// The pool of usable endpoint probes, grouped country → AS → probes.
+#[derive(Debug)]
+pub struct EndpointPool<'w> {
+    /// country → (asn → probes) map; BTree for deterministic iteration.
+    by_country: BTreeMap<CountryCode, BTreeMap<Asn, Vec<&'w Probe>>>,
+}
+
+impl<'w> EndpointPool<'w> {
+    /// Builds the pool: probes of verified (AS, country) tuples passing
+    /// the paper's probe filter.
+    pub fn build(world: &'w World, verified: &[VerifiedEyeball]) -> Self {
+        let filter = ProbeFilter::paper();
+        let mut by_country: BTreeMap<CountryCode, BTreeMap<Asn, Vec<&'w Probe>>> = BTreeMap::new();
+        for p in world.ripe.probes() {
+            if !filter.accepts(p) {
+                continue;
+            }
+            if verified
+                .iter()
+                .any(|v| v.asn == p.asn && v.country == p.country)
+            {
+                by_country
+                    .entry(p.country)
+                    .or_default()
+                    .entry(p.asn)
+                    .or_default()
+                    .push(p);
+            }
+        }
+        EndpointPool { by_country }
+    }
+
+    /// Number of countries with at least one usable probe.
+    pub fn country_count(&self) -> usize {
+        self.by_country.len()
+    }
+
+    /// Number of distinct ASes with usable probes.
+    pub fn as_count(&self) -> usize {
+        self.by_country.values().map(|m| m.len()).sum()
+    }
+
+    /// Total usable probes.
+    pub fn probe_count(&self) -> usize {
+        self.by_country
+            .values()
+            .flat_map(|m| m.values())
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// Samples the round's endpoints: one random eyeball AS per country,
+    /// one random probe from it (the paper's 2-step sampling).
+    pub fn sample_round<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<&'w Probe> {
+        let mut out = Vec::with_capacity(self.by_country.len());
+        for per_as in self.by_country.values() {
+            let asns: Vec<&Asn> = per_as.keys().collect();
+            let asn = asns.choose(rng).expect("country has ASes");
+            let probes = &per_as[asn];
+            out.push(*probes.choose(rng).expect("AS has probes"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::rngs::StdRng;
+
+    fn world() -> World {
+        World::build(&WorldConfig::small(), 8)
+    }
+
+    #[test]
+    fn verification_keeps_only_real_eyeballs() {
+        let w = world();
+        let sel = select_eyeballs(&w, 10.0);
+        assert!(!sel.verified.is_empty());
+        assert!(sel.verified.len() <= sel.candidates.len());
+        for v in &sel.verified {
+            assert_eq!(w.topo.expect_as(v.asn).as_type, AsType::Eyeball);
+        }
+    }
+
+    #[test]
+    fn verification_drops_enterprise_noise() {
+        let w = world();
+        // At a very low cutoff, enterprise rows sneak into the
+        // candidates and must be verified away.
+        let sel = select_eyeballs(&w, 0.01);
+        let dropped = sel.candidates.len() - sel.verified.len();
+        assert!(dropped > 0, "no enterprise candidates got dropped");
+    }
+
+    #[test]
+    fn pool_groups_by_country_and_as() {
+        let w = world();
+        let sel = select_eyeballs(&w, 10.0);
+        let pool = EndpointPool::build(&w, &sel.verified);
+        assert!(pool.country_count() > 20, "got {}", pool.country_count());
+        assert!(pool.as_count() >= pool.country_count());
+        assert!(pool.probe_count() >= pool.as_count());
+    }
+
+    #[test]
+    fn round_sample_is_one_probe_per_country() {
+        let w = world();
+        let sel = select_eyeballs(&w, 10.0);
+        let pool = EndpointPool::build(&w, &sel.verified);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = pool.sample_round(&mut rng);
+        assert_eq!(sample.len(), pool.country_count());
+        let countries: std::collections::HashSet<_> =
+            sample.iter().map(|p| p.country).collect();
+        assert_eq!(countries.len(), sample.len(), "one endpoint per country");
+    }
+
+    #[test]
+    fn round_samples_vary() {
+        let w = world();
+        let sel = select_eyeballs(&w, 10.0);
+        let pool = EndpointPool::build(&w, &sel.verified);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<u32> = pool.sample_round(&mut rng).iter().map(|p| p.id).collect();
+        let b: Vec<u32> = pool.sample_round(&mut rng).iter().map(|p| p.id).collect();
+        assert_ne!(a, b, "different rounds should sample different probes");
+    }
+
+    #[test]
+    fn sampled_probes_pass_paper_filter() {
+        let w = world();
+        let sel = select_eyeballs(&w, 10.0);
+        let pool = EndpointPool::build(&w, &sel.verified);
+        let mut rng = StdRng::seed_from_u64(5);
+        let filter = ProbeFilter::paper();
+        for p in pool.sample_round(&mut rng) {
+            assert!(filter.accepts(p));
+        }
+    }
+}

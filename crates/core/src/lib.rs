@@ -1,0 +1,44 @@
+//! # shortcuts-core
+//!
+//! The paper itself: *Shortcuts through Colocation Facilities* (IMC
+//! 2017) — endpoint and relay selection, the measurement workflow, and
+//! every analysis behind the paper's figures, table and in-text numbers.
+//!
+//! The crate is organized to follow the paper's structure:
+//!
+//! | paper section | module |
+//! |---|---|
+//! | §2.1 endpoint selection at eyeballs | [`eyeball`] |
+//! | §2.2 relay selection at colos (5-filter funnel) | [`colo`] |
+//! | §2.3 PlanetLab / RIPE Atlas relays | [`relays`] |
+//! | §2.4 feasibility filter | [`feasibility`] |
+//! | §2.5 measurement framework (rounds, medians, stitching) | [`workflow`], [`measure`] |
+//! | §3 results | [`analysis`] (one submodule per figure/table/claim) |
+//!
+//! [`world::World`] bundles the full simulated environment (topology,
+//! datasets, platforms, hosts) so a campaign is two calls:
+//!
+//! ```
+//! use shortcuts_core::world::{World, WorldConfig};
+//! use shortcuts_core::workflow::{Campaign, CampaignConfig};
+//!
+//! let world = World::build(&WorldConfig::small(), 42);
+//! let mut campaign_cfg = CampaignConfig::small();
+//! campaign_cfg.rounds = 2;
+//! let results = Campaign::new(&world, campaign_cfg).run();
+//! assert!(!results.cases.is_empty());
+//! ```
+
+pub mod analysis;
+pub mod colo;
+pub mod eyeball;
+pub mod feasibility;
+pub mod measure;
+pub mod relays;
+pub mod report;
+pub mod world;
+pub mod workflow;
+
+pub use relays::{Relay, RelayType};
+pub use workflow::{Campaign, CampaignConfig, CampaignResults, CaseRecord};
+pub use world::{World, WorldConfig};

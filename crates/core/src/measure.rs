@@ -1,0 +1,108 @@
+//! Measurement primitives: medians, windows, stitching.
+//!
+//! §2.5 defines the paper's RTT estimator: within a 30-minute window,
+//! send 6 single-packet pings 5 minutes apart; if at least 3 replies
+//! arrive, the pair's RTT for the round is the **median** of the
+//! replies (robust to the heavy spikes real networks produce); otherwise
+//! the pair is unresponsive this round. A relayed path's RTT is the sum
+//! of the two legs' medians ("stitching").
+
+use rand::Rng;
+use shortcuts_netsim::clock::SimTime;
+use shortcuts_netsim::{HostId, PingEngine};
+
+/// Parameters of a measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Pings per window (paper: 6).
+    pub pings: usize,
+    /// Seconds between pings (paper: 300 s).
+    pub interval_secs: f64,
+    /// Minimum valid replies for a usable median (paper: 3).
+    pub min_valid: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            pings: 6,
+            interval_secs: 300.0,
+            min_valid: 3,
+        }
+    }
+}
+
+/// Median of a slice (destructive order; copies internally).
+/// `None` for an empty slice. Even lengths average the middle pair.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("RTTs are finite"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Measures one pair over a window: pings per [`WindowConfig`], median
+/// if enough replies, `None` otherwise.
+pub fn measure_pair<R: Rng + ?Sized>(
+    engine: &PingEngine<'_>,
+    src: HostId,
+    dst: HostId,
+    window_start: SimTime,
+    cfg: &WindowConfig,
+    rng: &mut R,
+) -> Option<f64> {
+    let replies = engine.ping_series(src, dst, window_start, cfg.pings, cfg.interval_secs, rng);
+    if replies.len() < cfg.min_valid {
+        return None;
+    }
+    median(&replies)
+}
+
+/// Stitches a one-relay overlay path from its two leg medians
+/// (§2.5 step 4): `RTT(src, relay, dst) = RTT(src, relay) + RTT(dst,
+/// relay)`.
+pub fn stitch(leg1_ms: f64, leg2_ms: f64) -> f64 {
+    leg1_ms + leg2_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn median_robust_to_one_spike() {
+        let m = median(&[10.0, 10.2, 9.9, 10.1, 400.0, 10.0]).unwrap();
+        assert!(m < 11.0, "median {m} should shrug off the spike");
+    }
+
+    #[test]
+    fn stitch_adds_legs() {
+        assert_eq!(stitch(10.0, 15.5), 25.5);
+        assert_eq!(stitch(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn window_default_matches_paper() {
+        let w = WindowConfig::default();
+        assert_eq!(w.pings, 6);
+        assert_eq!(w.interval_secs, 300.0);
+        assert_eq!(w.min_valid, 3);
+        // 6 pings every 5 minutes fit exactly in the 30-minute window.
+        assert!(w.pings as f64 * w.interval_secs <= 1800.0 + 1e-9);
+    }
+}

@@ -1,0 +1,497 @@
+//! §2.5 — the measurement framework: 45 rounds, every 12 hours, each a
+//! 4-step workflow.
+//!
+//! Per round:
+//!
+//! 1. Sample the round's RIPE Atlas endpoints (RAEs): one eyeball AS per
+//!    country, one probe per AS (§2.1).
+//! 2. Measure the direct RTT of every RAE pair: 6 single-packet pings 5
+//!    minutes apart, median of ≥3 valid replies.
+//! 3. Sample the round's relays per type (§2.2, §2.3) and keep, per RAE
+//!    pair, only the **feasible** ones (§2.4, using the direct medians
+//!    from step 2).
+//! 4. Measure RTT on every needed (endpoint, relay) overlay link the
+//!    same way, and stitch one-relay paths:
+//!    `RTT(e1, relay, e2) = median(e1, relay) + median(e2, relay)`.
+//!
+//! A fraction of direct pairs is also measured in the reverse direction
+//! to reproduce the paper's ping-direction symmetry check.
+//!
+//! The output is a flat list of **cases** (one per measured RAE pair per
+//! round) carrying the direct median and, per relay type, the best
+//! relayed RTT and the full list of improving relays — enough to
+//! regenerate every figure and table in §3.
+
+use crate::colo::{run_pipeline, ColoPipelineConfig, ColoPool};
+use crate::eyeball::{select_eyeballs, EndpointPool};
+use crate::feasibility::is_feasible;
+use crate::measure::{measure_pair, WindowConfig};
+use crate::relays::{RelayPools, RelayType, RoundRelays};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use shortcuts_geo::{CityId, Continent, CountryCode};
+use shortcuts_netsim::clock::SimTime;
+use shortcuts_netsim::{HostId, PingEngine};
+use shortcuts_topology::routing::{Router, RoutingPolicy};
+use shortcuts_topology::{Asn, FacilityId};
+use std::collections::HashMap;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of measurement rounds (paper: 45).
+    pub rounds: u32,
+    /// Hours between round starts (paper: 12).
+    pub round_interval_hours: f64,
+    /// Ping window parameters (paper: 6 pings / 5 min / ≥3 valid).
+    pub window: WindowConfig,
+    /// APNIC coverage cutoff for eyeball selection (paper: 10 %).
+    pub eyeball_cutoff_pct: f64,
+    /// §2.2 pipeline parameters.
+    pub colo: ColoPipelineConfig,
+    /// Fraction of direct pairs also measured in reverse (symmetry
+    /// check).
+    pub symmetry_sample_prob: f64,
+    /// Routing policy (valley-free; ablations use shortest-path).
+    pub routing: RoutingPolicy,
+    /// Master seed for all per-round randomness.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The paper's full campaign: 45 rounds over ~27 days.
+    pub fn paper() -> Self {
+        CampaignConfig {
+            rounds: 45,
+            round_interval_hours: 12.0,
+            window: WindowConfig::default(),
+            eyeball_cutoff_pct: 10.0,
+            colo: ColoPipelineConfig::default(),
+            symmetry_sample_prob: 0.1,
+            routing: RoutingPolicy::ValleyFree,
+            seed: 2017,
+        }
+    }
+
+    /// A fast configuration for tests: few rounds, small windows.
+    pub fn small() -> Self {
+        CampaignConfig {
+            rounds: 3,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-type outcome of one case.
+#[derive(Debug, Clone, Default)]
+pub struct TypeOutcome {
+    /// Best (lowest-RTT) relayed path of this type, if any relay was
+    /// feasible and measurable: (relay host, stitched RTT ms).
+    pub best: Option<(HostId, f64)>,
+    /// Every relay of this type that beat the direct path, with its
+    /// improvement in ms.
+    pub improving: Vec<(HostId, f32)>,
+    /// Number of feasible relays of this type for this case.
+    pub feasible: u32,
+}
+
+impl TypeOutcome {
+    /// Improvement of the best relay vs. the direct path (ms, positive
+    /// = relay faster), if a best relay exists.
+    pub fn best_improvement(&self, direct_ms: f64) -> Option<f64> {
+        self.best.map(|(_, rtt)| direct_ms - rtt)
+    }
+
+    /// Whether this type improved the case.
+    pub fn improved(&self, direct_ms: f64) -> bool {
+        self.best.is_some_and(|(_, rtt)| rtt < direct_ms)
+    }
+}
+
+/// One measured RAE pair in one round.
+#[derive(Debug, Clone)]
+pub struct CaseRecord {
+    /// Round index.
+    pub round: u32,
+    /// Source endpoint host.
+    pub src: HostId,
+    /// Destination endpoint host.
+    pub dst: HostId,
+    /// Source country.
+    pub src_country: CountryCode,
+    /// Destination country.
+    pub dst_country: CountryCode,
+    /// Whether the endpoints are on different continents.
+    pub intercontinental: bool,
+    /// Direct-path median RTT, ms.
+    pub direct_ms: f64,
+    /// Outcomes indexed by [`RelayType::index`].
+    pub outcomes: [TypeOutcome; 4],
+}
+
+impl CaseRecord {
+    /// Outcome for a relay type.
+    pub fn outcome(&self, t: RelayType) -> &TypeOutcome {
+        &self.outcomes[t.index()]
+    }
+}
+
+/// Identity and location facts about a relay host, for analyses.
+#[derive(Debug, Clone)]
+pub struct RelayMeta {
+    /// Relay type.
+    pub rtype: RelayType,
+    /// Owning AS.
+    pub asn: Asn,
+    /// City.
+    pub city: CityId,
+    /// Country.
+    pub country: CountryCode,
+    /// Facility (COR only).
+    pub facility: Option<FacilityId>,
+}
+
+/// Everything a campaign produces.
+#[derive(Debug)]
+pub struct CampaignResults {
+    /// All measured cases (one per valid RAE pair per round).
+    pub cases: Vec<CaseRecord>,
+    /// Per-pair history of direct medians across rounds (for the CV
+    /// stability analysis). Keyed by ordered host pair.
+    pub direct_history: HashMap<(HostId, HostId), Vec<f64>>,
+    /// Per-link history of endpoint↔relay medians across rounds.
+    pub link_history: HashMap<(HostId, HostId), Vec<f64>>,
+    /// Forward/reverse direct medians for the symmetry analysis.
+    pub symmetry_samples: Vec<(f64, f64)>,
+    /// Metadata of every relay that appeared in any round.
+    pub relay_meta: HashMap<HostId, RelayMeta>,
+    /// §2.2 funnel of the COR pipeline run.
+    pub colo_pool: ColoPool,
+    /// Total pings sent.
+    pub pings_sent: u64,
+    /// Pairs whose direct window produced no valid median.
+    pub unresponsive_pairs: u64,
+    /// Average endpoints per round.
+    pub avg_endpoints: f64,
+    /// Average sampled relays per round, indexed by [`RelayType::index`].
+    pub avg_relays: [f64; 4],
+}
+
+impl CampaignResults {
+    /// Total number of cases.
+    pub fn total_cases(&self) -> usize {
+        self.cases.len()
+    }
+}
+
+/// The campaign runner.
+pub struct Campaign<'w> {
+    world: &'w World,
+    cfg: CampaignConfig,
+}
+
+impl<'w> Campaign<'w> {
+    /// Creates a campaign over a world.
+    pub fn new(world: &'w World, cfg: CampaignConfig) -> Self {
+        Campaign { world, cfg }
+    }
+
+    /// Runs the whole campaign.
+    pub fn run(&self) -> CampaignResults {
+        let world = self.world;
+        let cfg = &self.cfg;
+        let router = Router::with_policy(&world.topo, cfg.routing);
+        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- One-time selection (§2.1, §2.2) -----------------------------
+        let vantage = world
+            .looking_glasses
+            .lgs()
+            .first()
+            .expect("world has looking glasses")
+            .host;
+        let colo_pool = run_pipeline(world, &engine, vantage, SimTime(0.0), &cfg.colo, &mut rng);
+        let selection = select_eyeballs(world, cfg.eyeball_cutoff_pct);
+        let endpoint_pool = EndpointPool::build(world, &selection.verified);
+        let relay_pools = RelayPools::build(world, &colo_pool, &selection.verified);
+
+        let mut cases = Vec::new();
+        let mut direct_history: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
+        let mut link_history: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
+        let mut symmetry_samples = Vec::new();
+        let mut relay_meta: HashMap<HostId, RelayMeta> = HashMap::new();
+        let mut unresponsive_pairs = 0u64;
+        let mut endpoints_total = 0usize;
+        let mut relays_total = [0usize; 4];
+
+        for round in 0..cfg.rounds {
+            let t0 = SimTime(f64::from(round) * cfg.round_interval_hours * 3600.0);
+            let mut round_rng =
+                StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED).wrapping_add(round as u64));
+
+            // Step 1: endpoints.
+            let raes = endpoint_pool.sample_round(&mut round_rng);
+            endpoints_total += raes.len();
+
+            // Step 2: direct paths.
+            let mut direct: HashMap<(usize, usize), f64> = HashMap::new();
+            for i in 0..raes.len() {
+                for j in (i + 1)..raes.len() {
+                    let (a, b) = (raes[i].host, raes[j].host);
+                    match measure_pair(&engine, a, b, t0, &cfg.window, &mut round_rng) {
+                        Some(m) => {
+                            direct.insert((i, j), m);
+                            let key = if a <= b { (a, b) } else { (b, a) };
+                            direct_history.entry(key).or_default().push(m);
+                            if round_rng.gen_bool(cfg.symmetry_sample_prob) {
+                                if let Some(rev) =
+                                    measure_pair(&engine, b, a, t0, &cfg.window, &mut round_rng)
+                                {
+                                    symmetry_samples.push((m, rev));
+                                }
+                            }
+                        }
+                        None => unresponsive_pairs += 1,
+                    }
+                }
+            }
+
+            // Step 3: relays and feasibility.
+            let round_relays: RoundRelays = relay_pools.sample_round(world, round, &mut round_rng);
+            for t in RelayType::ALL {
+                relays_total[t.index()] += round_relays.count(t);
+            }
+            for r in &round_relays.relays {
+                relay_meta.entry(r.host).or_insert_with(|| RelayMeta {
+                    rtype: r.rtype,
+                    asn: r.asn,
+                    city: r.city,
+                    country: r.country,
+                    facility: r.facility,
+                });
+            }
+
+            // Which (endpoint index, relay index) links do we need?
+            let relays = &round_relays.relays;
+            let mut feasible: Vec<Vec<u32>> = vec![Vec::new(); direct.len()];
+            let mut needed: HashMap<(usize, u32), ()> = HashMap::new();
+            let pair_keys: Vec<(usize, usize)> = {
+                let mut v: Vec<_> = direct.keys().copied().collect();
+                v.sort_unstable();
+                v
+            };
+            for (pair_idx, &(i, j)) in pair_keys.iter().enumerate() {
+                let d = direct[&(i, j)];
+                let (si, sj) = (
+                    world.hosts.get(raes[i].host).location,
+                    world.hosts.get(raes[j].host).location,
+                );
+                for (ri, relay) in relays.iter().enumerate() {
+                    if is_feasible(&si, &sj, &relay.location, d) {
+                        feasible[pair_idx].push(ri as u32);
+                        needed.insert((i, ri as u32), ());
+                        needed.insert((j, ri as u32), ());
+                    }
+                }
+            }
+
+            // Step 4: overlay links, then stitching.
+            let mut link: HashMap<(usize, u32), Option<f64>> = HashMap::new();
+            let mut needed_keys: Vec<(usize, u32)> = needed.into_keys().collect();
+            needed_keys.sort_unstable();
+            for (ei, ri) in needed_keys {
+                let e_host = raes[ei].host;
+                let r_host = relays[ri as usize].host;
+                let m = measure_pair(&engine, e_host, r_host, t0, &cfg.window, &mut round_rng);
+                if let Some(v) = m {
+                    let key = if e_host <= r_host {
+                        (e_host, r_host)
+                    } else {
+                        (r_host, e_host)
+                    };
+                    link_history.entry(key).or_default().push(v);
+                }
+                link.insert((ei, ri), m);
+            }
+
+            for (pair_idx, &(i, j)) in pair_keys.iter().enumerate() {
+                let d = direct[&(i, j)];
+                let mut outcomes: [TypeOutcome; 4] = Default::default();
+                for &ri in &feasible[pair_idx] {
+                    let relay = &relays[ri as usize];
+                    let (Some(Some(l1)), Some(Some(l2))) =
+                        (link.get(&(i, ri)), link.get(&(j, ri)))
+                    else {
+                        continue;
+                    };
+                    let stitched = l1 + l2;
+                    let out = &mut outcomes[relay.rtype.index()];
+                    out.feasible += 1;
+                    if out.best.is_none_or(|(_, best)| stitched < best) {
+                        out.best = Some((relay.host, stitched));
+                    }
+                    if stitched < d {
+                        out.improving.push((relay.host, (d - stitched) as f32));
+                    }
+                }
+                let src_city = world.hosts.get(raes[i].host).city;
+                let dst_city = world.hosts.get(raes[j].host).city;
+                cases.push(CaseRecord {
+                    round,
+                    src: raes[i].host,
+                    dst: raes[j].host,
+                    src_country: raes[i].country,
+                    dst_country: raes[j].country,
+                    intercontinental: continent_of(world, src_city)
+                        != continent_of(world, dst_city),
+                    direct_ms: d,
+                    outcomes,
+                });
+            }
+        }
+
+        let rounds = cfg.rounds.max(1) as f64;
+        CampaignResults {
+            cases,
+            direct_history,
+            link_history,
+            symmetry_samples,
+            relay_meta,
+            colo_pool,
+            pings_sent: engine.stats().attempts,
+            unresponsive_pairs,
+            avg_endpoints: endpoints_total as f64 / rounds,
+            avg_relays: [
+                relays_total[0] as f64 / rounds,
+                relays_total[1] as f64 / rounds,
+                relays_total[2] as f64 / rounds,
+                relays_total[3] as f64 / rounds,
+            ],
+        }
+    }
+}
+
+fn continent_of(world: &World, city: CityId) -> Continent {
+    world.topo.cities.get(city).continent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn quick_results() -> (World, CampaignResults) {
+        let world = World::build(&WorldConfig::small(), 21);
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = 2;
+        let results = Campaign::new(&world, cfg).run();
+        (world, results)
+    }
+
+    #[test]
+    fn campaign_produces_cases() {
+        let (_, r) = quick_results();
+        assert!(!r.cases.is_empty());
+        assert!(r.pings_sent > 0);
+        assert!(r.avg_endpoints > 10.0);
+        // Every case has a positive direct RTT.
+        for c in &r.cases {
+            assert!(c.direct_ms > 0.0);
+            assert_ne!(c.src, c.dst);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_in_different_countries() {
+        let (_, r) = quick_results();
+        for c in &r.cases {
+            assert_ne!(c.src_country, c.dst_country);
+        }
+    }
+
+    #[test]
+    fn stitched_rtts_are_sums_of_positive_legs() {
+        let (_, r) = quick_results();
+        for c in &r.cases {
+            for t in RelayType::ALL {
+                if let Some((_, rtt)) = c.outcome(t).best {
+                    assert!(rtt > 0.0);
+                }
+                for &(_, imp) in &c.outcome(t).improving {
+                    assert!(imp > 0.0, "improvement must be positive");
+                    assert!(f64::from(imp) < c.direct_ms);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improving_relays_are_recorded_with_meta() {
+        let (_, r) = quick_results();
+        let mut seen_any = false;
+        for c in &r.cases {
+            for t in RelayType::ALL {
+                for &(host, _) in &c.outcome(t).improving {
+                    seen_any = true;
+                    let meta = r.relay_meta.get(&host).expect("meta for improving relay");
+                    assert_eq!(meta.rtype, t);
+                }
+            }
+        }
+        assert!(seen_any, "campaign should find some improving relays");
+    }
+
+    #[test]
+    fn cor_improves_most_cases_even_in_small_world() {
+        let (_, r) = quick_results();
+        let total = r.total_cases() as f64;
+        let cor_improved = r
+            .cases
+            .iter()
+            .filter(|c| c.outcome(RelayType::Cor).improved(c.direct_ms))
+            .count() as f64;
+        // Loose bound for the small world; the full-scale check lives in
+        // the benches and EXPERIMENTS.md.
+        assert!(
+            cor_improved / total > 0.3,
+            "COR improved only {:.0}% of cases",
+            100.0 * cor_improved / total
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let world = World::build(&WorldConfig::small(), 21);
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = 1;
+        let r1 = Campaign::new(&world, cfg.clone()).run();
+        let r2 = Campaign::new(&world, cfg).run();
+        assert_eq!(r1.total_cases(), r2.total_cases());
+        for (a, b) in r1.cases.iter().zip(r2.cases.iter()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert!((a.direct_ms - b.direct_ms).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn histories_are_populated() {
+        let (_, r) = quick_results();
+        assert!(!r.direct_history.is_empty());
+        assert!(!r.link_history.is_empty());
+        assert!(!r.symmetry_samples.is_empty());
+        for ((a, b), v) in r.direct_history.iter().take(20) {
+            assert!(a <= b, "history keys must be ordered");
+            assert!(!v.is_empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The assembled simulation world.
+//!
+//! A [`World`] owns everything a campaign measures against: the
+//! topology, the host registry, the three measurement platforms and the
+//! four datasets — all generated deterministically from one seed. It
+//! deliberately does **not** own a router or ping engine (those borrow
+//! the world and are created per campaign), so the world itself stays
+//! freely shareable across campaigns, ablations and benchmarks.
+
+use shortcuts_atlas::looking_glass::{LookingGlassConfig, LookingGlassNet};
+use shortcuts_atlas::planetlab::{PlanetLab, PlanetLabConfig};
+use shortcuts_atlas::ripe::{RipeAtlas, RipeAtlasConfig};
+use shortcuts_datasets::facility_dataset::{FacilityDataset, FacilityDatasetConfig};
+use shortcuts_datasets::{ApnicDataset, PeeringDb, Prefix2As};
+use shortcuts_netsim::{HostRegistry, LatencyModel};
+use shortcuts_topology::{Topology, TopologyConfig};
+
+/// Configuration of the full world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Topology generator configuration.
+    pub topology: TopologyConfig,
+    /// RIPE Atlas population configuration.
+    pub ripe: RipeAtlasConfig,
+    /// PlanetLab deployment configuration.
+    pub planetlab: PlanetLabConfig,
+    /// Looking Glass placement configuration.
+    pub looking_glass: LookingGlassConfig,
+    /// Facility (Giotsas) dataset configuration.
+    pub facility_dataset: FacilityDatasetConfig,
+    /// Fraction of prefixes with MOAS noise in the prefix2as table.
+    pub moas_fraction: f64,
+    /// Latency model used by campaigns over this world.
+    pub latency: LatencyModel,
+}
+
+impl WorldConfig {
+    /// Paper-scale world (default).
+    pub fn paper_scale() -> Self {
+        WorldConfig {
+            topology: TopologyConfig::paper_scale(),
+            ripe: RipeAtlasConfig::default(),
+            planetlab: PlanetLabConfig::default(),
+            looking_glass: LookingGlassConfig::default(),
+            facility_dataset: FacilityDatasetConfig::default(),
+            moas_fraction: 0.01,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Small, fast world for tests.
+    pub fn small() -> Self {
+        WorldConfig {
+            topology: TopologyConfig::small(),
+            facility_dataset: FacilityDatasetConfig::small(),
+            ..Self::paper_scale()
+        }
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// The fully assembled simulation world.
+#[derive(Debug)]
+pub struct World {
+    /// The AS-level topology.
+    pub topo: Topology,
+    /// All registered hosts (probes, nodes, colo interfaces, LGs).
+    pub hosts: HostRegistry,
+    /// RIPE Atlas platform.
+    pub ripe: RipeAtlas,
+    /// PlanetLab deployment.
+    pub planetlab: PlanetLab,
+    /// Looking Glass population.
+    pub looking_glasses: LookingGlassNet,
+    /// APNIC user-coverage table.
+    pub apnic: ApnicDataset,
+    /// Current PeeringDB snapshot.
+    pub peeringdb: PeeringDb,
+    /// CAIDA-style prefix→AS table.
+    pub prefix2as: Prefix2As,
+    /// The stale 2015 facility dataset.
+    pub facility_dataset: FacilityDataset,
+    /// Latency model campaigns should use.
+    pub latency: LatencyModel,
+    /// The seed the world was built from.
+    pub seed: u64,
+}
+
+impl World {
+    /// Builds the world from a config and master seed. Sub-seeds are
+    /// derived per component so the world is fully reproducible.
+    pub fn build(cfg: &WorldConfig, seed: u64) -> Self {
+        let sub = |k: u64| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k);
+        let topo = Topology::generate(&cfg.topology, sub(1));
+        let mut hosts = HostRegistry::new();
+        let ripe = RipeAtlas::generate(&topo, &mut hosts, &cfg.ripe, sub(2));
+        let planetlab = PlanetLab::generate(&topo, &mut hosts, &cfg.planetlab, sub(3));
+        let looking_glasses =
+            LookingGlassNet::generate(&topo, &mut hosts, &cfg.looking_glass, sub(4));
+        let facility_dataset =
+            FacilityDataset::generate(&topo, &mut hosts, &cfg.facility_dataset, sub(5));
+        let apnic = ApnicDataset::from_topology(&topo, sub(6));
+        let peeringdb = PeeringDb::snapshot(&topo);
+        let prefix2as = Prefix2As::from_topology(&topo, cfg.moas_fraction, sub(7));
+        World {
+            topo,
+            hosts,
+            ripe,
+            planetlab,
+            looking_glasses,
+            apnic,
+            peeringdb,
+            prefix2as,
+            facility_dataset,
+            latency: cfg.latency.clone(),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_builds_consistently() {
+        let w1 = World::build(&WorldConfig::small(), 5);
+        let w2 = World::build(&WorldConfig::small(), 5);
+        assert_eq!(w1.hosts.len(), w2.hosts.len());
+        assert_eq!(w1.ripe.probes().len(), w2.ripe.probes().len());
+        assert_eq!(w1.facility_dataset.len(), w2.facility_dataset.len());
+        assert!(w1.hosts.len() > 0);
+    }
+
+    #[test]
+    fn world_components_share_the_topology() {
+        let w = World::build(&WorldConfig::small(), 6);
+        // Every probe host resolves and belongs to a real AS.
+        for p in w.ripe.probes().iter().take(50) {
+            let h = w.hosts.get(p.host);
+            assert!(w.topo.as_info(h.asn).is_some());
+        }
+        // PeeringDB facility count matches the topology.
+        assert_eq!(w.peeringdb.facilities().len(), w.topo.facilities().len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_worlds() {
+        let w1 = World::build(&WorldConfig::small(), 1);
+        let w2 = World::build(&WorldConfig::small(), 2);
+        assert_ne!(w1.hosts.len(), w2.hosts.len());
+    }
+}

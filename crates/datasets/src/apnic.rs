@@ -1,0 +1,249 @@
+//! Synthetic APNIC per-AS user-coverage dataset.
+//!
+//! APNIC estimates, for every (AS, country) pair, the percentage of the
+//! country's Internet users served by that AS. The paper (§2.1) sweeps a
+//! *cutoff coverage* over this table to decide which ASes qualify as
+//! eyeballs (Fig. 1) and settles on a 10 % threshold.
+//!
+//! The synthetic table is derived from the topology: eyeball ASes
+//! contribute their real user share in their home country; enterprise
+//! ASes contribute low-coverage noise rows (the "measured but not
+//! actually an eyeball" population that makes the manual verification
+//! step meaningful); eyeballs with PoPs abroad get small secondary rows
+//! (a single AS can appear in several countries, as the paper notes).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shortcuts_geo::CountryCode;
+use shortcuts_topology::{AsType, Asn, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One (AS, country, coverage%) row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageRow {
+    /// The measured AS.
+    pub asn: Asn,
+    /// Country of the user population.
+    pub country: CountryCode,
+    /// Percentage (0–100) of the country's users served by the AS.
+    pub coverage_pct: f64,
+}
+
+/// A point of the Fig. 1 curve: at `cutoff_pct`, how many ASes and
+/// countries remain covered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveragePoint {
+    /// The cutoff (x-axis of Fig. 1).
+    pub cutoff_pct: f64,
+    /// Number of ASes with coverage >= cutoff anywhere.
+    pub n_ases: usize,
+    /// Number of countries hosting at least one such AS.
+    pub n_countries: usize,
+}
+
+/// The synthetic APNIC dataset.
+#[derive(Debug, Clone)]
+pub struct ApnicDataset {
+    rows: Vec<CoverageRow>,
+}
+
+impl ApnicDataset {
+    /// Derives the dataset from a topology.
+    ///
+    /// `seed` controls only the noise rows (secondary-country presence
+    /// and enterprise coverage jitter), not the primary eyeball shares,
+    /// which come from the topology itself.
+    pub fn from_topology(topo: &Topology, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for info in topo.ases() {
+            match info.as_type {
+                AsType::Eyeball => {
+                    rows.push(CoverageRow {
+                        asn: info.asn,
+                        country: info.home_country,
+                        coverage_pct: info.user_share * 100.0,
+                    });
+                    // Secondary presence rows: an eyeball with foreign
+                    // PoPs shows a little measured traffic there.
+                    for &cc in &info.countries {
+                        if cc != info.home_country && rng.gen_bool(0.5) {
+                            rows.push(CoverageRow {
+                                asn: info.asn,
+                                country: cc,
+                                coverage_pct: rng.gen_range(0.01..2.0),
+                            });
+                        }
+                    }
+                }
+                AsType::Enterprise => {
+                    if info.user_share > 0.0 {
+                        rows.push(CoverageRow {
+                            asn: info.asn,
+                            country: info.home_country,
+                            coverage_pct: info.user_share * 100.0,
+                        });
+                    }
+                }
+                // Transit/content/research networks face no browsing
+                // users in the APNIC methodology.
+                _ => {}
+            }
+        }
+        ApnicDataset { rows }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[CoverageRow] {
+        &self.rows
+    }
+
+    /// (AS, country) tuples with coverage at or above `cutoff_pct`.
+    pub fn tuples_above(&self, cutoff_pct: f64) -> Vec<(Asn, CountryCode)> {
+        self.rows
+            .iter()
+            .filter(|r| r.coverage_pct >= cutoff_pct)
+            .map(|r| (r.asn, r.country))
+            .collect()
+    }
+
+    /// Distinct ASes with any row at or above the cutoff.
+    pub fn ases_above(&self, cutoff_pct: f64) -> BTreeSet<Asn> {
+        self.rows
+            .iter()
+            .filter(|r| r.coverage_pct >= cutoff_pct)
+            .map(|r| r.asn)
+            .collect()
+    }
+
+    /// Distinct countries with at least one AS at or above the cutoff.
+    pub fn countries_above(&self, cutoff_pct: f64) -> BTreeSet<CountryCode> {
+        self.rows
+            .iter()
+            .filter(|r| r.coverage_pct >= cutoff_pct)
+            .map(|r| r.country)
+            .collect()
+    }
+
+    /// The Fig. 1 curve: ASes and countries covered per cutoff value.
+    pub fn coverage_curve(&self, cutoffs: &[f64]) -> Vec<CoveragePoint> {
+        cutoffs
+            .iter()
+            .map(|&c| CoveragePoint {
+                cutoff_pct: c,
+                n_ases: self.ases_above(c).len(),
+                n_countries: self.countries_above(c).len(),
+            })
+            .collect()
+    }
+
+    /// Per-country count of ASes above the cutoff (diagnostic for the
+    /// "above ~30% only one AS per country survives" observation).
+    pub fn ases_per_country(&self, cutoff_pct: f64) -> BTreeMap<CountryCode, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.rows {
+            if r.coverage_pct >= cutoff_pct {
+                *m.entry(r.country).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_topology::TopologyConfig;
+
+    fn dataset() -> (Topology, ApnicDataset) {
+        let topo = Topology::generate(&TopologyConfig::small(), 3);
+        let ds = ApnicDataset::from_topology(&topo, 1);
+        (topo, ds)
+    }
+
+    #[test]
+    fn every_eyeball_has_a_home_row() {
+        let (topo, ds) = dataset();
+        for asn in topo.eyeball_asns() {
+            let info = topo.expect_as(asn);
+            assert!(
+                ds.rows()
+                    .iter()
+                    .any(|r| r.asn == asn && r.country == info.home_country),
+                "{asn} missing home row"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_monotonically_decreasing() {
+        let (_, ds) = dataset();
+        let cutoffs: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
+        let curve = ds.coverage_curve(&cutoffs);
+        for w in curve.windows(2) {
+            assert!(w[1].n_ases <= w[0].n_ases);
+            assert!(w[1].n_countries <= w[0].n_countries);
+        }
+    }
+
+    #[test]
+    fn low_cutoff_keeps_most_countries() {
+        let (topo, ds) = dataset();
+        let n_countries = topo.cities.countries().len();
+        let at10 = ds.countries_above(10.0).len();
+        // Like the paper (223/225 countries at 10%), nearly all countries
+        // should keep at least one >=10% AS.
+        assert!(
+            at10 as f64 > n_countries as f64 * 0.8,
+            "{at10}/{n_countries}"
+        );
+    }
+
+    #[test]
+    fn high_cutoff_approaches_one_as_per_country() {
+        let (_, ds) = dataset();
+        // Where an AS survives a 40% cutoff, it should usually be alone
+        // in its country.
+        let per_country = ds.ases_per_country(40.0);
+        if !per_country.is_empty() {
+            let multi = per_country.values().filter(|&&n| n > 1).count();
+            assert!(
+                (multi as f64) < per_country.len() as f64 * 0.4,
+                "{multi}/{} countries with >1 AS at 40%",
+                per_country.len()
+            );
+        }
+    }
+
+    #[test]
+    fn transit_ases_never_appear() {
+        let (topo, ds) = dataset();
+        use shortcuts_topology::AsType;
+        for r in ds.rows() {
+            let t = topo.expect_as(r.asn).as_type;
+            assert!(
+                matches!(t, AsType::Eyeball | AsType::Enterprise),
+                "unexpected {t:?} in APNIC table"
+            );
+        }
+    }
+
+    #[test]
+    fn tuples_above_matches_rows() {
+        let (_, ds) = dataset();
+        for (asn, cc) in ds.tuples_above(10.0) {
+            assert!(ds
+                .rows()
+                .iter()
+                .any(|r| r.asn == asn && r.country == cc && r.coverage_pct >= 10.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = Topology::generate(&TopologyConfig::small(), 3);
+        let a = ApnicDataset::from_topology(&topo, 7);
+        let b = ApnicDataset::from_topology(&topo, 7);
+        assert_eq!(a.rows().len(), b.rows().len());
+    }
+}

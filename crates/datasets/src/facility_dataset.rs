@@ -1,0 +1,452 @@
+//! The 2015 Giotsas et al. facility-mapping dataset, two years stale.
+//!
+//! The original dataset maps router/server interface IPs to the
+//! colocation facility they were inferred to be in (constrained facility
+//! search over traceroutes), along with the owning ASN and neighboring
+//! IXPs. The paper uses it as the **candidate pool for COR relays**, but
+//! must first scrub two years of staleness through five filters (§2.2).
+//!
+//! This generator produces records with that staleness *explicitly
+//! injected*, each mode keyed to the filter that is supposed to catch
+//! it:
+//!
+//! | staleness mode        | caught by filter                      |
+//! |-----------------------|---------------------------------------|
+//! | multi-facility candidate set (CFS didn't converge) | 1. single-facility |
+//! | facility closed since 2015 (phantom id)            | 1. active PeeringDB presence |
+//! | interface decommissioned                           | 2. pingability |
+//! | prefix transferred to another AS                   | 3. same IP-ownership |
+//! | prefix now MOAS (see [`crate::prefix2as`])         | 3. same IP-ownership |
+//! | AS left the facility                               | 4. active facility presence |
+//! | interface moved to another city                    | 5. RTT-based geolocation |
+//!
+//! Ground truth is carried on every record so tests can verify that the
+//! filter pipeline keeps exactly what it should.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shortcuts_netsim::{HostId, HostKind, HostRegistry};
+use shortcuts_topology::{Asn, FacilityId, IxpId, Topology};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What is *actually* true about a recorded IP today.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundTruth {
+    /// Interface is alive and really at the recorded facility.
+    AliveAtFacility {
+        /// The live host.
+        host: HostId,
+    },
+    /// Interface is alive but physically somewhere else now.
+    AliveElsewhere {
+        /// The live host (registered at its actual location).
+        host: HostId,
+    },
+    /// Interface no longer exists; the address does not respond.
+    Dead,
+}
+
+/// One record of the (stale) facility dataset.
+#[derive(Debug, Clone)]
+pub struct FacilityIpRecord {
+    /// The interface address as recorded in 2015.
+    pub ip: Ipv4Addr,
+    /// Owning ASN as recorded in 2015 (may no longer be accurate).
+    pub recorded_asn: Asn,
+    /// Candidate facilities from constrained facility search; one entry
+    /// when the algorithm converged, several otherwise. Ids may refer to
+    /// facilities that have since closed (absent from PeeringDB).
+    pub candidate_facilities: Vec<FacilityId>,
+    /// Neighboring IXPs recorded with the interface.
+    pub ixps: Vec<IxpId>,
+    /// What is actually true today (ground truth for validation; a real
+    /// pipeline discovers this only through the filters).
+    pub truth: GroundTruth,
+}
+
+impl FacilityIpRecord {
+    /// Convenience: the single candidate facility if the set has exactly
+    /// one entry.
+    pub fn single_candidate(&self) -> Option<FacilityId> {
+        if self.candidate_facilities.len() == 1 {
+            Some(self.candidate_facilities[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Staleness injection knobs. Defaults are tuned so the §2.2 funnel has
+/// roughly the paper's pass rates per stage (0.38 → 0.76 → 0.95 → 1.0 →
+/// 0.49).
+#[derive(Debug, Clone)]
+pub struct FacilityDatasetConfig {
+    /// Number of records to produce (paper: 2675).
+    pub n_records: usize,
+    /// Probability the candidate set has >1 facility.
+    pub multi_facility_prob: f64,
+    /// Probability the recorded facility has closed since 2015.
+    pub phantom_facility_prob: f64,
+    /// Probability the interface is dead.
+    pub dead_prob: f64,
+    /// Probability the prefix moved to another AS.
+    pub changed_owner_prob: f64,
+    /// Probability the AS left the facility (but the IP is alive there —
+    /// e.g. the router was sold with the cage).
+    pub left_facility_prob: f64,
+    /// Probability an alive interface moved to another city.
+    pub moved_prob: f64,
+}
+
+impl Default for FacilityDatasetConfig {
+    fn default() -> Self {
+        FacilityDatasetConfig {
+            n_records: 2675,
+            multi_facility_prob: 0.50,
+            phantom_facility_prob: 0.14,
+            dead_prob: 0.24,
+            changed_owner_prob: 0.04,
+            left_facility_prob: 0.005,
+            moved_prob: 0.30,
+        }
+    }
+}
+
+impl FacilityDatasetConfig {
+    /// A small dataset for fast tests.
+    pub fn small() -> Self {
+        FacilityDatasetConfig {
+            n_records: 300,
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct FacilityDataset {
+    records: Vec<FacilityIpRecord>,
+}
+
+impl FacilityDataset {
+    /// Generates the dataset over `topo`, registering live interfaces as
+    /// hosts in `hosts`.
+    ///
+    /// Records are weighted toward large facilities (more members → more
+    /// recorded interfaces), matching the original data where big colos
+    /// dominate.
+    pub fn generate(
+        topo: &Topology,
+        hosts: &mut HostRegistry,
+        cfg: &FacilityDatasetConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let populated: Vec<FacilityId> = topo
+            .facilities()
+            .iter()
+            .filter(|f| f.member_count() > 0)
+            .map(|f| f.id)
+            .collect();
+        assert!(
+            !populated.is_empty(),
+            "topology has no populated facilities"
+        );
+        let weights: Vec<usize> = populated
+            .iter()
+            .map(|&f| topo.facility(f).member_count())
+            .collect();
+        let dist = rand::distributions::WeightedIndex::new(&weights).expect("positive weights");
+
+        // Tail-end address allocation for dead interfaces, so they can
+        // never collide with live host registrations (which allocate
+        // from the front of each prefix).
+        let mut dead_counters: HashMap<Asn, u64> = HashMap::new();
+        let mut dead_ip = |topo: &Topology, asn: Asn| -> Ipv4Addr {
+            let info = topo.expect_as(asn);
+            let counter = dead_counters.entry(asn).or_insert(2);
+            let p = info.prefixes.last().expect("AS has prefixes");
+            let ip = p.nth(p.size() - *counter).expect("tail address in range");
+            *counter += 1;
+            ip
+        };
+
+        let phantom_base = topo.facilities().len() as u32;
+        let mut records = Vec::with_capacity(cfg.n_records);
+        while records.len() < cfg.n_records {
+            let fid = populated[dist.sample(&mut rng)];
+            let facility = topo.facility(fid);
+            let &member = facility.members.choose(&mut rng).expect("has members");
+            let ixps = facility.ixps.clone();
+
+            // Candidate facility set (dimension 1: convergence/closure).
+            let mut candidates = if rng.gen_bool(cfg.phantom_facility_prob) {
+                // The facility closed; the old id no longer resolves.
+                vec![FacilityId(phantom_base + rng.gen_range(0..50))]
+            } else {
+                vec![fid]
+            };
+            if rng.gen_bool(cfg.multi_facility_prob) {
+                let extra = 1 + usize::from(rng.gen_bool(0.3));
+                for _ in 0..extra {
+                    let other = if rng.gen_bool(0.2) {
+                        FacilityId(phantom_base + rng.gen_range(0..50))
+                    } else {
+                        *populated.choose(&mut rng).expect("non-empty")
+                    };
+                    if !candidates.contains(&other) {
+                        candidates.push(other);
+                    }
+                }
+            }
+
+            // Liveness / ownership (dimension 2).
+            let (ip, recorded_asn, truth) = if rng.gen_bool(cfg.dead_prob) {
+                (dead_ip(topo, member), member, GroundTruth::Dead)
+            } else if rng.gen_bool(cfg.changed_owner_prob) && facility.members.len() > 1 {
+                // Prefix transferred: IP now belongs to another member's
+                // space, record still says `member`.
+                let new_owner = *facility
+                    .members
+                    .iter()
+                    .find(|&&m| m != member)
+                    .expect("len > 1");
+                match hosts.add_host(topo, new_owner, Some(facility.city), HostKind::ColoInterface)
+                {
+                    Ok(host) => {
+                        let ip = hosts.get(host).ip;
+                        (ip, member, GroundTruth::AliveAtFacility { host })
+                    }
+                    Err(_) => (dead_ip(topo, member), member, GroundTruth::Dead),
+                }
+            } else if rng.gen_bool(cfg.left_facility_prob) {
+                // Owner AS left the facility: pick an AS with a PoP in
+                // the city that is NOT a member today.
+                let non_member = topo
+                    .ases()
+                    .iter()
+                    .find(|a| {
+                        topo.pop_cities(a.asn).contains(&facility.city)
+                            && !facility.has_member(a.asn)
+                    })
+                    .map(|a| a.asn);
+                match non_member {
+                    Some(asn) => {
+                        match hosts.add_host(
+                            topo,
+                            asn,
+                            Some(facility.city),
+                            HostKind::ColoInterface,
+                        ) {
+                            Ok(host) => {
+                                let ip = hosts.get(host).ip;
+                                (ip, asn, GroundTruth::AliveAtFacility { host })
+                            }
+                            Err(_) => (dead_ip(topo, member), member, GroundTruth::Dead),
+                        }
+                    }
+                    None => (dead_ip(topo, member), member, GroundTruth::Dead),
+                }
+            } else if rng.gen_bool(cfg.moved_prob) {
+                // Interface moved to another PoP city of the same AS.
+                let other_city = topo
+                    .pop_cities(member)
+                    .iter()
+                    .copied()
+                    .find(|&c| c != facility.city);
+                match other_city {
+                    Some(city) => {
+                        match hosts.add_host(topo, member, Some(city), HostKind::ColoInterface) {
+                            Ok(host) => {
+                                let ip = hosts.get(host).ip;
+                                (ip, member, GroundTruth::AliveElsewhere { host })
+                            }
+                            Err(_) => (dead_ip(topo, member), member, GroundTruth::Dead),
+                        }
+                    }
+                    // Single-city AS can't move; fall through to alive.
+                    None => match hosts.add_host(
+                        topo,
+                        member,
+                        Some(facility.city),
+                        HostKind::ColoInterface,
+                    ) {
+                        Ok(host) => {
+                            let ip = hosts.get(host).ip;
+                            (ip, member, GroundTruth::AliveAtFacility { host })
+                        }
+                        Err(_) => (dead_ip(topo, member), member, GroundTruth::Dead),
+                    },
+                }
+            } else {
+                match hosts.add_host(topo, member, Some(facility.city), HostKind::ColoInterface) {
+                    Ok(host) => {
+                        let ip = hosts.get(host).ip;
+                        (ip, member, GroundTruth::AliveAtFacility { host })
+                    }
+                    Err(_) => (dead_ip(topo, member), member, GroundTruth::Dead),
+                }
+            };
+
+            records.push(FacilityIpRecord {
+                ip,
+                recorded_asn,
+                candidate_facilities: candidates,
+                ixps,
+                truth,
+            });
+        }
+
+        FacilityDataset { records }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FacilityIpRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_topology::TopologyConfig;
+
+    fn dataset() -> (Topology, FacilityDataset, HostRegistry) {
+        let topo = Topology::generate(&TopologyConfig::small(), 31);
+        let mut hosts = HostRegistry::new();
+        let ds = FacilityDataset::generate(&topo, &mut hosts, &FacilityDatasetConfig::small(), 4);
+        (topo, ds, hosts)
+    }
+
+    #[test]
+    fn record_count_matches_config() {
+        let (_, ds, _) = dataset();
+        assert_eq!(ds.len(), 300);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn alive_records_have_registered_hosts() {
+        let (_, ds, hosts) = dataset();
+        for r in ds.records() {
+            match &r.truth {
+                GroundTruth::AliveAtFacility { host } | GroundTruth::AliveElsewhere { host } => {
+                    let h = hosts.get(*host);
+                    assert_eq!(h.ip, r.ip, "record IP must match host IP");
+                }
+                GroundTruth::Dead => {
+                    assert!(hosts.by_ip(r.ip).is_none(), "dead IP must not resolve");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn staleness_modes_all_present() {
+        let (_, ds, _) = dataset();
+        let dead = ds
+            .records()
+            .iter()
+            .filter(|r| r.truth == GroundTruth::Dead)
+            .count();
+        let moved = ds
+            .records()
+            .iter()
+            .filter(|r| matches!(r.truth, GroundTruth::AliveElsewhere { .. }))
+            .count();
+        let multi = ds
+            .records()
+            .iter()
+            .filter(|r| r.candidate_facilities.len() > 1)
+            .count();
+        assert!(dead > 0, "no dead records");
+        assert!(moved > 0, "no moved records");
+        assert!(multi > 0, "no multi-facility records");
+        // Rough proportions from the default config.
+        let n = ds.len() as f64;
+        assert!((dead as f64 / n) > 0.1 && (dead as f64 / n) < 0.45);
+        assert!((multi as f64 / n) > 0.3 && (multi as f64 / n) < 0.7);
+    }
+
+    #[test]
+    fn phantom_candidates_exist_and_exceed_real_ids() {
+        let (topo, ds, _) = dataset();
+        let n_real = topo.facilities().len() as u32;
+        let phantom_records = ds
+            .records()
+            .iter()
+            .filter(|r| r.candidate_facilities.iter().any(|f| f.0 >= n_real))
+            .count();
+        assert!(phantom_records > 0, "no phantom facility references");
+    }
+
+    #[test]
+    fn at_facility_records_are_really_there() {
+        let (topo, ds, hosts) = dataset();
+        let n_real = topo.facilities().len() as u32;
+        for r in ds.records() {
+            if let GroundTruth::AliveAtFacility { host } = &r.truth {
+                // The first real candidate facility should match the
+                // host's city.
+                if let Some(fid) = r
+                    .candidate_facilities
+                    .iter()
+                    .find(|f| f.0 < n_real)
+                    .copied()
+                {
+                    // Only guaranteed when the record's own facility is
+                    // in the candidate set (not a phantom-only record).
+                    if r.candidate_facilities.len() == 1 {
+                        assert_eq!(hosts.get(*host).city, topo.facility(fid).city);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let topo = Topology::generate(&TopologyConfig::small(), 31);
+        let mut h1 = HostRegistry::new();
+        let mut h2 = HostRegistry::new();
+        let cfg = FacilityDatasetConfig::small();
+        let a = FacilityDataset::generate(&topo, &mut h1, &cfg, 4);
+        let b = FacilityDataset::generate(&topo, &mut h2, &cfg, 4);
+        for (x, y) in a.records().iter().zip(b.records().iter()) {
+            assert_eq!(x.ip, y.ip);
+            assert_eq!(x.recorded_asn, y.recorded_asn);
+            assert_eq!(x.candidate_facilities, y.candidate_facilities);
+        }
+    }
+
+    #[test]
+    fn dead_ips_never_collide_with_live_hosts() {
+        let (topo, ds, mut hosts) = dataset();
+        // Register a pile of additional hosts and confirm no dead IP got
+        // handed out.
+        let dead_ips: std::collections::HashSet<_> = ds
+            .records()
+            .iter()
+            .filter(|r| r.truth == GroundTruth::Dead)
+            .map(|r| r.ip)
+            .collect();
+        for asn in topo.eyeball_asns().into_iter().take(20) {
+            for _ in 0..5 {
+                if let Ok(id) = hosts.add_host_in_as(&topo, asn, None) {
+                    assert!(!dead_ips.contains(&hosts.get(id).ip));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # shortcuts-datasets
+//!
+//! Synthetic equivalents of the third-party datasets the paper consumes,
+//! generated *consistently from the same topology* so that cross-dataset
+//! joins behave like the real ones:
+//!
+//! - [`apnic`] — the APNIC per-(AS, country) Internet-user-coverage
+//!   table driving eyeball selection (§2.1, Fig. 1).
+//! - [`peeringdb`] — the current PeeringDB snapshot: facilities,
+//!   networks, IXPs, memberships, and the "top-10 facilities by
+//!   colocated networks" ranking used in Table 1.
+//! - [`prefix2as`] — the CAIDA prefix→origin-AS table, including MOAS
+//!   (multi-origin) noise, used by the §2.2 "same IP-ownership" filter.
+//! - [`facility_dataset`] — the 2015 Giotsas et al. facility-mapping
+//!   dataset **with two years of staleness baked in**: multi-facility
+//!   candidate sets, dead IPs, changed prefix ownership, facilities that
+//!   have since closed, and interfaces that moved city. The §2.2 filter
+//!   funnel (2675 → 1008 → 764 → 725 → 725 → 356 in the paper) only
+//!   reproduces if the staleness is really there to be filtered out.
+
+pub mod apnic;
+pub mod facility_dataset;
+pub mod peeringdb;
+pub mod prefix2as;
+
+pub use apnic::{ApnicDataset, CoveragePoint};
+pub use facility_dataset::{FacilityDataset, FacilityIpRecord, GroundTruth};
+pub use peeringdb::PeeringDb;
+pub use prefix2as::Prefix2As;

@@ -1,0 +1,179 @@
+//! Synthetic PeeringDB snapshot.
+//!
+//! PeeringDB is the industry registry of facilities, networks and IXPs.
+//! The paper uses it for: (a) checking that a candidate facility still
+//! exists ("active PeeringDB presence"), (b) checking that an AS is
+//! still a member of a facility, (c) extracting the facility's city, and
+//! (d) enriching Table 1 (#networks, #IXPs, cloud services, and whether
+//! the facility is in PeeringDB's global top-10 by colocated networks).
+//!
+//! The snapshot here is simply a *view over the current topology* — by
+//! construction it is up to date, which is exactly the property the
+//! paper relies on when using PeeringDB to filter the stale 2015
+//! facility dataset.
+
+use shortcuts_geo::{CityId, CountryCode};
+use shortcuts_topology::{Asn, FacilityId, IxpId, Topology};
+use std::collections::HashSet;
+
+/// A facility as listed in PeeringDB.
+#[derive(Debug, Clone)]
+pub struct PdbFacility {
+    /// Facility id (same id space as the topology).
+    pub id: FacilityId,
+    /// Listed name.
+    pub name: String,
+    /// City of the facility.
+    pub city: CityId,
+    /// Country of the facility.
+    pub country: CountryCode,
+    /// Number of colocated networks.
+    pub net_count: usize,
+    /// Number of IXPs present.
+    pub ixp_count: usize,
+    /// Whether cloud/VM services are available on site.
+    pub offers_cloud: bool,
+}
+
+/// The PeeringDB snapshot.
+#[derive(Debug)]
+pub struct PeeringDb {
+    facilities: Vec<PdbFacility>,
+    top10: HashSet<FacilityId>,
+}
+
+impl PeeringDb {
+    /// Takes the current snapshot from the topology.
+    pub fn snapshot(topo: &Topology) -> Self {
+        let facilities: Vec<PdbFacility> = topo
+            .facilities()
+            .iter()
+            .map(|f| PdbFacility {
+                id: f.id,
+                name: f.name.clone(),
+                city: f.city,
+                country: topo.cities.get(f.city).country,
+                net_count: f.member_count(),
+                ixp_count: f.ixps.len(),
+                offers_cloud: f.offers_cloud
+                    || f.members.iter().any(|&m| topo.expect_as(m).offers_cloud),
+            })
+            .collect();
+        // Global top-10 facilities by colocated network count.
+        let mut ranked: Vec<&PdbFacility> = facilities.iter().collect();
+        ranked.sort_by(|a, b| b.net_count.cmp(&a.net_count).then(a.id.0.cmp(&b.id.0)));
+        let top10 = ranked.iter().take(10).map(|f| f.id).collect();
+        PeeringDb { facilities, top10 }
+    }
+
+    /// Whether the facility is (still) listed.
+    pub fn has_facility(&self, id: FacilityId) -> bool {
+        (id.0 as usize) < self.facilities.len()
+    }
+
+    /// Facility record, if listed.
+    pub fn facility(&self, id: FacilityId) -> Option<&PdbFacility> {
+        self.facilities.get(id.0 as usize)
+    }
+
+    /// All listed facilities.
+    pub fn facilities(&self) -> &[PdbFacility] {
+        &self.facilities
+    }
+
+    /// Whether `asn` is currently a member of `facility` (queried live
+    /// against the topology, as PeeringDB mirrors reality here).
+    pub fn is_member(&self, topo: &Topology, facility: FacilityId, asn: Asn) -> bool {
+        self.has_facility(facility) && topo.facility(facility).has_member(asn)
+    }
+
+    /// Whether the facility is in the global top-10 by colocated
+    /// networks (the Table 1 "PDB top-10" column).
+    pub fn is_top10(&self, id: FacilityId) -> bool {
+        self.top10.contains(&id)
+    }
+
+    /// IXP ids present at a facility.
+    pub fn ixps_at(&self, topo: &Topology, id: FacilityId) -> Vec<IxpId> {
+        if self.has_facility(id) {
+            topo.facility(id).ixps.clone()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_topology::TopologyConfig;
+
+    fn snap() -> (Topology, PeeringDb) {
+        let topo = Topology::generate(&TopologyConfig::small(), 17);
+        let pdb = PeeringDb::snapshot(&topo);
+        (topo, pdb)
+    }
+
+    #[test]
+    fn snapshot_mirrors_topology() {
+        let (topo, pdb) = snap();
+        assert_eq!(pdb.facilities().len(), topo.facilities().len());
+        for f in topo.facilities() {
+            let rec = pdb.facility(f.id).expect("listed");
+            assert_eq!(rec.net_count, f.member_count());
+            assert_eq!(rec.city, f.city);
+        }
+    }
+
+    #[test]
+    fn phantom_facilities_are_unlisted() {
+        let (topo, pdb) = snap();
+        let phantom = FacilityId(topo.facilities().len() as u32 + 5);
+        assert!(!pdb.has_facility(phantom));
+        assert!(pdb.facility(phantom).is_none());
+        assert!(pdb.ixps_at(&topo, phantom).is_empty());
+    }
+
+    #[test]
+    fn top10_are_the_largest() {
+        let (_, pdb) = snap();
+        let top_counts: Vec<usize> = pdb
+            .facilities()
+            .iter()
+            .filter(|f| pdb.is_top10(f.id))
+            .map(|f| f.net_count)
+            .collect();
+        let max_other = pdb
+            .facilities()
+            .iter()
+            .filter(|f| !pdb.is_top10(f.id))
+            .map(|f| f.net_count)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(top_counts.len(), 10.min(pdb.facilities().len()));
+        assert!(top_counts.iter().all(|&c| c >= max_other));
+    }
+
+    #[test]
+    fn membership_checks_against_topology() {
+        let (topo, pdb) = snap();
+        let f = topo
+            .facilities()
+            .iter()
+            .find(|f| f.member_count() > 0)
+            .expect("populated facility");
+        let member = f.members[0];
+        assert!(pdb.is_member(&topo, f.id, member));
+        assert!(!pdb.is_member(&topo, f.id, Asn(999_999)));
+    }
+
+    #[test]
+    fn cloud_flag_includes_resident_providers() {
+        let (topo, pdb) = snap();
+        for f in topo.facilities() {
+            if f.offers_cloud {
+                assert!(pdb.facility(f.id).unwrap().offers_cloud);
+            }
+        }
+    }
+}

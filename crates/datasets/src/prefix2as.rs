@@ -1,0 +1,137 @@
+//! Synthetic CAIDA prefix→origin-AS table.
+//!
+//! The §2.2 "same IP-ownership" filter maps each candidate IP to its
+//! origin AS(es) and requires that (a) the mapping matches the ASN
+//! recorded in the 2015 dataset and (b) the prefix is not MOAS
+//! (advertised by multiple origins). The table is built from the
+//! topology's prefix originations, with a configurable fraction of MOAS
+//! noise injected to give filter (b) something to catch.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shortcuts_topology::{Asn, Prefix, Topology};
+use std::net::Ipv4Addr;
+
+/// One table entry: a prefix and its origin AS(es).
+#[derive(Debug, Clone)]
+pub struct PrefixOrigin {
+    /// The routed prefix.
+    pub prefix: Prefix,
+    /// Origin ASes (more than one = MOAS).
+    pub origins: Vec<Asn>,
+}
+
+/// The prefix→AS table.
+#[derive(Debug)]
+pub struct Prefix2As {
+    entries: Vec<PrefixOrigin>,
+}
+
+impl Prefix2As {
+    /// Builds the table from topology originations, marking roughly
+    /// `moas_fraction` of prefixes as MOAS (a second, random origin is
+    /// added — modeling route leaks, transfers and anycast).
+    pub fn from_topology(topo: &Topology, moas_fraction: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all_asns: Vec<Asn> = topo.ases().iter().map(|a| a.asn).collect();
+        let mut entries = Vec::new();
+        for info in topo.ases() {
+            for &prefix in &info.prefixes {
+                let mut origins = vec![info.asn];
+                if rng.gen_bool(moas_fraction) {
+                    let other = *all_asns.choose(&mut rng).expect("non-empty");
+                    if other != info.asn {
+                        origins.push(other);
+                    }
+                }
+                entries.push(PrefixOrigin { prefix, origins });
+            }
+        }
+        Prefix2As { entries }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[PrefixOrigin] {
+        &self.entries
+    }
+
+    /// Origins of the longest (here: only) matching prefix for `ip`.
+    /// Empty if the address is unrouted.
+    pub fn lookup(&self, ip: Ipv4Addr) -> &[Asn] {
+        // Prefixes are disjoint by construction, so first match wins.
+        self.entries
+            .iter()
+            .find(|e| e.prefix.contains(ip))
+            .map(|e| e.origins.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether `ip` maps to exactly `asn` and is not MOAS — the §2.2
+    /// ownership check as a single predicate.
+    pub fn owned_solely_by(&self, ip: Ipv4Addr, asn: Asn) -> bool {
+        let origins = self.lookup(ip);
+        origins.len() == 1 && origins[0] == asn
+    }
+
+    /// Number of MOAS entries (diagnostics).
+    pub fn moas_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.origins.len() > 1).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_topology::TopologyConfig;
+
+    fn table(moas: f64) -> (Topology, Prefix2As) {
+        let topo = Topology::generate(&TopologyConfig::small(), 23);
+        let t = Prefix2As::from_topology(&topo, moas, 5);
+        (topo, t)
+    }
+
+    #[test]
+    fn lookup_finds_owning_as() {
+        let (topo, t) = table(0.0);
+        for info in topo.ases().iter().take(20) {
+            for p in &info.prefixes {
+                let ip = p.nth(7).expect("prefix has >7 addresses");
+                assert_eq!(t.lookup(ip), &[info.asn]);
+                assert!(t.owned_solely_by(ip, info.asn));
+            }
+        }
+    }
+
+    #[test]
+    fn unrouted_space_is_empty() {
+        let (_, t) = table(0.0);
+        // 1.0.0.0 is below the allocator's 16.0.0.0 start.
+        assert!(t.lookup(Ipv4Addr::new(1, 0, 0, 1)).is_empty());
+        assert!(!t.owned_solely_by(Ipv4Addr::new(1, 0, 0, 1), Asn(100)));
+    }
+
+    #[test]
+    fn moas_fraction_injected() {
+        let (_, t) = table(0.3);
+        let frac = t.moas_count() as f64 / t.entries().len() as f64;
+        assert!((0.15..0.45).contains(&frac), "moas fraction {frac}");
+    }
+
+    #[test]
+    fn moas_fails_sole_ownership() {
+        let (_, t) = table(1.0);
+        let moas_entry = t
+            .entries()
+            .iter()
+            .find(|e| e.origins.len() > 1)
+            .expect("all entries MOAS at fraction 1.0");
+        let ip = moas_entry.prefix.nth(1).unwrap();
+        assert!(!t.owned_solely_by(ip, moas_entry.origins[0]));
+    }
+
+    #[test]
+    fn zero_moas_means_all_single_origin() {
+        let (_, t) = table(0.0);
+        assert_eq!(t.moas_count(), 0);
+    }
+}

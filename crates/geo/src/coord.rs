@@ -1,0 +1,222 @@
+//! Validated geographic coordinates and great-circle distance.
+
+use std::fmt;
+
+/// Mean Earth radius in kilometers (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A validated point on the Earth's surface.
+///
+/// Latitude is constrained to `[-90, +90]` degrees and longitude to
+/// `[-180, +180]` degrees; construction through [`GeoPoint::new`] enforces
+/// this, so any `GeoPoint` you hold is valid by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+/// Error returned when constructing a [`GeoPoint`] from out-of-range or
+/// non-finite coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordError {
+    /// Latitude outside `[-90, +90]` or not finite.
+    InvalidLatitude,
+    /// Longitude outside `[-180, +180]` or not finite.
+    InvalidLongitude,
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::InvalidLatitude => write!(f, "latitude must be finite and in [-90, 90]"),
+            CoordError::InvalidLongitude => {
+                write!(f, "longitude must be finite and in [-180, 180]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl GeoPoint {
+    /// Creates a new point, validating ranges.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, CoordError> {
+        if !lat_deg.is_finite() || !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(CoordError::InvalidLatitude);
+        }
+        if !lon_deg.is_finite() || !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(CoordError::InvalidLongitude);
+        }
+        Ok(GeoPoint { lat_deg, lon_deg })
+    }
+
+    /// Latitude in degrees.
+    pub fn lat(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees.
+    pub fn lon(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle (haversine) distance to `other`, in kilometers.
+    ///
+    /// Haversine is numerically stable for both very small and antipodal
+    /// separations, which matters because the simulator computes distances
+    /// between PoPs inside the same city (a few km) as well as
+    /// intercontinental spans.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().min(1.0).asin();
+        EARTH_RADIUS_KM * c
+    }
+
+    /// Returns the initial bearing from `self` towards `other`, in degrees
+    /// clockwise from north, normalized to `[0, 360)`.
+    pub fn bearing_deg(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let b = y.atan2(x).to_degrees();
+        (b + 360.0) % 360.0
+    }
+
+    /// Detour factor of routing through `via` compared to the direct
+    /// great-circle distance. Always `>= 1.0` (up to floating error); `1.0`
+    /// means `via` lies exactly on the great circle between the endpoints.
+    ///
+    /// Degenerate case: if the endpoints are co-located (direct distance
+    /// ~0), the factor is defined as `1.0` when `via` is also co-located
+    /// and `f64::INFINITY` otherwise.
+    pub fn detour_factor(&self, other: &GeoPoint, via: &GeoPoint) -> f64 {
+        let direct = self.distance_km(other);
+        let through = self.distance_km(via) + via.distance_km(other);
+        if direct < 1e-9 {
+            return if through < 1e-9 { 1.0 } else { f64::INFINITY };
+        }
+        (through / direct).max(1.0)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_range_latitude() {
+        assert_eq!(GeoPoint::new(90.1, 0.0), Err(CoordError::InvalidLatitude));
+        assert_eq!(GeoPoint::new(-90.1, 0.0), Err(CoordError::InvalidLatitude));
+        assert_eq!(
+            GeoPoint::new(f64::NAN, 0.0),
+            Err(CoordError::InvalidLatitude)
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_longitude() {
+        assert_eq!(GeoPoint::new(0.0, 180.1), Err(CoordError::InvalidLongitude));
+        assert_eq!(
+            GeoPoint::new(0.0, -180.1),
+            Err(CoordError::InvalidLongitude)
+        );
+        assert_eq!(
+            GeoPoint::new(0.0, f64::INFINITY),
+            Err(CoordError::InvalidLongitude)
+        );
+    }
+
+    #[test]
+    fn accepts_boundary_values() {
+        assert!(GeoPoint::new(90.0, 180.0).is_ok());
+        assert!(GeoPoint::new(-90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = p(48.8566, 2.3522);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = p(35.6762, 139.6503); // Tokyo
+        let b = p(-33.8688, 151.2093); // Sydney
+        let d1 = a.distance_km(&b);
+        let d2 = b.distance_km(&a);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_are_accurate() {
+        // London -> New York, reference ~5570 km.
+        let lon = p(51.5074, -0.1278);
+        let nyc = p(40.7128, -74.0060);
+        let d = lon.distance_km(&nyc);
+        assert!((5540.0..5600.0).contains(&d), "got {d}");
+
+        // Paris -> Frankfurt, reference ~479 km.
+        let par = p(48.8566, 2.3522);
+        let fra = p(50.1109, 8.6821);
+        let d = par.distance_km(&fra);
+        assert!((460.0..500.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = p(0.0, 0.0);
+        let b = p(0.0, 180.0);
+        let d = a.distance_km(&b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}, want {half}");
+    }
+
+    #[test]
+    fn bearing_north_and_east() {
+        let a = p(0.0, 0.0);
+        assert!((a.bearing_deg(&p(10.0, 0.0)) - 0.0).abs() < 1e-6);
+        assert!((a.bearing_deg(&p(0.0, 10.0)) - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detour_factor_direct_is_one() {
+        let a = p(0.0, 0.0);
+        let b = p(0.0, 10.0);
+        let mid = p(0.0, 5.0);
+        let f = a.detour_factor(&b, &mid);
+        assert!((f - 1.0).abs() < 1e-6, "got {f}");
+    }
+
+    #[test]
+    fn detour_factor_large_for_far_via() {
+        let a = p(51.5, -0.12); // London
+        let b = p(48.85, 2.35); // Paris
+        let via = p(35.68, 139.65); // Tokyo
+        assert!(a.detour_factor(&b, &via) > 40.0);
+    }
+
+    #[test]
+    fn detour_factor_degenerate_colocated_endpoints() {
+        let a = p(10.0, 10.0);
+        assert_eq!(a.detour_factor(&a, &a), 1.0);
+        assert!(a.detour_factor(&a, &p(0.0, 0.0)).is_infinite());
+    }
+}

@@ -1,0 +1,149 @@
+//! Country codes and continents.
+//!
+//! The paper's endpoint-selection methodology (§2.1) is *country-driven*:
+//! one eyeball AS per country per round, endpoints always in different
+//! countries, and the "Changing Countries and Paths" analysis (§3)
+//! compares relays in the same vs. a different country than the
+//! endpoints. A compact, copyable country-code type keeps all of that
+//! cheap.
+
+use std::fmt;
+
+/// Two-letter country code (ISO-3166-alpha-2 style), stored inline.
+///
+/// Construction uppercases the input; only ASCII alphabetic pairs are
+/// accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CountryCode([u8; 2]);
+
+/// Error for invalid country code strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCountryCode;
+
+impl fmt::Display for InvalidCountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "country code must be two ASCII letters")
+    }
+}
+
+impl std::error::Error for InvalidCountryCode {}
+
+impl CountryCode {
+    /// Parses a two-ASCII-letter code, case-insensitive.
+    pub fn new(code: &str) -> Result<Self, InvalidCountryCode> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return Err(InvalidCountryCode);
+        }
+        Ok(CountryCode([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// Returns the code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        // Safety: constructed only from ASCII alphabetic bytes.
+        std::str::from_utf8(&self.0).expect("country code is always ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for CountryCode {
+    type Err = InvalidCountryCode;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CountryCode::new(s)
+    }
+}
+
+/// Continents, used for the intercontinental-pair statistics of §3
+/// ("74% of RAE pairs are inter-continental").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    Africa,
+    Asia,
+    Europe,
+    NorthAmerica,
+    Oceania,
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents, in a stable order.
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Continent::Africa => "Africa",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "North America",
+            Continent::Oceania => "Oceania",
+            Continent::SouthAmerica => "South America",
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_uppercases() {
+        let cc = CountryCode::new("gb").unwrap();
+        assert_eq!(cc.as_str(), "GB");
+        assert_eq!(cc, CountryCode::new("GB").unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_codes() {
+        assert!(CountryCode::new("G").is_err());
+        assert!(CountryCode::new("GBR").is_err());
+        assert!(CountryCode::new("G1").is_err());
+        assert!(CountryCode::new("").is_err());
+        assert!(CountryCode::new("日本").is_err());
+    }
+
+    #[test]
+    fn from_str_roundtrip() {
+        let cc: CountryCode = "de".parse().unwrap();
+        assert_eq!(cc.to_string(), "DE");
+    }
+
+    #[test]
+    fn continents_are_distinct_and_named() {
+        let mut names: Vec<_> = Continent::ALL.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn country_codes_order_and_hash() {
+        use std::collections::HashSet;
+        let a = CountryCode::new("AA").unwrap();
+        let b = CountryCode::new("AB").unwrap();
+        assert!(a < b);
+        let set: HashSet<_> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

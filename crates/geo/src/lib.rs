@@ -1,0 +1,44 @@
+//! # shortcuts-geo
+//!
+//! Geographic primitives for the colo-shortcuts simulator.
+//!
+//! This crate provides everything the rest of the workspace needs to reason
+//! about *where* things are on the planet and *how fast* light can get
+//! between them:
+//!
+//! - [`GeoPoint`] — a validated latitude/longitude pair with great-circle
+//!   (haversine) distance.
+//! - [`light`] — speed-of-light-in-fiber propagation-delay math, used both
+//!   by the RTT simulator and by the paper's §2.4 relay feasibility filter.
+//! - [`cities`] — an embedded database of ~200 world cities (coordinates,
+//!   country, continent, population weight, Internet-hub flag) that the
+//!   topology generator places PoPs and colocation facilities at.
+//! - [`country`] — ISO-3166-ish country codes and continent assignment.
+//!
+//! The crate has no IO and no clocks; `rand` is used only for
+//! weighted-sampling helpers.
+//!
+//! ## Example
+//!
+//! ```
+//! use shortcuts_geo::{GeoPoint, light};
+//!
+//! let london = GeoPoint::new(51.5074, -0.1278).unwrap();
+//! let new_york = GeoPoint::new(40.7128, -74.0060).unwrap();
+//! let km = london.distance_km(&new_york);
+//! assert!((5550.0..5600.0).contains(&km));
+//!
+//! // One-way propagation delay over fiber at 2/3 c:
+//! let ms = light::propagation_delay_ms(km);
+//! assert!(ms > 25.0 && ms < 30.0);
+//! ```
+
+pub mod cities;
+pub mod coord;
+pub mod country;
+pub mod light;
+
+pub use cities::{City, CityDb, CityId};
+pub use coord::GeoPoint;
+pub use country::{Continent, CountryCode};
+pub use light::{min_rtt_ms, propagation_delay_ms, FIBER_KM_PER_MS, SPEED_OF_LIGHT_KM_PER_MS};

@@ -1,0 +1,76 @@
+//! Speed-of-light propagation-delay math.
+//!
+//! The paper's §2.4 feasibility filter and the RTT simulator both assume
+//! signals travel through optical fiber at **2/3 of the speed of light in
+//! vacuum** (the standard refractive-index-1.5 approximation, citing
+//! Singla et al., "The Internet at the speed of light").
+
+/// Speed of light in vacuum, km per millisecond.
+pub const SPEED_OF_LIGHT_KM_PER_MS: f64 = 299.792458;
+
+/// Effective signal speed in optical fiber (2/3 c), km per millisecond.
+pub const FIBER_KM_PER_MS: f64 = SPEED_OF_LIGHT_KM_PER_MS * 2.0 / 3.0;
+
+/// One-way propagation delay over `distance_km` of fiber, in milliseconds.
+///
+/// This is the physical lower bound on one-way latency; real paths add
+/// router processing, queueing and circuitous fiber runs on top.
+pub fn propagation_delay_ms(distance_km: f64) -> f64 {
+    distance_km / FIBER_KM_PER_MS
+}
+
+/// Minimum possible round-trip time over `distance_km` of fiber, in
+/// milliseconds (twice the one-way propagation delay).
+pub fn min_rtt_ms(distance_km: f64) -> f64 {
+    2.0 * propagation_delay_ms(distance_km)
+}
+
+/// Minimum possible RTT of a one-relay overlay path
+/// `a --(d1 km)--> relay --(d2 km)--> b`, in milliseconds.
+///
+/// This is the left-hand side of the paper's feasibility inequality
+/// (§2.4): `2 * [t(n1, f) + t(f, n2)] <= RTT(n1, n2)`.
+pub fn min_relay_rtt_ms(d1_km: f64, d2_km: f64) -> f64 {
+    2.0 * (propagation_delay_ms(d1_km) + propagation_delay_ms(d2_km))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fiber_speed_is_two_thirds_c() {
+        assert!((FIBER_KM_PER_MS - 199.861_638_666_666_67).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagation_delay_zero_distance() {
+        assert_eq!(propagation_delay_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn transatlantic_min_rtt_is_realistic() {
+        // London-NYC great circle ~5570 km => min RTT ~55.7 ms.
+        let rtt = min_rtt_ms(5570.0);
+        assert!((55.0..57.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn min_rtt_is_double_one_way() {
+        let d = 1234.5;
+        assert!((min_rtt_ms(d) - 2.0 * propagation_delay_ms(d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_rtt_matches_sum_of_legs() {
+        let got = min_relay_rtt_ms(1000.0, 2000.0);
+        let want = min_rtt_ms(1000.0) + min_rtt_ms(2000.0);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_rtt_monotone_in_distance() {
+        assert!(min_relay_rtt_ms(100.0, 100.0) < min_relay_rtt_ms(100.0, 101.0));
+        assert!(min_relay_rtt_ms(100.0, 100.0) < min_relay_rtt_ms(101.0, 100.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulation time.
+//!
+//! The campaign runs on simulated wall-clock time, not real time: the
+//! paper's workflow fires a measurement round every 12 hours for ~27
+//! days, and RTTs have a diurnal component, so time must be explicit
+//! and fast-forwardable.
+
+/// Seconds in a simulated day.
+pub const DAY_SECS: f64 = 86_400.0;
+
+/// A point in simulated time, in seconds since campaign start.
+///
+/// Campaign start is defined as **midnight UTC, 20 April 2017** — the
+/// first day of the paper's measurement window — but nothing depends on
+/// the absolute epoch, only on offsets.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Seconds since campaign start.
+    pub fn secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Hours since campaign start.
+    pub fn hours(&self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Days since campaign start.
+    pub fn days(&self) -> f64 {
+        self.0 / DAY_SECS
+    }
+
+    /// UTC hour-of-day in `[0, 24)`.
+    pub fn utc_hour(&self) -> f64 {
+        (self.0 / 3600.0).rem_euclid(24.0)
+    }
+
+    /// Local hour-of-day in `[0, 24)` at a given longitude, using the
+    /// 15°-per-hour approximation (good enough for diurnal load).
+    pub fn local_hour(&self, lon_deg: f64) -> f64 {
+        (self.utc_hour() + lon_deg / 15.0).rem_euclid(24.0)
+    }
+
+    /// Returns this time advanced by `secs` seconds.
+    pub fn plus_secs(&self, secs: f64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+/// An advancing simulation clock.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// A clock at campaign start (t = 0).
+    pub fn start() -> Self {
+        SimClock { now: SimTime(0.0) }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `secs` seconds.
+    pub fn advance_secs(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "time cannot go backwards");
+        self.now = self.now.plus_secs(secs);
+    }
+
+    /// Advances the clock by whole minutes.
+    pub fn advance_minutes(&mut self, minutes: f64) {
+        self.advance_secs(minutes * 60.0);
+    }
+
+    /// Advances the clock by hours.
+    pub fn advance_hours(&mut self, hours: f64) {
+        self.advance_secs(hours * 3600.0);
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let mut c = SimClock::start();
+        assert_eq!(c.now().secs(), 0.0);
+        c.advance_hours(12.0);
+        assert_eq!(c.now().hours(), 12.0);
+        c.advance_minutes(30.0);
+        assert!((c.now().hours() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_negative_advance() {
+        let mut c = SimClock::start();
+        c.advance_secs(-1.0);
+    }
+
+    #[test]
+    fn utc_hour_wraps() {
+        let t = SimTime(26.0 * 3600.0);
+        assert!((t.utc_hour() - 2.0).abs() < 1e-12);
+        assert!((t.days() - 26.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_hour_offsets_by_longitude() {
+        let t = SimTime(12.0 * 3600.0); // noon UTC
+        assert!((t.local_hour(0.0) - 12.0).abs() < 1e-9);
+        // New York (~ -74°): about 7.07 local.
+        let ny = t.local_hour(-74.0);
+        assert!((ny - (12.0 - 74.0 / 15.0)).abs() < 1e-9);
+        // Tokyo (~139.65°): wraps past 21.
+        let tk = t.local_hour(139.65);
+        assert!((0.0..24.0).contains(&tk));
+    }
+
+    #[test]
+    fn plus_secs_is_pure() {
+        let t = SimTime(10.0);
+        let u = t.plus_secs(5.0);
+        assert_eq!(t.secs(), 10.0);
+        assert_eq!(u.secs(), 15.0);
+    }
+}

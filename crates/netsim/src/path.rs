@@ -1,0 +1,350 @@
+//! Router-level path expansion.
+//!
+//! The routing layer produces an **AS path**; RTT needs **kilometers**.
+//! This module walks the AS path and decides, for every AS-to-AS handoff,
+//! *where on the planet* the handoff happens:
+//!
+//! - If the two ASes share PoP cities, the handoff happens in one of
+//!   them, chosen **hot-potato style**: mostly "get it off my network as
+//!   close to where it entered as possible", with a mild pull toward the
+//!   destination (`dst_weight`) so paths don't ping-pong pathologically.
+//! - If they share no city (a long-haul private interconnect), the pair
+//!   of PoPs minimizing the same objective is used and the inter-city
+//!   span is charged to the path.
+//!
+//! This is where **path inflation becomes kilometers**: a valley-free
+//! detour through a transit AS whose nearest PoP is far off the geodesic
+//! shows up as real distance, and hence real milliseconds. The expansion
+//! also counts router hops (two per AS plus one per long-haul segment)
+//! for the per-hop processing term of the latency model.
+
+use shortcuts_geo::GeoPoint;
+use shortcuts_topology::{Asn, Topology};
+
+/// A geographic segment of the expanded path.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Segment start.
+    pub from: GeoPoint,
+    /// Segment end.
+    pub to: GeoPoint,
+    /// Great-circle length in km.
+    pub km: f64,
+}
+
+/// The expanded router-level path.
+#[derive(Debug, Clone)]
+pub struct RouterPath {
+    /// Geographic segments in travel order.
+    pub segments: Vec<Segment>,
+    /// Approximate number of router hops (for processing delay).
+    pub router_hops: u32,
+    /// The AS path this expansion came from.
+    pub as_path: Vec<Asn>,
+    /// Location after each inter-AS handoff, in path order (one entry
+    /// per AS-path window). Used by traceroute hop attribution.
+    pub handoffs: Vec<GeoPoint>,
+}
+
+impl RouterPath {
+    /// Total great-circle kilometers along the path.
+    pub fn total_km(&self) -> f64 {
+        self.segments.iter().map(|s| s.km).sum()
+    }
+
+    /// One location per AS of the path: where traffic sits when leaving
+    /// each AS (the handoff point), with the final AS attributed to the
+    /// destination itself.
+    pub fn handoff_points(&self, _src: GeoPoint, dst: GeoPoint) -> Vec<GeoPoint> {
+        let mut v = self.handoffs.clone();
+        v.push(dst);
+        v
+    }
+
+    /// Geographic inflation versus the direct great circle between the
+    /// path's first and last points. `>= 1.0` whenever the endpoints are
+    /// distinct; `1.0` for an empty or degenerate path.
+    pub fn inflation(&self, src: &GeoPoint, dst: &GeoPoint) -> f64 {
+        let direct = src.distance_km(dst);
+        if direct < 1e-9 {
+            return 1.0;
+        }
+        (self.total_km() / direct).max(1.0)
+    }
+}
+
+/// Tuning knobs for the expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpandConfig {
+    /// Weight of "pull toward destination" in handoff selection:
+    /// `cost(city) = dist(current, city) + dst_weight * dist(city, dst)`.
+    /// `0.0` is pure hot-potato; large values approximate cold-potato.
+    pub dst_weight: f64,
+    /// Router hops charged per AS traversed.
+    pub hops_per_as: u32,
+    /// Extra router hops charged per long-haul (no-common-city) handoff.
+    pub hops_per_longhaul: u32,
+}
+
+impl Default for ExpandConfig {
+    fn default() -> Self {
+        ExpandConfig {
+            dst_weight: 0.35,
+            hops_per_as: 3,
+            hops_per_longhaul: 2,
+        }
+    }
+}
+
+fn push_segment(segments: &mut Vec<Segment>, from: GeoPoint, to: GeoPoint) {
+    let km = from.distance_km(&to);
+    if km > 1e-9 {
+        segments.push(Segment { from, to, km });
+    }
+}
+
+/// Expands an AS path into a geographic router path.
+///
+/// `src_loc`/`dst_loc` are the physical endpoints (probe and target
+/// host). The AS path must be non-empty; a single-AS path produces the
+/// direct intra-AS segment.
+pub fn expand_path(
+    topo: &Topology,
+    as_path: &[Asn],
+    src_loc: GeoPoint,
+    dst_loc: GeoPoint,
+    cfg: &ExpandConfig,
+) -> RouterPath {
+    assert!(!as_path.is_empty(), "empty AS path");
+    let mut segments = Vec::new();
+    let mut handoffs = Vec::with_capacity(as_path.len().saturating_sub(1));
+    let mut current = src_loc;
+    let mut router_hops = cfg.hops_per_as * as_path.len() as u32;
+
+    for w in as_path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let common = topo.common_pop_cities(a, b);
+        if !common.is_empty() {
+            // Handoff in the best common city.
+            let best = common
+                .iter()
+                .map(|&c| topo.cities.get(c).location)
+                .min_by(|x, y| {
+                    let cx = current.distance_km(x) + cfg.dst_weight * x.distance_km(&dst_loc);
+                    let cy = current.distance_km(y) + cfg.dst_weight * y.distance_km(&dst_loc);
+                    cx.partial_cmp(&cy).expect("finite costs")
+                })
+                .expect("non-empty common cities");
+            push_segment(&mut segments, current, best);
+            current = best;
+            handoffs.push(current);
+        } else {
+            // Long-haul interconnect: best (a_pop, b_pop) pair.
+            let a_cities = topo.pop_cities(a);
+            let b_cities = topo.pop_cities(b);
+            if a_cities.is_empty() || b_cities.is_empty() {
+                // Degenerate topology (AS without PoPs): charge direct.
+                handoffs.push(current);
+                continue;
+            }
+            let mut best: Option<(GeoPoint, GeoPoint, f64)> = None;
+            for &ca in a_cities {
+                let pa = topo.cities.get(ca).location;
+                let leg1 = current.distance_km(&pa);
+                for &cb in b_cities {
+                    let pb = topo.cities.get(cb).location;
+                    let cost =
+                        leg1 + pa.distance_km(&pb) + cfg.dst_weight * pb.distance_km(&dst_loc);
+                    if best.map_or(true, |(_, _, c)| cost < c) {
+                        best = Some((pa, pb, cost));
+                    }
+                }
+            }
+            let (pa, pb, _) = best.expect("non-empty PoP sets");
+            push_segment(&mut segments, current, pa);
+            push_segment(&mut segments, pa, pb);
+            current = pb;
+            handoffs.push(current);
+            router_hops += cfg.hops_per_longhaul;
+        }
+    }
+
+    push_segment(&mut segments, current, dst_loc);
+    RouterPath {
+        segments,
+        router_hops,
+        as_path: as_path.to_vec(),
+        handoffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_geo::CountryCode;
+    use shortcuts_topology::{AsInfo, AsType, Topology};
+
+    /// Hand-built three-AS line: src AS (London+Paris), transit
+    /// (Paris+NewYork), dst AS (NewYork).
+    fn line_topology() -> Topology {
+        let mut b = Topology::builder();
+        let mk = |asn: u32, t: AsType| AsInfo {
+            asn: Asn(asn),
+            as_type: t,
+            home_country: CountryCode::new("US").unwrap(),
+            countries: vec![],
+            pops: vec![],
+            prefixes: vec![],
+            user_share: 0.0,
+            offers_cloud: false,
+        };
+        b.add_as(mk(1, AsType::Eyeball));
+        b.add_as(mk(2, AsType::Tier1));
+        b.add_as(mk(3, AsType::Eyeball));
+        let lon = b.cities().by_name("London").unwrap().id;
+        let par = b.cities().by_name("Paris").unwrap().id;
+        let nyc = b.cities().by_name("NewYork").unwrap().id;
+        b.add_pop(Asn(1), lon);
+        b.add_pop(Asn(1), par);
+        b.add_pop(Asn(2), par);
+        b.add_pop(Asn(2), nyc);
+        b.add_pop(Asn(3), nyc);
+        b.add_transit(Asn(1), Asn(2));
+        b.add_transit(Asn(3), Asn(2));
+        b.build()
+    }
+
+    fn loc(topo: &Topology, name: &str) -> GeoPoint {
+        topo.cities.by_name(name).unwrap().location
+    }
+
+    #[test]
+    fn expands_through_common_cities() {
+        let topo = line_topology();
+        let src = loc(&topo, "London");
+        let dst = loc(&topo, "NewYork");
+        let path = expand_path(
+            &topo,
+            &[Asn(1), Asn(2), Asn(3)],
+            src,
+            dst,
+            &ExpandConfig::default(),
+        );
+        // Expected: London -> Paris (handoff 1->2), Paris -> NYC
+        // (handoff 2->3 in NYC), then zero-length to dst.
+        let total = path.total_km();
+        let direct = src.distance_km(&dst);
+        assert!(total > direct, "detour through Paris inflates distance");
+        // Inflation should be modest (Paris is near the London-NYC line
+        // in AS-hop terms but east of it geographically).
+        assert!(path.inflation(&src, &dst) < 1.5, "{}", path.inflation(&src, &dst));
+        assert_eq!(path.as_path, vec![Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(path.router_hops, 9);
+    }
+
+    #[test]
+    fn single_as_path_is_direct() {
+        let topo = line_topology();
+        let src = loc(&topo, "London");
+        let dst = loc(&topo, "Paris");
+        let path = expand_path(&topo, &[Asn(1)], src, dst, &ExpandConfig::default());
+        assert_eq!(path.segments.len(), 1);
+        assert!((path.total_km() - src.distance_km(&dst)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_location_yields_zero_km() {
+        let topo = line_topology();
+        let p = loc(&topo, "Paris");
+        let path = expand_path(&topo, &[Asn(1)], p, p, &ExpandConfig::default());
+        assert_eq!(path.segments.len(), 0);
+        assert_eq!(path.total_km(), 0.0);
+        assert_eq!(path.inflation(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn longhaul_handoff_when_no_common_city() {
+        // Two ASes with no shared city: AS1 in London, AS2 in Tokyo.
+        let mut b = Topology::builder();
+        let mk = |asn: u32| AsInfo {
+            asn: Asn(asn),
+            as_type: AsType::Tier2,
+            home_country: CountryCode::new("GB").unwrap(),
+            countries: vec![],
+            pops: vec![],
+            prefixes: vec![],
+            user_share: 0.0,
+            offers_cloud: false,
+        };
+        b.add_as(mk(1));
+        b.add_as(mk(2));
+        let lon = b.cities().by_name("London").unwrap().id;
+        let tok = b.cities().by_name("Tokyo").unwrap().id;
+        b.add_pop(Asn(1), lon);
+        b.add_pop(Asn(2), tok);
+        b.add_transit(Asn(1), Asn(2));
+        let topo = b.build();
+
+        let src = loc(&topo, "London");
+        let dst = loc(&topo, "Tokyo");
+        let cfg = ExpandConfig::default();
+        let path = expand_path(&topo, &[Asn(1), Asn(2)], src, dst, &cfg);
+        assert!((path.total_km() - src.distance_km(&dst)).abs() < 1.0);
+        // Long-haul surcharge applied.
+        assert_eq!(path.router_hops, cfg.hops_per_as * 2 + cfg.hops_per_longhaul);
+    }
+
+    #[test]
+    fn hot_potato_prefers_near_handoff() {
+        // AS1 (London + NYC PoPs), AS2 (London + NYC PoPs). Pinging from
+        // London to a destination in London should hand off in London,
+        // not NYC.
+        let mut b = Topology::builder();
+        let mk = |asn: u32| AsInfo {
+            asn: Asn(asn),
+            as_type: AsType::Tier2,
+            home_country: CountryCode::new("GB").unwrap(),
+            countries: vec![],
+            pops: vec![],
+            prefixes: vec![],
+            user_share: 0.0,
+            offers_cloud: false,
+        };
+        b.add_as(mk(1));
+        b.add_as(mk(2));
+        let lon = b.cities().by_name("London").unwrap().id;
+        let nyc = b.cities().by_name("NewYork").unwrap().id;
+        for asn in [1u32, 2] {
+            b.add_pop(Asn(asn), lon);
+            b.add_pop(Asn(asn), nyc);
+        }
+        b.add_peering(Asn(1), Asn(2));
+        let topo = b.build();
+        let src = loc(&topo, "London");
+        let path = expand_path(&topo, &[Asn(1), Asn(2)], src, src, &ExpandConfig::default());
+        assert!(path.total_km() < 1.0, "handoff should stay in London");
+    }
+
+    #[test]
+    fn inflation_at_least_one() {
+        let topo = line_topology();
+        let src = loc(&topo, "London");
+        let dst = loc(&topo, "NewYork");
+        let path = expand_path(
+            &topo,
+            &[Asn(1), Asn(2), Asn(3)],
+            src,
+            dst,
+            &ExpandConfig::default(),
+        );
+        assert!(path.inflation(&src, &dst) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty AS path")]
+    fn empty_path_panics() {
+        let topo = line_topology();
+        let p = loc(&topo, "Paris");
+        expand_path(&topo, &[], p, p, &ExpandConfig::default());
+    }
+}

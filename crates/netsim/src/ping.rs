@@ -1,0 +1,404 @@
+//! The ping engine: end-to-end RTT sampling between registered hosts.
+//!
+//! Composes the stack: resolve hosts → policy AS path (cached per
+//! destination by [`Router`]) → router-level expansion → base RTT →
+//! noise/faults → one observed sample. The deterministic part
+//! (path + base RTT) is cached per host pair because the campaign pings
+//! the same pairs six times per window, 45 rounds in a row.
+
+use crate::clock::SimTime;
+use crate::fault::FaultPlan;
+use crate::host::{HostId, HostRegistry};
+use crate::latency::LatencyModel;
+use crate::path::expand_path;
+use parking_lot::RwLock;
+use rand::Rng;
+use shortcuts_topology::routing::Router;
+use shortcuts_topology::{Asn, Topology};
+use std::collections::HashMap;
+
+/// Cached deterministic path facts for a host pair.
+#[derive(Debug, Clone)]
+struct PairInfo {
+    /// Base RTT (deterministic part), ms.
+    base_ms: f64,
+    /// AS-level path (for fault checks and diagnostics).
+    as_path: Vec<Asn>,
+    /// Midpoint longitude for the diurnal term.
+    mid_lon: f64,
+}
+
+/// Statistics the engine keeps about itself (diagnostics/benchmarks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PingStats {
+    /// Pings attempted.
+    pub attempts: u64,
+    /// Pings that returned a reply.
+    pub replies: u64,
+    /// Pings lost to noise or faults.
+    pub losses: u64,
+    /// Pings that failed because no route exists.
+    pub unroutable: u64,
+}
+
+/// The ping engine.
+pub struct PingEngine<'t> {
+    topo: &'t Topology,
+    router: &'t Router<'t>,
+    hosts: &'t HostRegistry,
+    model: LatencyModel,
+    faults: FaultPlan,
+    cache: RwLock<HashMap<(HostId, HostId), Option<PairInfo>>>,
+    stats: RwLock<PingStats>,
+}
+
+impl<'t> PingEngine<'t> {
+    /// Creates an engine over a topology, router, host registry and
+    /// latency model, with no faults scheduled.
+    pub fn new(
+        topo: &'t Topology,
+        router: &'t Router<'t>,
+        hosts: &'t HostRegistry,
+        model: LatencyModel,
+    ) -> Self {
+        PingEngine {
+            topo,
+            router,
+            hosts,
+            model,
+            faults: FaultPlan::none(),
+            cache: RwLock::new(HashMap::new()),
+            stats: RwLock::new(PingStats::default()),
+        }
+    }
+
+    /// Installs a fault plan (replaces any previous plan).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The topology the engine routes over.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// The host registry.
+    pub fn hosts(&self) -> &HostRegistry {
+        self.hosts
+    }
+
+    /// The latency model in use.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> PingStats {
+        *self.stats.read()
+    }
+
+    /// Deterministic path facts for a pair, computed once.
+    fn pair_info(&self, src: HostId, dst: HostId) -> Option<PairInfo> {
+        if let Some(cached) = self.cache.read().get(&(src, dst)) {
+            return cached.clone();
+        }
+        let s = self.hosts.get(src);
+        let d = self.hosts.get(dst);
+        let access = s.access_ms + d.access_ms;
+        let info = if s.asn == d.asn {
+            let path = expand_path(
+                self.topo,
+                &[s.asn],
+                s.location,
+                d.location,
+                &self.model.expand,
+            );
+            Some(PairInfo {
+                base_ms: self.model.base_rtt_ms(&path) + access,
+                as_path: vec![s.asn],
+                mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
+            })
+        } else {
+            // An echo round trip traverses the forward route AND the
+            // (possibly different) return route; base RTT sums both
+            // one-way expansions, which also makes RTT(a,b) == RTT(b,a)
+            // exactly — matching the paper's symmetry observation.
+            let fwd_as = self.router.as_path(s.asn, d.asn);
+            let rev_as = self.router.as_path(d.asn, s.asn);
+            match (fwd_as, rev_as) {
+                (Some(fwd_as), Some(rev_as)) => {
+                    let fwd = expand_path(
+                        self.topo,
+                        &fwd_as,
+                        s.location,
+                        d.location,
+                        &self.model.expand,
+                    );
+                    let rev = expand_path(
+                        self.topo,
+                        &rev_as,
+                        d.location,
+                        s.location,
+                        &self.model.expand,
+                    );
+                    Some(PairInfo {
+                        base_ms: self.model.base_rtt_two_way(&fwd, &rev) + access,
+                        as_path: fwd_as,
+                        mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
+                    })
+                }
+                _ => None,
+            }
+        };
+        self.cache.write().insert((src, dst), info.clone());
+        info
+    }
+
+    /// The deterministic base RTT between two hosts, ms (`None` if
+    /// unroutable). Useful for tests and calibration; real measurements
+    /// go through [`PingEngine::ping`].
+    pub fn base_rtt(&self, src: HostId, dst: HostId) -> Option<f64> {
+        self.pair_info(src, dst).map(|p| p.base_ms)
+    }
+
+    /// AS path between two hosts (`None` if unroutable).
+    pub fn as_path(&self, src: HostId, dst: HostId) -> Option<Vec<Asn>> {
+        self.pair_info(src, dst).map(|p| p.as_path)
+    }
+
+    /// Sends one ping at time `t`; returns the observed RTT in ms, or
+    /// `None` on loss / outage / no route.
+    pub fn ping<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<f64> {
+        self.stats.write().attempts += 1;
+        let Some(info) = self.pair_info(src, dst) else {
+            self.stats.write().unroutable += 1;
+            return None;
+        };
+        if self.faults.path_down(&info.as_path, t) {
+            self.stats.write().losses += 1;
+            return None;
+        }
+        let extra = self.faults.path_extra_loss(&info.as_path);
+        if extra > 0.0 && rng.gen_bool(extra.min(1.0)) {
+            self.stats.write().losses += 1;
+            return None;
+        }
+        match self.model.sample_rtt(info.base_ms, t, info.mid_lon, rng) {
+            Some(rtt) => {
+                self.stats.write().replies += 1;
+                Some(rtt)
+            }
+            None => {
+                self.stats.write().losses += 1;
+                None
+            }
+        }
+    }
+
+    /// Sends `n` pings spaced `interval_secs` apart starting at `t` and
+    /// returns the replies (lost pings omitted). This is the paper's
+    /// "6 pings, 5 minutes apart, per 30-minute window" primitive.
+    pub fn ping_series<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        n: usize,
+        interval_secs: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        (0..n)
+            .filter_map(|i| self.ping(src, dst, t.plus_secs(i as f64 * interval_secs), rng))
+            .collect()
+    }
+}
+
+/// Longitude midpoint that respects the antimeridian (picks the midpoint
+/// on the shorter arc).
+fn mid_longitude(a: f64, b: f64) -> f64 {
+    let diff = (b - a + 540.0).rem_euclid(360.0) - 180.0;
+    let mid = a + diff / 2.0;
+    (mid + 540.0).rem_euclid(360.0) - 180.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shortcuts_topology::TopologyConfig;
+
+    struct Fixture {
+        topo: &'static Topology,
+        router: &'static Router<'static>,
+    }
+
+    /// Builds a leaked topology+router (tests only; avoids self-ref
+    /// structs). The topology is small, so the leak is negligible.
+    fn fixture() -> Fixture {
+        let topo: &'static Topology =
+            Box::leak(Box::new(Topology::generate(&TopologyConfig::small(), 77)));
+        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(topo)));
+        Fixture { topo, router }
+    }
+
+    fn two_hosts(f: &Fixture) -> (PingEngine<'static>, HostId, HostId) {
+        let mut reg = HostRegistry::new();
+        let eyes = f.topo.eyeball_asns();
+        let a = reg.add_host_in_as(f.topo, eyes[0], None).unwrap();
+        let b = reg.add_host_in_as(f.topo, eyes[eyes.len() / 2], None).unwrap();
+        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
+        let engine = PingEngine::new(f.topo, f.router, reg, LatencyModel::default());
+        (engine, a, b)
+    }
+
+    #[test]
+    fn ping_between_eyeballs_returns_plausible_rtt() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut got = 0;
+        for i in 0..20 {
+            if let Some(rtt) = engine.ping(a, b, SimTime(i as f64 * 60.0), &mut rng) {
+                assert!(rtt > 0.0 && rtt < 2000.0, "rtt {rtt}");
+                got += 1;
+            }
+        }
+        assert!(got >= 15, "most pings should succeed, got {got}");
+        let stats = engine.stats();
+        assert_eq!(stats.attempts, 20);
+        assert_eq!(stats.replies + stats.losses + stats.unroutable, 20);
+    }
+
+    #[test]
+    fn base_rtt_at_least_speed_of_light() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        let (ha, hb) = (engine.hosts().get(a).clone(), engine.hosts().get(b).clone());
+        let min_rtt = shortcuts_geo::min_rtt_ms(ha.location.distance_km(&hb.location));
+        let base = engine.base_rtt(a, b).expect("routable");
+        assert!(
+            base >= min_rtt,
+            "base {base} below physical floor {min_rtt}"
+        );
+    }
+
+    #[test]
+    fn rtt_roughly_symmetric() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        let ab = engine.base_rtt(a, b).unwrap();
+        let ba = engine.base_rtt(b, a).unwrap();
+        // Two-way base construction makes RTT direction-symmetric.
+        assert!((ab - ba).abs() < 1e-9, "asymmetry (ab={ab}, ba={ba})");
+    }
+
+    #[test]
+    fn same_as_hosts_ping_without_routing() {
+        let f = fixture();
+        let mut reg = HostRegistry::new();
+        let asn = f.topo.eyeball_asns()[0];
+        let a = reg.add_host_in_as(f.topo, asn, None).unwrap();
+        let b = reg.add_host_in_as(f.topo, asn, None).unwrap();
+        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
+        let engine = PingEngine::new(f.topo, f.router, reg, LatencyModel::default());
+        assert_eq!(engine.as_path(a, b).unwrap(), vec![asn]);
+        assert!(engine.base_rtt(a, b).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn outage_kills_pings_during_window() {
+        let f = fixture();
+        let (mut engine, a, b) = two_hosts(&f);
+        let path = engine.as_path(a, b).unwrap();
+        let transit = path[1]; // some AS in the middle
+        engine.set_faults(FaultPlan::none().with_outage(
+            transit,
+            SimTime(100.0),
+            SimTime(200.0),
+        ));
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(engine.ping(a, b, SimTime(150.0), &mut rng).is_none());
+        // Outside the window pings mostly succeed.
+        let ok = (0..10)
+            .filter(|i| {
+                engine
+                    .ping(a, b, SimTime(300.0 + *i as f64), &mut rng)
+                    .is_some()
+            })
+            .count();
+        assert!(ok >= 8);
+    }
+
+    #[test]
+    fn lossy_as_degrades_success_rate() {
+        let f = fixture();
+        let (mut engine, a, b) = two_hosts(&f);
+        let path = engine.as_path(a, b).unwrap();
+        engine.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.9));
+        let mut rng = StdRng::seed_from_u64(3);
+        let ok = (0..100)
+            .filter(|i| engine.ping(a, b, SimTime(*i as f64), &mut rng).is_some())
+            .count();
+        assert!(ok < 30, "90% lossy AS should kill most pings, got {ok}");
+    }
+
+    #[test]
+    fn ping_series_returns_replies() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        let mut rng = StdRng::seed_from_u64(4);
+        let replies = engine.ping_series(a, b, SimTime(0.0), 6, 300.0, &mut rng);
+        assert!(replies.len() >= 4, "got {}", replies.len());
+    }
+
+    #[test]
+    fn mid_longitude_handles_antimeridian() {
+        assert!((mid_longitude(10.0, 20.0) - 15.0).abs() < 1e-9);
+        // Tokyo (139.65) to LA (-118.24): midpoint crosses the Pacific,
+        // not Greenwich.
+        let m = mid_longitude(139.65, -118.24);
+        assert!(!(-60.0..=60.0).contains(&m), "midpoint {m} crossed wrong way");
+    }
+
+    #[test]
+    fn unroutable_pair_reports_none() {
+        // Build a two-AS topology with no links at all.
+        use shortcuts_geo::CountryCode;
+        use shortcuts_topology::{AsInfo, AsType, IpAllocator};
+        let mut alloc = IpAllocator::default();
+        let mut b = Topology::builder();
+        for asn in [1u32, 2] {
+            b.add_as(AsInfo {
+                asn: Asn(asn),
+                as_type: AsType::Eyeball,
+                home_country: CountryCode::new("US").unwrap(),
+                countries: vec![],
+                pops: vec![],
+                prefixes: vec![alloc.alloc_prefix()],
+                user_share: 0.1,
+                offers_cloud: false,
+            });
+        }
+        let nyc = b.cities().by_name("NewYork").unwrap().id;
+        b.add_pop(Asn(1), nyc);
+        b.add_pop(Asn(2), nyc);
+        let topo: &'static Topology = Box::leak(Box::new(b.build()));
+        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(topo)));
+        let mut reg = HostRegistry::new();
+        let a = reg.add_host(topo, Asn(1), None, HostKind::Probe).unwrap();
+        let c = reg.add_host(topo, Asn(2), None, HostKind::Probe).unwrap();
+        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
+        let engine = PingEngine::new(topo, router, reg, LatencyModel::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(engine.ping(a, c, SimTime(0.0), &mut rng).is_none());
+        assert_eq!(engine.stats().unroutable, 1);
+    }
+}

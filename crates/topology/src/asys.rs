@@ -1,0 +1,133 @@
+//! Autonomous systems: classification, geographic footprint, prefixes.
+
+use crate::ids::{Asn, PopId};
+use crate::ip::Prefix;
+use shortcuts_geo::{CityId, CountryCode, GeoPoint};
+
+/// Business classification of an AS.
+///
+/// The generator uses the type to decide geographic footprint, provider
+/// choice and peering appetite; the datasets crate uses it to assign
+/// APNIC-style user-coverage numbers (eyeballs get real coverage,
+/// enterprises get noise); the paper's methodology distinguishes eyeball
+/// endpoints (§2.1), research-hosted PlanetLab relays (§2.3.1) and
+/// everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AsType {
+    /// Global transit-free backbone (tier-1). PoPs on every continent.
+    Tier1,
+    /// Regional transit provider (tier-2). PoPs within one region.
+    Tier2,
+    /// Access / eyeball ISP serving end users in one country.
+    Eyeball,
+    /// Content / cloud provider with presence at major hubs.
+    Content,
+    /// Stub enterprise network (single-homed, no users to speak of).
+    Enterprise,
+    /// Research / NREN network (hosts PlanetLab sites).
+    Research,
+}
+
+impl AsType {
+    /// All types, stable order.
+    pub const ALL: [AsType; 6] = [
+        AsType::Tier1,
+        AsType::Tier2,
+        AsType::Eyeball,
+        AsType::Content,
+        AsType::Enterprise,
+        AsType::Research,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AsType::Tier1 => "tier1",
+            AsType::Tier2 => "tier2",
+            AsType::Eyeball => "eyeball",
+            AsType::Content => "content",
+            AsType::Enterprise => "enterprise",
+            AsType::Research => "research",
+        }
+    }
+}
+
+/// A point of presence: a router location of an AS in some city.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    /// Globally unique PoP id.
+    pub id: PopId,
+    /// Owning AS.
+    pub asn: Asn,
+    /// City the PoP is in.
+    pub city: CityId,
+    /// Exact location (city center in this model).
+    pub location: GeoPoint,
+}
+
+/// Full record of an autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Business classification.
+    pub as_type: AsType,
+    /// Home country (for eyeballs: the country whose users it serves;
+    /// for transits: country of headquarters).
+    pub home_country: CountryCode,
+    /// All countries with at least one PoP.
+    pub countries: Vec<CountryCode>,
+    /// PoP ids owned by this AS (indexes into [`crate::Topology::pops`]).
+    pub pops: Vec<PopId>,
+    /// Prefixes originated by this AS.
+    pub prefixes: Vec<Prefix>,
+    /// Fraction of the home country's Internet users served (eyeballs
+    /// only; 0 for other types). Drives the synthetic APNIC dataset.
+    pub user_share: f64,
+    /// Whether the AS sells cloud/VM services (content/cloud providers
+    /// and some colo-resident hosters). Used for Table 1 enrichment.
+    pub offers_cloud: bool,
+}
+
+impl AsInfo {
+    /// Whether this AS is an eyeball access network.
+    pub fn is_eyeball(&self) -> bool {
+        self.as_type == AsType::Eyeball
+    }
+
+    /// Whether this AS provides transit (tier-1 or tier-2).
+    pub fn is_transit(&self) -> bool {
+        matches!(self.as_type, AsType::Tier1 | AsType::Tier2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = AsType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), AsType::ALL.len());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let mk = |t| AsInfo {
+            asn: Asn(1),
+            as_type: t,
+            home_country: CountryCode::new("US").unwrap(),
+            countries: vec![],
+            pops: vec![],
+            prefixes: vec![],
+            user_share: 0.0,
+            offers_cloud: false,
+        };
+        assert!(mk(AsType::Eyeball).is_eyeball());
+        assert!(!mk(AsType::Content).is_eyeball());
+        assert!(mk(AsType::Tier1).is_transit());
+        assert!(mk(AsType::Tier2).is_transit());
+        assert!(!mk(AsType::Enterprise).is_transit());
+    }
+}

@@ -1,0 +1,105 @@
+//! Colocation facilities and Internet Exchange Points.
+//!
+//! Facilities are the paper's central object: buildings that house router
+//! and server equipment for many networks and host the IXP switching
+//! fabrics over which those networks peer. The generator creates a few
+//! *flagship* facilities at hub metros (hundreds of members, several
+//! IXPs — mirroring Telehouse North, Equinix AM7/FR5, etc.) and a long
+//! tail of small regional sites.
+
+use crate::ids::{Asn, FacilityId, IxpId};
+use shortcuts_geo::CityId;
+
+/// A colocation facility.
+#[derive(Debug, Clone)]
+pub struct Facility {
+    /// Facility id (doubles as the synthetic PeeringDB id).
+    pub id: FacilityId,
+    /// Human-readable name, e.g. `"Colo-London-1"`.
+    pub name: String,
+    /// City the facility is in.
+    pub city: CityId,
+    /// Networks with equipment in the facility.
+    pub members: Vec<Asn>,
+    /// IXPs whose fabric is present in the facility.
+    pub ixps: Vec<IxpId>,
+    /// Whether the facility (or a resident provider) sells cloud services.
+    pub offers_cloud: bool,
+}
+
+impl Facility {
+    /// Number of colocated networks.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `asn` has equipment here.
+    pub fn has_member(&self, asn: Asn) -> bool {
+        self.members.contains(&asn)
+    }
+}
+
+/// An Internet Exchange Point: a layer-2 fabric over which members peer.
+#[derive(Debug, Clone)]
+pub struct Ixp {
+    /// IXP id.
+    pub id: IxpId,
+    /// Human-readable name, e.g. `"IX-Amsterdam-0"`.
+    pub name: String,
+    /// City of the (primary) fabric.
+    pub city: CityId,
+    /// Facilities housing the fabric.
+    pub facilities: Vec<FacilityId>,
+    /// Member networks.
+    pub members: Vec<Asn>,
+}
+
+impl Ixp {
+    /// Number of member networks.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `asn` is connected to the fabric.
+    pub fn has_member(&self, asn: Asn) -> bool {
+        self.members.contains(&asn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fac() -> Facility {
+        Facility {
+            id: FacilityId(1),
+            name: "Colo-Test-1".into(),
+            city: CityId(0),
+            members: vec![Asn(10), Asn(20)],
+            ixps: vec![IxpId(3)],
+            offers_cloud: true,
+        }
+    }
+
+    #[test]
+    fn facility_membership() {
+        let f = fac();
+        assert_eq!(f.member_count(), 2);
+        assert!(f.has_member(Asn(10)));
+        assert!(!f.has_member(Asn(30)));
+    }
+
+    #[test]
+    fn ixp_membership() {
+        let ix = Ixp {
+            id: IxpId(3),
+            name: "IX-Test-0".into(),
+            city: CityId(0),
+            facilities: vec![FacilityId(1)],
+            members: vec![Asn(10)],
+        };
+        assert_eq!(ix.member_count(), 1);
+        assert!(ix.has_member(Asn(10)));
+        assert!(!ix.has_member(Asn(20)));
+    }
+}

@@ -1,0 +1,464 @@
+//! The assembled topology graph.
+
+use crate::asys::{AsInfo, AsType, Pop};
+use crate::facility::{Facility, Ixp};
+use crate::ids::{Asn, FacilityId, IxpId, PopId};
+use shortcuts_geo::{CityDb, CityId};
+use std::collections::{HashMap, HashSet};
+
+/// Business relationship on an inter-AS link, from the perspective of the
+/// link as stored (`a`, `b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relationship {
+    /// `a` is a customer of `b` (`a` pays `b` for transit).
+    CustomerOf,
+    /// `a` and `b` are settlement-free peers.
+    Peer,
+}
+
+/// Adjacency of one AS, split by relationship class.
+#[derive(Debug, Clone, Default)]
+pub struct Adjacency {
+    /// ASes this AS buys transit from.
+    pub providers: Vec<Asn>,
+    /// ASes buying transit from this AS.
+    pub customers: Vec<Asn>,
+    /// Settlement-free peers.
+    pub peers: Vec<Asn>,
+}
+
+/// The complete synthetic Internet: geography, ASes, PoPs, facilities,
+/// IXPs and the business-relationship graph.
+///
+/// Construct via [`crate::generator`] ([`Topology::generate`]) or
+/// assemble by hand in tests with [`Topology::builder`].
+#[derive(Debug)]
+pub struct Topology {
+    /// City database the topology is embedded in.
+    pub cities: CityDb,
+    asns: Vec<AsInfo>,
+    asn_index: HashMap<Asn, usize>,
+    pops: Vec<Pop>,
+    facilities: Vec<Facility>,
+    ixps: Vec<Ixp>,
+    adjacency: HashMap<Asn, Adjacency>,
+    /// Cached: set of cities where each AS has a PoP.
+    pop_cities: HashMap<Asn, HashSet<CityId>>,
+    /// Cached: facilities by city.
+    facilities_by_city: HashMap<CityId, Vec<FacilityId>>,
+}
+
+impl Topology {
+    /// Starts building an empty topology over the embedded city database.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::new(CityDb::embedded())
+    }
+
+    /// All AS records, in insertion order.
+    pub fn ases(&self) -> &[AsInfo] {
+        &self.asns
+    }
+
+    /// Looks up an AS record.
+    pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.asn_index.get(&asn).map(|&i| &self.asns[i])
+    }
+
+    /// Looks up an AS record, panicking on unknown ASN (for internal use
+    /// where the ASN is known-valid by construction).
+    pub fn expect_as(&self, asn: Asn) -> &AsInfo {
+        self.as_info(asn)
+            .unwrap_or_else(|| panic!("unknown {asn} in topology"))
+    }
+
+    /// All PoPs, indexed by [`PopId`].
+    pub fn pops(&self) -> &[Pop] {
+        &self.pops
+    }
+
+    /// Looks up a PoP.
+    pub fn pop(&self, id: PopId) -> &Pop {
+        &self.pops[id.0 as usize]
+    }
+
+    /// All facilities, indexed by [`FacilityId`].
+    pub fn facilities(&self) -> &[Facility] {
+        &self.facilities
+    }
+
+    /// Looks up a facility.
+    pub fn facility(&self, id: FacilityId) -> &Facility {
+        &self.facilities[id.0 as usize]
+    }
+
+    /// All IXPs, indexed by [`IxpId`].
+    pub fn ixps(&self) -> &[Ixp] {
+        &self.ixps
+    }
+
+    /// Looks up an IXP.
+    pub fn ixp(&self, id: IxpId) -> &Ixp {
+        &self.ixps[id.0 as usize]
+    }
+
+    /// Adjacency record of `asn` (empty if the AS has no links).
+    pub fn adjacency(&self, asn: Asn) -> &Adjacency {
+        static EMPTY: std::sync::OnceLock<Adjacency> = std::sync::OnceLock::new();
+        self.adjacency
+            .get(&asn)
+            .unwrap_or_else(|| EMPTY.get_or_init(Adjacency::default))
+    }
+
+    /// All ASNs of a given type.
+    pub fn asns_of_type(&self, t: AsType) -> Vec<Asn> {
+        self.asns
+            .iter()
+            .filter(|a| a.as_type == t)
+            .map(|a| a.asn)
+            .collect()
+    }
+
+    /// All eyeball ASNs.
+    pub fn eyeball_asns(&self) -> Vec<Asn> {
+        self.asns_of_type(AsType::Eyeball)
+    }
+
+    /// Set of cities where `asn` has a PoP.
+    pub fn pop_cities(&self, asn: Asn) -> &HashSet<CityId> {
+        static EMPTY: std::sync::OnceLock<HashSet<CityId>> = std::sync::OnceLock::new();
+        self.pop_cities
+            .get(&asn)
+            .unwrap_or_else(|| EMPTY.get_or_init(HashSet::new))
+    }
+
+    /// Cities where both ASes have PoPs — candidate interconnection
+    /// points for the router-level path expansion in netsim.
+    pub fn common_pop_cities(&self, a: Asn, b: Asn) -> Vec<CityId> {
+        let ca = self.pop_cities(a);
+        let cb = self.pop_cities(b);
+        let (small, big) = if ca.len() <= cb.len() { (ca, cb) } else { (cb, ca) };
+        let mut v: Vec<CityId> = small.iter().filter(|c| big.contains(c)).copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Facilities located in `city`.
+    pub fn facilities_in_city(&self, city: CityId) -> &[FacilityId] {
+        self.facilities_by_city
+            .get(&city)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether `a` and `b` are directly connected (any relationship).
+    pub fn are_neighbors(&self, a: Asn, b: Asn) -> bool {
+        let adj = self.adjacency(a);
+        adj.providers.contains(&b) || adj.customers.contains(&b) || adj.peers.contains(&b)
+    }
+
+    /// Total number of inter-AS links (each counted once).
+    pub fn link_count(&self) -> usize {
+        let total: usize = self
+            .adjacency
+            .values()
+            .map(|a| a.providers.len() + a.customers.len() + a.peers.len())
+            .sum();
+        total / 2
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.asns.len()
+    }
+}
+
+/// Incremental builder for [`Topology`]; the generator drives this, and
+/// tests use it to assemble tiny hand-made topologies.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    cities: CityDb,
+    asns: Vec<AsInfo>,
+    asn_index: HashMap<Asn, usize>,
+    pops: Vec<Pop>,
+    facilities: Vec<Facility>,
+    ixps: Vec<Ixp>,
+    adjacency: HashMap<Asn, Adjacency>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder over the given city database.
+    pub fn new(cities: CityDb) -> Self {
+        TopologyBuilder {
+            cities,
+            asns: Vec::new(),
+            asn_index: HashMap::new(),
+            pops: Vec::new(),
+            facilities: Vec::new(),
+            ixps: Vec::new(),
+            adjacency: HashMap::new(),
+        }
+    }
+
+    /// Access to the city database during construction.
+    pub fn cities(&self) -> &CityDb {
+        &self.cities
+    }
+
+    /// Registers an AS. Panics on duplicate ASN (generator bug).
+    pub fn add_as(&mut self, info: AsInfo) {
+        let prev = self.asn_index.insert(info.asn, self.asns.len());
+        assert!(prev.is_none(), "duplicate {}", info.asn);
+        self.adjacency.entry(info.asn).or_default();
+        self.asns.push(info);
+    }
+
+    /// Adds a PoP for an existing AS and records it on the AS. Returns
+    /// the new PoP id.
+    pub fn add_pop(&mut self, asn: Asn, city: CityId) -> PopId {
+        let id = PopId(self.pops.len() as u32);
+        let location = self.cities.get(city).location;
+        self.pops.push(Pop {
+            id,
+            asn,
+            city,
+            location,
+        });
+        let idx = *self.asn_index.get(&asn).expect("PoP for unknown AS");
+        self.asns[idx].pops.push(id);
+        if !self.asns[idx]
+            .countries
+            .contains(&self.cities.get(city).country)
+        {
+            let cc = self.cities.get(city).country;
+            self.asns[idx].countries.push(cc);
+        }
+        id
+    }
+
+    /// Records that `customer` buys transit from `provider`.
+    /// Duplicate and self links are ignored.
+    pub fn add_transit(&mut self, customer: Asn, provider: Asn) {
+        if customer == provider {
+            return;
+        }
+        let c = self.adjacency.entry(customer).or_default();
+        if c.providers.contains(&provider) {
+            return;
+        }
+        c.providers.push(provider);
+        self.adjacency
+            .entry(provider)
+            .or_default()
+            .customers
+            .push(customer);
+    }
+
+    /// Records a settlement-free peering link. Duplicates, self links and
+    /// links that already exist as transit are ignored.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        if a == b {
+            return;
+        }
+        {
+            let adj_a = self.adjacency.entry(a).or_default();
+            if adj_a.peers.contains(&b) || adj_a.providers.contains(&b) || adj_a.customers.contains(&b)
+            {
+                return;
+            }
+            adj_a.peers.push(b);
+        }
+        self.adjacency.entry(b).or_default().peers.push(a);
+    }
+
+    /// Registers a facility; returns its id.
+    pub fn add_facility(&mut self, name: String, city: CityId, offers_cloud: bool) -> FacilityId {
+        let id = FacilityId(self.facilities.len() as u32);
+        self.facilities.push(Facility {
+            id,
+            name,
+            city,
+            members: Vec::new(),
+            ixps: Vec::new(),
+            offers_cloud,
+        });
+        id
+    }
+
+    /// Adds `asn` as a member of `facility` (idempotent).
+    pub fn add_facility_member(&mut self, facility: FacilityId, asn: Asn) {
+        let f = &mut self.facilities[facility.0 as usize];
+        if !f.members.contains(&asn) {
+            f.members.push(asn);
+        }
+    }
+
+    /// Registers an IXP present at the given facilities; returns its id.
+    pub fn add_ixp(&mut self, name: String, city: CityId, facilities: Vec<FacilityId>) -> IxpId {
+        let id = IxpId(self.ixps.len() as u32);
+        for &f in &facilities {
+            self.facilities[f.0 as usize].ixps.push(id);
+        }
+        self.ixps.push(Ixp {
+            id,
+            name,
+            city,
+            facilities,
+            members: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds `asn` as an IXP member (idempotent).
+    pub fn add_ixp_member(&mut self, ixp: IxpId, asn: Asn) {
+        let ix = &mut self.ixps[ixp.0 as usize];
+        if !ix.members.contains(&asn) {
+            ix.members.push(asn);
+        }
+    }
+
+    /// Finalizes the topology, computing derived caches.
+    pub fn build(self) -> Topology {
+        let mut pop_cities: HashMap<Asn, HashSet<CityId>> = HashMap::new();
+        for pop in &self.pops {
+            pop_cities.entry(pop.asn).or_default().insert(pop.city);
+        }
+        let mut facilities_by_city: HashMap<CityId, Vec<FacilityId>> = HashMap::new();
+        for f in &self.facilities {
+            facilities_by_city.entry(f.city).or_default().push(f.id);
+        }
+        Topology {
+            cities: self.cities,
+            asns: self.asns,
+            asn_index: self.asn_index,
+            pops: self.pops,
+            facilities: self.facilities,
+            ixps: self.ixps,
+            adjacency: self.adjacency,
+            pop_cities,
+            facilities_by_city,
+        }
+    }
+}
+
+// Read-only snapshot accessors used by the generator module (fields are
+// private to protect invariants; these expose copies, not handles).
+impl TopologyBuilder {
+    pub(crate) fn snapshot_impl(&self) -> Vec<(Asn, AsType, Vec<CityId>)> {
+        self.asns
+            .iter()
+            .map(|info| {
+                let cities = info
+                    .pops
+                    .iter()
+                    .map(|&p| self.pops[p.0 as usize].city)
+                    .collect();
+                (info.asn, info.as_type, cities)
+            })
+            .collect()
+    }
+
+    pub(crate) fn facility_city_impl(&self, id: FacilityId) -> CityId {
+        self.facilities[id.0 as usize].city
+    }
+
+    pub(crate) fn facility_members_impl(&self, id: FacilityId) -> Vec<Asn> {
+        self.facilities[id.0 as usize].members.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcuts_geo::CountryCode;
+
+    fn test_as(asn: u32, t: AsType, cc: &str) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            as_type: t,
+            home_country: CountryCode::new(cc).unwrap(),
+            countries: vec![],
+            pops: vec![],
+            prefixes: vec![],
+            user_share: 0.0,
+            offers_cloud: false,
+        }
+    }
+
+    fn city(b: &TopologyBuilder, name: &str) -> CityId {
+        b.cities().by_name(name).unwrap().id
+    }
+
+    #[test]
+    fn builder_assembles_graph() {
+        let mut b = Topology::builder();
+        b.add_as(test_as(1, AsType::Tier1, "US"));
+        b.add_as(test_as(2, AsType::Eyeball, "GB"));
+        let lon = city(&b, "London");
+        let nyc = city(&b, "NewYork");
+        b.add_pop(Asn(1), lon);
+        b.add_pop(Asn(1), nyc);
+        b.add_pop(Asn(2), lon);
+        b.add_transit(Asn(2), Asn(1));
+        let t = b.build();
+
+        assert_eq!(t.as_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert!(t.are_neighbors(Asn(1), Asn(2)));
+        assert_eq!(t.adjacency(Asn(2)).providers, vec![Asn(1)]);
+        assert_eq!(t.adjacency(Asn(1)).customers, vec![Asn(2)]);
+        assert_eq!(t.common_pop_cities(Asn(1), Asn(2)), vec![lon]);
+        // AS country list got updated from PoPs.
+        let info = t.expect_as(Asn(1));
+        assert_eq!(info.countries.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_links_are_ignored() {
+        let mut b = Topology::builder();
+        b.add_as(test_as(1, AsType::Tier1, "US"));
+        b.add_as(test_as(2, AsType::Tier2, "DE"));
+        b.add_transit(Asn(2), Asn(1));
+        b.add_transit(Asn(2), Asn(1));
+        b.add_peering(Asn(1), Asn(2)); // already transit -> ignored
+        b.add_peering(Asn(1), Asn(1)); // self -> ignored
+        let t = b.build();
+        assert_eq!(t.link_count(), 1);
+        assert!(t.adjacency(Asn(1)).peers.is_empty());
+    }
+
+    #[test]
+    fn peering_is_symmetric() {
+        let mut b = Topology::builder();
+        b.add_as(test_as(1, AsType::Content, "US"));
+        b.add_as(test_as(2, AsType::Content, "DE"));
+        b.add_peering(Asn(1), Asn(2));
+        let t = b.build();
+        assert_eq!(t.adjacency(Asn(1)).peers, vec![Asn(2)]);
+        assert_eq!(t.adjacency(Asn(2)).peers, vec![Asn(1)]);
+    }
+
+    #[test]
+    fn facility_and_ixp_registration() {
+        let mut b = Topology::builder();
+        b.add_as(test_as(1, AsType::Content, "NL"));
+        let ams = city(&b, "Amsterdam");
+        let f = b.add_facility("Colo-Amsterdam-0".into(), ams, true);
+        b.add_facility_member(f, Asn(1));
+        b.add_facility_member(f, Asn(1)); // idempotent
+        let ix = b.add_ixp("IX-Amsterdam-0".into(), ams, vec![f]);
+        b.add_ixp_member(ix, Asn(1));
+        let t = b.build();
+        assert_eq!(t.facility(f).member_count(), 1);
+        assert_eq!(t.facility(f).ixps, vec![ix]);
+        assert_eq!(t.ixp(ix).member_count(), 1);
+        assert_eq!(t.facilities_in_city(ams), &[f]);
+    }
+
+    #[test]
+    fn unknown_asn_lookups_are_safe() {
+        let t = Topology::builder().build();
+        assert!(t.as_info(Asn(99)).is_none());
+        assert!(t.adjacency(Asn(99)).providers.is_empty());
+        assert!(t.pop_cities(Asn(99)).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Strongly typed identifiers for topology entities.
+//!
+//! Keeping these as distinct newtypes (rather than bare `u32`s) prevents a
+//! whole family of "passed a facility id where an ASN was expected" bugs
+//! in the multi-crate pipeline that follows.
+
+use std::fmt;
+
+/// Autonomous System Number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Identifier of a point of presence within the topology (global, not
+/// per-AS: a PoP belongs to exactly one AS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PopId(pub u32);
+
+impl fmt::Display for PopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pop{}", self.0)
+    }
+}
+
+/// Identifier of a colocation facility (mirrors PeeringDB facility ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FacilityId(pub u32);
+
+impl fmt::Display for FacilityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fac{}", self.0)
+    }
+}
+
+/// Identifier of an Internet Exchange Point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IxpId(pub u32);
+
+impl fmt::Display for IxpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ixp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Asn(3356).to_string(), "AS3356");
+        assert_eq!(PopId(7).to_string(), "pop7");
+        assert_eq!(FacilityId(34).to_string(), "fac34");
+        assert_eq!(IxpId(1).to_string(), "ixp1");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<_> = [Asn(1), Asn(2), Asn(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert!(Asn(1) < Asn(2));
+        assert!(FacilityId(10) > FacilityId(2));
+    }
+}

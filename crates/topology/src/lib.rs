@@ -1,0 +1,56 @@
+//! # shortcuts-topology
+//!
+//! A synthetic, geographically embedded AS-level Internet topology with
+//! policy (valley-free) routing — the substrate the paper's measurement
+//! study runs on.
+//!
+//! The live Internet obviously cannot be shipped in a crate, so this
+//! module builds the closest synthetic equivalent that preserves the
+//! mechanism the paper's results depend on: **BGP path inflation**.
+//! Direct paths between eyeball networks must climb the provider
+//! hierarchy and are geographically constrained to the PoP cities of the
+//! transit ASes involved, while large colocation facilities concentrate
+//! peering and therefore offer geographically sensible "shortcuts".
+//!
+//! ## Contents
+//!
+//! - [`ids`] — strongly typed identifiers ([`Asn`], [`PopId`],
+//!   [`FacilityId`], [`IxpId`]).
+//! - [`ip`] — IPv4 prefixes and per-AS address allocation.
+//! - [`asys`] — autonomous systems: type (tier-1/tier-2/eyeball/content/
+//!   enterprise/research), countries, PoPs.
+//! - [`facility`] — colocation facilities and IXPs with membership.
+//! - [`graph`] — the assembled [`Topology`] with adjacency by business
+//!   relationship.
+//! - [`generator`] — the seeded random generator producing realistic
+//!   topologies ([`TopologyConfig`], [`Topology::generate`]).
+//! - [`routing`] — Gao–Rexford valley-free route computation
+//!   ([`routing::RoutingTable`], [`routing::Router`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use shortcuts_topology::{Topology, TopologyConfig, routing::Router};
+//!
+//! let topo = Topology::generate(&TopologyConfig::small(), 42);
+//! let router = Router::new(&topo);
+//! // Pick two eyeball ASes and compute the policy path between them.
+//! let eyeballs: Vec<_> = topo.eyeball_asns();
+//! let path = router.as_path(eyeballs[0], eyeballs[1]);
+//! assert!(path.is_some());
+//! ```
+
+pub mod asys;
+pub mod facility;
+pub mod generator;
+pub mod graph;
+pub mod ids;
+pub mod ip;
+pub mod routing;
+
+pub use asys::{AsInfo, AsType, Pop};
+pub use facility::{Facility, Ixp};
+pub use generator::TopologyConfig;
+pub use graph::{Relationship, Topology};
+pub use ids::{Asn, FacilityId, IxpId, PopId};
+pub use ip::{IpAllocator, Prefix};

@@ -1,0 +1,638 @@
+//! Valley-free (Gao–Rexford) BGP route computation.
+//!
+//! For a destination AS `d`, routes propagate under the standard export
+//! rules:
+//!
+//! 1. Routes learned from a **customer** may be exported to everyone
+//!    (providers, peers, customers).
+//! 2. Routes learned from a **peer** or **provider** may be exported
+//!    *only to customers*.
+//!
+//! and are selected under the standard preference order:
+//! **customer route > peer route > provider route**, then shortest AS
+//! path, then lowest next-hop ASN (deterministic tie-break).
+//!
+//! This yields the classic three-phase computation, each phase a
+//! shortest-path sweep:
+//!
+//! - Phase 1 ("up"): customer routes climb provider links from `d`.
+//! - Phase 2 ("across"): ASes with customer routes announce to peers.
+//! - Phase 3 ("down"): routes descend customer links.
+//!
+//! The result is a full routing table toward `d`: every AS that can reach
+//! `d` has a best (class, length, next-hop) entry, and the AS-level
+//! forwarding path is recovered by following next-hops. Path *inflation*
+//! — the paper's root cause for TIVs — falls out of this policy: the
+//! shortest policy-compliant path is often much longer (in hops and
+//! kilometers) than the shortest unrestricted path.
+//!
+//! [`Router`] adds a thread-safe per-destination cache; the measurement
+//! campaign touches a few hundred destination ASes out of thousands, so
+//! caching tables per destination is the right granularity.
+
+use crate::graph::Topology;
+use crate::ids::Asn;
+use parking_lot::RwLock;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Preference class of a route, ordered best-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// Learned from a customer (most preferred — it earns money).
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a provider (least preferred — it costs money).
+    Provider,
+}
+
+/// Best route of one AS toward the table's destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Preference class under which the route was learned.
+    pub class: RouteClass,
+    /// AS-path length in hops (destination itself has 0).
+    pub path_len: u32,
+    /// Neighbor the route was learned from (next hop toward the
+    /// destination). The destination's own entry points to itself.
+    pub next_hop: Asn,
+}
+
+/// Routing table toward a single destination AS.
+#[derive(Debug)]
+pub struct RoutingTable {
+    /// The destination all entries point toward.
+    pub destination: Asn,
+    routes: HashMap<Asn, RouteEntry>,
+}
+
+impl RoutingTable {
+    /// Best route of `asn` toward the destination, if reachable.
+    pub fn route(&self, asn: Asn) -> Option<&RouteEntry> {
+        self.routes.get(&asn)
+    }
+
+    /// Number of ASes that can reach the destination (including itself).
+    pub fn reachable_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Reconstructs the AS path from `src` to the destination
+    /// (inclusive on both ends). `None` if unreachable.
+    pub fn as_path(&self, src: Asn) -> Option<Vec<Asn>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        // Bound iterations by the table size to guard against cycles
+        // (which would indicate a computation bug).
+        for _ in 0..=self.routes.len() {
+            if cur == self.destination {
+                return Some(path);
+            }
+            let entry = self.routes.get(&cur)?;
+            cur = entry.next_hop;
+            path.push(cur);
+        }
+        panic!("routing loop toward {} from {}", self.destination, src);
+    }
+}
+
+/// Candidate route offer used by the phase sweeps: ordered so that the
+/// *best* candidate (smallest length, then smallest next-hop ASN, then
+/// smallest owner ASN) pops first from a max-heap via reversed ordering.
+#[derive(Debug, PartialEq, Eq)]
+struct Candidate {
+    path_len: u32,
+    owner: Asn,
+    next_hop: Asn,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for min-heap behavior.
+        (other.path_len, other.next_hop, other.owner).cmp(&(
+            self.path_len,
+            self.next_hop,
+            self.owner,
+        ))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Whether `candidate` (class implied equal) beats `incumbent`.
+fn better(len: u32, next_hop: Asn, incumbent: &RouteEntry) -> bool {
+    (len, next_hop) < (incumbent.path_len, incumbent.next_hop)
+}
+
+/// Computes the full valley-free routing table toward `dst`.
+pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
+    let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
+    routes.insert(
+        dst,
+        RouteEntry {
+            class: RouteClass::Customer,
+            path_len: 0,
+            next_hop: dst,
+        },
+    );
+
+    // ---- Phase 1: customer routes climb provider links -----------------
+    // Dijkstra over unit-weight edges u -> provider(u). An AS's customer
+    // route may always be re-exported upward.
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    heap.push(Candidate {
+        path_len: 0,
+        owner: dst,
+        next_hop: dst,
+    });
+    while let Some(c) = heap.pop() {
+        // Skip stale heap entries.
+        match routes.get(&c.owner) {
+            Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
+            _ => continue,
+        }
+        for &p in &topo.adjacency(c.owner).providers {
+            let len = c.path_len + 1;
+            let accept = match routes.get(&p) {
+                None => true,
+                Some(e) => e.class == RouteClass::Customer && better(len, c.owner, e),
+            };
+            if accept {
+                routes.insert(
+                    p,
+                    RouteEntry {
+                        class: RouteClass::Customer,
+                        path_len: len,
+                        next_hop: c.owner,
+                    },
+                );
+                heap.push(Candidate {
+                    path_len: len,
+                    owner: p,
+                    next_hop: c.owner,
+                });
+            }
+        }
+    }
+
+    // ---- Phase 2: one peer hop ------------------------------------------
+    // Every AS holding a customer route announces it to its peers. A peer
+    // route is never re-exported to peers/providers, so this is a single
+    // sweep, not a propagation. Collect candidates first to keep the
+    // result independent of map iteration order.
+    let holders: Vec<(Asn, u32)> = {
+        let mut v: Vec<_> = routes
+            .iter()
+            .filter(|(_, e)| e.class == RouteClass::Customer)
+            .map(|(&a, e)| (a, e.path_len))
+            .collect();
+        v.sort();
+        v
+    };
+    for (owner, len) in holders {
+        for &p in &topo.adjacency(owner).peers {
+            let cand_len = len + 1;
+            let accept = match routes.get(&p) {
+                None => true,
+                Some(e) => match e.class {
+                    RouteClass::Customer => false,
+                    RouteClass::Peer => better(cand_len, owner, e),
+                    RouteClass::Provider => true, // can't exist yet, but harmless
+                },
+            };
+            if accept {
+                routes.insert(
+                    p,
+                    RouteEntry {
+                        class: RouteClass::Peer,
+                        path_len: cand_len,
+                        next_hop: owner,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- Phase 3: routes descend customer links -------------------------
+    // Any route (customer, peer, provider) may be exported to customers;
+    // provider routes keep descending. Dijkstra downward from every
+    // route holder.
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut seeds: Vec<(Asn, u32)> = routes.iter().map(|(&a, e)| (a, e.path_len)).collect();
+    seeds.sort();
+    for (owner, len) in seeds {
+        heap.push(Candidate {
+            path_len: len,
+            owner,
+            next_hop: owner, // marker; not used for seeds
+        });
+    }
+    while let Some(c) = heap.pop() {
+        match routes.get(&c.owner) {
+            Some(e) if e.path_len == c.path_len => {}
+            _ => continue,
+        }
+        for &cust in &topo.adjacency(c.owner).customers {
+            let len = c.path_len + 1;
+            let accept = match routes.get(&cust) {
+                None => true,
+                Some(e) => match e.class {
+                    RouteClass::Customer | RouteClass::Peer => false,
+                    RouteClass::Provider => better(len, c.owner, e),
+                },
+            };
+            if accept {
+                routes.insert(
+                    cust,
+                    RouteEntry {
+                        class: RouteClass::Provider,
+                        path_len: len,
+                        next_hop: c.owner,
+                    },
+                );
+                heap.push(Candidate {
+                    path_len: len,
+                    owner: cust,
+                    next_hop: c.owner,
+                });
+            }
+        }
+    }
+
+    RoutingTable {
+        destination: dst,
+        routes,
+    }
+}
+
+/// Shortest-path (policy-free) table toward `dst`, used by the
+/// `ablation_routing` experiment: identical output shape but ignores
+/// business relationships. Comparing against this isolates how much of
+/// the relay gain is produced by *policy* inflation.
+pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> RoutingTable {
+    let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
+    routes.insert(
+        dst,
+        RouteEntry {
+            class: RouteClass::Customer,
+            path_len: 0,
+            next_hop: dst,
+        },
+    );
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    heap.push(Candidate {
+        path_len: 0,
+        owner: dst,
+        next_hop: dst,
+    });
+    while let Some(c) = heap.pop() {
+        match routes.get(&c.owner) {
+            Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
+            _ => continue,
+        }
+        let adj = topo.adjacency(c.owner);
+        for &n in adj
+            .providers
+            .iter()
+            .chain(adj.customers.iter())
+            .chain(adj.peers.iter())
+        {
+            let len = c.path_len + 1;
+            let accept = match routes.get(&n) {
+                None => true,
+                Some(e) => better(len, c.owner, e),
+            };
+            if accept {
+                routes.insert(
+                    n,
+                    RouteEntry {
+                        class: RouteClass::Customer,
+                        path_len: len,
+                        next_hop: c.owner,
+                    },
+                );
+                heap.push(Candidate {
+                    path_len: len,
+                    owner: n,
+                    next_hop: c.owner,
+                });
+            }
+        }
+    }
+    RoutingTable {
+        destination: dst,
+        routes,
+    }
+}
+
+/// Routing mode selector for [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Gao–Rexford valley-free routing (the real Internet's behavior).
+    #[default]
+    ValleyFree,
+    /// Unrestricted shortest-path routing (ablation baseline).
+    ShortestPath,
+}
+
+/// Thread-safe, per-destination-cached route computation over a topology.
+pub struct Router<'t> {
+    topo: &'t Topology,
+    policy: RoutingPolicy,
+    cache: RwLock<HashMap<Asn, Arc<RoutingTable>>>,
+}
+
+impl<'t> Router<'t> {
+    /// Creates a router with valley-free policy.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self::with_policy(topo, RoutingPolicy::ValleyFree)
+    }
+
+    /// Creates a router with an explicit policy (ablations use
+    /// [`RoutingPolicy::ShortestPath`]).
+    pub fn with_policy(topo: &'t Topology, policy: RoutingPolicy) -> Self {
+        Router {
+            topo,
+            policy,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The topology this router operates on.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// Routing table toward `dst`, computed once and cached.
+    pub fn table(&self, dst: Asn) -> Arc<RoutingTable> {
+        if let Some(t) = self.cache.read().get(&dst) {
+            return Arc::clone(t);
+        }
+        let table = Arc::new(match self.policy {
+            RoutingPolicy::ValleyFree => compute_table(self.topo, dst),
+            RoutingPolicy::ShortestPath => compute_table_shortest(self.topo, dst),
+        });
+        self.cache
+            .write()
+            .entry(dst)
+            .or_insert_with(|| Arc::clone(&table));
+        // Return the cached instance in case another thread won the race.
+        Arc::clone(self.cache.read().get(&dst).expect("just inserted"))
+    }
+
+    /// AS path from `src` to `dst`, or `None` if unreachable.
+    pub fn as_path(&self, src: Asn, dst: Asn) -> Option<Vec<Asn>> {
+        self.table(dst).as_path(src)
+    }
+
+    /// Number of cached destination tables (diagnostics).
+    pub fn cached_tables(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asys::{AsInfo, AsType};
+    use crate::graph::TopologyBuilder;
+    use shortcuts_geo::CountryCode;
+
+    fn mk_as(b: &mut TopologyBuilder, asn: u32, t: AsType) {
+        b.add_as(AsInfo {
+            asn: Asn(asn),
+            as_type: t,
+            home_country: CountryCode::new("US").unwrap(),
+            countries: vec![],
+            pops: vec![],
+            prefixes: vec![],
+            user_share: 0.0,
+            offers_cloud: false,
+        });
+    }
+
+    /// Classic valley topology:
+    ///
+    /// ```text
+    ///        1 (tier1)     2 (tier1)   (1 -- 2 peer)
+    ///        |             |
+    ///        3 (tier2)     4 (tier2)   (3 -- 4 peer)
+    ///        |             |
+    ///        5 (stub)      6 (stub)
+    /// ```
+    fn valley_topology() -> Topology {
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Tier1);
+        mk_as(&mut b, 2, AsType::Tier1);
+        mk_as(&mut b, 3, AsType::Tier2);
+        mk_as(&mut b, 4, AsType::Tier2);
+        mk_as(&mut b, 5, AsType::Eyeball);
+        mk_as(&mut b, 6, AsType::Eyeball);
+        b.add_transit(Asn(3), Asn(1));
+        b.add_transit(Asn(4), Asn(2));
+        b.add_transit(Asn(5), Asn(3));
+        b.add_transit(Asn(6), Asn(4));
+        b.add_peering(Asn(1), Asn(2));
+        b.add_peering(Asn(3), Asn(4));
+        b.build()
+    }
+
+    #[test]
+    fn stub_to_stub_uses_peer_shortcut() {
+        let t = valley_topology();
+        let table = compute_table(&t, Asn(6));
+        // 5 -> 3 -> 4 -> 6 (via the 3--4 peering), not via the tier-1s.
+        assert_eq!(table.as_path(Asn(5)).unwrap(), vec![Asn(5), Asn(3), Asn(4), Asn(6)]);
+    }
+
+    #[test]
+    fn no_valley_through_customer() {
+        // Without the 3--4 peering, traffic must go over the tier-1 peering;
+        // it must NOT route 1 -> 3 -> 4 (provider using a customer as
+        // transit to reach a non-customer).
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Tier1);
+        mk_as(&mut b, 2, AsType::Tier1);
+        mk_as(&mut b, 3, AsType::Tier2);
+        mk_as(&mut b, 4, AsType::Tier2);
+        mk_as(&mut b, 5, AsType::Eyeball);
+        mk_as(&mut b, 6, AsType::Eyeball);
+        b.add_transit(Asn(3), Asn(1));
+        b.add_transit(Asn(4), Asn(2));
+        b.add_transit(Asn(5), Asn(3));
+        b.add_transit(Asn(6), Asn(4));
+        b.add_peering(Asn(1), Asn(2));
+        // extra "tempting" link: 3 is ALSO a customer of 2.
+        b.add_transit(Asn(3), Asn(2));
+        let t = b.build();
+        let table = compute_table(&t, Asn(6));
+        let path = table.as_path(Asn(5)).unwrap();
+        assert_eq!(path, vec![Asn(5), Asn(3), Asn(2), Asn(4), Asn(6)]);
+        assert_valley_free(&t, &path);
+    }
+
+    #[test]
+    fn prefers_customer_route_even_if_longer() {
+        // Destination 10 is reachable from 1 either via a direct peer link
+        // (length 1) or via a chain of customers (length 2). Gao-Rexford
+        // prefers the customer route despite being longer.
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Tier1);
+        mk_as(&mut b, 2, AsType::Tier2);
+        mk_as(&mut b, 10, AsType::Eyeball);
+        b.add_transit(Asn(2), Asn(1)); // 2 customer of 1
+        b.add_transit(Asn(10), Asn(2)); // 10 customer of 2
+        b.add_peering(Asn(1), Asn(10)); // direct peering 1 -- 10
+        let t = b.build();
+        let table = compute_table(&t, Asn(10));
+        let entry = table.route(Asn(1)).unwrap();
+        assert_eq!(entry.class, RouteClass::Customer);
+        assert_eq!(entry.path_len, 2);
+        assert_eq!(table.as_path(Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(10)]);
+    }
+
+    #[test]
+    fn unreachable_without_any_link() {
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Eyeball);
+        mk_as(&mut b, 2, AsType::Eyeball);
+        let t = b.build();
+        let table = compute_table(&t, Asn(2));
+        assert!(table.as_path(Asn(1)).is_none());
+        assert_eq!(table.reachable_count(), 1);
+    }
+
+    #[test]
+    fn destination_reaches_itself_with_empty_path() {
+        let t = valley_topology();
+        let table = compute_table(&t, Asn(5));
+        assert_eq!(table.as_path(Asn(5)).unwrap(), vec![Asn(5)]);
+        assert_eq!(table.route(Asn(5)).unwrap().path_len, 0);
+    }
+
+    #[test]
+    fn peer_route_not_reexported_to_peer() {
+        // 1 -- 2 peer, 2 -- 3 peer. 1's route must not reach 3 across two
+        // peering hops (no customer in between).
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Tier2);
+        mk_as(&mut b, 2, AsType::Tier2);
+        mk_as(&mut b, 3, AsType::Tier2);
+        b.add_peering(Asn(1), Asn(2));
+        b.add_peering(Asn(2), Asn(3));
+        let t = b.build();
+        let table = compute_table(&t, Asn(1));
+        assert!(table.route(Asn(2)).is_some());
+        assert!(table.route(Asn(3)).is_none(), "valley across two peer hops");
+    }
+
+    #[test]
+    fn provider_route_descends_multiple_levels() {
+        // dst 1 (tier1) -> customer chain 1 <- 2 <- 3 <- 4; all of 2,3,4
+        // reach 1 via provider routes.
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Tier1);
+        mk_as(&mut b, 2, AsType::Tier2);
+        mk_as(&mut b, 3, AsType::Eyeball);
+        mk_as(&mut b, 4, AsType::Enterprise);
+        b.add_transit(Asn(2), Asn(1));
+        b.add_transit(Asn(3), Asn(2));
+        b.add_transit(Asn(4), Asn(3));
+        let t = b.build();
+        let table = compute_table(&t, Asn(1));
+        assert_eq!(table.route(Asn(4)).unwrap().class, RouteClass::Provider);
+        assert_eq!(
+            table.as_path(Asn(4)).unwrap(),
+            vec![Asn(4), Asn(3), Asn(2), Asn(1)]
+        );
+    }
+
+    #[test]
+    fn deterministic_tie_break_lowest_next_hop() {
+        // dst 10 has two providers 2 and 3, both customers of 1. Path from
+        // 1 to 10 can go via 2 or 3 at equal length; must pick AS2.
+        let mut b = Topology::builder();
+        mk_as(&mut b, 1, AsType::Tier1);
+        mk_as(&mut b, 2, AsType::Tier2);
+        mk_as(&mut b, 3, AsType::Tier2);
+        mk_as(&mut b, 10, AsType::Eyeball);
+        b.add_transit(Asn(2), Asn(1));
+        b.add_transit(Asn(3), Asn(1));
+        b.add_transit(Asn(10), Asn(2));
+        b.add_transit(Asn(10), Asn(3));
+        let t = b.build();
+        let table = compute_table(&t, Asn(10));
+        assert_eq!(table.as_path(Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(10)]);
+    }
+
+    #[test]
+    fn shortest_path_ablation_ignores_policy() {
+        let t = valley_topology();
+        // Remove-the-policy view: 5 -> 3 -> 4 -> 6 still shortest (3 hops);
+        // but in the no-peering variant shortest would cut through
+        // customer links freely.
+        let table = compute_table_shortest(&t, Asn(6));
+        assert_eq!(table.as_path(Asn(5)).unwrap().len(), 4);
+        // Everything is reachable ignoring policy.
+        assert_eq!(table.reachable_count(), 6);
+    }
+
+    #[test]
+    fn router_caches_tables() {
+        let t = valley_topology();
+        let r = Router::new(&t);
+        assert_eq!(r.cached_tables(), 0);
+        let p1 = r.as_path(Asn(5), Asn(6)).unwrap();
+        let p2 = r.as_path(Asn(3), Asn(6)).unwrap();
+        assert_eq!(r.cached_tables(), 1);
+        assert_eq!(p1.last(), Some(&Asn(6)));
+        assert_eq!(p2.last(), Some(&Asn(6)));
+    }
+
+    /// Asserts the Gao-Rexford valley-free property along `path`:
+    /// a sequence of up (customer->provider) steps, at most one peer
+    /// step, then down (provider->customer) steps.
+    fn assert_valley_free(t: &Topology, path: &[Asn]) {
+        #[derive(PartialEq, PartialOrd)]
+        enum Stage {
+            Up,
+            Peer,
+            Down,
+        }
+        let mut stage = Stage::Up;
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let adj = t.adjacency(a);
+            let step = if adj.providers.contains(&b) {
+                Stage::Up
+            } else if adj.peers.contains(&b) {
+                Stage::Peer
+            } else if adj.customers.contains(&b) {
+                Stage::Down
+            } else {
+                panic!("path uses non-existent link {a} -> {b}");
+            };
+            assert!(step >= stage, "valley in path at {a} -> {b}");
+            stage = step;
+        }
+    }
+
+    #[test]
+    fn all_paths_in_valley_topology_are_valley_free() {
+        let t = valley_topology();
+        for dst in [1u32, 2, 3, 4, 5, 6] {
+            let table = compute_table(&t, Asn(dst));
+            for src in [1u32, 2, 3, 4, 5, 6] {
+                if let Some(path) = table.as_path(Asn(src)) {
+                    assert_valley_free(&t, &path);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full colo-shortcuts stack.
+pub use shortcuts_atlas as atlas;
+pub use shortcuts_core as core;
+pub use shortcuts_datasets as datasets;
+pub use shortcuts_geo as geo;
+pub use shortcuts_netsim as netsim;
+pub use shortcuts_topology as topology;

@@ -1,0 +1,160 @@
+//! `colo-shortcuts` — command-line front end for the reproduction.
+//!
+//! ```text
+//! colo-shortcuts world-info [--seed S]
+//! colo-shortcuts funnel     [--seed S]
+//! colo-shortcuts campaign   [--seed S] [--rounds N] [--out DIR]
+//! ```
+//!
+//! `campaign` runs the paper's measurement campaign and writes the
+//! figure-ready CSVs (`cases.csv`, `improvement.csv`, `top_relays.csv`,
+//! `threshold.csv`, `funnel.csv`) into `--out` (default `./out`).
+
+use shortcuts_core::analysis::improvement::ImprovementAnalysis;
+use shortcuts_core::analysis::threshold::ThresholdCurve;
+use shortcuts_core::analysis::top_relays::TopRelayAnalysis;
+use shortcuts_core::report;
+use shortcuts_core::workflow::{Campaign, CampaignConfig};
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_core::RelayType;
+use std::path::PathBuf;
+
+struct Args {
+    seed: u64,
+    rounds: u32,
+    out: PathBuf,
+}
+
+fn parse_args(mut argv: std::env::Args) -> (String, Args) {
+    let _bin = argv.next();
+    let cmd = argv.next().unwrap_or_else(|| "help".to_string());
+    let mut args = Args {
+        seed: 2017,
+        rounds: 8,
+        out: PathBuf::from("out"),
+    };
+    let rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let need_value = |i: usize| -> &str {
+            rest.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", rest[i]);
+                    std::process::exit(2);
+                })
+                .as_str()
+        };
+        match rest[i].as_str() {
+            "--seed" => {
+                args.seed = need_value(i).parse().expect("--seed takes a u64");
+                i += 2;
+            }
+            "--rounds" => {
+                args.rounds = need_value(i).parse().expect("--rounds takes a u32");
+                i += 2;
+            }
+            "--out" => {
+                args.out = PathBuf::from(need_value(i));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (cmd, args)
+}
+
+fn main() {
+    let (cmd, args) = parse_args(std::env::args());
+    match cmd.as_str() {
+        "world-info" => world_info(&args),
+        "funnel" => funnel(&args),
+        "campaign" => campaign(&args),
+        _ => {
+            eprintln!(
+                "usage: colo-shortcuts <world-info|funnel|campaign> [--seed S] [--rounds N] [--out DIR]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build(args: &Args) -> World {
+    eprintln!("building world (seed {}) ...", args.seed);
+    World::build(&WorldConfig::paper_scale(), args.seed)
+}
+
+fn world_info(args: &Args) {
+    let w = build(args);
+    println!("seed:        {}", w.seed);
+    println!("ASes:        {}", w.topo.as_count());
+    println!("links:       {}", w.topo.link_count());
+    println!("facilities:  {}", w.topo.facilities().len());
+    println!("IXPs:        {}", w.topo.ixps().len());
+    println!("hosts:       {}", w.hosts.len());
+    println!("RA probes:   {}", w.ripe.probes().len());
+    println!("PL nodes:    {}", w.planetlab.nodes().len());
+    println!("LGs:         {} in {} cities", w.looking_glasses.lgs().len(), w.looking_glasses.city_count());
+    println!("facility-dataset records: {}", w.facility_dataset.len());
+}
+
+fn funnel(args: &Args) {
+    use rand::SeedableRng;
+    use shortcuts_core::colo::{run_pipeline, ColoPipelineConfig};
+    use shortcuts_netsim::clock::SimTime;
+    use shortcuts_netsim::PingEngine;
+    use shortcuts_topology::routing::Router;
+    let w = build(args);
+    let router = Router::new(&w.topo);
+    let engine = PingEngine::new(&w.topo, &router, &w.hosts, w.latency.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+    let pool = run_pipeline(
+        &w,
+        &engine,
+        w.looking_glasses.lgs()[0].host,
+        SimTime(0.0),
+        &ColoPipelineConfig::default(),
+        &mut rng,
+    );
+    print!("{}", report::funnel_csv(&pool.funnel));
+}
+
+fn campaign(args: &Args) {
+    let w = build(args);
+    let mut cfg = CampaignConfig::paper();
+    cfg.rounds = args.rounds;
+    cfg.seed = args.seed;
+    eprintln!("running {} rounds ...", cfg.rounds);
+    let results = Campaign::new(&w, cfg).run();
+    eprintln!(
+        "{} cases, {:.2} M pings",
+        results.total_cases(),
+        results.pings_sent as f64 / 1e6
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create --out directory");
+    let write = |name: &str, contents: String| {
+        let path = args.out.join(name);
+        std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("wrote {}", path.display());
+    };
+
+    write("cases.csv", report::cases_csv(&results));
+    let imp = ImprovementAnalysis::compute(&results);
+    write("improvement.csv", report::improvement_csv(&imp));
+    let tops: Vec<TopRelayAnalysis> = RelayType::ALL
+        .iter()
+        .map(|&t| TopRelayAnalysis::compute(&results, t, 200))
+        .collect();
+    write("top_relays.csv", report::top_relays_csv(&tops));
+    let xs: Vec<f64> = (0..=20).map(|i| f64::from(i) * 5.0).collect();
+    let mut curves = Vec::new();
+    for t in RelayType::ALL {
+        curves.push(ThresholdCurve::compute(&results, t, Some(10), &xs));
+        curves.push(ThresholdCurve::compute(&results, t, None, &xs));
+    }
+    write("threshold.csv", report::threshold_csv(&curves));
+    write("funnel.csv", report::funnel_csv(&results.colo_pool.funnel));
+}

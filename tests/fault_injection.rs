@@ -1,0 +1,125 @@
+//! Fault injection across the stack: outages and lossy transit must
+//! degrade measurements without breaking the pipeline.
+
+use colo_shortcuts::core::measure::{measure_pair, WindowConfig};
+use colo_shortcuts::core::world::{World, WorldConfig};
+use colo_shortcuts::netsim::clock::SimTime;
+use colo_shortcuts::netsim::{FaultPlan, PingEngine};
+use colo_shortcuts::topology::routing::Router;
+use colo_shortcuts::topology::AsType;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tier1_outage_blacks_out_dependent_pairs() {
+    let world = World::build(&WorldConfig::small(), 42);
+    let router = Router::new(&world.topo);
+    let mut engine =
+        PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+
+    // Find an eyeball pair routed through some tier-1.
+    let probes = world.ripe.probes();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut victim_pair = None;
+    'outer: for a in probes.iter().take(60) {
+        for b in probes.iter().rev().take(60) {
+            if a.host == b.host {
+                continue;
+            }
+            if let Some(path) = engine.as_path(a.host, b.host) {
+                if let Some(&transit) = path.iter().find(|&&asn| {
+                    world.topo.expect_as(asn).as_type == AsType::Tier1
+                }) {
+                    victim_pair = Some((a.host, b.host, transit));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let (src, dst, transit) = victim_pair.expect("some pair crosses a tier-1");
+
+    // Sanity: works before the outage.
+    let w = WindowConfig::default();
+    assert!(measure_pair(&engine, src, dst, SimTime(0.0), &w, &mut rng).is_some());
+
+    // Outage covering a whole measurement window.
+    engine.set_faults(FaultPlan::none().with_outage(
+        transit,
+        SimTime(10_000.0),
+        SimTime(10_000.0 + 3_600.0),
+    ));
+    assert!(
+        measure_pair(&engine, src, dst, SimTime(10_000.0), &w, &mut rng).is_none(),
+        "window inside the outage must fail"
+    );
+    // After the outage everything recovers.
+    assert!(measure_pair(&engine, src, dst, SimTime(20_000.0), &w, &mut rng).is_some());
+}
+
+#[test]
+fn lossy_as_degrades_but_median_still_works() {
+    let world = World::build(&WorldConfig::small(), 43);
+    let router = Router::new(&world.topo);
+    let mut engine =
+        PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let probes = world.ripe.probes();
+    let (src, dst) = (probes[0].host, probes[probes.len() / 2].host);
+    let path = engine.as_path(src, dst).expect("routable");
+
+    // 30% extra loss on the first AS: with 6 pings and min_valid 3, the
+    // window usually still yields a median.
+    engine.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.3));
+    let w = WindowConfig::default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let ok = (0..30)
+        .filter(|i| {
+            measure_pair(
+                &engine,
+                src,
+                dst,
+                SimTime(f64::from(*i) * 3600.0),
+                &w,
+                &mut rng,
+            )
+            .is_some()
+        })
+        .count();
+    assert!(ok >= 20, "medians should survive 30% loss, got {ok}/30");
+
+    // 95% loss: the window collapses.
+    engine.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.95));
+    let ok = (0..30)
+        .filter(|i| {
+            measure_pair(
+                &engine,
+                src,
+                dst,
+                SimTime(f64::from(*i) * 3600.0),
+                &w,
+                &mut rng,
+            )
+            .is_some()
+        })
+        .count();
+    assert!(ok <= 5, "95% loss should kill most windows, got {ok}/30");
+}
+
+#[test]
+fn engine_stats_account_for_faults() {
+    let world = World::build(&WorldConfig::small(), 44);
+    let router = Router::new(&world.topo);
+    let mut engine =
+        PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let probes = world.ripe.probes();
+    let (src, dst) = (probes[0].host, probes[1].host);
+    let path = engine.as_path(src, dst).expect("routable");
+    engine.set_faults(FaultPlan::none().with_outage(path[0], SimTime(0.0), SimTime(1e9)));
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..10 {
+        assert!(engine.ping(src, dst, SimTime(f64::from(i)), &mut rng).is_none());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.attempts, 10);
+    assert_eq!(stats.losses, 10);
+    assert_eq!(stats.replies, 0);
+}

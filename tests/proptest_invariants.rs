@@ -1,0 +1,141 @@
+//! Property-based tests on core data structures and invariants,
+//! spanning the whole workspace.
+
+use colo_shortcuts::core::analysis::stats;
+use colo_shortcuts::core::feasibility;
+use colo_shortcuts::core::measure::median;
+use colo_shortcuts::geo::{light, GeoPoint};
+use colo_shortcuts::topology::{IpAllocator, Prefix};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_point()(lat in -90.0f64..=90.0, lon in -180.0f64..=180.0) -> GeoPoint {
+        GeoPoint::new(lat, lon).expect("in range")
+    }
+}
+
+proptest! {
+    // ---- geometry ------------------------------------------------------
+
+    #[test]
+    fn distance_is_symmetric_nonnegative_bounded(a in arb_point(), b in arb_point()) {
+        let d1 = a.distance_km(&b);
+        let d2 = b.distance_km(&a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        // Half the circumference is the max great-circle distance.
+        prop_assert!(d1 <= 20_038.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let direct = a.distance_km(&b);
+        let detour = a.distance_km(&c) + c.distance_km(&b);
+        prop_assert!(detour + 1e-6 >= direct);
+    }
+
+    #[test]
+    fn detour_factor_at_least_one(a in arb_point(), b in arb_point(), via in arb_point()) {
+        prop_assume!(a.distance_km(&b) > 1.0);
+        prop_assert!(a.detour_factor(&b, &via) >= 1.0);
+    }
+
+    #[test]
+    fn propagation_delay_is_linear(km in 0.0f64..30_000.0) {
+        let one = light::propagation_delay_ms(km);
+        let two = light::propagation_delay_ms(2.0 * km);
+        prop_assert!((two - 2.0 * one).abs() < 1e-9);
+        prop_assert!((light::min_rtt_ms(km) - 2.0 * one).abs() < 1e-9);
+    }
+
+    // ---- feasibility (§2.4) ---------------------------------------------
+
+    #[test]
+    fn feasibility_is_monotone_in_direct_rtt(
+        a in arb_point(), b in arb_point(), r in arb_point(),
+        rtt in 0.0f64..1000.0, extra in 0.0f64..500.0,
+    ) {
+        // If a relay is feasible at some direct RTT it stays feasible at
+        // any larger direct RTT.
+        if feasibility::is_feasible(&a, &b, &r, rtt) {
+            prop_assert!(feasibility::is_feasible(&a, &b, &r, rtt + extra));
+        }
+    }
+
+    #[test]
+    fn relay_on_endpoint_is_feasible_when_direct_is_honest(
+        a in arb_point(), b in arb_point(),
+    ) {
+        // A relay exactly at an endpoint has the same light floor as the
+        // direct path, so any direct RTT at/above the floor admits it.
+        let floor = light::min_rtt_ms(a.distance_km(&b));
+        prop_assert!(feasibility::is_feasible(&a, &b, &a, floor + 1e-6));
+    }
+
+    // ---- medians and stats -----------------------------------------------
+
+    #[test]
+    fn median_is_bounded_by_extremes(mut v in prop::collection::vec(0.0f64..1e6, 1..40)) {
+        let m = median(&v).expect("non-empty");
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert!(m >= v[0] && m <= v[v.len() - 1]);
+    }
+
+    #[test]
+    fn median_resists_single_outlier(base in 1.0f64..100.0, spike in 1000.0f64..1e6) {
+        // Five well-behaved samples plus one spike: median stays close.
+        let v = vec![base, base + 0.1, base + 0.2, base - 0.1, base - 0.2, spike];
+        let m = median(&v).expect("non-empty");
+        prop_assert!(m < base + 1.0);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(v in prop::collection::vec(0.0f64..1e6, 1..40),
+                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = stats::percentile(&v, lo).expect("non-empty");
+        let b = stats::percentile(&v, hi).expect("non-empty");
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(v in prop::collection::vec(0.0f64..1000.0, 1..50)) {
+        let xs: Vec<f64> = (0..=20).map(|i| f64::from(i) * 50.0).collect();
+        let cdf = stats::cdf_at(&v, &xs);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!(cdf.iter().all(|&(_, f)| (0.0..=1.0).contains(&f)));
+        prop_assert_eq!(cdf.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn cv_is_zero_iff_constant(x in 1.0f64..1e6, n in 2usize..20) {
+        let v = vec![x; n];
+        let cv = stats::coefficient_of_variation(&v).expect("non-zero mean");
+        prop_assert!(cv.abs() < 1e-12);
+    }
+
+    // ---- prefixes ---------------------------------------------------------
+
+    #[test]
+    fn prefix_contains_its_own_addresses(len in 8u8..=28, idx in 0u64..200) {
+        let base = std::net::Ipv4Addr::new(10, 0, 0, 0);
+        let p = Prefix::new(base, len).expect("aligned");
+        prop_assume!(idx < p.size());
+        let ip = p.nth(idx).expect("in range");
+        prop_assert!(p.contains(ip));
+    }
+
+    #[test]
+    fn allocator_blocks_never_overlap(n in 2usize..40) {
+        let mut alloc = IpAllocator::default();
+        let blocks: Vec<Prefix> = (0..n).map(|_| alloc.alloc_prefix()).collect();
+        for (i, a) in blocks.iter().enumerate() {
+            for b in blocks.iter().skip(i + 1) {
+                prop_assert!(!a.contains(b.base()));
+                prop_assert!(!b.contains(a.base()));
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate invariants between routing, geometry and the RTT model,
+//! on generated topologies.
+
+use colo_shortcuts::geo::min_rtt_ms;
+use colo_shortcuts::netsim::{HostRegistry, LatencyModel, PingEngine};
+use colo_shortcuts::topology::routing::{compute_table, RouteClass, Router};
+use colo_shortcuts::topology::{Topology, TopologyConfig};
+
+#[test]
+fn all_sampled_paths_are_valley_free() {
+    let topo = Topology::generate(&TopologyConfig::small(), 404);
+    let eyes = topo.eyeball_asns();
+    for &dst in eyes.iter().step_by(9) {
+        let table = compute_table(&topo, dst);
+        for &src in eyes.iter().step_by(7) {
+            let Some(path) = table.as_path(src) else {
+                continue;
+            };
+            // Stage machine: Up (customer->provider), one Peer, Down.
+            let mut stage = 0; // 0=up, 1=peer, 2=down
+            for w in path.windows(2) {
+                let adj = topo.adjacency(w[0]);
+                let step = if adj.providers.contains(&w[1]) {
+                    0
+                } else if adj.peers.contains(&w[1]) {
+                    1
+                } else if adj.customers.contains(&w[1]) {
+                    2
+                } else {
+                    panic!("nonexistent link {} -> {}", w[0], w[1]);
+                };
+                assert!(step >= stage, "valley in {path:?}");
+                if step == 1 {
+                    assert!(stage < 1, "two peer hops in {path:?}");
+                }
+                stage = step;
+            }
+        }
+    }
+}
+
+#[test]
+fn route_classes_are_consistent_with_next_hops() {
+    let topo = Topology::generate(&TopologyConfig::small(), 405);
+    let dst = topo.eyeball_asns()[0];
+    let table = compute_table(&topo, dst);
+    for info in topo.ases() {
+        let Some(entry) = table.route(info.asn) else {
+            continue;
+        };
+        if info.asn == dst {
+            continue;
+        }
+        let adj = topo.adjacency(info.asn);
+        match entry.class {
+            RouteClass::Customer => assert!(adj.customers.contains(&entry.next_hop)),
+            RouteClass::Peer => assert!(adj.peers.contains(&entry.next_hop)),
+            RouteClass::Provider => assert!(adj.providers.contains(&entry.next_hop)),
+        }
+    }
+}
+
+#[test]
+fn base_rtt_respects_speed_of_light_floor() {
+    let topo = Topology::generate(&TopologyConfig::small(), 406);
+    let router = Router::new(&topo);
+    let mut hosts = HostRegistry::new();
+    let eyes = topo.eyeball_asns();
+    let mut ids = Vec::new();
+    for &asn in eyes.iter().step_by(5).take(12) {
+        if let Ok(id) = hosts.add_host_in_as(&topo, asn, None) {
+            ids.push(id);
+        }
+    }
+    let engine = PingEngine::new(&topo, &router, &hosts, LatencyModel::default());
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in ids.iter().skip(i + 1) {
+            let Some(base) = engine.base_rtt(a, b) else {
+                continue;
+            };
+            let (ha, hb) = (engine.hosts().get(a), engine.hosts().get(b));
+            let floor = min_rtt_ms(ha.location.distance_km(&hb.location));
+            assert!(
+                base >= floor - 1e-9,
+                "base {base} under light floor {floor}"
+            );
+        }
+    }
+}
+
+#[test]
+fn policy_paths_are_never_shorter_than_shortest_paths() {
+    use colo_shortcuts::topology::routing::compute_table_shortest;
+    let topo = Topology::generate(&TopologyConfig::small(), 407);
+    let dst = topo.eyeball_asns()[3];
+    let policy = compute_table(&topo, dst);
+    let shortest = compute_table_shortest(&topo, dst);
+    for info in topo.ases() {
+        let (Some(p), Some(s)) = (policy.as_path(info.asn), shortest.as_path(info.asn)) else {
+            continue;
+        };
+        assert!(
+            p.len() >= s.len(),
+            "policy path shorter than shortest for {}: {} vs {}",
+            info.asn,
+            p.len(),
+            s.len()
+        );
+    }
+    // And policy reaches at most as many ASes.
+    assert!(policy.reachable_count() <= shortest.reachable_count());
+}
+
+#[test]
+fn router_cache_is_shared_across_queries() {
+    let topo = Topology::generate(&TopologyConfig::small(), 408);
+    let router = Router::new(&topo);
+    let eyes = topo.eyeball_asns();
+    for &src in eyes.iter().take(20) {
+        let _ = router.as_path(src, eyes[0]);
+    }
+    assert_eq!(router.cached_tables(), 1, "one destination, one table");
+}
