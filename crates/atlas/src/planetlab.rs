@@ -92,8 +92,8 @@ impl PlanetLab {
             let mut site_nodes = Vec::with_capacity(n);
             for _ in 0..n {
                 let access_ms = rng.gen_range(0.2..1.2); // campus server room
-                let Ok(host) = hosts
-                    .add_host_with_access(topo, asn, Some(city), HostKind::Server, access_ms)
+                let Ok(host) =
+                    hosts.add_host_with_access(topo, asn, Some(city), HostKind::Server, access_ms)
                 else {
                     continue;
                 };
@@ -166,10 +166,7 @@ mod tests {
     #[test]
     fn one_site_per_research_as() {
         let (topo, pl) = deployment();
-        assert_eq!(
-            pl.sites().len(),
-            topo.asns_of_type(AsType::Research).len()
-        );
+        assert_eq!(pl.sites().len(), topo.asns_of_type(AsType::Research).len());
         for s in pl.sites() {
             assert!(!s.nodes.is_empty());
             assert_eq!(topo.expect_as(s.asn).as_type, AsType::Research);

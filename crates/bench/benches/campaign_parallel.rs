@@ -1,0 +1,94 @@
+//! Serial vs. parallel measurement engine: the paper's campaign
+//! configuration scaled to the small world, run once per execution
+//! mode, plus an explicit wall-clock speedup report.
+//!
+//! The two modes produce bit-identical results (asserted here on case
+//! counts and medians as a cheap canary; the full bit-level check
+//! lives in `tests/determinism_equivalence.rs`), so the only thing
+//! this benchmark measures is scheduling.
+//!
+//! Knobs: `SHORTCUTS_BENCH_ROUNDS` (default 2) scales the campaign;
+//! `RAYON_NUM_THREADS` caps the parallel mode's workers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_core::backend::ExecMode;
+use shortcuts_core::workflow::{Campaign, CampaignConfig, CampaignResults};
+use shortcuts_core::world::{World, WorldConfig};
+use std::time::Instant;
+
+fn bench_rounds() -> u32 {
+    std::env::var("SHORTCUTS_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+fn campaign_cfg(exec: ExecMode) -> CampaignConfig {
+    let mut cfg = CampaignConfig::paper();
+    cfg.rounds = bench_rounds();
+    cfg.exec = exec;
+    cfg
+}
+
+fn run(world: &World, exec: ExecMode) -> CampaignResults {
+    Campaign::new(world, campaign_cfg(exec)).run()
+}
+
+fn bench_campaign_serial(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    c.bench_function("campaign_parallel/serial", |b| {
+        b.iter(|| black_box(run(&world, ExecMode::Serial)))
+    });
+}
+
+fn bench_campaign_parallel(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    c.bench_function("campaign_parallel/parallel", |b| {
+        b.iter(|| black_box(run(&world, ExecMode::Parallel)))
+    });
+}
+
+/// One timed head-to-head run with an explicit speedup line — the
+/// number the ROADMAP's "as fast as the hardware allows" item tracks.
+fn bench_speedup_report(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+
+    let t = Instant::now();
+    let serial = run(&world, ExecMode::Serial);
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let parallel = run(&world, ExecMode::Parallel);
+    let parallel_secs = t.elapsed().as_secs_f64();
+
+    // Canary: the modes must agree exactly.
+    assert_eq!(serial.total_cases(), parallel.total_cases());
+    assert_eq!(serial.pings_sent, parallel.pings_sent);
+    for (a, b) in serial.cases.iter().zip(&parallel.cases) {
+        assert_eq!(a.direct_ms.to_bits(), b.direct_ms.to_bits());
+    }
+
+    let cores = rayon::current_num_threads();
+    println!(
+        "campaign_parallel/speedup: {serial_secs:.2}s serial vs {parallel_secs:.2}s parallel \
+         ({:.2}x on {cores} thread(s), {} rounds, {} cases)",
+        serial_secs / parallel_secs,
+        bench_rounds(),
+        serial.total_cases(),
+    );
+
+    // Keep criterion's ledger aware this ran.
+    c.bench_function("campaign_parallel/speedup_report_noop", |b| {
+        b.iter(|| black_box(0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(20))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_speedup_report, bench_campaign_serial, bench_campaign_parallel
+}
+criterion_main!(benches);

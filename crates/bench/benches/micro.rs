@@ -46,8 +46,14 @@ fn bench_expansion(c: &mut Criterion) {
     // A representative long AS path.
     let (src, dst) = (eyes[0], eyes[eyes.len() / 2]);
     let as_path = router.as_path(src, dst).expect("routable");
-    let src_loc = topo.cities.get(topo.pop(topo.expect_as(src).pops[0]).city).location;
-    let dst_loc = topo.cities.get(topo.pop(topo.expect_as(dst).pops[0]).city).location;
+    let src_loc = topo
+        .cities
+        .get(topo.pop(topo.expect_as(src).pops[0]).city)
+        .location;
+    let dst_loc = topo
+        .cities
+        .get(topo.pop(topo.expect_as(dst).pops[0]).city)
+        .location;
     let cfg = ExpandConfig::default();
     c.bench_function("netsim/expand_path", |b| {
         b.iter(|| black_box(expand_path(&topo, &as_path, src_loc, dst_loc, &cfg)))

@@ -15,7 +15,7 @@ use shortcuts_core::RelayType;
 
 fn main() {
     let world = build_world();
-    let rounds = rounds_from_env().min(6).max(3);
+    let rounds = rounds_from_env().clamp(3, 6);
     print_header("Ablation: median-of-6 vs single ping", &world, rounds);
 
     let run = |window: WindowConfig| {
@@ -35,10 +35,7 @@ fn main() {
 
     let a6 = ImprovementAnalysis::compute(&median6);
     let a1 = ImprovementAnalysis::compute(&single);
-    println!(
-        "{:<10} {:>14} {:>14}",
-        "type", "median-of-6", "single-ping"
-    );
+    println!("{:<10} {:>14} {:>14}", "type", "median-of-6", "single-ping");
     for t in RelayType::ALL {
         println!(
             "{:<10} {:>13.1}% {:>13.1}%",

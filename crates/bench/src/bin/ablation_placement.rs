@@ -15,7 +15,11 @@ use std::collections::HashSet;
 fn main() {
     let world = build_world();
     let rounds = rounds_from_env();
-    print_header("Ablation: hub-colo vs regional-colo COR relays", &world, rounds);
+    print_header(
+        "Ablation: hub-colo vs regional-colo COR relays",
+        &world,
+        rounds,
+    );
     let results = run_campaign(&world);
 
     // Split COR relays by whether their facility city is a hub metro.

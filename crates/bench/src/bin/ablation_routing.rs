@@ -16,7 +16,11 @@ use shortcuts_topology::routing::RoutingPolicy;
 fn main() {
     let world = build_world();
     let rounds = rounds_from_env().min(6);
-    print_header("Ablation: valley-free vs shortest-path routing", &world, rounds);
+    print_header(
+        "Ablation: valley-free vs shortest-path routing",
+        &world,
+        rounds,
+    );
 
     let run = |policy: RoutingPolicy| {
         let mut cfg = CampaignConfig::paper();
@@ -38,7 +42,13 @@ fn main() {
     for t in RelayType::ALL {
         let a = 100.0 * vf.for_type(t).improved_fraction;
         let b = 100.0 * sp.for_type(t).improved_fraction;
-        println!("{:<10} {:>15.1}% {:>15.1}% {:>+12.1}", t.label(), a, b, b - a);
+        println!(
+            "{:<10} {:>15.1}% {:>15.1}% {:>+12.1}",
+            t.label(),
+            a,
+            b,
+            b - a
+        );
     }
 
     let vf_median: f64 = median_direct(&vf_res);

@@ -49,14 +49,17 @@ fn main() {
         .filter(|r| seen_fac.insert(r.facility))
         .take(30)
         .collect();
-    println!("endpoints: {}, candidate relays: {}\n", raes.len(), relays.len());
+    println!(
+        "endpoints: {}, candidate relays: {}\n",
+        raes.len(),
+        relays.len()
+    );
 
     // Measure relay-relay legs once.
     let mut rr: HashMap<(HostId, HostId), f64> = HashMap::new();
     for (i, a) in relays.iter().enumerate() {
         for b in relays.iter().skip(i + 1) {
-            if let Some(m) =
-                measure_pair(&engine, a.host, b.host, SimTime(0.0), &window, &mut rng)
+            if let Some(m) = measure_pair(&engine, a.host, b.host, SimTime(0.0), &window, &mut rng)
             {
                 rr.insert((a.host, b.host), m);
                 rr.insert((b.host, a.host), m);
@@ -79,10 +82,7 @@ fn main() {
             else {
                 continue;
             };
-            let (l1, l2) = (
-                world.hosts.get(e1).location,
-                world.hosts.get(e2).location,
-            );
+            let (l1, l2) = (world.hosts.get(e1).location, world.hosts.get(e2).location);
             // Endpoint->relay legs for feasible relays.
             let mut legs: HashMap<HostId, (Option<f64>, Option<f64>)> = HashMap::new();
             for r in &relays {

@@ -48,13 +48,18 @@ fn main() {
     }
 
     println!("\nCDF of improvements (fraction of improved cases with improvement <= x):");
-    let xs: Vec<f64> = vec![1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0];
+    let xs: Vec<f64> = vec![
+        1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0,
+    ];
     print!("{:>8}", "x(ms)");
     for t in RelayType::ALL {
         print!(" {:>10}", t.label());
     }
     println!();
-    let cdfs: Vec<Vec<(f64, f64)>> = RelayType::ALL.iter().map(|&t| analysis.cdf(t, &xs)).collect();
+    let cdfs: Vec<Vec<(f64, f64)>> = RelayType::ALL
+        .iter()
+        .map(|&t| analysis.cdf(t, &xs))
+        .collect();
     for (i, &x) in xs.iter().enumerate() {
         print!("{:>8.0}", x);
         for c in &cdfs {

@@ -14,7 +14,11 @@ use std::collections::HashSet;
 fn main() {
     let world = build_world();
     let rounds = rounds_from_env();
-    print_header("Fig. 3: % of total cases improved vs #top relays", &world, rounds);
+    print_header(
+        "Fig. 3: % of total cases improved vs #top relays",
+        &world,
+        rounds,
+    );
 
     let results = run_campaign(&world);
     let analyses: Vec<TopRelayAnalysis> = RelayType::ALL

@@ -13,7 +13,11 @@ use shortcuts_core::RelayType;
 fn main() {
     let world = build_world();
     let rounds = rounds_from_env();
-    print_header("Fig. 4: % improved vs threshold (top-10 / all)", &world, rounds);
+    print_header(
+        "Fig. 4: % improved vs threshold (top-10 / all)",
+        &world,
+        rounds,
+    );
 
     let results = run_campaign(&world);
     let xs: Vec<f64> = (0..=10).map(|i| f64::from(i) * 10.0).collect();

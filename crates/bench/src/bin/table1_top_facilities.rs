@@ -13,7 +13,11 @@ use shortcuts_core::analysis::facilities::FacilityTable;
 fn main() {
     let world = build_world();
     let rounds = rounds_from_env();
-    print_header("Table 1: facilities of the top-20 COR relays", &world, rounds);
+    print_header(
+        "Table 1: facilities of the top-20 COR relays",
+        &world,
+        rounds,
+    );
 
     let results = run_campaign(&world);
     let table = FacilityTable::compute(&world, &results, 20);
@@ -49,13 +53,7 @@ fn main() {
 
     let hub_rows = top10_rows
         .iter()
-        .filter(|r| {
-            world
-                .topo
-                .cities
-                .by_name(&r.city)
-                .is_some_and(|c| c.is_hub)
-        })
+        .filter(|r| world.topo.cities.by_name(&r.city).is_some_and(|c| c.is_hub))
         .count();
     println!("{hub_rows}/10 rows are in major hub metros (paper: all, mainly Western Europe / North America)");
 }

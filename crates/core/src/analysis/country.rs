@@ -40,10 +40,13 @@ impl CountryAnalysis {
             let Some(meta) = results.relay_meta.get(&host) else {
                 continue;
             };
-            let changes_country =
-                meta.country != c.src_country && meta.country != c.dst_country;
+            let changes_country = meta.country != c.src_country && meta.country != c.dst_country;
             let improved = rtt < c.direct_ms;
-            let bucket = if changes_country { &mut diff } else { &mut same };
+            let bucket = if changes_country {
+                &mut diff
+            } else {
+                &mut same
+            };
             bucket.0 += 1;
             if improved {
                 bucket.1 += 1;
@@ -60,7 +63,10 @@ impl CountryAnalysis {
 
     /// Improvement rate when the relay changes country.
     pub fn different_country_rate(&self) -> f64 {
-        rate(self.different_country_improved, self.different_country_cases)
+        rate(
+            self.different_country_improved,
+            self.different_country_cases,
+        )
     }
 
     /// Improvement rate when the relay shares a country with an
@@ -84,8 +90,7 @@ pub fn intercontinental_fraction(results: &CampaignResults) -> f64 {
     if results.cases.is_empty() {
         return 0.0;
     }
-    results.cases.iter().filter(|c| c.intercontinental).count() as f64
-        / results.cases.len() as f64
+    results.cases.iter().filter(|c| c.intercontinental).count() as f64 / results.cases.len() as f64
 }
 
 #[cfg(test)]

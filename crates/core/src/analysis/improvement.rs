@@ -70,11 +70,9 @@ impl ImprovementAnalysis {
                 }
             }
             let improved_fraction = improvements.len() as f64 / total as f64;
-            let median_improvement_ms =
-                stats::percentile(&improvements, 50.0).unwrap_or(0.0);
+            let median_improvement_ms = stats::percentile(&improvements, 50.0).unwrap_or(0.0);
             let over_100ms_fraction = stats::fraction_above(&improvements, 100.0);
-            let median_improving_relays =
-                stats::percentile(&improving_counts, 50.0).unwrap_or(0.0);
+            let median_improving_relays = stats::percentile(&improving_counts, 50.0).unwrap_or(0.0);
             per_type.push(TypeImprovement {
                 rtype: t,
                 improved_fraction,
@@ -147,10 +145,10 @@ pub(crate) mod tests {
         };
         CampaignResults {
             cases: vec![
-                mk_case(0, Some(80.0), Some(95.0)), // both improve
+                mk_case(0, Some(80.0), Some(95.0)),  // both improve
                 mk_case(0, Some(85.0), Some(120.0)), // only COR improves
-                mk_case(1, Some(130.0), None),      // nobody improves
-                mk_case(1, None, None),             // nothing feasible
+                mk_case(1, Some(130.0), None),       // nobody improves
+                mk_case(1, None, None),              // nothing feasible
             ],
             direct_history: HashMap::new(),
             link_history: HashMap::new(),

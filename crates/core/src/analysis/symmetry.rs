@@ -67,7 +67,11 @@ mod tests {
         // Most pairs within 5% (paper: ~80%).
         assert!(s.within_5pct > 0.5, "within5 {}", s.within_5pct);
         // No systematic bias.
-        assert!(s.mean_signed_diff.abs() < 0.05, "bias {}", s.mean_signed_diff);
+        assert!(
+            s.mean_signed_diff.abs() < 0.05,
+            "bias {}",
+            s.mean_signed_diff
+        );
     }
 
     #[test]

@@ -77,8 +77,7 @@ impl ThresholdCurve {
     pub fn fraction_at(&self, x: f64) -> f64 {
         self.points
             .iter()
-            .filter(|(px, _)| *px <= x)
-            .next_back()
+            .rfind(|(px, _)| *px <= x)
             .map(|&(_, f)| f)
             .unwrap_or(0.0)
     }

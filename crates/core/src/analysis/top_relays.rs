@@ -37,14 +37,15 @@ impl TopRelayAnalysis {
         let mut improved_cases: HashMap<HostId, Vec<u32>> = HashMap::new();
         for (case_idx, c) in results.cases.iter().enumerate() {
             for &(host, _) in &c.outcome(rtype).improving {
-                improved_cases.entry(host).or_default().push(case_idx as u32);
+                improved_cases
+                    .entry(host)
+                    .or_default()
+                    .push(case_idx as u32);
             }
         }
 
-        let mut ranked: Vec<(HostId, usize)> = improved_cases
-            .iter()
-            .map(|(&h, v)| (h, v.len()))
-            .collect();
+        let mut ranked: Vec<(HostId, usize)> =
+            improved_cases.iter().map(|(&h, v)| (h, v.len())).collect();
         // Frequency desc, host id asc for determinism.
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -77,7 +78,10 @@ impl TopRelayAnalysis {
     /// coverage, or `None` if never reached.
     pub fn relays_for_fraction(&self, fraction: f64) -> Option<usize> {
         let target = self.coverage.last()? * fraction;
-        self.coverage.iter().position(|&c| c >= target).map(|i| i + 1)
+        self.coverage
+            .iter()
+            .position(|&c| c >= target)
+            .map(|i| i + 1)
     }
 
     /// The top-k relay hosts.

@@ -160,8 +160,11 @@ pub fn run_pipeline<R: Rng + ?Sized>(
         .copied()
         .filter(|r| match world.hosts.by_ip(r.ip) {
             None => false, // address doesn't resolve: dead interface
-            Some(h) => (0..cfg.ping_attempts)
-                .any(|k| engine.ping(vantage, h.id, t.plus_secs(k as f64), rng).is_some()),
+            Some(h) => (0..cfg.ping_attempts).any(|k| {
+                engine
+                    .ping(vantage, h.id, t.plus_secs(k as f64), rng)
+                    .is_some()
+            }),
         })
         .collect();
 
@@ -225,7 +228,6 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use shortcuts_datasets::GroundTruth;
-    use shortcuts_netsim::LatencyModel;
     use shortcuts_topology::routing::Router;
 
     fn run(world: &World) -> ColoPool {
@@ -278,8 +280,7 @@ mod tests {
         for relay in &pool.relays {
             let h = world.hosts.get(relay.host);
             assert_eq!(
-                h.city,
-                relay.city,
+                h.city, relay.city,
                 "geolocation filter let through a mislocated relay"
             );
             // Ownership verified.

@@ -172,8 +172,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let sample = pool.sample_round(&mut rng);
         assert_eq!(sample.len(), pool.country_count());
-        let countries: std::collections::HashSet<_> =
-            sample.iter().map(|p| p.country).collect();
+        let countries: std::collections::HashSet<_> = sample.iter().map(|p| p.country).collect();
         assert_eq!(countries.len(), sample.len(), "one endpoint per country");
     }
 

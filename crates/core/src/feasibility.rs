@@ -109,9 +109,13 @@ mod tests {
         struct R {
             loc: GeoPoint,
         }
-        let relays = vec![
-            R { loc: p(53.35, -6.26) },  // Dublin: feasible
-            R { loc: p(35.68, 139.65) }, // Tokyo: not
+        let relays = [
+            R {
+                loc: p(53.35, -6.26),
+            }, // Dublin: feasible
+            R {
+                loc: p(35.68, 139.65),
+            }, // Tokyo: not
         ];
         let subset = feasible_subset(
             relays.iter(),

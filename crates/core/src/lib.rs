@@ -1,18 +1,46 @@
 //! # shortcuts-core
 //!
 //! The paper itself: *Shortcuts through Colocation Facilities* (IMC
-//! 2017) — endpoint and relay selection, the measurement workflow, and
-//! every analysis behind the paper's figures, table and in-text numbers.
+//! 2017) — endpoint and relay selection, the measurement engine, and
+//! every analysis behind the paper's figures, table and in-text
+//! numbers.
 //!
-//! The crate is organized to follow the paper's structure:
+//! ## The measurement engine: plan → execute → stitch
+//!
+//! The §2.5 campaign (45 rounds × O(n²) endpoint pairs × hundreds of
+//! relays, 6 pings per window) is the hot path of the reproduction, so
+//! it is built as three explicit layers:
+//!
+//! - **[`plan`]** decides *what to measure* as pure data: the round's
+//!   endpoints, direct pairs, symmetry sample, relays
+//!   ([`plan::RoundPlan`]) and — once the direct medians exist — the
+//!   §2.4-feasible relays and deduplicated overlay links
+//!   ([`plan::OverlayPlan`]). No I/O, no clocks, no engine.
+//! - **[`backend`]** measures. A [`backend::MeasureTask`] names one
+//!   ping window; the [`backend::MeasurementBackend`] trait abstracts
+//!   how it is measured (netsim today via [`backend::NetsimBackend`];
+//!   recorded-trace or analytical backends slot in without touching
+//!   the other layers). Every task derives its own RNG from
+//!   `(seed, round, src, dst, kind)`, so task outcomes are
+//!   order-independent and [`backend::execute`] can run them serially
+//!   or data-parallel across all cores
+//!   ([`backend::ExecMode`]) with **bit-identical** results.
+//! - **[`stitch`]** folds window medians into
+//!   [`workflow::CampaignResults`]: case records with per-type
+//!   outcomes (`RTT(e1, relay, e2) = median(e1, relay) + median(e2,
+//!   relay)`), RTT histories, symmetry samples, relay metadata.
+//!
+//! [`workflow::Campaign`] orchestrates the three layers per round.
+//!
+//! ## Paper-section map
 //!
 //! | paper section | module |
 //! |---|---|
 //! | §2.1 endpoint selection at eyeballs | [`eyeball`] |
 //! | §2.2 relay selection at colos (5-filter funnel) | [`colo`] |
 //! | §2.3 PlanetLab / RIPE Atlas relays | [`relays`] |
-//! | §2.4 feasibility filter | [`feasibility`] |
-//! | §2.5 measurement framework (rounds, medians, stitching) | [`workflow`], [`measure`] |
+//! | §2.4 feasibility filter | [`feasibility`], [`plan`] |
+//! | §2.5 measurement framework | [`workflow`], [`plan`], [`backend`], [`stitch`], [`measure`] |
 //! | §3 results | [`analysis`] (one submodule per figure/table/claim) |
 //!
 //! [`world::World`] bundles the full simulated environment (topology,
@@ -30,15 +58,21 @@
 //! ```
 
 pub mod analysis;
+pub mod backend;
 pub mod colo;
 pub mod eyeball;
 pub mod feasibility;
 pub mod measure;
+pub mod plan;
 pub mod relays;
 pub mod report;
-pub mod world;
+pub mod stitch;
 pub mod workflow;
+pub mod world;
 
+pub use backend::{ExecMode, MeasureTask, MeasurementBackend, NetsimBackend, TaskKind};
+pub use plan::{OverlayPlan, RoundPlan};
 pub use relays::{Relay, RelayType};
+pub use stitch::ResultsBuilder;
 pub use workflow::{Campaign, CampaignConfig, CampaignResults, CaseRecord};
 pub use world::{World, WorldConfig};

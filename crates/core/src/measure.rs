@@ -32,20 +32,40 @@ impl Default for WindowConfig {
     }
 }
 
-/// Median of a slice (destructive order; copies internally).
-/// `None` for an empty slice. Even lengths average the middle pair.
+/// Median of a slice. `None` for an empty slice. Even lengths average
+/// the middle pair.
+///
+/// Runs once per ping window — millions of times per campaign — so it
+/// selects in O(n) (`select_nth_unstable_by`) instead of sorting, and
+/// window-sized inputs (≤ 16 samples) use a stack buffer instead of
+/// allocating.
 pub fn median(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("RTTs are finite"));
-    let n = v.len();
-    Some(if n % 2 == 1 {
-        v[n / 2]
+    if values.len() <= 16 {
+        let mut buf = [0.0f64; 16];
+        buf[..values.len()].copy_from_slice(values);
+        Some(median_in_place(&mut buf[..values.len()]))
     } else {
-        (v[n / 2 - 1] + v[n / 2]) / 2.0
-    })
+        Some(median_in_place(&mut values.to_vec()))
+    }
+}
+
+/// Selection-based median over a scratch buffer the caller lets us
+/// reorder.
+fn median_in_place(v: &mut [f64]) -> f64 {
+    let n = v.len();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("RTTs are finite");
+    let (lower, &mut upper_mid, _) = v.select_nth_unstable_by(n / 2, cmp);
+    if n % 2 == 1 {
+        upper_mid
+    } else {
+        // The other middle element is the maximum of the left
+        // partition select_nth already produced.
+        let lower_mid = lower.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lower_mid + upper_mid) / 2.0
+    }
 }
 
 /// Measures one pair over a window: pings per [`WindowConfig`], median
@@ -82,6 +102,15 @@ mod tests {
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
         assert_eq!(median(&[]), None);
         assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn median_large_slices_use_heap_path() {
+        // 17+ elements exceed the stack buffer; both parities.
+        let odd: Vec<f64> = (0..17).map(f64::from).rev().collect();
+        assert_eq!(median(&odd), Some(8.0));
+        let even: Vec<f64> = (0..18).map(f64::from).rev().collect();
+        assert_eq!(median(&even), Some(8.5));
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Planning layer of the measurement engine (§2.5 steps 1 and 3 as
+//! *data*).
+//!
+//! A round is planned before anything is measured: which endpoints the
+//! round samples, which direct pairs get a window, which pairs also get
+//! a reverse window (the symmetry check), and which relays are in play.
+//! The plan is pure data — no I/O, no ping engine, no clock — so it can
+//! be inspected, serialized, or handed to any
+//! [`MeasurementBackend`](crate::backend::MeasurementBackend).
+//!
+//! Feasibility (§2.4) needs the measured direct medians, so it forms a
+//! second planning stage: [`plan_overlay`] folds direct results into an
+//! [`OverlayPlan`] — the feasibility matrix and the deduplicated set of
+//! (endpoint, relay) links worth measuring. Both stages are pure
+//! functions; all randomness enters through the round RNG they are
+//! given, never through measurement ordering.
+
+use crate::backend::{MeasureTask, TaskKind};
+use crate::eyeball::EndpointPool;
+use crate::feasibility::is_feasible;
+use crate::relays::{Relay, RelayPools};
+use crate::workflow::CampaignConfig;
+use crate::world::World;
+use rand::Rng;
+use shortcuts_geo::{CityId, Continent, CountryCode, GeoPoint};
+use shortcuts_netsim::clock::SimTime;
+use shortcuts_netsim::HostId;
+use std::collections::BTreeSet;
+
+/// One endpoint of the round, with the location facts later stages
+/// need (so they never have to reach back into the world).
+#[derive(Debug, Clone)]
+pub struct PlannedEndpoint {
+    /// The endpoint's host.
+    pub host: HostId,
+    /// Country of the endpoint (one endpoint per country per round).
+    pub country: CountryCode,
+    /// City of the endpoint's host.
+    pub city: CityId,
+    /// Continent of that city.
+    pub continent: Continent,
+    /// Geographic location, for the §2.4 feasibility filter.
+    pub location: GeoPoint,
+}
+
+/// One direct RAE pair scheduled for measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedPair {
+    /// Index of the source endpoint in [`RoundPlan::endpoints`].
+    pub src: usize,
+    /// Index of the destination endpoint (always `> src`).
+    pub dst: usize,
+    /// Whether the pair is also measured in the reverse direction
+    /// (the paper's ping-direction symmetry sample).
+    pub reverse: bool,
+}
+
+/// Everything one round will measure, decided up front.
+#[derive(Debug, Clone)]
+pub struct RoundPlan {
+    /// Round index.
+    pub round: u32,
+    /// Start of the round's measurement window.
+    pub t0: SimTime,
+    /// The round's sampled endpoints.
+    pub endpoints: Vec<PlannedEndpoint>,
+    /// Direct pairs in deterministic `(src, dst)` order.
+    pub pairs: Vec<PlannedPair>,
+    /// The round's sampled relays (all types mixed; see
+    /// [`Relay::rtype`]).
+    pub relays: Vec<Relay>,
+}
+
+impl RoundPlan {
+    /// Measurement tasks for every direct pair, in pair order.
+    pub fn direct_tasks(&self) -> Vec<MeasureTask> {
+        self.pairs
+            .iter()
+            .map(|p| MeasureTask {
+                round: self.round,
+                src: self.endpoints[p.src].host,
+                dst: self.endpoints[p.dst].host,
+                start: self.t0,
+                kind: TaskKind::Direct,
+            })
+            .collect()
+    }
+
+    /// Reverse-direction tasks for the symmetry check, in pair order:
+    /// the flagged pairs whose forward window actually produced a
+    /// median (`direct` aligns with [`RoundPlan::pairs`]) — a pair
+    /// that was unresponsive forward contributes nothing to the
+    /// symmetry analysis, so its reverse window is never sent.
+    pub fn reverse_tasks(&self, direct: &[Option<f64>]) -> Vec<MeasureTask> {
+        assert_eq!(direct.len(), self.pairs.len(), "one result per pair");
+        self.pairs
+            .iter()
+            .zip(direct)
+            .filter(|(p, d)| p.reverse && d.is_some())
+            .map(|(p, _)| MeasureTask {
+                round: self.round,
+                src: self.endpoints[p.dst].host,
+                dst: self.endpoints[p.src].host,
+                start: self.t0,
+                kind: TaskKind::Reverse,
+            })
+            .collect()
+    }
+}
+
+/// Plans one round: samples endpoints and relays, enumerates direct
+/// pairs, and pre-draws the symmetry coin flips. Pure apart from the
+/// RNG it is handed.
+pub fn plan_round<R: Rng + ?Sized>(
+    world: &World,
+    endpoints: &EndpointPool<'_>,
+    relays: &RelayPools,
+    cfg: &CampaignConfig,
+    round: u32,
+    rng: &mut R,
+) -> RoundPlan {
+    let t0 = SimTime(f64::from(round) * cfg.round_interval_hours * 3600.0);
+
+    // Step 1: endpoints (one eyeball AS per country, one probe per AS).
+    let raes = endpoints.sample_round(rng);
+    let endpoints: Vec<PlannedEndpoint> = raes
+        .iter()
+        .map(|p| {
+            let h = world.hosts.get(p.host);
+            PlannedEndpoint {
+                host: p.host,
+                country: p.country,
+                city: h.city,
+                continent: world.topo.cities.get(h.city).continent,
+                location: h.location,
+            }
+        })
+        .collect();
+
+    // Every unordered pair gets a direct window; a sampled fraction is
+    // flagged for the reverse direction as well.
+    let mut pairs = Vec::with_capacity(endpoints.len() * (endpoints.len().saturating_sub(1)) / 2);
+    for src in 0..endpoints.len() {
+        for dst in (src + 1)..endpoints.len() {
+            pairs.push(PlannedPair {
+                src,
+                dst,
+                reverse: rng.gen_bool(cfg.symmetry_sample_prob),
+            });
+        }
+    }
+
+    // Step 3 (sampling half): the round's relays per type.
+    let round_relays = relays.sample_round(world, round, rng);
+
+    RoundPlan {
+        round,
+        t0,
+        endpoints,
+        pairs,
+        relays: round_relays.relays,
+    }
+}
+
+/// The second planning stage: which relays are feasible for which
+/// pair, and which overlay links that requires measuring.
+#[derive(Debug, Clone)]
+pub struct OverlayPlan {
+    /// Per direct pair (same order as [`RoundPlan::pairs`]): indices
+    /// into [`RoundPlan::relays`] passing the §2.4 light-cone filter.
+    pub feasible: Vec<Vec<u32>>,
+    /// Deduplicated `(endpoint index, relay index)` links to measure,
+    /// in ascending order.
+    pub needed: Vec<(usize, u32)>,
+}
+
+impl OverlayPlan {
+    /// Measurement tasks for every needed overlay link, in
+    /// [`OverlayPlan::needed`] order.
+    pub fn link_tasks(&self, plan: &RoundPlan) -> Vec<MeasureTask> {
+        self.needed
+            .iter()
+            .map(|&(ei, ri)| MeasureTask {
+                round: plan.round,
+                src: plan.endpoints[ei].host,
+                dst: plan.relays[ri as usize].host,
+                start: plan.t0,
+                kind: TaskKind::Overlay,
+            })
+            .collect()
+    }
+}
+
+/// Plans the overlay stage from the direct results (`direct[i]` is the
+/// median of `plan.pairs[i]`, `None` if the pair was unresponsive).
+/// Pure: geometry and arithmetic only.
+pub fn plan_overlay(plan: &RoundPlan, direct: &[Option<f64>]) -> OverlayPlan {
+    assert_eq!(plan.pairs.len(), direct.len(), "one result per pair");
+    let mut feasible: Vec<Vec<u32>> = vec![Vec::new(); plan.pairs.len()];
+    // Used purely as an ordered set: BTreeSet dedups and yields the
+    // deterministic ascending order the executor and stitcher rely on.
+    let mut needed: BTreeSet<(usize, u32)> = BTreeSet::new();
+    for (pair_idx, (pair, d)) in plan.pairs.iter().zip(direct).enumerate() {
+        let Some(d) = *d else { continue };
+        let si = &plan.endpoints[pair.src].location;
+        let sj = &plan.endpoints[pair.dst].location;
+        for (ri, relay) in plan.relays.iter().enumerate() {
+            if is_feasible(si, sj, &relay.location, d) {
+                feasible[pair_idx].push(ri as u32);
+                needed.insert((pair.src, ri as u32));
+                needed.insert((pair.dst, ri as u32));
+            }
+        }
+    }
+    OverlayPlan {
+        feasible,
+        needed: needed.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colo::{run_pipeline, ColoPipelineConfig};
+    use crate::eyeball::select_eyeballs;
+    use crate::world::WorldConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shortcuts_netsim::PingEngine;
+    use shortcuts_topology::routing::Router;
+
+    fn plan_fixture() -> (World, RoundPlan) {
+        let world = World::build(&WorldConfig::small(), 31);
+        let router = Router::new(&world.topo);
+        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let vantage = world.looking_glasses.lgs()[0].host;
+        let mut rng = StdRng::seed_from_u64(1);
+        let colo = run_pipeline(
+            &world,
+            &engine,
+            vantage,
+            SimTime(0.0),
+            &ColoPipelineConfig::default(),
+            &mut rng,
+        );
+        let verified = select_eyeballs(&world, 10.0).verified;
+        let pool = EndpointPool::build(&world, &verified);
+        let relays = RelayPools::build(&world, &colo, &verified);
+        let cfg = CampaignConfig::small();
+        let mut round_rng = StdRng::seed_from_u64(9);
+        let plan = plan_round(&world, &pool, &relays, &cfg, 2, &mut round_rng);
+        drop(engine);
+        (world, plan)
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_complete() {
+        let (_, plan) = plan_fixture();
+        let n = plan.endpoints.len();
+        assert_eq!(plan.pairs.len(), n * (n - 1) / 2);
+        for w in plan.pairs.windows(2) {
+            assert!((w[0].src, w[0].dst) < (w[1].src, w[1].dst));
+        }
+        for p in &plan.pairs {
+            assert!(p.src < p.dst && p.dst < n);
+        }
+        assert_eq!(plan.t0, SimTime(2.0 * 12.0 * 3600.0));
+    }
+
+    #[test]
+    fn tasks_mirror_the_plan() {
+        let (_, plan) = plan_fixture();
+        let direct = plan.direct_tasks();
+        assert_eq!(direct.len(), plan.pairs.len());
+        for (t, p) in direct.iter().zip(&plan.pairs) {
+            assert_eq!(t.src, plan.endpoints[p.src].host);
+            assert_eq!(t.dst, plan.endpoints[p.dst].host);
+            assert_eq!(t.kind, TaskKind::Direct);
+        }
+        let all_ok: Vec<Option<f64>> = plan.pairs.iter().map(|_| Some(50.0)).collect();
+        let reverse = plan.reverse_tasks(&all_ok);
+        assert_eq!(
+            reverse.len(),
+            plan.pairs.iter().filter(|p| p.reverse).count()
+        );
+        assert!(!reverse.is_empty(), "10% of hundreds of pairs");
+        for t in &reverse {
+            assert_eq!(t.kind, TaskKind::Reverse);
+        }
+        // Unresponsive forward pairs get no reverse window at all.
+        let none: Vec<Option<f64>> = plan.pairs.iter().map(|_| None).collect();
+        assert!(plan.reverse_tasks(&none).is_empty());
+    }
+
+    #[test]
+    fn overlay_plan_is_deduplicated_and_sorted() {
+        let (_, plan) = plan_fixture();
+        // Synthetic direct medians: a generous RTT everywhere makes
+        // many relays feasible and exercises the dedup.
+        let direct: Vec<Option<f64>> = plan.pairs.iter().map(|_| Some(250.0)).collect();
+        let oplan = plan_overlay(&plan, &direct);
+        assert_eq!(oplan.feasible.len(), plan.pairs.len());
+        assert!(!oplan.needed.is_empty());
+        for w in oplan.needed.windows(2) {
+            assert!(w[0] < w[1], "needed links must be sorted and unique");
+        }
+        // Every feasible (pair, relay) contributed both of its links.
+        let needed: BTreeSet<(usize, u32)> = oplan.needed.iter().copied().collect();
+        for (pair_idx, rels) in oplan.feasible.iter().enumerate() {
+            let p = plan.pairs[pair_idx];
+            for &ri in rels {
+                assert!(needed.contains(&(p.src, ri)));
+                assert!(needed.contains(&(p.dst, ri)));
+            }
+        }
+    }
+
+    #[test]
+    fn unresponsive_pairs_need_no_links() {
+        let (_, plan) = plan_fixture();
+        let direct: Vec<Option<f64>> = plan.pairs.iter().map(|_| None).collect();
+        let oplan = plan_overlay(&plan, &direct);
+        assert!(oplan.needed.is_empty());
+        assert!(oplan.feasible.iter().all(|f| f.is_empty()));
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let (world, _) = plan_fixture();
+        let verified = select_eyeballs(&world, 10.0).verified;
+        let pool = EndpointPool::build(&world, &verified);
+        let router = Router::new(&world.topo);
+        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let vantage = world.looking_glasses.lgs()[0].host;
+        let mut rng = StdRng::seed_from_u64(1);
+        let colo = run_pipeline(
+            &world,
+            &engine,
+            vantage,
+            SimTime(0.0),
+            &ColoPipelineConfig::default(),
+            &mut rng,
+        );
+        let relays = RelayPools::build(&world, &colo, &verified);
+        let cfg = CampaignConfig::small();
+        let p1 = plan_round(
+            &world,
+            &pool,
+            &relays,
+            &cfg,
+            0,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let p2 = plan_round(
+            &world,
+            &pool,
+            &relays,
+            &cfg,
+            0,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(p1.endpoints.len(), p2.endpoints.len());
+        for (a, b) in p1.endpoints.iter().zip(&p2.endpoints) {
+            assert_eq!(a.host, b.host);
+        }
+        for (a, b) in p1.relays.iter().zip(&p2.relays) {
+            assert_eq!(a.host, b.host);
+        }
+        for (a, b) in p1.pairs.iter().zip(&p2.pairs) {
+            assert_eq!(a.reverse, b.reverse);
+        }
+    }
+}

@@ -43,9 +43,15 @@ impl RelayType {
         RelayType::RarEye,
     ];
 
-    /// Index into per-type arrays.
+    /// Index into per-type arrays (must match the order of
+    /// [`RelayType::ALL`]; `type_index_round_trips` pins that down).
     pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|t| t == self).expect("in ALL")
+        match self {
+            RelayType::Cor => 0,
+            RelayType::Plr => 1,
+            RelayType::RarOther => 2,
+            RelayType::RarEye => 3,
+        }
     }
 
     /// Display label as used in the paper's figures.
@@ -148,10 +154,11 @@ impl RelayPools {
         // PLR: group nodes by site (availability is applied per round).
         let mut plr_by_site: BTreeMap<u32, Vec<Relay>> = BTreeMap::new();
         for node in world.planetlab.nodes() {
-            plr_by_site
-                .entry(node.site)
-                .or_default()
-                .push(mk_relay(node.host, RelayType::Plr, None));
+            plr_by_site.entry(node.site).or_default().push(mk_relay(
+                node.host,
+                RelayType::Plr,
+                None,
+            ));
         }
 
         // RAR: split the probe population by verified-eyeball membership.
@@ -204,12 +211,7 @@ impl RelayPools {
         // COR: 1-3 IPs per facility.
         for members in self.cor_by_facility.values() {
             let k = rng.gen_range(1..=3).min(members.len());
-            relays.extend(
-                members
-                    .choose_multiple(rng, k)
-                    .cloned()
-                    .collect::<Vec<_>>(),
-            );
+            relays.extend(members.choose_multiple(rng, k).cloned().collect::<Vec<_>>());
         }
 
         // PLR: 1-2 consistently-up nodes per site.
@@ -297,7 +299,9 @@ mod tests {
         // Per facility at most 3 COR.
         let mut per_fac: BTreeMap<FacilityId, usize> = BTreeMap::new();
         for r in round.of_type(RelayType::Cor) {
-            *per_fac.entry(r.facility.expect("COR has facility")).or_default() += 1;
+            *per_fac
+                .entry(r.facility.expect("COR has facility"))
+                .or_default() += 1;
         }
         assert!(per_fac.values().all(|&n| n <= 3));
 
@@ -331,7 +335,11 @@ mod tests {
             let clash = verified
                 .iter()
                 .any(|v| v.asn == r.asn && v.country == r.country);
-            assert!(!clash, "RAR_other contains verified tuple {:?}", (r.asn, r.country));
+            assert!(
+                !clash,
+                "RAR_other contains verified tuple {:?}",
+                (r.asn, r.country)
+            );
         }
         // Sanity: some eyeball ASes exist.
         assert!(!eye_asns.is_empty());
@@ -351,7 +359,10 @@ mod tests {
             .collect();
         let min = counts.iter().min().unwrap();
         let max = counts.iter().max().unwrap();
-        assert!(max > min, "availability churn should vary PLR counts: {counts:?}");
+        assert!(
+            max > min,
+            "availability churn should vary PLR counts: {counts:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Stitching/accumulation layer of the measurement engine (§2.5 step 4
+//! plus bookkeeping).
+//!
+//! [`ResultsBuilder`] folds one round's raw window results — direct,
+//! reverse and overlay-link medians, all position-aligned with their
+//! plans — into the campaign-level [`CampaignResults`]: case records
+//! with per-type outcomes (`RTT(e1, relay, e2) = median(e1, relay) +
+//! median(e2, relay)`), per-pair RTT histories, symmetry samples and
+//! relay metadata. Everything here is deterministic arithmetic over
+//! already-measured data; it neither pings nor draws randomness, so it
+//! is independent of how (or in what order) the execution layer ran
+//! the tasks.
+
+use crate::measure::stitch;
+use crate::plan::{OverlayPlan, RoundPlan};
+use crate::workflow::{CampaignResults, CaseRecord, RelayMeta, TypeOutcome};
+use shortcuts_netsim::HostId;
+use std::collections::HashMap;
+
+/// Accumulates per-round results into [`CampaignResults`].
+#[derive(Debug, Default)]
+pub struct ResultsBuilder {
+    cases: Vec<CaseRecord>,
+    direct_history: HashMap<(HostId, HostId), Vec<f64>>,
+    link_history: HashMap<(HostId, HostId), Vec<f64>>,
+    symmetry_samples: Vec<(f64, f64)>,
+    relay_meta: HashMap<HostId, RelayMeta>,
+    unresponsive_pairs: u64,
+    endpoints_total: usize,
+    relays_total: [usize; 4],
+    rounds_absorbed: u32,
+}
+
+impl ResultsBuilder {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completed round in.
+    ///
+    /// `direct` aligns with `plan.pairs`, `reverse` with the
+    /// `reverse`-flagged pairs whose forward window succeeded (the
+    /// subsequence [`RoundPlan::reverse_tasks`] schedules), and
+    /// `links` with `overlay.needed`.
+    pub fn absorb_round(
+        &mut self,
+        plan: &RoundPlan,
+        overlay: &OverlayPlan,
+        direct: &[Option<f64>],
+        reverse: &[Option<f64>],
+        links: &[Option<f64>],
+    ) {
+        assert_eq!(direct.len(), plan.pairs.len());
+        assert_eq!(links.len(), overlay.needed.len());
+        self.rounds_absorbed += 1;
+        self.endpoints_total += plan.endpoints.len();
+
+        // Relay census and metadata.
+        for r in &plan.relays {
+            self.relays_total[r.rtype.index()] += 1;
+            self.relay_meta.entry(r.host).or_insert_with(|| RelayMeta {
+                rtype: r.rtype,
+                asn: r.asn,
+                city: r.city,
+                country: r.country,
+                facility: r.facility,
+            });
+        }
+
+        // Direct medians: histories, symmetry pairs, unresponsiveness.
+        let mut reverse_iter = reverse.iter();
+        for (pair, d) in plan.pairs.iter().zip(direct) {
+            let Some(m) = *d else {
+                self.unresponsive_pairs += 1;
+                continue;
+            };
+            let (a, b) = (plan.endpoints[pair.src].host, plan.endpoints[pair.dst].host);
+            let key = if a <= b { (a, b) } else { (b, a) };
+            self.direct_history.entry(key).or_default().push(m);
+            if pair.reverse {
+                let rev = *reverse_iter
+                    .next()
+                    .expect("one result per responsive reverse flag");
+                if let Some(rev) = rev {
+                    self.symmetry_samples.push((m, rev));
+                }
+            }
+        }
+
+        // Overlay-link medians, addressable by (endpoint, relay) index.
+        let mut link: HashMap<(usize, u32), f64> = HashMap::new();
+        for (&(ei, ri), l) in overlay.needed.iter().zip(links) {
+            let Some(v) = *l else { continue };
+            link.insert((ei, ri), v);
+            let e_host = plan.endpoints[ei].host;
+            let r_host = plan.relays[ri as usize].host;
+            let key = if e_host <= r_host {
+                (e_host, r_host)
+            } else {
+                (r_host, e_host)
+            };
+            self.link_history.entry(key).or_default().push(v);
+        }
+
+        // Stitch one-relay paths and emit the round's cases.
+        for (pair_idx, (pair, d)) in plan.pairs.iter().zip(direct).enumerate() {
+            let Some(d) = *d else { continue };
+            let mut outcomes: [TypeOutcome; 4] = Default::default();
+            for &ri in &overlay.feasible[pair_idx] {
+                let relay = &plan.relays[ri as usize];
+                let Some(stitched) = stitch_legs(
+                    link.get(&(pair.src, ri)).copied(),
+                    link.get(&(pair.dst, ri)).copied(),
+                ) else {
+                    continue;
+                };
+                let out = &mut outcomes[relay.rtype.index()];
+                out.feasible += 1;
+                if out.best.is_none_or(|(_, best)| stitched < best) {
+                    out.best = Some((relay.host, stitched));
+                }
+                if stitched < d {
+                    out.improving.push((relay.host, (d - stitched) as f32));
+                }
+            }
+            let (src, dst) = (&plan.endpoints[pair.src], &plan.endpoints[pair.dst]);
+            self.cases.push(CaseRecord {
+                round: plan.round,
+                src: src.host,
+                dst: dst.host,
+                src_country: src.country,
+                dst_country: dst.country,
+                intercontinental: src.continent != dst.continent,
+                direct_ms: d,
+                outcomes,
+            });
+        }
+    }
+
+    /// Rounds folded in so far.
+    pub fn rounds_absorbed(&self) -> u32 {
+        self.rounds_absorbed
+    }
+
+    /// Finalizes into [`CampaignResults`].
+    pub fn finish(self, colo_pool: crate::colo::ColoPool, pings_sent: u64) -> CampaignResults {
+        let rounds = f64::from(self.rounds_absorbed.max(1));
+        CampaignResults {
+            cases: self.cases,
+            direct_history: self.direct_history,
+            link_history: self.link_history,
+            symmetry_samples: self.symmetry_samples,
+            relay_meta: self.relay_meta,
+            colo_pool,
+            pings_sent,
+            unresponsive_pairs: self.unresponsive_pairs,
+            avg_endpoints: self.endpoints_total as f64 / rounds,
+            avg_relays: [
+                self.relays_total[0] as f64 / rounds,
+                self.relays_total[1] as f64 / rounds,
+                self.relays_total[2] as f64 / rounds,
+                self.relays_total[3] as f64 / rounds,
+            ],
+        }
+    }
+}
+
+/// Stand-alone stitching of one (pair, relay) combination from its leg
+/// medians — the invariant the proptest suite pins down: a stitched
+/// RTT exists iff both legs have medians, and equals their sum.
+pub fn stitch_legs(leg1: Option<f64>, leg2: Option<f64>) -> Option<f64> {
+    match (leg1, leg2) {
+        (Some(a), Some(b)) => Some(stitch(a, b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlannedEndpoint, PlannedPair};
+    use crate::relays::{Relay, RelayType};
+    use shortcuts_geo::{CityId, Continent, CountryCode, GeoPoint};
+    use shortcuts_netsim::clock::SimTime;
+    use shortcuts_topology::Asn;
+
+    fn endpoint(id: u32, cc: &str, continent: Continent) -> PlannedEndpoint {
+        PlannedEndpoint {
+            host: HostId(id),
+            country: CountryCode::new(cc).unwrap(),
+            city: CityId(0),
+            continent,
+            location: GeoPoint::new(0.0, f64::from(id)).unwrap(),
+        }
+    }
+
+    fn relay(id: u32, rtype: RelayType) -> Relay {
+        Relay {
+            host: HostId(id),
+            asn: Asn(id),
+            city: CityId(0),
+            location: GeoPoint::new(1.0, f64::from(id)).unwrap(),
+            country: CountryCode::new("DE").unwrap(),
+            rtype,
+            facility: None,
+        }
+    }
+
+    /// Two endpoints, two relays (one COR, one PLR), everything
+    /// feasible: stitched outcomes must be exact leg sums.
+    fn tiny_round() -> (RoundPlan, OverlayPlan) {
+        let plan = RoundPlan {
+            round: 0,
+            t0: SimTime(0.0),
+            endpoints: vec![
+                endpoint(1, "US", Continent::NorthAmerica),
+                endpoint(2, "DE", Continent::Europe),
+            ],
+            pairs: vec![PlannedPair {
+                src: 0,
+                dst: 1,
+                reverse: true,
+            }],
+            relays: vec![relay(10, RelayType::Cor), relay(11, RelayType::Plr)],
+        };
+        let overlay = OverlayPlan {
+            feasible: vec![vec![0, 1]],
+            needed: vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+        };
+        (plan, overlay)
+    }
+
+    #[test]
+    fn stitched_outcomes_are_leg_sums() {
+        let (plan, overlay) = tiny_round();
+        let mut b = ResultsBuilder::new();
+        // Links: e0–r0=30, e0–r1=50, e1–r0=40, e1–r1=missing.
+        b.absorb_round(
+            &plan,
+            &overlay,
+            &[Some(100.0)],
+            &[Some(101.0)],
+            &[Some(30.0), Some(50.0), Some(40.0), None],
+        );
+        let r = b.finish(empty_pool(), 0);
+        assert_eq!(r.cases.len(), 1);
+        let c = &r.cases[0];
+        assert!(c.intercontinental);
+        // COR relay r0: 30 + 40 = 70, improves on 100 by 30.
+        let cor = c.outcome(RelayType::Cor);
+        assert_eq!(cor.best, Some((HostId(10), 70.0)));
+        assert_eq!(cor.feasible, 1);
+        assert_eq!(cor.improving, vec![(HostId(10), 30.0f32)]);
+        // PLR relay r1 lost a leg: no stitched path.
+        let plr = c.outcome(RelayType::Plr);
+        assert!(plr.best.is_none());
+        assert_eq!(plr.feasible, 0);
+        // Symmetry pair recorded.
+        assert_eq!(r.symmetry_samples, vec![(100.0, 101.0)]);
+        // Histories keyed in order.
+        assert_eq!(r.direct_history[&(HostId(1), HostId(2))], vec![100.0]);
+        assert_eq!(r.link_history[&(HostId(1), HostId(10))], vec![30.0]);
+    }
+
+    #[test]
+    fn unresponsive_direct_pair_drops_the_case() {
+        let (plan, overlay) = tiny_round();
+        let mut b = ResultsBuilder::new();
+        let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
+        // No reverse results: an unresponsive forward pair schedules
+        // no reverse window.
+        b.absorb_round(&plan, &overlay, &[None], &[], &no_links);
+        let r = b.finish(empty_pool(), 0);
+        assert!(r.cases.is_empty());
+        assert_eq!(r.unresponsive_pairs, 1);
+        assert!(r.symmetry_samples.is_empty());
+    }
+
+    #[test]
+    fn averages_span_rounds() {
+        let (plan, overlay) = tiny_round();
+        let mut b = ResultsBuilder::new();
+        let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
+        for _ in 0..4 {
+            b.absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links);
+        }
+        assert_eq!(b.rounds_absorbed(), 4);
+        let r = b.finish(empty_pool(), 123);
+        assert_eq!(r.pings_sent, 123);
+        assert!((r.avg_endpoints - 2.0).abs() < 1e-12);
+        assert!((r.avg_relays[RelayType::Cor.index()] - 1.0).abs() < 1e-12);
+        assert!((r.avg_relays[RelayType::Plr.index()] - 1.0).abs() < 1e-12);
+        // Direct history accumulated across rounds.
+        assert_eq!(r.direct_history[&(HostId(1), HostId(2))].len(), 4);
+    }
+
+    #[test]
+    fn stitch_legs_requires_both() {
+        assert_eq!(stitch_legs(Some(2.0), Some(3.5)), Some(5.5));
+        assert_eq!(stitch_legs(None, Some(3.5)), None);
+        assert_eq!(stitch_legs(Some(2.0), None), None);
+        assert_eq!(stitch_legs(None, None), None);
+    }
+
+    fn empty_pool() -> crate::colo::ColoPool {
+        crate::colo::ColoPool {
+            relays: Vec::new(),
+            funnel: crate::colo::FilterFunnel {
+                initial: 0,
+                single_facility: 0,
+                pingable: 0,
+                ownership: 0,
+                presence: 0,
+                geolocated: 0,
+            },
+        }
+    }
+}

@@ -1,37 +1,44 @@
-//! §2.5 — the measurement framework: 45 rounds, every 12 hours, each a
-//! 4-step workflow.
+//! §2.5 — campaign orchestration over the plan → execute → stitch
+//! engine.
 //!
-//! Per round:
+//! Per round the paper's 4-step workflow maps onto the three layers:
 //!
-//! 1. Sample the round's RIPE Atlas endpoints (RAEs): one eyeball AS per
-//!    country, one probe per AS (§2.1).
-//! 2. Measure the direct RTT of every RAE pair: 6 single-packet pings 5
-//!    minutes apart, median of ≥3 valid replies.
-//! 3. Sample the round's relays per type (§2.2, §2.3) and keep, per RAE
-//!    pair, only the **feasible** ones (§2.4, using the direct medians
-//!    from step 2).
-//! 4. Measure RTT on every needed (endpoint, relay) overlay link the
-//!    same way, and stitch one-relay paths:
-//!    `RTT(e1, relay, e2) = median(e1, relay) + median(e2, relay)`.
+//! 1. **Plan** ([`crate::plan::plan_round`]): sample the round's RIPE
+//!    Atlas endpoints (one eyeball AS per country, one probe per AS,
+//!    §2.1), enumerate direct pairs, pre-draw the symmetry sample, and
+//!    sample the round's relays per type (§2.2, §2.3) — pure data.
+//! 2. **Execute** ([`crate::backend::execute`]): measure every direct
+//!    pair — 6 single-packet pings 5 minutes apart, median of ≥3 valid
+//!    replies — through a [`MeasurementBackend`], serially or across
+//!    all cores.
+//! 3. **Plan again** ([`crate::plan::plan_overlay`]): fold the direct
+//!    medians through the §2.4 feasibility filter into the needed
+//!    (endpoint, relay) overlay links; **execute** those too.
+//! 4. **Stitch** ([`crate::stitch::ResultsBuilder`]): fold all window
+//!    medians into cases — `RTT(e1, relay, e2) = median(e1, relay) +
+//!    median(e2, relay)` — histories, symmetry samples and metadata.
 //!
-//! A fraction of direct pairs is also measured in the reverse direction
-//! to reproduce the paper's ping-direction symmetry check.
+//! Scheduling is unobservable: each window's RNG derives from `(seed,
+//! round, src, dst, kind)`, so serial and parallel runs of the same
+//! seed produce bit-identical [`CampaignResults`] (asserted by the
+//! `determinism_equivalence` integration suite).
 //!
-//! The output is a flat list of **cases** (one per measured RAE pair per
-//! round) carrying the direct median and, per relay type, the best
+//! The output is a flat list of **cases** (one per measured RAE pair
+//! per round) carrying the direct median and, per relay type, the best
 //! relayed RTT and the full list of improving relays — enough to
 //! regenerate every figure and table in §3.
 
+use crate::backend::{execute, ExecMode, MeasurementBackend, NetsimBackend};
 use crate::colo::{run_pipeline, ColoPipelineConfig, ColoPool};
 use crate::eyeball::{select_eyeballs, EndpointPool};
-use crate::feasibility::is_feasible;
-use crate::measure::{measure_pair, WindowConfig};
-use crate::relays::{RelayPools, RelayType, RoundRelays};
+use crate::measure::WindowConfig;
+use crate::plan::{plan_overlay, plan_round};
+use crate::relays::{RelayPools, RelayType};
+use crate::stitch::ResultsBuilder;
 use crate::world::World;
 use rand::rngs::StdRng;
-use rand::Rng;
 use rand::SeedableRng;
-use shortcuts_geo::{CityId, Continent, CountryCode};
+use shortcuts_geo::{CityId, CountryCode};
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::{HostId, PingEngine};
 use shortcuts_topology::routing::{Router, RoutingPolicy};
@@ -58,6 +65,9 @@ pub struct CampaignConfig {
     pub routing: RoutingPolicy,
     /// Master seed for all per-round randomness.
     pub seed: u64,
+    /// Task scheduling. Either mode yields bit-identical results for
+    /// the same seed; `Parallel` uses every core.
+    pub exec: ExecMode,
 }
 
 impl CampaignConfig {
@@ -72,6 +82,7 @@ impl CampaignConfig {
             symmetry_sample_prob: 0.1,
             routing: RoutingPolicy::ValleyFree,
             seed: 2017,
+            exec: ExecMode::Parallel,
         }
     }
 
@@ -204,7 +215,7 @@ impl<'w> Campaign<'w> {
         Campaign { world, cfg }
     }
 
-    /// Runs the whole campaign.
+    /// Runs the whole campaign on the netsim backend.
     pub fn run(&self) -> CampaignResults {
         let world = self.world;
         let cfg = &self.cfg;
@@ -224,164 +235,53 @@ impl<'w> Campaign<'w> {
         let endpoint_pool = EndpointPool::build(world, &selection.verified);
         let relay_pools = RelayPools::build(world, &colo_pool, &selection.verified);
 
-        let mut cases = Vec::new();
-        let mut direct_history: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
-        let mut link_history: HashMap<(HostId, HostId), Vec<f64>> = HashMap::new();
-        let mut symmetry_samples = Vec::new();
-        let mut relay_meta: HashMap<HostId, RelayMeta> = HashMap::new();
-        let mut unresponsive_pairs = 0u64;
-        let mut endpoints_total = 0usize;
-        let mut relays_total = [0usize; 4];
+        let backend = NetsimBackend::new(&engine, cfg.window, cfg.seed);
+        self.run_rounds(&backend, &endpoint_pool, &relay_pools, colo_pool)
+    }
+
+    /// Runs the round loop against any backend. Selection pools and
+    /// the COR funnel are passed in because they are backend-agnostic
+    /// world facts, not measurements of this campaign.
+    pub fn run_rounds<B: MeasurementBackend>(
+        &self,
+        backend: &B,
+        endpoint_pool: &EndpointPool<'_>,
+        relay_pools: &RelayPools,
+        colo_pool: ColoPool,
+    ) -> CampaignResults {
+        let world = self.world;
+        let cfg = &self.cfg;
+        let mut builder = ResultsBuilder::new();
 
         for round in 0..cfg.rounds {
-            let t0 = SimTime(f64::from(round) * cfg.round_interval_hours * 3600.0);
+            // Planning randomness: one deterministic stream per round.
             let mut round_rng =
-                StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED).wrapping_add(round as u64));
+                StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED).wrapping_add(u64::from(round)));
 
-            // Step 1: endpoints.
-            let raes = endpoint_pool.sample_round(&mut round_rng);
-            endpoints_total += raes.len();
+            // Plan: endpoints, pairs, relays — pure data.
+            let plan = plan_round(
+                world,
+                endpoint_pool,
+                relay_pools,
+                cfg,
+                round,
+                &mut round_rng,
+            );
 
-            // Step 2: direct paths.
-            let mut direct: HashMap<(usize, usize), f64> = HashMap::new();
-            for i in 0..raes.len() {
-                for j in (i + 1)..raes.len() {
-                    let (a, b) = (raes[i].host, raes[j].host);
-                    match measure_pair(&engine, a, b, t0, &cfg.window, &mut round_rng) {
-                        Some(m) => {
-                            direct.insert((i, j), m);
-                            let key = if a <= b { (a, b) } else { (b, a) };
-                            direct_history.entry(key).or_default().push(m);
-                            if round_rng.gen_bool(cfg.symmetry_sample_prob) {
-                                if let Some(rev) =
-                                    measure_pair(&engine, b, a, t0, &cfg.window, &mut round_rng)
-                                {
-                                    symmetry_samples.push((m, rev));
-                                }
-                            }
-                        }
-                        None => unresponsive_pairs += 1,
-                    }
-                }
-            }
+            // Execute: direct and reverse windows.
+            let direct = execute(backend, &plan.direct_tasks(), cfg.exec);
+            let reverse = execute(backend, &plan.reverse_tasks(&direct), cfg.exec);
 
-            // Step 3: relays and feasibility.
-            let round_relays: RoundRelays = relay_pools.sample_round(world, round, &mut round_rng);
-            for t in RelayType::ALL {
-                relays_total[t.index()] += round_relays.count(t);
-            }
-            for r in &round_relays.relays {
-                relay_meta.entry(r.host).or_insert_with(|| RelayMeta {
-                    rtype: r.rtype,
-                    asn: r.asn,
-                    city: r.city,
-                    country: r.country,
-                    facility: r.facility,
-                });
-            }
+            // Plan the overlay stage from the direct medians; execute.
+            let overlay = plan_overlay(&plan, &direct);
+            let links = execute(backend, &overlay.link_tasks(&plan), cfg.exec);
 
-            // Which (endpoint index, relay index) links do we need?
-            let relays = &round_relays.relays;
-            let mut feasible: Vec<Vec<u32>> = vec![Vec::new(); direct.len()];
-            let mut needed: HashMap<(usize, u32), ()> = HashMap::new();
-            let pair_keys: Vec<(usize, usize)> = {
-                let mut v: Vec<_> = direct.keys().copied().collect();
-                v.sort_unstable();
-                v
-            };
-            for (pair_idx, &(i, j)) in pair_keys.iter().enumerate() {
-                let d = direct[&(i, j)];
-                let (si, sj) = (
-                    world.hosts.get(raes[i].host).location,
-                    world.hosts.get(raes[j].host).location,
-                );
-                for (ri, relay) in relays.iter().enumerate() {
-                    if is_feasible(&si, &sj, &relay.location, d) {
-                        feasible[pair_idx].push(ri as u32);
-                        needed.insert((i, ri as u32), ());
-                        needed.insert((j, ri as u32), ());
-                    }
-                }
-            }
-
-            // Step 4: overlay links, then stitching.
-            let mut link: HashMap<(usize, u32), Option<f64>> = HashMap::new();
-            let mut needed_keys: Vec<(usize, u32)> = needed.into_keys().collect();
-            needed_keys.sort_unstable();
-            for (ei, ri) in needed_keys {
-                let e_host = raes[ei].host;
-                let r_host = relays[ri as usize].host;
-                let m = measure_pair(&engine, e_host, r_host, t0, &cfg.window, &mut round_rng);
-                if let Some(v) = m {
-                    let key = if e_host <= r_host {
-                        (e_host, r_host)
-                    } else {
-                        (r_host, e_host)
-                    };
-                    link_history.entry(key).or_default().push(v);
-                }
-                link.insert((ei, ri), m);
-            }
-
-            for (pair_idx, &(i, j)) in pair_keys.iter().enumerate() {
-                let d = direct[&(i, j)];
-                let mut outcomes: [TypeOutcome; 4] = Default::default();
-                for &ri in &feasible[pair_idx] {
-                    let relay = &relays[ri as usize];
-                    let (Some(Some(l1)), Some(Some(l2))) =
-                        (link.get(&(i, ri)), link.get(&(j, ri)))
-                    else {
-                        continue;
-                    };
-                    let stitched = l1 + l2;
-                    let out = &mut outcomes[relay.rtype.index()];
-                    out.feasible += 1;
-                    if out.best.is_none_or(|(_, best)| stitched < best) {
-                        out.best = Some((relay.host, stitched));
-                    }
-                    if stitched < d {
-                        out.improving.push((relay.host, (d - stitched) as f32));
-                    }
-                }
-                let src_city = world.hosts.get(raes[i].host).city;
-                let dst_city = world.hosts.get(raes[j].host).city;
-                cases.push(CaseRecord {
-                    round,
-                    src: raes[i].host,
-                    dst: raes[j].host,
-                    src_country: raes[i].country,
-                    dst_country: raes[j].country,
-                    intercontinental: continent_of(world, src_city)
-                        != continent_of(world, dst_city),
-                    direct_ms: d,
-                    outcomes,
-                });
-            }
+            // Stitch.
+            builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
         }
 
-        let rounds = cfg.rounds.max(1) as f64;
-        CampaignResults {
-            cases,
-            direct_history,
-            link_history,
-            symmetry_samples,
-            relay_meta,
-            colo_pool,
-            pings_sent: engine.stats().attempts,
-            unresponsive_pairs,
-            avg_endpoints: endpoints_total as f64 / rounds,
-            avg_relays: [
-                relays_total[0] as f64 / rounds,
-                relays_total[1] as f64 / rounds,
-                relays_total[2] as f64 / rounds,
-                relays_total[3] as f64 / rounds,
-            ],
-        }
+        builder.finish(colo_pool, backend.pings_sent())
     }
-}
-
-fn continent_of(world: &World, city: CityId) -> Continent {
-    world.topo.cities.get(city).continent
 }
 
 #[cfg(test)]

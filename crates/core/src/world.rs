@@ -134,7 +134,7 @@ mod tests {
         assert_eq!(w1.hosts.len(), w2.hosts.len());
         assert_eq!(w1.ripe.probes().len(), w2.ripe.probes().len());
         assert_eq!(w1.facility_dataset.len(), w2.facility_dataset.len());
-        assert!(w1.hosts.len() > 0);
+        assert!(!w1.hosts.is_empty());
     }
 
     #[test]

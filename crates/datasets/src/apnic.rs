@@ -76,14 +76,12 @@ impl ApnicDataset {
                         }
                     }
                 }
-                AsType::Enterprise => {
-                    if info.user_share > 0.0 {
-                        rows.push(CoverageRow {
-                            asn: info.asn,
-                            country: info.home_country,
-                            coverage_pct: info.user_share * 100.0,
-                        });
-                    }
+                AsType::Enterprise if info.user_share > 0.0 => {
+                    rows.push(CoverageRow {
+                        asn: info.asn,
+                        country: info.home_country,
+                        coverage_pct: info.user_share * 100.0,
+                    });
                 }
                 // Transit/content/research networks face no browsing
                 // users in the APNIC methodology.

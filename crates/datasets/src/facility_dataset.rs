@@ -212,8 +212,12 @@ impl FacilityDataset {
                     .iter()
                     .find(|&&m| m != member)
                     .expect("len > 1");
-                match hosts.add_host(topo, new_owner, Some(facility.city), HostKind::ColoInterface)
-                {
+                match hosts.add_host(
+                    topo,
+                    new_owner,
+                    Some(facility.city),
+                    HostKind::ColoInterface,
+                ) {
                     Ok(host) => {
                         let ip = hosts.get(host).ip;
                         (ip, member, GroundTruth::AliveAtFacility { host })

@@ -155,7 +155,7 @@ pub fn expand_path(
                     let pb = topo.cities.get(cb).location;
                     let cost =
                         leg1 + pa.distance_km(&pb) + cfg.dst_weight * pb.distance_km(&dst_loc);
-                    if best.map_or(true, |(_, _, c)| cost < c) {
+                    if best.is_none_or(|(_, _, c)| cost < c) {
                         best = Some((pa, pb, cost));
                     }
                 }
@@ -237,7 +237,11 @@ mod tests {
         assert!(total > direct, "detour through Paris inflates distance");
         // Inflation should be modest (Paris is near the London-NYC line
         // in AS-hop terms but east of it geographically).
-        assert!(path.inflation(&src, &dst) < 1.5, "{}", path.inflation(&src, &dst));
+        assert!(
+            path.inflation(&src, &dst) < 1.5,
+            "{}",
+            path.inflation(&src, &dst)
+        );
         assert_eq!(path.as_path, vec![Asn(1), Asn(2), Asn(3)]);
         assert_eq!(path.router_hops, 9);
     }
@@ -291,7 +295,10 @@ mod tests {
         let path = expand_path(&topo, &[Asn(1), Asn(2)], src, dst, &cfg);
         assert!((path.total_km() - src.distance_km(&dst)).abs() < 1.0);
         // Long-haul surcharge applied.
-        assert_eq!(path.router_hops, cfg.hops_per_as * 2 + cfg.hops_per_longhaul);
+        assert_eq!(
+            path.router_hops,
+            cfg.hops_per_as * 2 + cfg.hops_per_longhaul
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ use rand::Rng;
 use shortcuts_topology::routing::Router;
 use shortcuts_topology::{Asn, Topology};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cached deterministic path facts for a host pair.
 #[derive(Debug, Clone)]
@@ -41,15 +43,32 @@ pub struct PingStats {
     pub unroutable: u64,
 }
 
-/// The ping engine.
+/// Lock-free counters behind [`PingStats`]: the campaign's parallel
+/// executor hammers these from every worker thread, so they are plain
+/// relaxed atomics rather than a lock.
+#[derive(Debug, Default)]
+struct StatCounters {
+    attempts: AtomicU64,
+    replies: AtomicU64,
+    losses: AtomicU64,
+    unroutable: AtomicU64,
+}
+
+/// Pair cache: `Arc` per entry so a hit is a refcount bump, not a
+/// deep clone of the AS path under the read lock.
+type PairCache = RwLock<HashMap<(HostId, HostId), Option<Arc<PairInfo>>>>;
+
+/// The ping engine. `Sync`: all interior mutability is a read-mostly
+/// pair cache behind an `RwLock` plus atomic counters, so one engine
+/// is shared by every measurement worker thread.
 pub struct PingEngine<'t> {
     topo: &'t Topology,
     router: &'t Router<'t>,
     hosts: &'t HostRegistry,
     model: LatencyModel,
     faults: FaultPlan,
-    cache: RwLock<HashMap<(HostId, HostId), Option<PairInfo>>>,
-    stats: RwLock<PingStats>,
+    cache: PairCache,
+    stats: StatCounters,
 }
 
 impl<'t> PingEngine<'t> {
@@ -68,7 +87,7 @@ impl<'t> PingEngine<'t> {
             model,
             faults: FaultPlan::none(),
             cache: RwLock::new(HashMap::new()),
-            stats: RwLock::new(PingStats::default()),
+            stats: StatCounters::default(),
         }
     }
 
@@ -92,13 +111,20 @@ impl<'t> PingEngine<'t> {
         &self.model
     }
 
-    /// Engine statistics so far.
+    /// Engine statistics so far (a consistent-enough snapshot: each
+    /// counter is exact; totals are exact whenever no ping is mid-
+    /// flight on another thread).
     pub fn stats(&self) -> PingStats {
-        *self.stats.read()
+        PingStats {
+            attempts: self.stats.attempts.load(Ordering::Relaxed),
+            replies: self.stats.replies.load(Ordering::Relaxed),
+            losses: self.stats.losses.load(Ordering::Relaxed),
+            unroutable: self.stats.unroutable.load(Ordering::Relaxed),
+        }
     }
 
     /// Deterministic path facts for a pair, computed once.
-    fn pair_info(&self, src: HostId, dst: HostId) -> Option<PairInfo> {
+    fn pair_info(&self, src: HostId, dst: HostId) -> Option<Arc<PairInfo>> {
         if let Some(cached) = self.cache.read().get(&(src, dst)) {
             return cached.clone();
         }
@@ -113,11 +139,11 @@ impl<'t> PingEngine<'t> {
                 d.location,
                 &self.model.expand,
             );
-            Some(PairInfo {
+            Some(Arc::new(PairInfo {
                 base_ms: self.model.base_rtt_ms(&path) + access,
                 as_path: vec![s.asn],
                 mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
-            })
+            }))
         } else {
             // An echo round trip traverses the forward route AND the
             // (possibly different) return route; base RTT sums both
@@ -141,11 +167,11 @@ impl<'t> PingEngine<'t> {
                         s.location,
                         &self.model.expand,
                     );
-                    Some(PairInfo {
+                    Some(Arc::new(PairInfo {
                         base_ms: self.model.base_rtt_two_way(&fwd, &rev) + access,
                         as_path: fwd_as,
                         mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
-                    })
+                    }))
                 }
                 _ => None,
             }
@@ -163,7 +189,7 @@ impl<'t> PingEngine<'t> {
 
     /// AS path between two hosts (`None` if unroutable).
     pub fn as_path(&self, src: HostId, dst: HostId) -> Option<Vec<Asn>> {
-        self.pair_info(src, dst).map(|p| p.as_path)
+        self.pair_info(src, dst).map(|p| p.as_path.clone())
     }
 
     /// Sends one ping at time `t`; returns the observed RTT in ms, or
@@ -175,27 +201,27 @@ impl<'t> PingEngine<'t> {
         t: SimTime,
         rng: &mut R,
     ) -> Option<f64> {
-        self.stats.write().attempts += 1;
+        self.stats.attempts.fetch_add(1, Ordering::Relaxed);
         let Some(info) = self.pair_info(src, dst) else {
-            self.stats.write().unroutable += 1;
+            self.stats.unroutable.fetch_add(1, Ordering::Relaxed);
             return None;
         };
         if self.faults.path_down(&info.as_path, t) {
-            self.stats.write().losses += 1;
+            self.stats.losses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let extra = self.faults.path_extra_loss(&info.as_path);
         if extra > 0.0 && rng.gen_bool(extra.min(1.0)) {
-            self.stats.write().losses += 1;
+            self.stats.losses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         match self.model.sample_rtt(info.base_ms, t, info.mid_lon, rng) {
             Some(rtt) => {
-                self.stats.write().replies += 1;
+                self.stats.replies.fetch_add(1, Ordering::Relaxed);
                 Some(rtt)
             }
             None => {
-                self.stats.write().losses += 1;
+                self.stats.losses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -253,10 +279,37 @@ mod tests {
         let mut reg = HostRegistry::new();
         let eyes = f.topo.eyeball_asns();
         let a = reg.add_host_in_as(f.topo, eyes[0], None).unwrap();
-        let b = reg.add_host_in_as(f.topo, eyes[eyes.len() / 2], None).unwrap();
+        let b = reg
+            .add_host_in_as(f.topo, eyes[eyes.len() / 2], None)
+            .unwrap();
         let reg: &'static HostRegistry = Box::leak(Box::new(reg));
         let engine = PingEngine::new(f.topo, f.router, reg, LatencyModel::default());
         (engine, a, b)
+    }
+
+    #[test]
+    fn engine_is_sync_and_shareable() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<PingEngine<'static>>();
+
+        // Concurrent pings through one shared engine must keep the
+        // counters consistent.
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let engine = &engine;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + t);
+                    for i in 0..50 {
+                        let _ = engine.ping(a, b, SimTime(f64::from(i)), &mut rng);
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.attempts, 200);
+        assert_eq!(stats.replies + stats.losses + stats.unroutable, 200);
     }
 
     #[test]
@@ -319,11 +372,7 @@ mod tests {
         let (mut engine, a, b) = two_hosts(&f);
         let path = engine.as_path(a, b).unwrap();
         let transit = path[1]; // some AS in the middle
-        engine.set_faults(FaultPlan::none().with_outage(
-            transit,
-            SimTime(100.0),
-            SimTime(200.0),
-        ));
+        engine.set_faults(FaultPlan::none().with_outage(transit, SimTime(100.0), SimTime(200.0)));
         let mut rng = StdRng::seed_from_u64(2);
         assert!(engine.ping(a, b, SimTime(150.0), &mut rng).is_none());
         // Outside the window pings mostly succeed.
@@ -365,7 +414,10 @@ mod tests {
         // Tokyo (139.65) to LA (-118.24): midpoint crosses the Pacific,
         // not Greenwich.
         let m = mid_longitude(139.65, -118.24);
-        assert!(!(-60.0..=60.0).contains(&m), "midpoint {m} crossed wrong way");
+        assert!(
+            !(-60.0..=60.0).contains(&m),
+            "midpoint {m} crossed wrong way"
+        );
     }
 
     #[test]

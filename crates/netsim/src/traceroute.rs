@@ -140,7 +140,9 @@ mod tests {
         let mut reg = HostRegistry::new();
         let eyes = topo.eyeball_asns();
         let a = reg.add_host_in_as(topo, eyes[0], None).unwrap();
-        let b = reg.add_host_in_as(topo, eyes[eyes.len() / 2], None).unwrap();
+        let b = reg
+            .add_host_in_as(topo, eyes[eyes.len() / 2], None)
+            .unwrap();
         let reg: &'static HostRegistry = Box::leak(Box::new(reg));
         let engine = PingEngine::new(topo, router, reg, LatencyModel::default());
         (engine, a, b)

@@ -281,10 +281,9 @@ impl Topology {
                 let total: usize = weights.len();
                 // Cycle but bias: every 3rd pick is weighted-random.
                 if i % 3 == 0 {
-                    let dist = rand::distributions::WeightedIndex::new(
-                        weights.iter().map(|&w| w.max(1)),
-                    )
-                    .expect("weights nonzero");
+                    let dist =
+                        rand::distributions::WeightedIndex::new(weights.iter().map(|&w| w.max(1)))
+                            .expect("weights nonzero");
                     continents[dist.sample(&mut g.rng)]
                 } else {
                     continents[i % total]
@@ -574,12 +573,19 @@ impl Topology {
         // an IXP spanning all of them plus possibly a second one.
         let mut city_facilities: HashMap<CityId, Vec<FacilityId>> = HashMap::new();
         for &fid in &facility_ids {
-            city_facilities.entry(b.facility_city(fid)).or_default().push(fid);
+            city_facilities
+                .entry(b.facility_city(fid))
+                .or_default()
+                .push(fid);
         }
         let mut city_list: Vec<(CityId, Vec<FacilityId>)> = city_facilities.into_iter().collect();
         city_list.sort_by_key(|(c, _)| *c);
         for (city, fids) in &city_list {
-            let n_ixps = if fids.len() >= 2 && g.rng.gen_bool(0.5) { 2 } else { 1 };
+            let n_ixps = if fids.len() >= 2 && g.rng.gen_bool(0.5) {
+                2
+            } else {
+                1
+            };
             for k in 0..n_ixps {
                 let name = format!("IX-{}-{}", b.cities().get(*city).name, k);
                 let ixp = b.add_ixp(name, *city, fids.clone());
@@ -745,8 +751,15 @@ mod tests {
     fn facilities_exist_and_have_members() {
         let t = Topology::generate(&TopologyConfig::small(), 9);
         assert!(!t.facilities().is_empty());
-        let with_members = t.facilities().iter().filter(|f| f.member_count() > 0).count();
-        assert!(with_members * 2 > t.facilities().len(), "most facilities populated");
+        let with_members = t
+            .facilities()
+            .iter()
+            .filter(|f| f.member_count() > 0)
+            .count();
+        assert!(
+            with_members * 2 > t.facilities().len(),
+            "most facilities populated"
+        );
         // Hub facilities should exist at flagship metros.
         let hub_fac = t
             .facilities()

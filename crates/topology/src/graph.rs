@@ -136,7 +136,11 @@ impl Topology {
     pub fn common_pop_cities(&self, a: Asn, b: Asn) -> Vec<CityId> {
         let ca = self.pop_cities(a);
         let cb = self.pop_cities(b);
-        let (small, big) = if ca.len() <= cb.len() { (ca, cb) } else { (cb, ca) };
+        let (small, big) = if ca.len() <= cb.len() {
+            (ca, cb)
+        } else {
+            (cb, ca)
+        };
         let mut v: Vec<CityId> = small.iter().filter(|c| big.contains(c)).copied().collect();
         v.sort();
         v
@@ -261,7 +265,9 @@ impl TopologyBuilder {
         }
         {
             let adj_a = self.adjacency.entry(a).or_default();
-            if adj_a.peers.contains(&b) || adj_a.providers.contains(&b) || adj_a.customers.contains(&b)
+            if adj_a.peers.contains(&b)
+                || adj_a.providers.contains(&b)
+                || adj_a.customers.contains(&b)
             {
                 return;
             }

@@ -74,7 +74,9 @@ impl Prefix {
         Ipv4Addr::from(self.base)
     }
 
-    /// Prefix length.
+    /// Prefix length in bits (CIDR notation; a prefix always covers at
+    /// least one address, so there is no `is_empty` counterpart).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -142,7 +144,8 @@ impl IpAllocator {
             .next_block
             .checked_add(size)
             .expect("synthetic IPv4 space exhausted");
-        Prefix::new(Ipv4Addr::from(base), self.block_bits).expect("allocator produces aligned blocks")
+        Prefix::new(Ipv4Addr::from(base), self.block_bits)
+            .expect("allocator produces aligned blocks")
     }
 }
 

@@ -448,7 +448,10 @@ mod tests {
         let t = valley_topology();
         let table = compute_table(&t, Asn(6));
         // 5 -> 3 -> 4 -> 6 (via the 3--4 peering), not via the tier-1s.
-        assert_eq!(table.as_path(Asn(5)).unwrap(), vec![Asn(5), Asn(3), Asn(4), Asn(6)]);
+        assert_eq!(
+            table.as_path(Asn(5)).unwrap(),
+            vec![Asn(5), Asn(3), Asn(4), Asn(6)]
+        );
     }
 
     #[test]
@@ -494,7 +497,10 @@ mod tests {
         let entry = table.route(Asn(1)).unwrap();
         assert_eq!(entry.class, RouteClass::Customer);
         assert_eq!(entry.path_len, 2);
-        assert_eq!(table.as_path(Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(10)]);
+        assert_eq!(
+            table.as_path(Asn(1)).unwrap(),
+            vec![Asn(1), Asn(2), Asn(10)]
+        );
     }
 
     #[test]
@@ -568,7 +574,10 @@ mod tests {
         b.add_transit(Asn(10), Asn(3));
         let t = b.build();
         let table = compute_table(&t, Asn(10));
-        assert_eq!(table.as_path(Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(10)]);
+        assert_eq!(
+            table.as_path(Asn(1)).unwrap(),
+            vec![Asn(1), Asn(2), Asn(10)]
+        );
     }
 
     #[test]

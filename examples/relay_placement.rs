@@ -36,7 +36,10 @@ fn main() {
             by_facility.entry(f).or_default().insert(idx as u32);
         }
     }
-    println!("{} facilities contributed at least one improvement\n", by_facility.len());
+    println!(
+        "{} facilities contributed at least one improvement\n",
+        by_facility.len()
+    );
 
     // Greedy max-coverage: repeatedly take the facility adding the most
     // not-yet-covered cases.

@@ -67,8 +67,8 @@ fn main() {
 
     let window = WindowConfig::default();
     println!(
-        "{:<24} {:>10} {:>10} {:>8}  {}",
-        "route", "direct", "relayed", "saved", "via"
+        "{:<24} {:>10} {:>10} {:>8}  via",
+        "route", "direct", "relayed", "saved"
     );
     for &(a_name, b_name) in ROUTES {
         let (Some(a), Some(b)) = (probe_in(a_name), probe_in(b_name)) else {
@@ -79,10 +79,7 @@ fn main() {
             println!("{a_name:<12} -> {b_name:<12}  unresponsive");
             continue;
         };
-        let (sa, sb) = (
-            world.hosts.get(a).location,
-            world.hosts.get(b).location,
-        );
+        let (sa, sb) = (world.hosts.get(a).location, world.hosts.get(b).location);
 
         // Feasible colo relays only, then measure both legs and stitch.
         let mut best: Option<(f64, String)> = None;

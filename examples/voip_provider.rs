@@ -43,7 +43,10 @@ fn main() {
     // Rank COR relays, group the best ones by facility, and evaluate
     // deployments of growing size.
     let ranking = TopRelayAnalysis::compute(&results, RelayType::Cor, 200);
-    println!("\n{:>12} {:>16} {:>22}", "#facilities", "bad calls left", "relative reduction");
+    println!(
+        "\n{:>12} {:>16} {:>22}",
+        "#facilities", "bad calls left", "relative reduction"
+    );
     for k_fac in [1usize, 2, 4, 6, 10] {
         // Greedily take top relays until k facilities are covered.
         let mut facilities: HashSet<_> = HashSet::new();

@@ -3,7 +3,7 @@
 //! ```text
 //! colo-shortcuts world-info [--seed S]
 //! colo-shortcuts funnel     [--seed S]
-//! colo-shortcuts campaign   [--seed S] [--rounds N] [--out DIR]
+//! colo-shortcuts campaign   [--seed S] [--rounds N] [--out DIR] [--serial]
 //! ```
 //!
 //! `campaign` runs the paper's measurement campaign and writes the
@@ -23,6 +23,7 @@ struct Args {
     seed: u64,
     rounds: u32,
     out: PathBuf,
+    serial: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -32,6 +33,7 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         seed: 2017,
         rounds: 8,
         out: PathBuf::from("out"),
+        serial: false,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -57,6 +59,10 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
                 args.out = PathBuf::from(need_value(i));
                 i += 2;
             }
+            "--serial" => {
+                args.serial = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -74,7 +80,7 @@ fn main() {
         "campaign" => campaign(&args),
         _ => {
             eprintln!(
-                "usage: colo-shortcuts <world-info|funnel|campaign> [--seed S] [--rounds N] [--out DIR]"
+                "usage: colo-shortcuts <world-info|funnel|campaign> [--seed S] [--rounds N] [--out DIR] [--serial]"
             );
             std::process::exit(2);
         }
@@ -96,7 +102,11 @@ fn world_info(args: &Args) {
     println!("hosts:       {}", w.hosts.len());
     println!("RA probes:   {}", w.ripe.probes().len());
     println!("PL nodes:    {}", w.planetlab.nodes().len());
-    println!("LGs:         {} in {} cities", w.looking_glasses.lgs().len(), w.looking_glasses.city_count());
+    println!(
+        "LGs:         {} in {} cities",
+        w.looking_glasses.lgs().len(),
+        w.looking_glasses.city_count()
+    );
     println!("facility-dataset records: {}", w.facility_dataset.len());
 }
 
@@ -126,7 +136,14 @@ fn campaign(args: &Args) {
     let mut cfg = CampaignConfig::paper();
     cfg.rounds = args.rounds;
     cfg.seed = args.seed;
-    eprintln!("running {} rounds ...", cfg.rounds);
+    if args.serial {
+        cfg.exec = shortcuts_core::ExecMode::Serial;
+    }
+    eprintln!(
+        "running {} rounds ({}) ...",
+        cfg.rounds,
+        if args.serial { "serial" } else { "parallel" }
+    );
     let results = Campaign::new(&w, cfg).run();
     eprintln!(
         "{} cases, {:.2} M pings",

@@ -1,0 +1,123 @@
+//! The measurement engine's determinism contract:
+//!
+//! - same seed ⇒ bit-identical [`CampaignResults`] across repeated
+//!   runs;
+//! - serial and parallel execution are indistinguishable — the
+//!   per-task RNG derivation makes scheduling unobservable;
+//! - different seeds actually change the measurements.
+
+use colo_shortcuts::core::backend::ExecMode;
+use colo_shortcuts::core::workflow::{Campaign, CampaignConfig, CampaignResults};
+use colo_shortcuts::core::world::{World, WorldConfig};
+use colo_shortcuts::core::RelayType;
+
+fn run(world: &World, exec: ExecMode) -> CampaignResults {
+    let mut cfg = CampaignConfig::small();
+    cfg.rounds = 2;
+    cfg.exec = exec;
+    Campaign::new(world, cfg).run()
+}
+
+/// Exhaustive bit-level comparison of two campaign results.
+fn assert_identical(a: &CampaignResults, b: &CampaignResults) {
+    assert_eq!(a.total_cases(), b.total_cases());
+    for (ca, cb) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(ca.round, cb.round);
+        assert_eq!(ca.src, cb.src);
+        assert_eq!(ca.dst, cb.dst);
+        assert_eq!(ca.src_country, cb.src_country);
+        assert_eq!(ca.dst_country, cb.dst_country);
+        assert_eq!(ca.intercontinental, cb.intercontinental);
+        assert_eq!(ca.direct_ms.to_bits(), cb.direct_ms.to_bits());
+        for t in RelayType::ALL {
+            let (oa, ob) = (ca.outcome(t), cb.outcome(t));
+            assert_eq!(oa.feasible, ob.feasible);
+            match (oa.best, ob.best) {
+                (Some((ha, ra)), Some((hb, rb))) => {
+                    assert_eq!(ha, hb);
+                    assert_eq!(ra.to_bits(), rb.to_bits());
+                }
+                (None, None) => {}
+                other => panic!("best outcome mismatch: {other:?}"),
+            }
+            assert_eq!(oa.improving.len(), ob.improving.len());
+            for (&(ha, ia), &(hb, ib)) in oa.improving.iter().zip(&ob.improving) {
+                assert_eq!(ha, hb);
+                assert_eq!(ia.to_bits(), ib.to_bits());
+            }
+        }
+    }
+    // Histories: same keys, same values in the same order.
+    assert_eq!(a.direct_history.len(), b.direct_history.len());
+    for (key, va) in &a.direct_history {
+        let vb = b.direct_history.get(key).expect("history key present");
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(vb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    assert_eq!(a.link_history.len(), b.link_history.len());
+    for (key, va) in &a.link_history {
+        let vb = b.link_history.get(key).expect("link key present");
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(vb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    // Symmetry samples (order matters: pair order within rounds).
+    assert_eq!(a.symmetry_samples.len(), b.symmetry_samples.len());
+    for (&(fa, ra), &(fb, rb)) in a.symmetry_samples.iter().zip(&b.symmetry_samples) {
+        assert_eq!(fa.to_bits(), fb.to_bits());
+        assert_eq!(ra.to_bits(), rb.to_bits());
+    }
+    // Relay metadata and scalar accounting.
+    assert_eq!(a.relay_meta.len(), b.relay_meta.len());
+    assert_eq!(a.pings_sent, b.pings_sent);
+    assert_eq!(a.unresponsive_pairs, b.unresponsive_pairs);
+    assert_eq!(a.avg_endpoints.to_bits(), b.avg_endpoints.to_bits());
+    for i in 0..4 {
+        assert_eq!(a.avg_relays[i].to_bits(), b.avg_relays[i].to_bits());
+    }
+    assert_eq!(a.colo_pool.relays.len(), b.colo_pool.relays.len());
+    assert_eq!(a.colo_pool.funnel, b.colo_pool.funnel);
+}
+
+#[test]
+fn same_seed_same_results_bitwise() {
+    let world = World::build(&WorldConfig::small(), 77);
+    let r1 = run(&world, ExecMode::Parallel);
+    let r2 = run(&world, ExecMode::Parallel);
+    assert!(!r1.cases.is_empty());
+    assert_identical(&r1, &r2);
+}
+
+#[test]
+fn serial_and_parallel_backends_are_equivalent() {
+    let world = World::build(&WorldConfig::small(), 77);
+    let serial = run(&world, ExecMode::Serial);
+    let parallel = run(&world, ExecMode::Parallel);
+    assert!(!serial.cases.is_empty());
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn different_seed_changes_measurements() {
+    let world = World::build(&WorldConfig::small(), 77);
+    let mut cfg = CampaignConfig::small();
+    cfg.rounds = 1;
+    let r1 = Campaign::new(&world, cfg.clone()).run();
+    cfg.seed += 1;
+    let r2 = Campaign::new(&world, cfg).run();
+    // Same world, different campaign seed: endpoint samples and window
+    // noise both move.
+    let same_medians = r1
+        .cases
+        .iter()
+        .zip(&r2.cases)
+        .filter(|(a, b)| a.direct_ms.to_bits() == b.direct_ms.to_bits())
+        .count();
+    assert!(
+        same_medians < r1.total_cases().min(r2.total_cases()) / 2,
+        "seed change left {same_medians} medians identical"
+    );
+}

@@ -14,8 +14,7 @@ use rand::SeedableRng;
 fn tier1_outage_blacks_out_dependent_pairs() {
     let world = World::build(&WorldConfig::small(), 42);
     let router = Router::new(&world.topo);
-    let mut engine =
-        PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let mut engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
 
     // Find an eyeball pair routed through some tier-1.
     let probes = world.ripe.probes();
@@ -27,9 +26,10 @@ fn tier1_outage_blacks_out_dependent_pairs() {
                 continue;
             }
             if let Some(path) = engine.as_path(a.host, b.host) {
-                if let Some(&transit) = path.iter().find(|&&asn| {
-                    world.topo.expect_as(asn).as_type == AsType::Tier1
-                }) {
+                if let Some(&transit) = path
+                    .iter()
+                    .find(|&&asn| world.topo.expect_as(asn).as_type == AsType::Tier1)
+                {
                     victim_pair = Some((a.host, b.host, transit));
                     break 'outer;
                 }
@@ -60,8 +60,7 @@ fn tier1_outage_blacks_out_dependent_pairs() {
 fn lossy_as_degrades_but_median_still_works() {
     let world = World::build(&WorldConfig::small(), 43);
     let router = Router::new(&world.topo);
-    let mut engine =
-        PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let mut engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
     let probes = world.ripe.probes();
     let (src, dst) = (probes[0].host, probes[probes.len() / 2].host);
     let path = engine.as_path(src, dst).expect("routable");
@@ -108,15 +107,16 @@ fn lossy_as_degrades_but_median_still_works() {
 fn engine_stats_account_for_faults() {
     let world = World::build(&WorldConfig::small(), 44);
     let router = Router::new(&world.topo);
-    let mut engine =
-        PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let mut engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
     let probes = world.ripe.probes();
     let (src, dst) = (probes[0].host, probes[1].host);
     let path = engine.as_path(src, dst).expect("routable");
     engine.set_faults(FaultPlan::none().with_outage(path[0], SimTime(0.0), SimTime(1e9)));
     let mut rng = StdRng::seed_from_u64(1);
     for i in 0..10 {
-        assert!(engine.ping(src, dst, SimTime(f64::from(i)), &mut rng).is_none());
+        assert!(engine
+            .ping(src, dst, SimTime(f64::from(i)), &mut rng)
+            .is_none());
     }
     let stats = engine.stats();
     assert_eq!(stats.attempts, 10);

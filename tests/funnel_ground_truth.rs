@@ -86,10 +86,7 @@ fn funnel_recall_is_reasonable() {
         if !world.prefix2as.owned_solely_by(rec.ip, rec.recorded_asn) {
             continue;
         }
-        if !world
-            .peeringdb
-            .is_member(&world.topo, f, rec.recorded_asn)
-        {
+        if !world.peeringdb.is_member(&world.topo, f, rec.recorded_asn) {
             continue;
         }
         eligible += 1;

@@ -3,7 +3,8 @@
 
 use colo_shortcuts::core::analysis::stats;
 use colo_shortcuts::core::feasibility;
-use colo_shortcuts::core::measure::median;
+use colo_shortcuts::core::measure::{median, stitch};
+use colo_shortcuts::core::stitch::stitch_legs;
 use colo_shortcuts::geo::{light, GeoPoint};
 use colo_shortcuts::topology::{IpAllocator, Prefix};
 use proptest::prelude::*;
@@ -87,6 +88,126 @@ proptest! {
         let v = vec![base, base + 0.1, base + 0.2, base - 0.1, base - 0.2, spike];
         let m = median(&v).expect("non-empty");
         prop_assert!(m < base + 1.0);
+    }
+
+    #[test]
+    fn median_matches_sorting_reference(v in prop::collection::vec(0.0f64..1e6, 1..40)) {
+        // The O(n) selection median must agree bit-for-bit with the
+        // straightforward sort-based definition, on both the stack-
+        // buffer (n ≤ 16) and heap paths.
+        let selected = median(&v).expect("non-empty");
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let reference = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        prop_assert_eq!(selected.to_bits(), reference.to_bits());
+    }
+
+    // ---- stitching (§2.5 step 4) ----------------------------------------
+
+    #[test]
+    fn stitched_rtt_equals_sum_of_leg_medians(
+        leg1 in prop::collection::vec(0.1f64..500.0, 3..10),
+        leg2 in prop::collection::vec(0.1f64..500.0, 3..10),
+    ) {
+        // A relayed path's RTT is exactly the sum of its two legs'
+        // window medians — no averaging, no re-measurement.
+        let m1 = median(&leg1).expect("non-empty");
+        let m2 = median(&leg2).expect("non-empty");
+        prop_assert_eq!(stitch(m1, m2).to_bits(), (m1 + m2).to_bits());
+        prop_assert_eq!(
+            stitch_legs(Some(m1), Some(m2)).expect("both legs").to_bits(),
+            (m1 + m2).to_bits()
+        );
+        // A path with a missing leg has no RTT at all.
+        prop_assert!(stitch_legs(Some(m1), None).is_none());
+        prop_assert!(stitch_legs(None, Some(m2)).is_none());
+    }
+
+    #[test]
+    fn stitch_layer_best_is_min_leg_sum(
+        a in 1.0f64..300.0, b in 1.0f64..300.0,
+        c in 1.0f64..300.0, e in 1.0f64..300.0,
+        d in 1.0f64..600.0,
+    ) {
+        // Two relays of the same type, all four legs measured: the
+        // stitched best must be exactly the smaller leg sum, and the
+        // improving list exactly the sums below the direct median.
+        use colo_shortcuts::core::plan::{OverlayPlan, PlannedEndpoint, PlannedPair, RoundPlan};
+        use colo_shortcuts::core::relays::{Relay, RelayType};
+        use colo_shortcuts::core::stitch::ResultsBuilder;
+        use colo_shortcuts::core::colo::{ColoPool, FilterFunnel};
+        use colo_shortcuts::geo::{CityId, Continent, CountryCode, GeoPoint};
+        use colo_shortcuts::netsim::clock::SimTime;
+        use colo_shortcuts::netsim::HostId;
+        use colo_shortcuts::topology::Asn;
+
+        let endpoint = |id: u32, cc: &str| PlannedEndpoint {
+            host: HostId(id),
+            country: CountryCode::new(cc).expect("valid"),
+            city: CityId(0),
+            continent: Continent::Europe,
+            location: GeoPoint::new(0.0, f64::from(id)).expect("valid"),
+        };
+        let relay = |id: u32| Relay {
+            host: HostId(id),
+            asn: Asn(id),
+            city: CityId(0),
+            location: GeoPoint::new(1.0, f64::from(id)).expect("valid"),
+            country: CountryCode::new("DE").expect("valid"),
+            rtype: RelayType::Cor,
+            facility: None,
+        };
+        let plan = RoundPlan {
+            round: 0,
+            t0: SimTime(0.0),
+            endpoints: vec![endpoint(1, "US"), endpoint(2, "DE")],
+            pairs: vec![PlannedPair { src: 0, dst: 1, reverse: false }],
+            relays: vec![relay(10), relay(11)],
+        };
+        let overlay = OverlayPlan {
+            feasible: vec![vec![0, 1]],
+            needed: vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+        };
+        let mut builder = ResultsBuilder::new();
+        builder.absorb_round(
+            &plan,
+            &overlay,
+            &[Some(d)],
+            &[],
+            &[Some(a), Some(c), Some(b), Some(e)],
+        );
+        let results = builder.finish(
+            ColoPool {
+                relays: Vec::new(),
+                funnel: FilterFunnel {
+                    initial: 0,
+                    single_facility: 0,
+                    pingable: 0,
+                    ownership: 0,
+                    presence: 0,
+                    geolocated: 0,
+                },
+            },
+            0,
+        );
+        let case = &results.cases[0];
+        let out = case.outcome(RelayType::Cor);
+        let (sum0, sum1) = (a + b, c + e);
+        let want_best = sum0.min(sum1);
+        let (_, got_best) = out.best.expect("both relays measured");
+        prop_assert_eq!(got_best.to_bits(), want_best.to_bits());
+        prop_assert_eq!(out.feasible, 2);
+        let want_improving =
+            usize::from(sum0 < d) + usize::from(sum1 < d);
+        prop_assert_eq!(out.improving.len(), want_improving);
+        for &(_, imp) in &out.improving {
+            prop_assert!(imp > 0.0);
+        }
     }
 
     #[test]

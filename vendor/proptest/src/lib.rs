@@ -1,0 +1,190 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the surface the workspace's property tests use:
+//! [`proptest!`], [`prop_compose!`], `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, [`ProptestConfig`], numeric-range strategies and
+//! `prop::collection::vec`.
+//!
+//! Differences from upstream, by design:
+//!
+//! - no shrinking — a failing case panics with the already-sampled
+//!   values in scope (the deterministic per-test RNG makes failures
+//!   reproducible: the seed is derived from the test's file and name);
+//! - `prop_assume!` skips the current case instead of discarding and
+//!   resampling (cases are cheap; the distributions here don't rely on
+//!   rejection tuning);
+//! - `PROPTEST_CASES` overrides the case count globally.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Defines property tests: each `fn` runs its body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::test_runner::case_count(__cfg.cases);
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(file!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                // The body runs in a closure so `prop_assume!` can skip
+                // the rest of the case with a plain `return`.
+                let mut __one_case = || $body;
+                __one_case();
+            }
+        }
+    )*};
+}
+
+/// Defines a function returning a composite [`strategy::Strategy`].
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ( $($outer:tt)* )
+        ( $($pat:pat in $strat:expr),* $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::SFn::new(move |__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts inside a property test (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, proptest};
+
+    /// The `prop::…` namespace (`prop::collection::vec` et al.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..100, b in 0u32..100) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -1.0f64..=1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn composed_strategies_work(p in arb_pair()) {
+            prop_assert!(p.0 < 100 && p.1 < 100);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0.0f64..1.0, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in prop::collection::vec(0u32..5, 1..4)) {
+            v.push(9);
+            prop_assert_eq!(*v.last().expect("non-empty"), 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

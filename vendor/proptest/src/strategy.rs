@@ -1,0 +1,87 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy from a closure (used by `prop_compose!`).
+pub struct SFn<F> {
+    f: F,
+}
+
+impl<F> SFn<F> {
+    /// Wraps the sampling closure.
+    pub fn new<T>(f: F) -> Self
+    where
+        F: Fn(&mut StdRng) -> T,
+    {
+        SFn { f }
+    }
+}
+
+impl<F, T> Strategy for SFn<F>
+where
+    F: Fn(&mut StdRng) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategy_samples_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (3u32..7).sample(&mut rng);
+            assert!((3..7).contains(&v));
+            let f = (0.25f64..=0.75).sample(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sfn_wraps_closures() {
+        let s = SFn::new(|rng: &mut StdRng| rng.gen_range(0u8..4) as u16 * 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng) % 10 == 0);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic per-test RNG derivation and case-count control.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG for one property test, seeded from its qualified name so each
+/// test gets a stable, independent stream across runs and processes.
+pub fn rng_for(name: &str) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(name.as_bytes()))
+}
+
+/// Case count: the config's value unless `PROPTEST_CASES` overrides it.
+pub fn case_count(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_names_distinct_streams() {
+        use rand::RngCore;
+        let mut a = rng_for("test_a");
+        let mut b = rng_for("test_b");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+    }
+}

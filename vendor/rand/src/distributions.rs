@@ -1,0 +1,156 @@
+//! Distribution types (`rand::distributions` subset).
+
+use crate::Rng;
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building a [`WeightedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WeightedError::NoItem => "no weights provided",
+            WeightedError::InvalidWeight => "invalid (negative or non-finite) weight",
+            WeightedError::AllWeightsZero => "all weights are zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Numeric types (owned or borrowed) usable as sampling weights.
+pub trait IntoWeight {
+    /// Lossy conversion to `f64` for cumulative-sum sampling.
+    fn weight_f64(&self) -> f64;
+}
+
+macro_rules! impl_into_weight {
+    ($($t:ty),*) => {$(
+        impl IntoWeight for $t {
+            fn weight_f64(&self) -> f64 { *self as f64 }
+        }
+    )*};
+}
+
+impl_into_weight!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: IntoWeight> IntoWeight for &T {
+    fn weight_f64(&self) -> f64 {
+        (**self).weight_f64()
+    }
+}
+
+/// Samples indices `0..n` proportionally to a weight list.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from weights (owned or borrowed).
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: IntoWeight,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = w.weight_f64();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen_range(0.0..self.total);
+        // First cumulative strictly greater than x; zero-weight entries
+        // (cumulative equal to their predecessor) are never selected.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        WeightedIndex::sample(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn respects_weights() {
+        let weights: Vec<usize> = vec![1, 0, 9];
+        let dist = WeightedIndex::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight must never be drawn");
+        assert!(counts[2] > counts[0] * 5, "counts {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn accepts_owned_iterator() {
+        let dist = WeightedIndex::new((1..4usize).map(|w| w.max(1))).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(dist.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<usize>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new(vec![0usize, 0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new(vec![1.0, -2.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in provides exactly the surface the workspace uses:
+//!
+//! - [`RngCore`] / [`Rng`] / [`SeedableRng`] with `gen_range`,
+//!   `gen_bool` and friends;
+//! - [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded
+//!   via SplitMix64 (NOT the upstream ChaCha12; same-seed streams are
+//!   reproducible within this workspace, not across rand versions —
+//!   which is all the campaign's determinism contract promises);
+//! - [`seq::SliceRandom`] (`choose`, `choose_multiple`, `shuffle`);
+//! - [`distributions::WeightedIndex`].
+//!
+//! Everything is implemented with care for determinism: no global
+//! state, no OS entropy, no platform-dependent behavior.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// A random generator with distribution helpers.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        Ra: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be > 0");
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Samples a value from a distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: &D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` (the only constructor the
+    /// workspace uses; expanded through SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges [`Rng::gen_range`] can sample from. The single generic impl
+/// per range shape (mirroring upstream) is what lets integer-literal
+/// ranges unify with the surrounding expression's type.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Types with uniform sampling between two bounds.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                }
+                let width = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                let v = uniform_u128(rng, width);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                }
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Uniform integer in `[0, width)` by widening multiply (Lemire); free
+/// of modulo bias for any width that fits in 64 bits.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u128 {
+    debug_assert!(width > 0);
+    if width > u64::MAX as u128 {
+        // Only reachable for the full u64/i64 inclusive range.
+        return rng.next_u64() as u128;
+    }
+    let width = width as u64;
+    let mut m = (rng.next_u64() as u128) * (width as u128);
+    let mut lo = m as u64;
+    if lo < width {
+        let threshold = width.wrapping_neg() % width;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (width as u128);
+            lo = m as u64;
+        }
+    }
+    m >> 64
+}
+
+/// Maps 64 random bits to a double in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_int_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&v));
+            let w: u32 = rng.gen_range(0..50);
+            assert!(w < 50);
+            let x: i64 = rng.gen_range(-10..10);
+            assert!((-10..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(10.0..200.0);
+            assert!((10.0..200.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn takes_dyn<R: crate::Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = takes_dyn(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,82 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Not the upstream `StdRng` (ChaCha12): streams are reproducible
+/// within this workspace only. Statistical quality is more than enough
+/// for simulation sampling (xoshiro256++ passes BigCrush).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(mut sm: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&seed[..8]);
+        Self::from_state(u64::from_le_bytes(first))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_never_all_zero() {
+        // xoshiro breaks on an all-zero state; SplitMix64 expansion of
+        // seed 0 must avoid it.
+        let rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.s, [0; 4]);
+        let mut r = rng.clone();
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = StdRng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Provides the one shape the measurement engine needs —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — executed on scoped
+//! `std::thread` workers with dynamic (atomic-counter) scheduling, so
+//! uneven task costs still balance across cores. Results are placed by
+//! index: output order is identical to input order regardless of
+//! thread interleaving, which is what keeps parallel campaigns
+//! bit-identical to serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    // RAYON_NUM_THREADS mirrors upstream's env override; useful for
+    // benchmarking scaling curves.
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Executes the map across worker threads and collects in input
+    /// order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_par_vec(par_map_slice(self.items, &self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_par_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_par_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// The execution core: dynamic scheduling, index-ordered results.
+fn par_map_slice<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index scheduled exactly once"))
+        .collect()
+}
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v
+            .par_iter()
+            .map(|&x| {
+                // Make early items much more expensive than late ones.
+                let spins = if x < 4 { 100_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x
+            })
+            .collect();
+        assert_eq!(out, v);
+    }
+}
