@@ -1,14 +1,30 @@
-//! Serial vs. parallel measurement engine: the paper's campaign
-//! configuration scaled to the small world, run once per execution
-//! mode, plus an explicit wall-clock speedup report.
+//! Serial vs. parallel vs. round-sharded measurement engine: the
+//! paper's campaign configuration scaled to the small world, run once
+//! per execution mode, plus an explicit wall-clock speedup table.
 //!
-//! The two modes produce bit-identical results (asserted here on case
+//! All modes produce bit-identical results (asserted here on case
 //! counts and medians as a cheap canary; the full bit-level check
 //! lives in `tests/determinism_equivalence.rs`), so the only thing
-//! this benchmark measures is scheduling.
+//! this benchmark measures is scheduling:
 //!
-//! Knobs: `SHORTCUTS_BENCH_ROUNDS` (default 2) scales the campaign;
-//! `RAYON_NUM_THREADS` caps the parallel mode's workers.
+//! - `serial` — one window at a time;
+//! - `parallel` — each round's stage fans across cores with a barrier
+//!   per stage, so the slowest window of every stage gates the rest of
+//!   the machine;
+//! - `sharded` — several rounds in flight at once, windows interleaved
+//!   across rounds, so stage barriers only exist per round and cores
+//!   never idle while another round still has work. The gap between
+//!   `parallel` and `sharded` grows with round count and core count.
+//!
+//! First-touch rounds also stress the ping engine's pair cache; it is
+//! sharded across 64 locks precisely so the many concurrent inserts of
+//! a multi-round-in-flight campaign do not serialize (the sharded
+//! row of the table is where a single-lock cache shows up as lost
+//! speedup).
+//!
+//! Knobs: `SHORTCUTS_BENCH_ROUNDS` (default 4) scales the campaign;
+//! `SHORTCUTS_ROUNDS_IN_FLIGHT` (default 4) the sharding depth;
+//! `RAYON_NUM_THREADS` caps the worker count.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use shortcuts_core::backend::ExecMode;
@@ -16,11 +32,19 @@ use shortcuts_core::workflow::{Campaign, CampaignConfig, CampaignResults};
 use shortcuts_core::world::{World, WorldConfig};
 use std::time::Instant;
 
-fn bench_rounds() -> u32 {
-    std::env::var("SHORTCUTS_BENCH_ROUNDS")
+fn env_or(name: &str, default: u32) -> u32 {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2)
+        .unwrap_or(default)
+}
+
+fn bench_rounds() -> u32 {
+    env_or("SHORTCUTS_BENCH_ROUNDS", 4)
+}
+
+fn rounds_in_flight() -> usize {
+    env_or("SHORTCUTS_ROUNDS_IN_FLIGHT", 4) as usize
 }
 
 fn campaign_cfg(exec: ExecMode) -> CampaignConfig {
@@ -32,6 +56,12 @@ fn campaign_cfg(exec: ExecMode) -> CampaignConfig {
 
 fn run(world: &World, exec: ExecMode) -> CampaignResults {
     Campaign::new(world, campaign_cfg(exec)).run()
+}
+
+fn sharded_mode() -> ExecMode {
+    ExecMode::Sharded {
+        rounds_in_flight: rounds_in_flight(),
+    }
 }
 
 fn bench_campaign_serial(c: &mut Criterion) {
@@ -48,8 +78,15 @@ fn bench_campaign_parallel(c: &mut Criterion) {
     });
 }
 
-/// One timed head-to-head run with an explicit speedup line — the
-/// number the ROADMAP's "as fast as the hardware allows" item tracks.
+fn bench_campaign_sharded(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    c.bench_function("campaign_parallel/sharded", |b| {
+        b.iter(|| black_box(run(&world, sharded_mode())))
+    });
+}
+
+/// One timed three-way run with an explicit speedup table — the
+/// numbers the ROADMAP's "as fast as the hardware allows" item tracks.
 fn bench_speedup_report(c: &mut Criterion) {
     let world = World::build(&WorldConfig::small(), 7);
 
@@ -61,20 +98,40 @@ fn bench_speedup_report(c: &mut Criterion) {
     let parallel = run(&world, ExecMode::Parallel);
     let parallel_secs = t.elapsed().as_secs_f64();
 
+    let t = Instant::now();
+    let sharded = run(&world, sharded_mode());
+    let sharded_secs = t.elapsed().as_secs_f64();
+
     // Canary: the modes must agree exactly.
-    assert_eq!(serial.total_cases(), parallel.total_cases());
-    assert_eq!(serial.pings_sent, parallel.pings_sent);
-    for (a, b) in serial.cases.iter().zip(&parallel.cases) {
-        assert_eq!(a.direct_ms.to_bits(), b.direct_ms.to_bits());
+    for other in [&parallel, &sharded] {
+        assert_eq!(serial.total_cases(), other.total_cases());
+        assert_eq!(serial.pings_sent, other.pings_sent);
+        for (a, b) in serial.cases.iter().zip(&other.cases) {
+            assert_eq!(a.direct_ms.to_bits(), b.direct_ms.to_bits());
+        }
     }
 
     let cores = rayon::current_num_threads();
     println!(
-        "campaign_parallel/speedup: {serial_secs:.2}s serial vs {parallel_secs:.2}s parallel \
-         ({:.2}x on {cores} thread(s), {} rounds, {} cases)",
-        serial_secs / parallel_secs,
+        "campaign_parallel/speedup ({} rounds, {} cases, {cores} thread(s), \
+         {} rounds in flight):",
         bench_rounds(),
         serial.total_cases(),
+        rounds_in_flight(),
+    );
+    for (name, secs) in [
+        ("serial", serial_secs),
+        ("parallel", parallel_secs),
+        ("sharded", sharded_secs),
+    ] {
+        println!(
+            "  {name:>8}: {secs:6.2}s  ({:.2}x vs serial)",
+            serial_secs / secs
+        );
+    }
+    println!(
+        "  sharded vs parallel: {:.2}x",
+        parallel_secs / sharded_secs
     );
 
     // Keep criterion's ledger aware this ran.
@@ -89,6 +146,7 @@ criterion_group! {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(20))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_speedup_report, bench_campaign_serial, bench_campaign_parallel
+    targets = bench_speedup_report, bench_campaign_serial, bench_campaign_parallel,
+        bench_campaign_sharded
 }
 criterion_main!(benches);

@@ -132,18 +132,34 @@ impl MeasurementBackend for NetsimBackend<'_, '_> {
     }
 }
 
-/// How [`execute`] schedules tasks.
+/// How the campaign schedules measurement windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
     /// One task after another on the calling thread.
     Serial,
-    /// Data-parallel across all available cores.
+    /// Data-parallel across all available cores, with a full barrier
+    /// between a round's stages.
     Parallel,
+    /// Round-sharded streaming pipeline: up to `rounds_in_flight`
+    /// rounds are planned, measured and completed concurrently, with
+    /// windows from different rounds interleaved on one worker pool so
+    /// no core waits on another round's stage barrier (see
+    /// [`crate::shard`]). All three modes produce bit-identical
+    /// results for the same seed.
+    Sharded {
+        /// Maximum rounds planned-but-not-completed at once. Bounds
+        /// memory (plans and partial results alive concurrently) and
+        /// streaming latency; values around the worker count saturate
+        /// typical machines.
+        rounds_in_flight: usize,
+    },
 }
 
-/// Runs every task and returns results in task order. The two modes
+/// Runs every task and returns results in task order. All modes
 /// produce bit-identical output — the per-task RNG derivation makes
-/// scheduling unobservable.
+/// scheduling unobservable. `Sharded` governs the *round loop* (see
+/// [`crate::shard`]); over a flat task list it degrades to
+/// `Parallel`.
 pub fn execute<B: MeasurementBackend + ?Sized>(
     backend: &B,
     tasks: &[MeasureTask],
@@ -151,7 +167,9 @@ pub fn execute<B: MeasurementBackend + ?Sized>(
 ) -> Vec<Option<f64>> {
     match mode {
         ExecMode::Serial => tasks.iter().map(|t| backend.measure(t)).collect(),
-        ExecMode::Parallel => tasks.par_iter().map(|t| backend.measure(t)).collect(),
+        ExecMode::Parallel | ExecMode::Sharded { .. } => {
+            tasks.par_iter().map(|t| backend.measure(t)).collect()
+        }
     }
 }
 

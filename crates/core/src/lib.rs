@@ -22,15 +22,22 @@
 //!   recorded-trace or analytical backends slot in without touching
 //!   the other layers). Every task derives its own RNG from
 //!   `(seed, round, src, dst, kind)`, so task outcomes are
-//!   order-independent and [`backend::execute`] can run them serially
-//!   or data-parallel across all cores
-//!   ([`backend::ExecMode`]) with **bit-identical** results.
+//!   order-independent and scheduling is a free choice
+//!   ([`backend::ExecMode`]): serial, data-parallel within a round, or
+//!   round-sharded across rounds via the [`shard`] scheduler, which
+//!   keeps several rounds in flight on one worker pool — all with
+//!   **bit-identical** results.
 //! - **[`stitch`]** folds window medians into
 //!   [`workflow::CampaignResults`]: case records with per-type
 //!   outcomes (`RTT(e1, relay, e2) = median(e1, relay) + median(e2,
-//!   relay)`), RTT histories, symmetry samples, relay metadata.
+//!   relay)`), RTT histories, symmetry samples, relay metadata. The
+//!   builder absorbs rounds in **any order** and merges them by round
+//!   index, so completion order is unobservable.
 //!
-//! [`workflow::Campaign`] orchestrates the three layers per round.
+//! [`workflow::Campaign`] orchestrates the three layers per round and
+//! **streams**: [`workflow::Campaign::run_streaming`] reports a
+//! [`workflow::RoundSummary`] per completed round, in round order,
+//! while later rounds are still measuring.
 //!
 //! ## Paper-section map
 //!
@@ -66,6 +73,7 @@ pub mod measure;
 pub mod plan;
 pub mod relays;
 pub mod report;
+pub mod shard;
 pub mod stitch;
 pub mod workflow;
 pub mod world;
@@ -74,5 +82,5 @@ pub use backend::{ExecMode, MeasureTask, MeasurementBackend, NetsimBackend, Task
 pub use plan::{OverlayPlan, RoundPlan};
 pub use relays::{Relay, RelayType};
 pub use stitch::ResultsBuilder;
-pub use workflow::{Campaign, CampaignConfig, CampaignResults, CaseRecord};
+pub use workflow::{Campaign, CampaignConfig, CampaignResults, CaseRecord, RoundSummary};
 pub use world::{World, WorldConfig};

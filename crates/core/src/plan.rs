@@ -21,7 +21,8 @@ use crate::feasibility::is_feasible;
 use crate::relays::{Relay, RelayPools};
 use crate::workflow::CampaignConfig;
 use crate::world::World;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use shortcuts_geo::{CityId, Continent, CountryCode, GeoPoint};
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::HostId;
@@ -106,6 +107,36 @@ impl RoundPlan {
             })
             .collect()
     }
+}
+
+/// The planning RNG for a round: one deterministic stream derived from
+/// `(campaign seed, round)` and nothing else. This is what makes a
+/// round's plan a pure function of its index — any round can be
+/// planned at any time, in any order, on any thread, and the plan
+/// comes out identical.
+pub fn round_rng(campaign_seed: u64, round: u32) -> StdRng {
+    StdRng::seed_from_u64(
+        campaign_seed
+            .wrapping_add(0x5EED)
+            .wrapping_add(u64::from(round)),
+    )
+}
+
+/// Plans round `round` of the campaign as a standalone pure function
+/// of `(cfg.seed, round)`: derives the round's planning RNG via
+/// [`round_rng`] and runs [`plan_round`]. Because nothing else feeds
+/// in, all round plans can be produced up front, lazily, or
+/// concurrently from worker threads — the sharded scheduler relies on
+/// exactly this.
+pub fn plan_round_for(
+    world: &World,
+    endpoints: &EndpointPool<'_>,
+    relays: &RelayPools,
+    cfg: &CampaignConfig,
+    round: u32,
+) -> RoundPlan {
+    let mut rng = round_rng(cfg.seed, round);
+    plan_round(world, endpoints, relays, cfg, round, &mut rng)
 }
 
 /// Plans one round: samples endpoints and relays, enumerates direct
@@ -322,6 +353,46 @@ mod tests {
         let oplan = plan_overlay(&plan, &direct);
         assert!(oplan.needed.is_empty());
         assert!(oplan.feasible.iter().all(|f| f.is_empty()));
+    }
+
+    #[test]
+    fn plan_round_for_is_pure_in_seed_and_round() {
+        let (world, _) = plan_fixture();
+        let verified = select_eyeballs(&world, 10.0).verified;
+        let pool = EndpointPool::build(&world, &verified);
+        let router = Router::new(&world.topo);
+        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let vantage = world.looking_glasses.lgs()[0].host;
+        let mut rng = StdRng::seed_from_u64(1);
+        let colo = run_pipeline(
+            &world,
+            &engine,
+            vantage,
+            SimTime(0.0),
+            &ColoPipelineConfig::default(),
+            &mut rng,
+        );
+        let relays = RelayPools::build(&world, &colo, &verified);
+        let cfg = CampaignConfig::small();
+        // Standalone planning must agree with explicit-RNG planning on
+        // the derived stream, regardless of the order rounds are
+        // planned in.
+        for round in [2, 0, 1] {
+            let standalone = plan_round_for(&world, &pool, &relays, &cfg, round);
+            let mut rng = round_rng(cfg.seed, round);
+            let explicit = plan_round(&world, &pool, &relays, &cfg, round, &mut rng);
+            assert_eq!(standalone.round, explicit.round);
+            assert_eq!(standalone.endpoints.len(), explicit.endpoints.len());
+            for (a, b) in standalone.endpoints.iter().zip(&explicit.endpoints) {
+                assert_eq!(a.host, b.host);
+            }
+            for (a, b) in standalone.pairs.iter().zip(&explicit.pairs) {
+                assert_eq!((a.src, a.dst, a.reverse), (b.src, b.dst, b.reverse));
+            }
+            for (a, b) in standalone.relays.iter().zip(&explicit.relays) {
+                assert_eq!(a.host, b.host);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Round-sharded scheduler: keeps several campaign rounds in flight at
+//! once.
+//!
+//! The serial/parallel round loop has three full barriers per round
+//! (direct → reverse/overlay → stitch): every core waits for the
+//! round's slowest window before any core may start the next stage,
+//! and the whole machine idles through each round's planning. Rounds,
+//! however, are independent — a round's plan is a pure function of
+//! `(seed, round)` ([`crate::plan::plan_round_for`]) and every window's
+//! outcome is a pure function of its task identity — so the barriers
+//! only need to exist *per round*, not across the campaign.
+//!
+//! This scheduler exploits that: a single FIFO work queue feeds a
+//! fixed worker pool with `Plan` and `Measure` items from up to
+//! `rounds_in_flight` rounds at once, so while round *k* sits at a
+//! stage boundary waiting for its last window, the workers measure
+//! round *k+1*'s windows instead of idling. Per-round state machines
+//! (direct stage → tail stage of reverse + overlay windows → complete)
+//! advance whenever their last outstanding window lands; the worker
+//! that completes a round hands the bundle to the coordinator thread
+//! and admits the next un-planned round, keeping at most
+//! `rounds_in_flight` rounds' plans and partial results alive.
+//!
+//! Determinism is untouched: every result is written to a slot
+//! addressed by `(round, stage, index)`, tail tasks are derived from
+//! the round's *complete* direct results by the same pure functions
+//! the serial loop uses, and the order-independent
+//! [`crate::stitch::ResultsBuilder`] merges completed rounds by round
+//! index — so a sharded campaign is bit-identical to a serial one.
+
+use crate::backend::{MeasureTask, MeasurementBackend};
+use crate::plan::{plan_overlay, OverlayPlan, RoundPlan};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One finished round, exactly as the serial loop would have produced
+/// it: the plans plus every window median, position-aligned.
+#[derive(Debug)]
+pub struct CompletedRound {
+    /// The round's plan.
+    pub plan: RoundPlan,
+    /// The overlay plan derived from the direct medians.
+    pub overlay: OverlayPlan,
+    /// Direct medians, aligned with `plan.pairs`.
+    pub direct: Vec<Option<f64>>,
+    /// Reverse medians, aligned with the scheduled reverse tasks.
+    pub reverse: Vec<Option<f64>>,
+    /// Overlay-link medians, aligned with `overlay.needed`.
+    pub links: Vec<Option<f64>>,
+}
+
+/// Which result slot a measure item writes into.
+#[derive(Debug, Clone, Copy)]
+enum Dest {
+    Direct,
+    Reverse,
+    Link,
+}
+
+/// One unit of work in the shared queue.
+enum Item {
+    /// Plan round `n` and enqueue its direct windows.
+    Plan(u32),
+    /// Measure one window and store it at `(round, dest, idx)`.
+    Measure {
+        round: u32,
+        dest: Dest,
+        idx: usize,
+        task: MeasureTask,
+    },
+}
+
+/// A round currently in flight.
+struct RoundState {
+    plan: RoundPlan,
+    overlay: Option<OverlayPlan>,
+    direct: Vec<Option<f64>>,
+    reverse: Vec<Option<f64>>,
+    links: Vec<Option<f64>>,
+    /// Outstanding windows in the current stage.
+    remaining: usize,
+    /// Whether the round has advanced past the direct stage into the
+    /// reverse + overlay tail.
+    in_tail: bool,
+}
+
+struct Queue {
+    items: VecDeque<Item>,
+    /// Next round index not yet admitted.
+    next_round: u32,
+    /// All rounds complete: workers exit.
+    finished: bool,
+    /// A thread panicked: everyone bails out.
+    aborted: bool,
+}
+
+struct DoneState {
+    completed: VecDeque<CompletedRound>,
+    rounds_done: u32,
+    aborted: bool,
+}
+
+/// The non-generic coordination core shared by workers and the
+/// coordinator.
+struct Coordination {
+    total_rounds: u32,
+    queue: Mutex<Queue>,
+    work_cv: Condvar,
+    slots: Vec<Mutex<Option<RoundState>>>,
+    done: Mutex<DoneState>,
+    done_cv: Condvar,
+}
+
+impl Coordination {
+    /// Flags the run as aborted and wakes every waiter, so a panic on
+    /// one thread cannot strand the others on a condvar. Runs during
+    /// unwinding, so it must shrug off mutexes the panicking thread
+    /// itself poisoned — a second panic here would abort the process
+    /// and eat the original panic message.
+    fn abort(&self) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .aborted = true;
+        self.done
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .aborted = true;
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+}
+
+/// Sets the abort flags if its thread unwinds while it is armed.
+struct AbortGuard<'a>(&'a Coordination);
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// Runs `total_rounds` rounds with up to `rounds_in_flight` rounds in
+/// flight, calling `on_round` on the calling thread for each completed
+/// round **in completion order** (callers needing round order reorder
+/// on top; [`crate::stitch::ResultsBuilder`] does not care).
+///
+/// `planner` must be a pure function of the round index — it is called
+/// from worker threads, at most once per round.
+pub fn run_sharded<B, P, F>(
+    backend: &B,
+    total_rounds: u32,
+    rounds_in_flight: usize,
+    planner: P,
+    mut on_round: F,
+) where
+    B: MeasurementBackend + ?Sized,
+    P: Fn(u32) -> RoundPlan + Sync,
+    F: FnMut(CompletedRound),
+{
+    if total_rounds == 0 {
+        return;
+    }
+    let in_flight = rounds_in_flight.clamp(1, total_rounds as usize);
+    let coord = Coordination {
+        total_rounds,
+        queue: Mutex::new(Queue {
+            items: (0..in_flight as u32).map(Item::Plan).collect(),
+            next_round: in_flight as u32,
+            finished: false,
+            aborted: false,
+        }),
+        work_cv: Condvar::new(),
+        slots: (0..total_rounds).map(|_| Mutex::new(None)).collect(),
+        done: Mutex::new(DoneState {
+            completed: VecDeque::new(),
+            rounds_done: 0,
+            aborted: false,
+        }),
+        done_cv: Condvar::new(),
+    };
+
+    let threads = rayon::current_num_threads().max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(backend, &planner, &coord));
+        }
+
+        // Coordinator: drain completed rounds as they land. The guard
+        // keeps a panic in `on_round` from stranding the workers.
+        let guard = AbortGuard(&coord);
+        let mut seen = 0u32;
+        while seen < total_rounds {
+            let bundle = {
+                let mut d = coord.done.lock().expect("done lock");
+                loop {
+                    assert!(!d.aborted, "sharded worker panicked");
+                    if let Some(b) = d.completed.pop_front() {
+                        break b;
+                    }
+                    d = coord.done_cv.wait(d).expect("done lock");
+                }
+            };
+            seen += 1;
+            on_round(bundle);
+        }
+        drop(guard);
+        // All rounds delivered; release any workers still parked.
+        coord.queue.lock().expect("queue lock").finished = true;
+        coord.work_cv.notify_all();
+    });
+}
+
+/// Worker loop: pull an item, do the work, advance the round's state
+/// machine when its stage drains.
+fn worker<B, P>(backend: &B, planner: &P, coord: &Coordination)
+where
+    B: MeasurementBackend + ?Sized,
+    P: Fn(u32) -> RoundPlan + Sync,
+{
+    let _guard = AbortGuard(coord);
+    loop {
+        let item = {
+            let mut q = coord.queue.lock().expect("queue lock");
+            loop {
+                if q.finished || q.aborted {
+                    return;
+                }
+                if let Some(item) = q.items.pop_front() {
+                    break item;
+                }
+                q = coord.work_cv.wait(q).expect("queue lock");
+            }
+        };
+        match item {
+            Item::Plan(round) => {
+                let plan = planner(round);
+                debug_assert_eq!(plan.round, round, "planner must plan the asked round");
+                let direct_tasks = plan.direct_tasks();
+                let n = direct_tasks.len();
+                *coord.slots[round as usize].lock().expect("slot lock") = Some(RoundState {
+                    plan,
+                    overlay: None,
+                    direct: vec![None; n],
+                    reverse: Vec::new(),
+                    links: Vec::new(),
+                    remaining: n,
+                    in_tail: false,
+                });
+                if n == 0 {
+                    // Degenerate round with nothing to measure.
+                    advance_round(coord, round);
+                } else {
+                    enqueue_measures(coord, round, Dest::Direct, direct_tasks);
+                }
+            }
+            Item::Measure {
+                round,
+                dest,
+                idx,
+                task,
+            } => {
+                // Measure outside any lock — this is the expensive part.
+                let m = backend.measure(&task);
+                let mut slot = coord.slots[round as usize].lock().expect("slot lock");
+                let st = slot.as_mut().expect("measured round is in flight");
+                match dest {
+                    Dest::Direct => st.direct[idx] = m,
+                    Dest::Reverse => st.reverse[idx] = m,
+                    Dest::Link => st.links[idx] = m,
+                }
+                st.remaining -= 1;
+                let stage_drained = st.remaining == 0;
+                drop(slot);
+                if stage_drained {
+                    advance_round(coord, round);
+                }
+            }
+        }
+    }
+}
+
+fn enqueue_measures(coord: &Coordination, round: u32, dest: Dest, tasks: Vec<MeasureTask>) {
+    {
+        let mut q = coord.queue.lock().expect("queue lock");
+        q.items.extend(
+            tasks
+                .into_iter()
+                .enumerate()
+                .map(|(idx, task)| Item::Measure {
+                    round,
+                    dest,
+                    idx,
+                    task,
+                }),
+        );
+    }
+    coord.work_cv.notify_all();
+}
+
+/// Advances a round whose current stage has no outstanding windows:
+/// direct → tail (reverse + overlay links), tail → complete. Runs on
+/// the worker that landed the stage's last window.
+fn advance_round(coord: &Coordination, round: u32) {
+    let mut slot = coord.slots[round as usize].lock().expect("slot lock");
+    let st = slot.as_mut().expect("advanced round is in flight");
+    debug_assert_eq!(st.remaining, 0, "stage still has outstanding windows");
+
+    if !st.in_tail {
+        // Direct stage done: derive the tail from the complete direct
+        // results with the same pure functions the serial loop uses.
+        let reverse_tasks = st.plan.reverse_tasks(&st.direct);
+        let overlay = plan_overlay(&st.plan, &st.direct);
+        let link_tasks = overlay.link_tasks(&st.plan);
+        st.reverse = vec![None; reverse_tasks.len()];
+        st.links = vec![None; link_tasks.len()];
+        st.remaining = reverse_tasks.len() + link_tasks.len();
+        st.overlay = Some(overlay);
+        st.in_tail = true;
+        if st.remaining > 0 {
+            drop(slot);
+            enqueue_measures(coord, round, Dest::Reverse, reverse_tasks);
+            enqueue_measures(coord, round, Dest::Link, link_tasks);
+            return;
+        }
+        // No tail windows at all: fall through to completion.
+    }
+
+    let st = slot.take().expect("completed round is in flight");
+    drop(slot);
+    let bundle = CompletedRound {
+        overlay: st.overlay.expect("tail stage set the overlay plan"),
+        plan: st.plan,
+        direct: st.direct,
+        reverse: st.reverse,
+        links: st.links,
+    };
+
+    // Admit the next round, keeping at most `rounds_in_flight` alive.
+    {
+        let mut q = coord.queue.lock().expect("queue lock");
+        if q.next_round < coord.total_rounds {
+            let next = q.next_round;
+            q.next_round += 1;
+            q.items.push_back(Item::Plan(next));
+            coord.work_cv.notify_all();
+        }
+    }
+
+    // Deliver to the coordinator; the last round also releases the
+    // worker pool.
+    let all_done = {
+        let mut d = coord.done.lock().expect("done lock");
+        d.completed.push_back(bundle);
+        d.rounds_done += 1;
+        d.rounds_done == coord.total_rounds
+    };
+    coord.done_cv.notify_all();
+    if all_done {
+        coord.queue.lock().expect("queue lock").finished = true;
+        coord.work_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlannedEndpoint, PlannedPair};
+    use shortcuts_geo::{CityId, Continent, CountryCode, GeoPoint};
+    use shortcuts_netsim::clock::SimTime;
+    use shortcuts_netsim::HostId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Deterministic synthetic backend: RTT from the task's own seed.
+    struct SyntheticBackend {
+        seed: u64,
+        pings: AtomicU64,
+    }
+
+    impl MeasurementBackend for SyntheticBackend {
+        fn measure(&self, task: &MeasureTask) -> Option<f64> {
+            self.pings.fetch_add(1, Ordering::Relaxed);
+            let bits = task.rng_seed(self.seed);
+            // A deterministic ~12% of windows fail.
+            if bits.is_multiple_of(8) {
+                return None;
+            }
+            Some((bits % 100_000) as f64 / 1000.0 + 1.0)
+        }
+
+        fn pings_sent(&self) -> u64 {
+            self.pings.load(Ordering::Relaxed)
+        }
+    }
+
+    /// A synthetic pure planner: `n` endpoints on a line, all pairs,
+    /// alternating reverse flags, no relays (the tail is then reverse
+    /// windows only — enough to exercise both stages).
+    fn planner(round: u32) -> RoundPlan {
+        let n = 3 + (round as usize % 3);
+        let endpoints: Vec<PlannedEndpoint> = (0..n)
+            .map(|i| PlannedEndpoint {
+                host: HostId(round * 100 + i as u32),
+                country: CountryCode::new("US").unwrap(),
+                city: CityId(0),
+                continent: Continent::NorthAmerica,
+                location: GeoPoint::new(0.0, f64::from(i as u32)).unwrap(),
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for src in 0..n {
+            for dst in (src + 1)..n {
+                pairs.push(PlannedPair {
+                    src,
+                    dst,
+                    reverse: (src + dst) % 2 == 0,
+                });
+            }
+        }
+        RoundPlan {
+            round,
+            t0: SimTime(f64::from(round)),
+            endpoints,
+            pairs,
+            relays: Vec::new(),
+        }
+    }
+
+    fn run(rounds: u32, in_flight: usize) -> Vec<CompletedRound> {
+        let backend = SyntheticBackend {
+            seed: 11,
+            pings: AtomicU64::new(0),
+        };
+        let mut done = Vec::new();
+        run_sharded(&backend, rounds, in_flight, planner, |r| done.push(r));
+        done
+    }
+
+    #[test]
+    fn completes_every_round_exactly_once() {
+        for in_flight in [1, 2, 8, 100] {
+            let mut done = run(7, in_flight);
+            assert_eq!(done.len(), 7);
+            done.sort_by_key(|r| r.plan.round);
+            for (i, r) in done.iter().enumerate() {
+                assert_eq!(r.plan.round, i as u32);
+                assert_eq!(r.direct.len(), r.plan.pairs.len());
+                assert_eq!(r.links.len(), r.overlay.needed.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_results_match_a_direct_serial_evaluation() {
+        let backend = SyntheticBackend {
+            seed: 11,
+            pings: AtomicU64::new(0),
+        };
+        let mut done = run(6, 3);
+        done.sort_by_key(|r| r.plan.round);
+        for r in &done {
+            let plan = planner(r.plan.round);
+            let direct: Vec<Option<f64>> = plan
+                .direct_tasks()
+                .iter()
+                .map(|t| backend.measure(t))
+                .collect();
+            assert_eq!(direct.len(), r.direct.len());
+            for (a, b) in direct.iter().zip(&r.direct) {
+                assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+            }
+            let reverse: Vec<Option<f64>> = plan
+                .reverse_tasks(&direct)
+                .iter()
+                .map(|t| backend.measure(t))
+                .collect();
+            assert_eq!(reverse.len(), r.reverse.len());
+            for (a, b) in reverse.iter().zip(&r.reverse) {
+                assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_windows_follow_the_forward_successes() {
+        let done = run(5, 2);
+        for r in &done {
+            let expected = r
+                .plan
+                .pairs
+                .iter()
+                .zip(&r.direct)
+                .filter(|(p, d)| p.reverse && d.is_some())
+                .count();
+            assert_eq!(r.reverse.len(), expected);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_a_no_op() {
+        assert!(run(0, 4).is_empty());
+    }
+
+    #[test]
+    fn single_round_in_flight_still_pipelines_nothing_but_works() {
+        let done = run(3, 1);
+        // With one round in flight, completion order IS round order.
+        let order: Vec<u32> = done.iter().map(|r| r.plan.round).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A panicking backend must surface as a panic from
+        // run_sharded — not a deadlock (workers stranded on the
+        // condvar) and not a process abort (double panic in the
+        // abort path on the poisoned mutex).
+        struct PanicBackend;
+        impl MeasurementBackend for PanicBackend {
+            fn measure(&self, _: &MeasureTask) -> Option<f64> {
+                panic!("backend exploded")
+            }
+            fn pings_sent(&self) -> u64 {
+                0
+            }
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded(&PanicBackend, 2, 2, planner, |_| {});
+        }));
+        assert!(outcome.is_err(), "the backend panic must propagate");
+    }
+
+    #[test]
+    fn ping_counts_are_exact() {
+        let backend = SyntheticBackend {
+            seed: 3,
+            pings: AtomicU64::new(0),
+        };
+        let mut done = Vec::new();
+        run_sharded(&backend, 4, 4, planner, |r| done.push(r));
+        let windows: u64 = done
+            .iter()
+            .map(|r| (r.direct.len() + r.reverse.len() + r.links.len()) as u64)
+            .sum();
+        assert_eq!(backend.pings_sent(), windows);
+    }
+}

@@ -10,25 +10,45 @@
 //! already-measured data; it neither pings nor draws randomness, so it
 //! is independent of how (or in what order) the execution layer ran
 //! the tasks.
+//!
+//! The builder is also **round-order-independent**: each
+//! [`ResultsBuilder::absorb_round`] call folds its round into a
+//! private per-round partial, and [`ResultsBuilder::finish`] merges
+//! the partials in ascending round order. Rounds may therefore be
+//! absorbed in any order — the sharded scheduler completes them
+//! whenever their last window lands — and the final
+//! [`CampaignResults`] is still bit-identical to a serial, in-order
+//! run.
 
 use crate::measure::stitch;
 use crate::plan::{OverlayPlan, RoundPlan};
-use crate::workflow::{CampaignResults, CaseRecord, RelayMeta, TypeOutcome};
+use crate::workflow::{CampaignResults, CaseRecord, RelayMeta, RoundSummary, TypeOutcome};
 use shortcuts_netsim::HostId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// One absorbed round, not yet merged: everything the round
+/// contributes to the campaign, in the round's own deterministic
+/// internal order.
+#[derive(Debug)]
+struct RoundPartial {
+    cases: Vec<CaseRecord>,
+    direct_entries: Vec<((HostId, HostId), f64)>,
+    link_entries: Vec<((HostId, HostId), f64)>,
+    symmetry: Vec<(f64, f64)>,
+    relay_meta: Vec<(HostId, RelayMeta)>,
+    endpoints: usize,
+    relays: [usize; 4],
+    unresponsive: u64,
+}
 
 /// Accumulates per-round results into [`CampaignResults`].
+///
+/// Rounds may arrive in any order; the merge in
+/// [`ResultsBuilder::finish`] restores ascending round order, so the
+/// output never depends on completion order.
 #[derive(Debug, Default)]
 pub struct ResultsBuilder {
-    cases: Vec<CaseRecord>,
-    direct_history: HashMap<(HostId, HostId), Vec<f64>>,
-    link_history: HashMap<(HostId, HostId), Vec<f64>>,
-    symmetry_samples: Vec<(f64, f64)>,
-    relay_meta: HashMap<HostId, RelayMeta>,
-    unresponsive_pairs: u64,
-    endpoints_total: usize,
-    relays_total: [usize; 4],
-    rounds_absorbed: u32,
+    partials: BTreeMap<u32, RoundPartial>,
 }
 
 impl ResultsBuilder {
@@ -37,7 +57,8 @@ impl ResultsBuilder {
         Self::default()
     }
 
-    /// Folds one completed round in.
+    /// Folds one completed round in and returns its summary. Rounds
+    /// may be absorbed in any order, each exactly once.
     ///
     /// `direct` aligns with `plan.pairs`, `reverse` with the
     /// `reverse`-flagged pairs whose forward window succeeded (the
@@ -50,46 +71,65 @@ impl ResultsBuilder {
         direct: &[Option<f64>],
         reverse: &[Option<f64>],
         links: &[Option<f64>],
-    ) {
+    ) -> RoundSummary {
         assert_eq!(direct.len(), plan.pairs.len());
         assert_eq!(links.len(), overlay.needed.len());
-        self.rounds_absorbed += 1;
-        self.endpoints_total += plan.endpoints.len();
+        assert!(
+            !self.partials.contains_key(&plan.round),
+            "round {} absorbed twice",
+            plan.round
+        );
+
+        // Pre-sized from the plan: every bound below is exact or a
+        // tight upper bound, so the stitch hot path never reallocates.
+        let mut partial = RoundPartial {
+            cases: Vec::with_capacity(plan.pairs.len()),
+            direct_entries: Vec::with_capacity(plan.pairs.len()),
+            link_entries: Vec::with_capacity(overlay.needed.len()),
+            symmetry: Vec::with_capacity(reverse.len()),
+            relay_meta: Vec::with_capacity(plan.relays.len()),
+            endpoints: plan.endpoints.len(),
+            relays: [0; 4],
+            unresponsive: 0,
+        };
 
         // Relay census and metadata.
         for r in &plan.relays {
-            self.relays_total[r.rtype.index()] += 1;
-            self.relay_meta.entry(r.host).or_insert_with(|| RelayMeta {
-                rtype: r.rtype,
-                asn: r.asn,
-                city: r.city,
-                country: r.country,
-                facility: r.facility,
-            });
+            partial.relays[r.rtype.index()] += 1;
+            partial.relay_meta.push((
+                r.host,
+                RelayMeta {
+                    rtype: r.rtype,
+                    asn: r.asn,
+                    city: r.city,
+                    country: r.country,
+                    facility: r.facility,
+                },
+            ));
         }
 
         // Direct medians: histories, symmetry pairs, unresponsiveness.
         let mut reverse_iter = reverse.iter();
         for (pair, d) in plan.pairs.iter().zip(direct) {
             let Some(m) = *d else {
-                self.unresponsive_pairs += 1;
+                partial.unresponsive += 1;
                 continue;
             };
             let (a, b) = (plan.endpoints[pair.src].host, plan.endpoints[pair.dst].host);
             let key = if a <= b { (a, b) } else { (b, a) };
-            self.direct_history.entry(key).or_default().push(m);
+            partial.direct_entries.push((key, m));
             if pair.reverse {
                 let rev = *reverse_iter
                     .next()
                     .expect("one result per responsive reverse flag");
                 if let Some(rev) = rev {
-                    self.symmetry_samples.push((m, rev));
+                    partial.symmetry.push((m, rev));
                 }
             }
         }
 
         // Overlay-link medians, addressable by (endpoint, relay) index.
-        let mut link: HashMap<(usize, u32), f64> = HashMap::new();
+        let mut link: HashMap<(usize, u32), f64> = HashMap::with_capacity(overlay.needed.len());
         for (&(ei, ri), l) in overlay.needed.iter().zip(links) {
             let Some(v) = *l else { continue };
             link.insert((ei, ri), v);
@@ -100,7 +140,7 @@ impl ResultsBuilder {
             } else {
                 (r_host, e_host)
             };
-            self.link_history.entry(key).or_default().push(v);
+            partial.link_entries.push((key, v));
         }
 
         // Stitch one-relay paths and emit the round's cases.
@@ -125,7 +165,7 @@ impl ResultsBuilder {
                 }
             }
             let (src, dst) = (&plan.endpoints[pair.src], &plan.endpoints[pair.dst]);
-            self.cases.push(CaseRecord {
+            partial.cases.push(CaseRecord {
                 round: plan.round,
                 src: src.host,
                 dst: dst.host,
@@ -136,33 +176,100 @@ impl ResultsBuilder {
                 outcomes,
             });
         }
+
+        let summary = summarize(plan, overlay, &partial);
+        self.partials.insert(plan.round, partial);
+        summary
     }
 
     /// Rounds folded in so far.
     pub fn rounds_absorbed(&self) -> u32 {
-        self.rounds_absorbed
+        self.partials.len() as u32
     }
 
-    /// Finalizes into [`CampaignResults`].
+    /// Finalizes into [`CampaignResults`], merging the per-round
+    /// partials in ascending round order — the step that makes
+    /// completion order unobservable.
     pub fn finish(self, colo_pool: crate::colo::ColoPool, pings_sent: u64) -> CampaignResults {
-        let rounds = f64::from(self.rounds_absorbed.max(1));
+        let rounds = (self.partials.len().max(1)) as f64;
+        let total = |f: fn(&RoundPartial) -> usize| self.partials.values().map(f).sum::<usize>();
+        let mut cases = Vec::with_capacity(total(|p| p.cases.len()));
+        // History maps: the entry totals over-count keys repeated
+        // across rounds, but they are cheap, correct upper bounds that
+        // spare the maps every rehash.
+        let mut direct_history: HashMap<(HostId, HostId), Vec<f64>> =
+            HashMap::with_capacity(total(|p| p.direct_entries.len()));
+        let mut link_history: HashMap<(HostId, HostId), Vec<f64>> =
+            HashMap::with_capacity(total(|p| p.link_entries.len()));
+        let mut symmetry_samples = Vec::with_capacity(total(|p| p.symmetry.len()));
+        let mut relay_meta: HashMap<HostId, RelayMeta> =
+            HashMap::with_capacity(total(|p| p.relay_meta.len()));
+        let mut unresponsive_pairs = 0u64;
+        let mut endpoints_total = 0usize;
+        let mut relays_total = [0usize; 4];
+
+        for partial in self.partials.into_values() {
+            for (host, meta) in partial.relay_meta {
+                relay_meta.entry(host).or_insert(meta);
+            }
+            for (key, m) in partial.direct_entries {
+                direct_history.entry(key).or_default().push(m);
+            }
+            for (key, v) in partial.link_entries {
+                link_history.entry(key).or_default().push(v);
+            }
+            symmetry_samples.extend(partial.symmetry);
+            cases.extend(partial.cases);
+            unresponsive_pairs += partial.unresponsive;
+            endpoints_total += partial.endpoints;
+            for (t, n) in partial.relays.iter().enumerate() {
+                relays_total[t] += n;
+            }
+        }
+
         CampaignResults {
-            cases: self.cases,
-            direct_history: self.direct_history,
-            link_history: self.link_history,
-            symmetry_samples: self.symmetry_samples,
-            relay_meta: self.relay_meta,
+            cases,
+            direct_history,
+            link_history,
+            symmetry_samples,
+            relay_meta,
             colo_pool,
             pings_sent,
-            unresponsive_pairs: self.unresponsive_pairs,
-            avg_endpoints: self.endpoints_total as f64 / rounds,
+            unresponsive_pairs,
+            avg_endpoints: endpoints_total as f64 / rounds,
             avg_relays: [
-                self.relays_total[0] as f64 / rounds,
-                self.relays_total[1] as f64 / rounds,
-                self.relays_total[2] as f64 / rounds,
-                self.relays_total[3] as f64 / rounds,
+                relays_total[0] as f64 / rounds,
+                relays_total[1] as f64 / rounds,
+                relays_total[2] as f64 / rounds,
+                relays_total[3] as f64 / rounds,
             ],
         }
+    }
+}
+
+/// The per-round digest the streaming API hands to observers.
+fn summarize(plan: &RoundPlan, overlay: &OverlayPlan, partial: &RoundPartial) -> RoundSummary {
+    let mut improved = [0usize; 4];
+    for case in &partial.cases {
+        for (t, n) in improved.iter_mut().enumerate() {
+            if case.outcomes[t].improved(case.direct_ms) {
+                *n += 1;
+            }
+        }
+    }
+    RoundSummary {
+        round: plan.round,
+        endpoints: plan.endpoints.len(),
+        pairs: plan.pairs.len(),
+        cases: partial.cases.len(),
+        unresponsive_pairs: partial.unresponsive,
+        relays: partial.relays,
+        links_planned: overlay.needed.len(),
+        // One history entry was pushed per measured link (`needed` is
+        // deduplicated), so the count is already in the partial.
+        links_measured: partial.link_entries.len(),
+        symmetry_samples: partial.symmetry.len(),
+        improved,
     }
 }
 
@@ -210,8 +317,12 @@ mod tests {
     /// Two endpoints, two relays (one COR, one PLR), everything
     /// feasible: stitched outcomes must be exact leg sums.
     fn tiny_round() -> (RoundPlan, OverlayPlan) {
+        tiny_round_at(0)
+    }
+
+    fn tiny_round_at(round: u32) -> (RoundPlan, OverlayPlan) {
         let plan = RoundPlan {
-            round: 0,
+            round,
             t0: SimTime(0.0),
             endpoints: vec![
                 endpoint(1, "US", Continent::NorthAmerica),
@@ -236,13 +347,20 @@ mod tests {
         let (plan, overlay) = tiny_round();
         let mut b = ResultsBuilder::new();
         // Links: e0–r0=30, e0–r1=50, e1–r0=40, e1–r1=missing.
-        b.absorb_round(
+        let summary = b.absorb_round(
             &plan,
             &overlay,
             &[Some(100.0)],
             &[Some(101.0)],
             &[Some(30.0), Some(50.0), Some(40.0), None],
         );
+        assert_eq!(summary.round, 0);
+        assert_eq!(summary.cases, 1);
+        assert_eq!(summary.links_planned, 4);
+        assert_eq!(summary.links_measured, 3);
+        assert_eq!(summary.symmetry_samples, 1);
+        assert_eq!(summary.improved[RelayType::Cor.index()], 1);
+        assert_eq!(summary.improved[RelayType::Plr.index()], 0);
         let r = b.finish(empty_pool(), 0);
         assert_eq!(r.cases.len(), 1);
         let c = &r.cases[0];
@@ -270,7 +388,9 @@ mod tests {
         let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
         // No reverse results: an unresponsive forward pair schedules
         // no reverse window.
-        b.absorb_round(&plan, &overlay, &[None], &[], &no_links);
+        let summary = b.absorb_round(&plan, &overlay, &[None], &[], &no_links);
+        assert_eq!(summary.cases, 0);
+        assert_eq!(summary.unresponsive_pairs, 1);
         let r = b.finish(empty_pool(), 0);
         assert!(r.cases.is_empty());
         assert_eq!(r.unresponsive_pairs, 1);
@@ -279,10 +399,10 @@ mod tests {
 
     #[test]
     fn averages_span_rounds() {
-        let (plan, overlay) = tiny_round();
         let mut b = ResultsBuilder::new();
-        let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
-        for _ in 0..4 {
+        for round in 0..4 {
+            let (plan, overlay) = tiny_round_at(round);
+            let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
             b.absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links);
         }
         assert_eq!(b.rounds_absorbed(), 4);
@@ -293,6 +413,60 @@ mod tests {
         assert!((r.avg_relays[RelayType::Plr.index()] - 1.0).abs() < 1e-12);
         // Direct history accumulated across rounds.
         assert_eq!(r.direct_history[&(HostId(1), HostId(2))].len(), 4);
+    }
+
+    #[test]
+    fn absorption_order_is_unobservable() {
+        // Four rounds with per-round distinguishable medians, absorbed
+        // in order vs. scrambled: the merged results must be
+        // identical, with every history in ascending round order.
+        let rounds = [0u32, 1, 2, 3];
+        let run = |order: &[u32]| {
+            let mut b = ResultsBuilder::new();
+            for &round in order {
+                let (plan, overlay) = tiny_round_at(round);
+                let d = 100.0 + f64::from(round);
+                b.absorb_round(
+                    &plan,
+                    &overlay,
+                    &[Some(d)],
+                    &[Some(d + 0.5)],
+                    &[Some(30.0), Some(50.0), Some(40.0 + f64::from(round)), None],
+                );
+            }
+            b.finish(empty_pool(), 7)
+        };
+        let in_order = run(&rounds);
+        let scrambled = run(&[2, 0, 3, 1]);
+        assert_eq!(in_order.cases.len(), scrambled.cases.len());
+        for (a, b) in in_order.cases.iter().zip(&scrambled.cases) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.direct_ms.to_bits(), b.direct_ms.to_bits());
+        }
+        assert_eq!(in_order.symmetry_samples, scrambled.symmetry_samples);
+        assert_eq!(
+            in_order.direct_history[&(HostId(1), HostId(2))],
+            scrambled.direct_history[&(HostId(1), HostId(2))]
+        );
+        assert_eq!(
+            in_order.link_history[&(HostId(1), HostId(10))],
+            scrambled.link_history[&(HostId(1), HostId(10))]
+        );
+        // And the merged history really is in round order.
+        assert_eq!(
+            scrambled.direct_history[&(HostId(1), HostId(2))],
+            vec![100.0, 101.0, 102.0, 103.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absorbed twice")]
+    fn double_absorption_is_a_bug() {
+        let (plan, overlay) = tiny_round();
+        let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
+        let mut b = ResultsBuilder::new();
+        b.absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links);
+        b.absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links);
     }
 
     #[test]

@@ -19,9 +19,28 @@
 //!    median(e2, relay)` — histories, symmetry samples and metadata.
 //!
 //! Scheduling is unobservable: each window's RNG derives from `(seed,
-//! round, src, dst, kind)`, so serial and parallel runs of the same
-//! seed produce bit-identical [`CampaignResults`] (asserted by the
+//! round, src, dst, kind)` and each round's plan from `(seed, round)`,
+//! so serial, parallel and round-sharded runs of the same seed produce
+//! bit-identical [`CampaignResults`] (asserted by the
 //! `determinism_equivalence` integration suite).
+//!
+//! Three execution modes share that contract
+//! ([`crate::backend::ExecMode`]):
+//!
+//! - **Serial** — one window after another, one round after another.
+//! - **Parallel** — each round's stage fans across all cores, with a
+//!   barrier at every stage boundary.
+//! - **Sharded** — the [`crate::shard`] scheduler keeps
+//!   `rounds_in_flight` rounds in flight at once, interleaving
+//!   direct/reverse/overlay windows from different rounds on one
+//!   worker pool so no core idles at another round's barrier.
+//!
+//! The campaign **streams**: [`Campaign::run_streaming`] invokes an
+//! observer with a [`RoundSummary`] per round, in round order, as
+//! rounds complete — a consumer (CLI progress, a future service API)
+//! sees round *k* as soon as rounds `0..=k` are done instead of
+//! waiting out the whole ~27-simulated-day campaign. [`Campaign::run`]
+//! is the no-observer convenience wrapper.
 //!
 //! The output is a flat list of **cases** (one per measured RAE pair
 //! per round) carrying the direct median and, per relay type, the best
@@ -32,8 +51,9 @@ use crate::backend::{execute, ExecMode, MeasurementBackend, NetsimBackend};
 use crate::colo::{run_pipeline, ColoPipelineConfig, ColoPool};
 use crate::eyeball::{select_eyeballs, EndpointPool};
 use crate::measure::WindowConfig;
-use crate::plan::{plan_overlay, plan_round};
+use crate::plan::{plan_overlay, plan_round_for};
 use crate::relays::{RelayPools, RelayType};
+use crate::shard::run_sharded;
 use crate::stitch::ResultsBuilder;
 use crate::world::World;
 use rand::rngs::StdRng;
@@ -43,7 +63,7 @@ use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::{HostId, PingEngine};
 use shortcuts_topology::routing::{Router, RoutingPolicy};
 use shortcuts_topology::{Asn, FacilityId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -65,8 +85,9 @@ pub struct CampaignConfig {
     pub routing: RoutingPolicy,
     /// Master seed for all per-round randomness.
     pub seed: u64,
-    /// Task scheduling. Either mode yields bit-identical results for
-    /// the same seed; `Parallel` uses every core.
+    /// Task scheduling. Every mode yields bit-identical results for
+    /// the same seed; `Parallel` uses every core within a round,
+    /// `Sharded` additionally pipelines across rounds.
     pub exec: ExecMode,
 }
 
@@ -203,6 +224,34 @@ impl CampaignResults {
     }
 }
 
+/// What the streaming API reports per completed round: the round's
+/// shape (who was sampled, what was measured) and its headline §3
+/// numbers, available long before the campaign finishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Round index.
+    pub round: u32,
+    /// Endpoints sampled this round.
+    pub endpoints: usize,
+    /// Direct pairs planned.
+    pub pairs: usize,
+    /// Cases emitted (pairs whose direct window produced a median).
+    pub cases: usize,
+    /// Pairs whose direct window produced no valid median.
+    pub unresponsive_pairs: u64,
+    /// Relays sampled, indexed by [`RelayType::index`].
+    pub relays: [usize; 4],
+    /// Overlay links the feasibility filter asked for.
+    pub links_planned: usize,
+    /// Overlay links that produced a median.
+    pub links_measured: usize,
+    /// Forward/reverse symmetry samples recorded.
+    pub symmetry_samples: usize,
+    /// Cases improved by at least one relay, indexed by
+    /// [`RelayType::index`].
+    pub improved: [usize; 4],
+}
+
 /// The campaign runner.
 pub struct Campaign<'w> {
     world: &'w World,
@@ -217,6 +266,15 @@ impl<'w> Campaign<'w> {
 
     /// Runs the whole campaign on the netsim backend.
     pub fn run(&self) -> CampaignResults {
+        self.run_streaming(|_| {})
+    }
+
+    /// Runs the whole campaign on the netsim backend, streaming a
+    /// [`RoundSummary`] to `on_round` per completed round, **in round
+    /// order**, as rounds finish. In sharded mode round `k`'s summary
+    /// is emitted as soon as rounds `0..=k` are complete — consumers
+    /// see results while later rounds are still measuring.
+    pub fn run_streaming<F: FnMut(&RoundSummary)>(&self, on_round: F) -> CampaignResults {
         let world = self.world;
         let cfg = &self.cfg;
         let router = Router::with_policy(&world.topo, cfg.routing);
@@ -236,48 +294,69 @@ impl<'w> Campaign<'w> {
         let relay_pools = RelayPools::build(world, &colo_pool, &selection.verified);
 
         let backend = NetsimBackend::new(&engine, cfg.window, cfg.seed);
-        self.run_rounds(&backend, &endpoint_pool, &relay_pools, colo_pool)
+        self.run_rounds(&backend, &endpoint_pool, &relay_pools, colo_pool, on_round)
     }
 
-    /// Runs the round loop against any backend. Selection pools and
-    /// the COR funnel are passed in because they are backend-agnostic
-    /// world facts, not measurements of this campaign.
-    pub fn run_rounds<B: MeasurementBackend>(
+    /// Runs the round loop against any backend, streaming summaries in
+    /// round order. Selection pools and the COR funnel are passed in
+    /// because they are backend-agnostic world facts, not measurements
+    /// of this campaign.
+    pub fn run_rounds<B: MeasurementBackend, F: FnMut(&RoundSummary)>(
         &self,
         backend: &B,
         endpoint_pool: &EndpointPool<'_>,
         relay_pools: &RelayPools,
         colo_pool: ColoPool,
+        mut on_round: F,
     ) -> CampaignResults {
         let world = self.world;
         let cfg = &self.cfg;
         let mut builder = ResultsBuilder::new();
 
-        for round in 0..cfg.rounds {
-            // Planning randomness: one deterministic stream per round.
-            let mut round_rng =
-                StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED).wrapping_add(u64::from(round)));
+        match cfg.exec {
+            ExecMode::Sharded { rounds_in_flight } => {
+                // Round plans are pure functions of (seed, round), so
+                // worker threads can plan rounds on demand.
+                let planner = |round| plan_round_for(world, endpoint_pool, relay_pools, cfg, round);
+                // Rounds complete out of order; the builder does not
+                // care, but observers are promised round order, so
+                // buffer summaries until their turn.
+                let mut pending: BTreeMap<u32, RoundSummary> = BTreeMap::new();
+                let mut next_emit = 0u32;
+                run_sharded(backend, cfg.rounds, rounds_in_flight, planner, |done| {
+                    let summary = builder.absorb_round(
+                        &done.plan,
+                        &done.overlay,
+                        &done.direct,
+                        &done.reverse,
+                        &done.links,
+                    );
+                    pending.insert(summary.round, summary);
+                    while let Some(summary) = pending.remove(&next_emit) {
+                        on_round(&summary);
+                        next_emit += 1;
+                    }
+                });
+            }
+            mode => {
+                for round in 0..cfg.rounds {
+                    // Plan: endpoints, pairs, relays — pure data.
+                    let plan = plan_round_for(world, endpoint_pool, relay_pools, cfg, round);
 
-            // Plan: endpoints, pairs, relays — pure data.
-            let plan = plan_round(
-                world,
-                endpoint_pool,
-                relay_pools,
-                cfg,
-                round,
-                &mut round_rng,
-            );
+                    // Execute: direct and reverse windows.
+                    let direct = execute(backend, &plan.direct_tasks(), mode);
+                    let reverse = execute(backend, &plan.reverse_tasks(&direct), mode);
 
-            // Execute: direct and reverse windows.
-            let direct = execute(backend, &plan.direct_tasks(), cfg.exec);
-            let reverse = execute(backend, &plan.reverse_tasks(&direct), cfg.exec);
+                    // Plan the overlay stage from the direct medians;
+                    // execute.
+                    let overlay = plan_overlay(&plan, &direct);
+                    let links = execute(backend, &overlay.link_tasks(&plan), mode);
 
-            // Plan the overlay stage from the direct medians; execute.
-            let overlay = plan_overlay(&plan, &direct);
-            let links = execute(backend, &overlay.link_tasks(&plan), cfg.exec);
-
-            // Stitch.
-            builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
+                    // Stitch.
+                    let summary = builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
+                    on_round(&summary);
+                }
+            }
         }
 
         builder.finish(colo_pool, backend.pings_sent())
@@ -381,6 +460,59 @@ mod tests {
             assert_eq!(a.dst, b.dst);
             assert!((a.direct_ms - b.direct_ms).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn streaming_reports_rounds_in_order_and_matches_results() {
+        let world = World::build(&WorldConfig::small(), 21);
+        for exec in [
+            ExecMode::Serial,
+            ExecMode::Parallel,
+            ExecMode::Sharded {
+                rounds_in_flight: 3,
+            },
+        ] {
+            let mut cfg = CampaignConfig::small();
+            cfg.rounds = 3;
+            cfg.exec = exec;
+            let mut summaries = Vec::new();
+            let results = Campaign::new(&world, cfg).run_streaming(|s| summaries.push(s.clone()));
+            // One summary per round, strictly in round order.
+            assert_eq!(summaries.len(), 3, "{exec:?}");
+            for (i, s) in summaries.iter().enumerate() {
+                assert_eq!(s.round, i as u32, "{exec:?}");
+                assert_eq!(s.cases + s.unresponsive_pairs as usize, s.pairs);
+            }
+            // Summaries add up to the campaign totals.
+            let cases: usize = summaries.iter().map(|s| s.cases).sum();
+            assert_eq!(cases, results.total_cases(), "{exec:?}");
+            let unresponsive: u64 = summaries.iter().map(|s| s.unresponsive_pairs).sum();
+            assert_eq!(unresponsive, results.unresponsive_pairs, "{exec:?}");
+            let symmetry: usize = summaries.iter().map(|s| s.symmetry_samples).sum();
+            assert_eq!(symmetry, results.symmetry_samples.len(), "{exec:?}");
+            for t in RelayType::ALL {
+                let improved: usize = summaries.iter().map(|s| s.improved[t.index()]).sum();
+                let from_cases = results
+                    .cases
+                    .iter()
+                    .filter(|c| c.outcome(t).improved(c.direct_ms))
+                    .count();
+                assert_eq!(improved, from_cases, "{exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mode_produces_cases() {
+        let world = World::build(&WorldConfig::small(), 21);
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = 2;
+        cfg.exec = ExecMode::Sharded {
+            rounds_in_flight: 2,
+        };
+        let r = Campaign::new(&world, cfg).run();
+        assert!(!r.cases.is_empty());
+        assert!(r.pings_sent > 0);
     }
 
     #[test]

@@ -54,13 +54,55 @@ struct StatCounters {
     unroutable: AtomicU64,
 }
 
+/// Shards in the pair cache. First-touch rounds are write-heavy — the
+/// campaign's sharded scheduler can have several rounds' worth of
+/// worker threads inserting fresh pairs at once — so the cache is
+/// split into independently locked shards to keep writers from
+/// serializing on one `RwLock`. 64 shards ≫ any realistic core count.
+const CACHE_SHARDS: usize = 64;
+
+/// One independently locked portion of the pair cache.
+type CacheShard = RwLock<HashMap<(HostId, HostId), Option<Arc<PairInfo>>>>;
+
 /// Pair cache: `Arc` per entry so a hit is a refcount bump, not a
-/// deep clone of the AS path under the read lock.
-type PairCache = RwLock<HashMap<(HostId, HostId), Option<Arc<PairInfo>>>>;
+/// deep clone of the AS path under the read lock; one lock per shard
+/// so concurrent first-touch inserts rarely contend.
+struct PairCache {
+    shards: Vec<CacheShard>,
+}
+
+impl PairCache {
+    fn new() -> Self {
+        PairCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The shard owning a pair: a SplitMix64 finalizer over both host
+    /// ids, so pairs sharing a source still spread across shards.
+    fn shard(&self, key: (HostId, HostId)) -> &CacheShard {
+        let mut z = (u64::from(key.0 .0) << 32) | u64::from(key.1 .0);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        &self.shards[(z as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: (HostId, HostId)) -> Option<Option<Arc<PairInfo>>> {
+        self.shard(key).read().get(&key).cloned()
+    }
+
+    fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>) {
+        self.shard(key).write().insert(key, info);
+    }
+}
 
 /// The ping engine. `Sync`: all interior mutability is a read-mostly
-/// pair cache behind an `RwLock` plus atomic counters, so one engine
-/// is shared by every measurement worker thread.
+/// sharded pair cache behind per-shard `RwLock`s plus atomic counters,
+/// so one engine is shared by every measurement worker thread.
 pub struct PingEngine<'t> {
     topo: &'t Topology,
     router: &'t Router<'t>,
@@ -86,7 +128,7 @@ impl<'t> PingEngine<'t> {
             hosts,
             model,
             faults: FaultPlan::none(),
-            cache: RwLock::new(HashMap::new()),
+            cache: PairCache::new(),
             stats: StatCounters::default(),
         }
     }
@@ -125,8 +167,8 @@ impl<'t> PingEngine<'t> {
 
     /// Deterministic path facts for a pair, computed once.
     fn pair_info(&self, src: HostId, dst: HostId) -> Option<Arc<PairInfo>> {
-        if let Some(cached) = self.cache.read().get(&(src, dst)) {
-            return cached.clone();
+        if let Some(cached) = self.cache.get((src, dst)) {
+            return cached;
         }
         let s = self.hosts.get(src);
         let d = self.hosts.get(dst);
@@ -176,7 +218,7 @@ impl<'t> PingEngine<'t> {
                 _ => None,
             }
         };
-        self.cache.write().insert((src, dst), info.clone());
+        self.cache.insert((src, dst), info.clone());
         info
     }
 
@@ -310,6 +352,20 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.attempts, 200);
         assert_eq!(stats.replies + stats.losses + stats.unroutable, 200);
+    }
+
+    #[test]
+    fn pair_cache_shards_are_stable_and_spread() {
+        let cache = PairCache::new();
+        for i in 0..500u32 {
+            let key = (HostId(i), HostId(i ^ 0xABC));
+            cache.insert(key, None);
+            assert!(cache.get(key).is_some(), "inserted pair must be found");
+        }
+        // The shard hash must actually spread pairs; a constant hash
+        // would silently restore single-lock contention.
+        let used = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(used > CACHE_SHARDS / 2, "only {used} shards used");
     }
 
     #[test]

@@ -3,12 +3,18 @@
 //! ```text
 //! colo-shortcuts world-info [--seed S]
 //! colo-shortcuts funnel     [--seed S]
-//! colo-shortcuts campaign   [--seed S] [--rounds N] [--out DIR] [--serial]
+//! colo-shortcuts campaign   [--seed S] [--rounds N] [--out DIR]
+//!                           [--serial | --rounds-in-flight N]
 //! ```
 //!
-//! `campaign` runs the paper's measurement campaign and writes the
-//! figure-ready CSVs (`cases.csv`, `improvement.csv`, `top_relays.csv`,
+//! `campaign` runs the paper's measurement campaign — streaming a
+//! progress line per completed round — and writes the figure-ready
+//! CSVs (`cases.csv`, `improvement.csv`, `top_relays.csv`,
 //! `threshold.csv`, `funnel.csv`) into `--out` (default `./out`).
+//! `--rounds-in-flight N` selects the round-sharded pipeline (N rounds
+//! measured concurrently); `--serial` forces one window at a time; the
+//! default is per-round parallel. All three produce bit-identical
+//! results for the same seed.
 
 use shortcuts_core::analysis::improvement::ImprovementAnalysis;
 use shortcuts_core::analysis::threshold::ThresholdCurve;
@@ -24,6 +30,7 @@ struct Args {
     rounds: u32,
     out: PathBuf,
     serial: bool,
+    rounds_in_flight: Option<usize>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -34,6 +41,7 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         rounds: 8,
         out: PathBuf::from("out"),
         serial: false,
+        rounds_in_flight: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -63,11 +71,23 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
                 args.serial = true;
                 i += 1;
             }
+            "--rounds-in-flight" => {
+                args.rounds_in_flight = Some(
+                    need_value(i)
+                        .parse()
+                        .expect("--rounds-in-flight takes a usize"),
+                );
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if args.serial && args.rounds_in_flight.is_some() {
+        eprintln!("--serial and --rounds-in-flight are mutually exclusive");
+        std::process::exit(2);
     }
     (cmd, args)
 }
@@ -80,7 +100,8 @@ fn main() {
         "campaign" => campaign(&args),
         _ => {
             eprintln!(
-                "usage: colo-shortcuts <world-info|funnel|campaign> [--seed S] [--rounds N] [--out DIR] [--serial]"
+                "usage: colo-shortcuts <world-info|funnel|campaign> [--seed S] [--rounds N] \
+                 [--out DIR] [--serial | --rounds-in-flight N]"
             );
             std::process::exit(2);
         }
@@ -136,15 +157,33 @@ fn campaign(args: &Args) {
     let mut cfg = CampaignConfig::paper();
     cfg.rounds = args.rounds;
     cfg.seed = args.seed;
-    if args.serial {
+    let mode = if args.serial {
         cfg.exec = shortcuts_core::ExecMode::Serial;
-    }
-    eprintln!(
-        "running {} rounds ({}) ...",
-        cfg.rounds,
-        if args.serial { "serial" } else { "parallel" }
-    );
-    let results = Campaign::new(&w, cfg).run();
+        "serial".to_string()
+    } else if let Some(n) = args.rounds_in_flight {
+        cfg.exec = shortcuts_core::ExecMode::Sharded {
+            rounds_in_flight: n,
+        };
+        format!("sharded, {n} rounds in flight")
+    } else {
+        "parallel".to_string()
+    };
+    eprintln!("running {} rounds ({mode}) ...", cfg.rounds);
+    // Stream per-round progress: summaries arrive in round order as
+    // rounds complete, long before the campaign finishes.
+    let results = Campaign::new(&w, cfg).run_streaming(|s| {
+        eprintln!(
+            "round {:>3}: {} endpoints, {} cases ({} unresponsive), \
+             {} of {} links, {} symmetry samples",
+            s.round,
+            s.endpoints,
+            s.cases,
+            s.unresponsive_pairs,
+            s.links_measured,
+            s.links_planned,
+            s.symmetry_samples,
+        );
+    });
     eprintln!(
         "{} cases, {:.2} M pings",
         results.total_cases(),

@@ -2,12 +2,17 @@
 //!
 //! - same seed ⇒ bit-identical [`CampaignResults`] across repeated
 //!   runs;
-//! - serial and parallel execution are indistinguishable — the
-//!   per-task RNG derivation makes scheduling unobservable;
+//! - serial, parallel and round-sharded execution are
+//!   indistinguishable — per-task RNG derivation makes window
+//!   scheduling unobservable, per-round plan derivation and the
+//!   order-independent results builder make *round* scheduling
+//!   unobservable;
+//! - streaming summaries are deterministic and consistent with the
+//!   final results in every mode;
 //! - different seeds actually change the measurements.
 
 use colo_shortcuts::core::backend::ExecMode;
-use colo_shortcuts::core::workflow::{Campaign, CampaignConfig, CampaignResults};
+use colo_shortcuts::core::workflow::{Campaign, CampaignConfig, CampaignResults, RoundSummary};
 use colo_shortcuts::core::world::{World, WorldConfig};
 use colo_shortcuts::core::RelayType;
 
@@ -98,6 +103,60 @@ fn serial_and_parallel_backends_are_equivalent() {
     let parallel = run(&world, ExecMode::Parallel);
     assert!(!serial.cases.is_empty());
     assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn sharded_is_bit_identical_to_serial() {
+    // The acceptance check for round sharding: with rounds completing
+    // out of order across a worker pool, every case, history, symmetry
+    // sample and the ping count must still match a serial run bit for
+    // bit — at every sharding depth, including depths past the round
+    // count.
+    let world = World::build(&WorldConfig::small(), 77);
+    let serial = run(&world, ExecMode::Serial);
+    assert!(!serial.cases.is_empty());
+    for rounds_in_flight in [1, 2, 3, 16] {
+        let sharded = run(&world, ExecMode::Sharded { rounds_in_flight });
+        assert_identical(&serial, &sharded);
+    }
+}
+
+#[test]
+fn sharded_repeats_are_bit_identical() {
+    let world = World::build(&WorldConfig::small(), 77);
+    let mode = ExecMode::Sharded {
+        rounds_in_flight: 2,
+    };
+    let r1 = run(&world, mode);
+    let r2 = run(&world, mode);
+    assert!(!r1.cases.is_empty());
+    assert_identical(&r1, &r2);
+}
+
+#[test]
+fn streaming_summaries_agree_across_modes() {
+    // The streaming observer must see the same per-round summaries, in
+    // the same (round) order, whichever scheduler ran the campaign.
+    let world = World::build(&WorldConfig::small(), 77);
+    let collect = |exec: ExecMode| -> Vec<RoundSummary> {
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = 2;
+        cfg.exec = exec;
+        let mut summaries = Vec::new();
+        Campaign::new(&world, cfg).run_streaming(|s| summaries.push(s.clone()));
+        summaries
+    };
+    let serial = collect(ExecMode::Serial);
+    assert_eq!(serial.len(), 2);
+    assert!(serial.iter().enumerate().all(|(i, s)| s.round == i as u32));
+    for exec in [
+        ExecMode::Parallel,
+        ExecMode::Sharded {
+            rounds_in_flight: 2,
+        },
+    ] {
+        assert_eq!(serial, collect(exec), "{exec:?}");
+    }
 }
 
 #[test]

@@ -15,6 +15,95 @@ prop_compose! {
     }
 }
 
+prop_compose! {
+    /// An arbitrary synthetic round: `n` endpoints spread over the
+    /// globe, all pairs with random reverse flags, `m` relays of
+    /// cycling types, and an arbitrary direct success/failure pattern.
+    fn arb_alignment_case()(
+        n in 3usize..7,
+        m in 0usize..6,
+        seed in 0u64..u64::MAX,
+    ) -> (
+        colo_shortcuts::core::plan::RoundPlan,
+        Vec<Option<f64>>,
+    ) {
+        use colo_shortcuts::core::plan::{PlannedEndpoint, PlannedPair, RoundPlan};
+        use colo_shortcuts::core::relays::{Relay, RelayType};
+        use colo_shortcuts::geo::{CityId, Continent, CountryCode};
+        use colo_shortcuts::netsim::clock::SimTime;
+        use colo_shortcuts::netsim::HostId;
+        use colo_shortcuts::topology::Asn;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let endpoints: Vec<PlannedEndpoint> = (0..n)
+            .map(|i| PlannedEndpoint {
+                host: HostId(1 + i as u32),
+                country: CountryCode::new("US").expect("valid"),
+                city: CityId(0),
+                continent: Continent::NorthAmerica,
+                location: GeoPoint::new(
+                    rng.gen_range(-60.0..60.0),
+                    rng.gen_range(-170.0..170.0),
+                )
+                .expect("in range"),
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for src in 0..n {
+            for dst in (src + 1)..n {
+                pairs.push(PlannedPair {
+                    src,
+                    dst,
+                    reverse: rng.gen_bool(0.5),
+                });
+            }
+        }
+        let relays: Vec<Relay> = (0..m)
+            .map(|i| Relay {
+                host: HostId(100 + i as u32),
+                asn: Asn(100 + i as u32),
+                city: CityId(0),
+                location: GeoPoint::new(
+                    rng.gen_range(-60.0..60.0),
+                    rng.gen_range(-170.0..170.0),
+                )
+                .expect("in range"),
+                country: CountryCode::new("DE").expect("valid"),
+                rtype: RelayType::ALL[i % 4],
+                facility: None,
+            })
+            .collect();
+        let direct: Vec<Option<f64>> = pairs
+            .iter()
+            .map(|_| rng.gen_bool(0.75).then(|| rng.gen_range(1.0..400.0)))
+            .collect();
+        let plan = RoundPlan {
+            round: rng.gen_range(0..45),
+            t0: SimTime(0.0),
+            endpoints,
+            pairs,
+            relays,
+        };
+        (plan, direct)
+    }
+}
+
+fn empty_pool() -> colo_shortcuts::core::colo::ColoPool {
+    colo_shortcuts::core::colo::ColoPool {
+        relays: Vec::new(),
+        funnel: colo_shortcuts::core::colo::FilterFunnel {
+            initial: 0,
+            single_facility: 0,
+            pingable: 0,
+            ownership: 0,
+            presence: 0,
+            geolocated: 0,
+        },
+    }
+}
+
 proptest! {
     // ---- geometry ------------------------------------------------------
 
@@ -208,6 +297,110 @@ proptest! {
         for &(_, imp) in &out.improving {
             prop_assert!(imp > 0.0);
         }
+    }
+
+    // ---- plan/stitch alignment (§2.5 plumbing) ---------------------------
+
+    #[test]
+    fn reverse_tasks_are_the_successful_forward_subsequence(
+        case in arb_alignment_case(),
+    ) {
+        // The reverse schedule must be exactly the reverse-flagged
+        // pairs whose forward window produced a median, in pair order,
+        // with the direction swapped — never more, never fewer, never
+        // reordered.
+        use colo_shortcuts::core::backend::TaskKind;
+        let (plan, direct) = case;
+        let tasks = plan.reverse_tasks(&direct);
+        let expected: Vec<_> = plan
+            .pairs
+            .iter()
+            .zip(&direct)
+            .filter(|(p, d)| p.reverse && d.is_some())
+            .map(|(p, _)| (plan.endpoints[p.dst].host, plan.endpoints[p.src].host))
+            .collect();
+        prop_assert_eq!(tasks.len(), expected.len());
+        for (t, &(src, dst)) in tasks.iter().zip(&expected) {
+            prop_assert_eq!(t.src, src);
+            prop_assert_eq!(t.dst, dst);
+            prop_assert!(t.kind == TaskKind::Reverse);
+            prop_assert_eq!(t.round, plan.round);
+        }
+    }
+
+    #[test]
+    fn links_stay_position_aligned_with_needed(
+        case in arb_alignment_case(),
+        link_seed in 0u64..u64::MAX,
+    ) {
+        // Under an arbitrary pattern of direct and overlay-link
+        // failures, every measured link must land in the stitched
+        // output under the host pair its `needed` position names, and
+        // a relay must count as feasible-and-measured iff both of its
+        // legs produced medians.
+        use colo_shortcuts::core::plan::plan_overlay;
+        use colo_shortcuts::core::stitch::ResultsBuilder;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+
+        let (plan, direct) = case;
+        let overlay = plan_overlay(&plan, &direct);
+        let tasks = overlay.link_tasks(&plan);
+        prop_assert_eq!(tasks.len(), overlay.needed.len());
+        for (t, &(ei, ri)) in tasks.iter().zip(&overlay.needed) {
+            prop_assert_eq!(t.src, plan.endpoints[ei].host);
+            prop_assert_eq!(t.dst, plan.relays[ri as usize].host);
+        }
+
+        // Arbitrary link failures, position-aligned with `needed`.
+        let mut rng = StdRng::seed_from_u64(link_seed);
+        let links: Vec<Option<f64>> = overlay
+            .needed
+            .iter()
+            .map(|_| rng.gen_bool(0.7).then(|| rng.gen_range(1.0..300.0)))
+            .collect();
+        let reverse = vec![None; plan.reverse_tasks(&direct).len()];
+        let mut builder = ResultsBuilder::new();
+        builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
+        let results = builder.finish(empty_pool(), 0);
+
+        // Every measured link is in the history under its own key —
+        // and nothing else is.
+        let measured = links.iter().filter(|l| l.is_some()).count();
+        let total: usize = results.link_history.values().map(Vec::len).sum();
+        prop_assert_eq!(total, measured);
+        let mut link_val: HashMap<(usize, u32), f64> = HashMap::new();
+        for (&(ei, ri), l) in overlay.needed.iter().zip(&links) {
+            let Some(v) = *l else { continue };
+            link_val.insert((ei, ri), v);
+            let (a, b) = (plan.endpoints[ei].host, plan.relays[ri as usize].host);
+            let key = if a <= b { (a, b) } else { (b, a) };
+            let history = &results.link_history[&key];
+            prop_assert!(history.iter().any(|x| x.to_bits() == v.to_bits()));
+        }
+
+        // Feasible-and-measured counts per case and type must match a
+        // recomputation from the aligned link pattern.
+        let mut cases = results.cases.iter();
+        for (pair_idx, (pair, d)) in plan.pairs.iter().zip(&direct).enumerate() {
+            if d.is_none() {
+                continue;
+            }
+            let case = cases.next().expect("one case per responsive pair");
+            let mut want = [0u32; 4];
+            for &ri in &overlay.feasible[pair_idx] {
+                if link_val.contains_key(&(pair.src, ri))
+                    && link_val.contains_key(&(pair.dst, ri))
+                {
+                    want[plan.relays[ri as usize].rtype.index()] += 1;
+                }
+            }
+            for (t, &w) in want.iter().enumerate() {
+                prop_assert_eq!(case.outcomes[t].feasible, w);
+            }
+        }
+        prop_assert!(cases.next().is_none());
     }
 
     #[test]
