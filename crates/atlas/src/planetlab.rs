@@ -81,7 +81,7 @@ impl PlanetLab {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites = Vec::new();
         let mut nodes = Vec::new();
-        for asn in topo.asns_of_type(AsType::Research) {
+        for &asn in topo.asns_of_type(AsType::Research) {
             let info = topo.expect_as(asn);
             let Some(&pop) = info.pops.first() else {
                 continue;

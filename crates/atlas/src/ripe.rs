@@ -354,7 +354,7 @@ mod tests {
             ra.probes().iter().map(|p| p.country).collect();
         assert!(countries.len() > 30, "got {}", countries.len());
         // Every *large* eyeball AS hosts at least one probe.
-        for asn in topo.eyeball_asns() {
+        for &asn in topo.eyeball_asns() {
             if topo.expect_as(asn).user_share >= 0.10 {
                 assert!(!ra.probes_in_as(asn).is_empty(), "{asn} without probes");
             }

@@ -1,6 +1,7 @@
-//! Criterion micro-benchmarks for the simulator's hot paths: route
-//! computation, router-level path expansion, ping sampling, and the
-//! median/statistics kernels the analyses lean on.
+//! Criterion micro-benchmarks for the simulator's hot paths:
+//! router-level path expansion, ping sampling, and the
+//! median/statistics kernels the analyses lean on. Route computation
+//! has its own `routing` bench (flat core vs. heap oracle).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -10,34 +11,8 @@ use shortcuts_core::measure::median;
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::path::{expand_path, ExpandConfig};
 use shortcuts_netsim::{HostRegistry, LatencyModel, PingEngine};
-use shortcuts_topology::routing::{compute_table, Router};
+use shortcuts_topology::routing::Router;
 use shortcuts_topology::{Topology, TopologyConfig};
-
-fn bench_routing(c: &mut Criterion) {
-    let topo = Topology::generate(&TopologyConfig::paper_scale(), 1);
-    let eyes = topo.eyeball_asns();
-    c.bench_function("routing/compute_table_paper_scale", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let dst = eyes[i % eyes.len()];
-            i += 1;
-            black_box(compute_table(&topo, dst))
-        })
-    });
-
-    let router = Router::new(&topo);
-    // Warm one table, then measure cached path reconstruction.
-    let dst = eyes[0];
-    let _ = router.as_path(eyes[1], dst);
-    c.bench_function("routing/as_path_cached", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let src = eyes[i % eyes.len()];
-            i += 1;
-            black_box(router.as_path(src, dst))
-        })
-    });
-}
 
 fn bench_expansion(c: &mut Criterion) {
     let topo = Topology::generate(&TopologyConfig::paper_scale(), 1);
@@ -111,6 +86,6 @@ fn bench_stats(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_routing, bench_expansion, bench_ping, bench_stats
+    targets = bench_expansion, bench_ping, bench_stats
 }
 criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! The flat index-based routing core vs. the heap-based oracle it
+//! replaced, at paper scale.
+//!
+//! Three comparisons matter:
+//!
+//! - **Single-table construction** — `routing::compute_table` (CSR
+//!   adjacency + bucket-queue sweeps over dense `Vec<RouteEntry>`)
+//!   against `routing::oracle::compute_table` (BinaryHeap Dijkstra
+//!   over `HashMap` adjacency and results). This is the PR's headline
+//!   number; the acceptance bar is ≥ 2×.
+//! - **Cached path reconstruction** — `as_path` now follows dense
+//!   next-node links instead of chasing a `HashMap` per hop.
+//! - **Cold-start warmup** — `Router::precompute` building a whole
+//!   campaign's destination tables on the worker pool vs. computing
+//!   them one after another, which is what the first round's cache
+//!   misses used to do.
+//!
+//! A wall-clock speedup table over `SHORTCUTS_BENCH_TABLES`
+//! destinations (default 64) prints alongside the criterion numbers —
+//! the measured rows feed the README's routing-bench table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_topology::routing::{self, oracle, Router};
+use shortcuts_topology::{Asn, Topology, TopologyConfig};
+use std::time::Instant;
+
+fn table_count() -> usize {
+    std::env::var("SHORTCUTS_BENCH_TABLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn paper_topology() -> Topology {
+    Topology::generate(&TopologyConfig::paper_scale(), 1)
+}
+
+fn bench_single_table(c: &mut Criterion) {
+    let topo = paper_topology();
+    let eyes = topo.eyeball_asns();
+    c.bench_function("routing/compute_table_flat", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let dst = eyes[i % eyes.len()];
+            i += 1;
+            black_box(routing::compute_table(&topo, dst))
+        })
+    });
+    c.bench_function("routing/compute_table_oracle_heap", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let dst = eyes[i % eyes.len()];
+            i += 1;
+            black_box(oracle::compute_table(&topo, dst))
+        })
+    });
+    c.bench_function("routing/compute_table_shortest_flat", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let dst = eyes[i % eyes.len()];
+            i += 1;
+            black_box(routing::compute_table_shortest(&topo, dst))
+        })
+    });
+}
+
+fn bench_as_path(c: &mut Criterion) {
+    let topo = paper_topology();
+    let eyes = topo.eyeball_asns();
+    let router = Router::new(&topo);
+    let dst = eyes[0];
+    let _ = router.table(dst); // warm the one table
+    c.bench_function("routing/as_path_cached", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let src = eyes[i % eyes.len()];
+            i += 1;
+            black_box(router.as_path(src, dst))
+        })
+    });
+}
+
+/// One timed serial-oracle / serial-flat / parallel-flat run over a
+/// campaign-sized destination set, with the explicit speedup table the
+/// README quotes. Also cross-checks every flat table against the
+/// oracle's, so the speedup rows are guaranteed to compare identical
+/// outputs.
+fn bench_warmup_report(c: &mut Criterion) {
+    let topo = paper_topology();
+    let dsts: Vec<Asn> = topo
+        .eyeball_asns()
+        .iter()
+        .cycle()
+        .take(table_count())
+        .copied()
+        .collect();
+
+    let t = Instant::now();
+    let oracle_tables: Vec<_> = dsts
+        .iter()
+        .map(|&d| oracle::compute_table(&topo, d))
+        .collect();
+    let oracle_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let flat_tables: Vec<_> = dsts
+        .iter()
+        .map(|&d| routing::compute_table(&topo, d))
+        .collect();
+    let flat_secs = t.elapsed().as_secs_f64();
+
+    let router = Router::new(&topo);
+    let t = Instant::now();
+    router.precompute(&dsts);
+    let precompute_secs = t.elapsed().as_secs_f64();
+
+    // Canary: the timed implementations must agree entry for entry.
+    for (flat, reference) in flat_tables.iter().zip(&oracle_tables) {
+        assert_eq!(flat.reachable_count(), reference.len());
+        for info in topo.ases() {
+            assert_eq!(flat.route(info.asn), reference.get(&info.asn));
+        }
+    }
+
+    let n = dsts.len();
+    let unique: std::collections::HashSet<Asn> = dsts.iter().copied().collect();
+    println!(
+        "routing/warmup speedup ({n} tables, {} ASes, {} thread(s)):",
+        topo.as_count(),
+        rayon::current_num_threads(),
+    );
+    for (name, secs) in [
+        ("oracle serial", oracle_secs),
+        ("flat serial", flat_secs),
+        ("flat precompute", precompute_secs),
+    ] {
+        println!(
+            "  {name:>16}: {secs:7.3}s  ({:5.2}x vs oracle serial)",
+            oracle_secs / secs
+        );
+    }
+    // Note: precompute dedups, so its row builds `unique` tables.
+    println!(
+        "  (precompute row covers {} unique destinations)",
+        unique.len()
+    );
+
+    // Keep a criterion entry so `--test` smoke mode exercises this
+    // path too (one cheap iteration over a single destination).
+    c.bench_function("routing/precompute_one", |b| {
+        b.iter(|| {
+            let r = Router::new(&topo);
+            r.precompute(&dsts[..1]);
+            black_box(r.cached_tables())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_single_table, bench_as_path, bench_warmup_report
+}
+criterion_main!(benches);

@@ -100,6 +100,18 @@ impl<'w> EndpointPool<'w> {
         self.by_country.values().map(|m| m.len()).sum()
     }
 
+    /// Distinct ASes with usable probes, ascending. Every direct or
+    /// reverse measurement routes toward one of these, so this is the
+    /// endpoint half of the router's warmup destination set.
+    pub fn asns(&self) -> Vec<Asn> {
+        let set: std::collections::BTreeSet<Asn> = self
+            .by_country
+            .values()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
     /// Total usable probes.
     pub fn probe_count(&self) -> usize {
         self.by_country

@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 use shortcuts_geo::{CityId, Continent, CountryCode, GeoPoint};
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::HostId;
+use shortcuts_topology::Asn;
 use std::collections::BTreeSet;
 
 /// One endpoint of the round, with the location facts later stages
@@ -107,6 +108,23 @@ impl RoundPlan {
             })
             .collect()
     }
+}
+
+/// Every destination AS the campaign's measurement tasks can route
+/// toward, ascending and deduplicated: the endpoint-pool ASes (each
+/// direct pair needs tables toward both ends — forward and return
+/// routes) and the relay ASes (each overlay link needs the relay's
+/// table, and its return route needs the endpoint's, already covered).
+///
+/// The pools are round-invariant — every round samples from them — so
+/// this is the complete destination set of the whole campaign, known
+/// before round 0. Handing it to `Router::precompute` builds all
+/// tables data-parallel up front instead of serializing construction
+/// behind the first round's pair-cache misses.
+pub fn warmup_destinations(endpoints: &EndpointPool<'_>, relays: &RelayPools) -> Vec<Asn> {
+    let mut dsts: BTreeSet<Asn> = endpoints.asns().into_iter().collect();
+    dsts.extend(relays.asns());
+    dsts.into_iter().collect()
 }
 
 /// The planning RNG for a round: one deterministic stream derived from

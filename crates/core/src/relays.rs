@@ -196,6 +196,22 @@ impl RelayPools {
         }
     }
 
+    /// Distinct ASes hosting any relay candidate, ascending. Every
+    /// overlay link routes toward (or back from) one of these, so this
+    /// is the relay half of the router's warmup destination set.
+    pub fn asns(&self) -> Vec<Asn> {
+        let set: std::collections::BTreeSet<Asn> = self
+            .cor_by_facility
+            .values()
+            .chain(self.plr_by_site.values())
+            .chain(self.rar_eye_by_country.values())
+            .chain(self.rar_other_by_country.values())
+            .flatten()
+            .map(|r| r.asn)
+            .collect();
+        set.into_iter().collect()
+    }
+
     /// Samples the relays for one round per the paper's strategy.
     ///
     /// `round` drives PlanetLab availability; the RNG drives all random

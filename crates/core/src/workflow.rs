@@ -35,6 +35,14 @@
 //!   direct/reverse/overlay windows from different rounds on one
 //!   worker pool so no core idles at another round's barrier.
 //!
+//! Before the round loop starts, the campaign hands
+//! [`crate::plan::warmup_destinations`] — every AS its plan can route
+//! toward, known up front because the endpoint and relay pools are
+//! round-invariant — to `Router::precompute`, which builds all
+//! destination tables data-parallel on the worker pool. The first
+//! round's windows then pay only pair-expansion cost instead of
+//! serializing behind cold routing-table construction.
+//!
 //! The campaign **streams**: [`Campaign::run_streaming`] invokes an
 //! observer with a [`RoundSummary`] per round, in round order, as
 //! rounds complete — a consumer (CLI progress, a future service API)
@@ -292,6 +300,17 @@ impl<'w> Campaign<'w> {
         let selection = select_eyeballs(world, cfg.eyeball_cutoff_pct);
         let endpoint_pool = EndpointPool::build(world, &selection.verified);
         let relay_pools = RelayPools::build(world, &colo_pool, &selection.verified);
+
+        // Warm every destination table the campaign can touch,
+        // data-parallel, before round 0 — the first round's windows
+        // then only pay pair-expansion cost, not serialized table
+        // construction. Purely a scheduling change: tables are
+        // identical however they are built, so results stay
+        // bit-identical.
+        router.precompute(&crate::plan::warmup_destinations(
+            &endpoint_pool,
+            &relay_pools,
+        ));
 
         let backend = NetsimBackend::new(&engine, cfg.window, cfg.seed);
         self.run_rounds(&backend, &endpoint_pool, &relay_pools, colo_pool, on_round)

@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn every_eyeball_has_a_home_row() {
         let (topo, ds) = dataset();
-        for asn in topo.eyeball_asns() {
+        for &asn in topo.eyeball_asns() {
             let info = topo.expect_as(asn);
             assert!(
                 ds.rows()

@@ -445,7 +445,7 @@ mod tests {
             .filter(|r| r.truth == GroundTruth::Dead)
             .map(|r| r.ip)
             .collect();
-        for asn in topo.eyeball_asns().into_iter().take(20) {
+        for &asn in topo.eyeball_asns().iter().take(20) {
             for _ in 0..5 {
                 if let Ok(id) = hosts.add_host_in_as(&topo, asn, None) {
                     assert!(!dead_ips.contains(&hosts.get(id).ip));

@@ -24,8 +24,10 @@ use std::sync::Arc;
 struct PairInfo {
     /// Base RTT (deterministic part), ms.
     base_ms: f64,
-    /// AS-level path (for fault checks and diagnostics).
-    as_path: Vec<Asn>,
+    /// AS-level path (for fault checks and diagnostics). Read-only
+    /// after construction, so it is shared — handing it out is a
+    /// refcount bump, never a per-ping deep clone.
+    as_path: Arc<[Asn]>,
     /// Midpoint longitude for the diurnal term.
     mid_lon: f64,
 }
@@ -183,7 +185,7 @@ impl<'t> PingEngine<'t> {
             );
             Some(Arc::new(PairInfo {
                 base_ms: self.model.base_rtt_ms(&path) + access,
-                as_path: vec![s.asn],
+                as_path: Arc::from([s.asn].as_slice()),
                 mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
             }))
         } else {
@@ -211,7 +213,7 @@ impl<'t> PingEngine<'t> {
                     );
                     Some(Arc::new(PairInfo {
                         base_ms: self.model.base_rtt_two_way(&fwd, &rev) + access,
-                        as_path: fwd_as,
+                        as_path: fwd_as.into(),
                         mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
                     }))
                 }
@@ -229,9 +231,10 @@ impl<'t> PingEngine<'t> {
         self.pair_info(src, dst).map(|p| p.base_ms)
     }
 
-    /// AS path between two hosts (`None` if unroutable).
-    pub fn as_path(&self, src: HostId, dst: HostId) -> Option<Vec<Asn>> {
-        self.pair_info(src, dst).map(|p| p.as_path.clone())
+    /// AS path between two hosts (`None` if unroutable). Shared, not
+    /// cloned: the campaign's fault checks read this on every ping.
+    pub fn as_path(&self, src: HostId, dst: HostId) -> Option<Arc<[Asn]>> {
+        self.pair_info(src, dst).map(|p| Arc::clone(&p.as_path))
     }
 
     /// Sends one ping at time `t`; returns the observed RTT in ms, or
@@ -418,7 +421,7 @@ mod tests {
         let b = reg.add_host_in_as(f.topo, asn, None).unwrap();
         let reg: &'static HostRegistry = Box::leak(Box::new(reg));
         let engine = PingEngine::new(f.topo, f.router, reg, LatencyModel::default());
-        assert_eq!(engine.as_path(a, b).unwrap(), vec![asn]);
+        assert_eq!(engine.as_path(a, b).unwrap().to_vec(), vec![asn]);
         assert!(engine.base_rtt(a, b).unwrap() >= 0.0);
     }
 

@@ -39,6 +39,18 @@ impl AsType {
         AsType::Research,
     ];
 
+    /// Position of this type in [`AsType::ALL`] (dense array index).
+    pub fn index(self) -> usize {
+        match self {
+            AsType::Tier1 => 0,
+            AsType::Tier2 => 1,
+            AsType::Eyeball => 2,
+            AsType::Content => 3,
+            AsType::Enterprise => 4,
+            AsType::Research => 5,
+        }
+    }
+
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {
         match self {

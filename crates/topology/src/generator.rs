@@ -706,8 +706,8 @@ mod tests {
     fn tier1s_form_a_clique() {
         let t = Topology::generate(&TopologyConfig::small(), 3);
         let tier1s = t.asns_of_type(AsType::Tier1);
-        for &a in &tier1s {
-            for &b in &tier1s {
+        for &a in tier1s {
+            for &b in tier1s {
                 if a != b {
                     assert!(t.adjacency(a).peers.contains(&b));
                 }
@@ -733,7 +733,7 @@ mod tests {
     #[test]
     fn eyeballs_have_domestic_pops_and_user_share() {
         let t = Topology::generate(&TopologyConfig::small(), 5);
-        for asn in t.eyeball_asns() {
+        for &asn in t.eyeball_asns() {
             let info = t.expect_as(asn);
             assert!(info.user_share > 0.0);
             assert!(!info.pops.is_empty());

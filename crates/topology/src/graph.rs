@@ -1,10 +1,23 @@
 //! The assembled topology graph.
+//!
+//! Besides the per-AS [`Adjacency`] records (the convenient,
+//! HashMap-backed view), [`TopologyBuilder::build`] freezes two dense
+//! representations that the routing core runs on:
+//!
+//! - a [`NodeIndex`] mapping every ASN to a compact [`NodeId`] in
+//!   `0..n` (insertion order), shared behind an `Arc` so routing
+//!   tables can carry it without borrowing the topology;
+//! - a [`CsrAdjacency`] — one flat edge array in compressed-sparse-row
+//!   layout with per-class (provider / customer / peer) ranges per
+//!   node, so a routing sweep touches contiguous memory instead of
+//!   chasing per-AS heap allocations.
 
 use crate::asys::{AsInfo, AsType, Pop};
 use crate::facility::{Facility, Ixp};
-use crate::ids::{Asn, FacilityId, IxpId, PopId};
+use crate::ids::{Asn, FacilityId, IxpId, NodeId, PopId};
 use shortcuts_geo::{CityDb, CityId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Business relationship on an inter-AS link, from the perspective of the
 /// link as stored (`a`, `b`).
@@ -27,6 +40,105 @@ pub struct Adjacency {
     pub peers: Vec<Asn>,
 }
 
+/// Dense, immutable ASN ↔ [`NodeId`] mapping of one topology.
+///
+/// Shared behind an `Arc` between the [`Topology`] and every
+/// [`crate::routing::RoutingTable`] computed over it, so tables are
+/// self-contained (`'static`) while still resolving ASNs without a
+/// copy of the map.
+#[derive(Debug)]
+pub struct NodeIndex {
+    asn_to_node: HashMap<Asn, NodeId>,
+    node_to_asn: Vec<Asn>,
+}
+
+impl NodeIndex {
+    fn from_asns(asns: impl IntoIterator<Item = Asn>) -> Self {
+        let node_to_asn: Vec<Asn> = asns.into_iter().collect();
+        let asn_to_node = node_to_asn
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, NodeId(i as u32)))
+            .collect();
+        NodeIndex {
+            asn_to_node,
+            node_to_asn,
+        }
+    }
+
+    /// Dense id of `asn`, if the AS exists.
+    #[inline]
+    pub fn node(&self, asn: Asn) -> Option<NodeId> {
+        self.asn_to_node.get(&asn).copied()
+    }
+
+    /// ASN of a dense id (panics on an id from another topology).
+    #[inline]
+    pub fn asn(&self, node: NodeId) -> Asn {
+        self.node_to_asn[node.index()]
+    }
+
+    /// Number of ASes in the index.
+    pub fn len(&self) -> usize {
+        self.node_to_asn.len()
+    }
+
+    /// Whether the topology has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.node_to_asn.is_empty()
+    }
+}
+
+/// Compressed-sparse-row adjacency over [`NodeId`]s.
+///
+/// All edges of all nodes live in one flat `edges` array. Node `i`
+/// owns `edges[start[i] .. start[i+1]]`, internally split into three
+/// class ranges — providers first, then customers, then peers — so a
+/// routing phase iterates exactly the class it propagates over, in
+/// cache order, with no hashing and no per-AS allocation.
+#[derive(Debug)]
+pub struct CsrAdjacency {
+    /// Row offsets, length `n + 1`.
+    start: Vec<u32>,
+    /// End of node `i`'s provider range (absolute edge index).
+    prov_end: Vec<u32>,
+    /// End of node `i`'s customer range (absolute edge index); peers
+    /// run from here to `start[i + 1]`.
+    cust_end: Vec<u32>,
+    /// Flat edge array, grouped by node then class.
+    edges: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Providers of `n` (ASes `n` buys transit from).
+    #[inline]
+    pub fn providers(&self, n: NodeId) -> &[NodeId] {
+        &self.edges[self.start[n.index()] as usize..self.prov_end[n.index()] as usize]
+    }
+
+    /// Customers of `n` (ASes buying transit from `n`).
+    #[inline]
+    pub fn customers(&self, n: NodeId) -> &[NodeId] {
+        &self.edges[self.prov_end[n.index()] as usize..self.cust_end[n.index()] as usize]
+    }
+
+    /// Settlement-free peers of `n`.
+    #[inline]
+    pub fn peers(&self, n: NodeId) -> &[NodeId] {
+        &self.edges[self.cust_end[n.index()] as usize..self.start[n.index() + 1] as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.start.len() - 1
+    }
+
+    /// Number of directed edges (each undirected link counts twice).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
 /// The complete synthetic Internet: geography, ASes, PoPs, facilities,
 /// IXPs and the business-relationship graph.
 ///
@@ -42,6 +154,14 @@ pub struct Topology {
     facilities: Vec<Facility>,
     ixps: Vec<Ixp>,
     adjacency: HashMap<Asn, Adjacency>,
+    /// Dense ASN ↔ NodeId mapping, shared with routing tables.
+    node_index: Arc<NodeIndex>,
+    /// Flat CSR adjacency in NodeId space (the routing core's view of
+    /// `adjacency`).
+    csr: CsrAdjacency,
+    /// Cached: ASNs per [`AsType`], indexed by [`AsType::index`], in
+    /// insertion order.
+    asns_by_type: [Vec<Asn>; 6],
     /// Cached: set of cities where each AS has a PoP.
     pop_cities: HashMap<Asn, HashSet<CityId>>,
     /// Cached: facilities by city.
@@ -109,18 +229,25 @@ impl Topology {
             .unwrap_or_else(|| EMPTY.get_or_init(Adjacency::default))
     }
 
-    /// All ASNs of a given type.
-    pub fn asns_of_type(&self, t: AsType) -> Vec<Asn> {
-        self.asns
-            .iter()
-            .filter(|a| a.as_type == t)
-            .map(|a| a.asn)
-            .collect()
+    /// All ASNs of a given type, in insertion order (cached at build
+    /// time — no scan, no allocation).
+    pub fn asns_of_type(&self, t: AsType) -> &[Asn] {
+        &self.asns_by_type[t.index()]
     }
 
     /// All eyeball ASNs.
-    pub fn eyeball_asns(&self) -> Vec<Asn> {
+    pub fn eyeball_asns(&self) -> &[Asn] {
         self.asns_of_type(AsType::Eyeball)
+    }
+
+    /// The shared dense ASN ↔ [`NodeId`] mapping.
+    pub fn node_index(&self) -> &Arc<NodeIndex> {
+        &self.node_index
+    }
+
+    /// The CSR adjacency the routing core sweeps over.
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
     }
 
     /// Set of cities where `asn` has a PoP.
@@ -240,8 +367,14 @@ impl TopologyBuilder {
     }
 
     /// Records that `customer` buys transit from `provider`.
-    /// Duplicate and self links are ignored.
+    /// Duplicate and self links are ignored. Panics if either AS was
+    /// never registered with [`TopologyBuilder::add_as`] — the CSR
+    /// built at [`TopologyBuilder::build`] has no node for it.
     pub fn add_transit(&mut self, customer: Asn, provider: Asn) {
+        assert!(
+            self.asn_index.contains_key(&customer) && self.asn_index.contains_key(&provider),
+            "transit link {customer} -> {provider} references an unregistered AS"
+        );
         if customer == provider {
             return;
         }
@@ -258,8 +391,13 @@ impl TopologyBuilder {
     }
 
     /// Records a settlement-free peering link. Duplicates, self links and
-    /// links that already exist as transit are ignored.
+    /// links that already exist as transit are ignored. Panics if
+    /// either AS was never registered with [`TopologyBuilder::add_as`].
     pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        assert!(
+            self.asn_index.contains_key(&a) && self.asn_index.contains_key(&b),
+            "peering link {a} -- {b} references an unregistered AS"
+        );
         if a == b {
             return;
         }
@@ -322,7 +460,9 @@ impl TopologyBuilder {
         }
     }
 
-    /// Finalizes the topology, computing derived caches.
+    /// Finalizes the topology, computing derived caches: PoP cities,
+    /// facilities by city, the per-type ASN lists, and the dense
+    /// [`NodeIndex`] + [`CsrAdjacency`] the routing core runs on.
     pub fn build(self) -> Topology {
         let mut pop_cities: HashMap<Asn, HashSet<CityId>> = HashMap::new();
         for pop in &self.pops {
@@ -332,6 +472,46 @@ impl TopologyBuilder {
         for f in &self.facilities {
             facilities_by_city.entry(f.city).or_default().push(f.id);
         }
+
+        let mut asns_by_type: [Vec<Asn>; 6] = Default::default();
+        for info in &self.asns {
+            asns_by_type[info.as_type.index()].push(info.asn);
+        }
+
+        // Freeze the dense views. NodeId order is AS insertion order,
+        // and within a node the CSR keeps each class's builder
+        // insertion order — both deterministic, so identical builder
+        // inputs yield identical flat layouts.
+        let node_index = Arc::new(NodeIndex::from_asns(self.asns.iter().map(|a| a.asn)));
+        let n = self.asns.len();
+        let mut start = Vec::with_capacity(n + 1);
+        let mut prov_end = Vec::with_capacity(n);
+        let mut cust_end = Vec::with_capacity(n);
+        let total_edges: usize = self
+            .adjacency
+            .values()
+            .map(|a| a.providers.len() + a.customers.len() + a.peers.len())
+            .sum();
+        let mut edges = Vec::with_capacity(total_edges);
+        start.push(0u32);
+        let empty = Adjacency::default();
+        for info in &self.asns {
+            let adj = self.adjacency.get(&info.asn).unwrap_or(&empty);
+            let to_node = |asn: &Asn| node_index.node(*asn).expect("edge to unknown AS");
+            edges.extend(adj.providers.iter().map(to_node));
+            prov_end.push(edges.len() as u32);
+            edges.extend(adj.customers.iter().map(to_node));
+            cust_end.push(edges.len() as u32);
+            edges.extend(adj.peers.iter().map(to_node));
+            start.push(edges.len() as u32);
+        }
+        let csr = CsrAdjacency {
+            start,
+            prov_end,
+            cust_end,
+            edges,
+        };
+
         Topology {
             cities: self.cities,
             asns: self.asns,
@@ -340,6 +520,9 @@ impl TopologyBuilder {
             facilities: self.facilities,
             ixps: self.ixps,
             adjacency: self.adjacency,
+            node_index,
+            csr,
+            asns_by_type,
             pop_cities,
             facilities_by_city,
         }
@@ -458,6 +641,55 @@ mod tests {
         assert_eq!(t.facility(f).ixps, vec![ix]);
         assert_eq!(t.ixp(ix).member_count(), 1);
         assert_eq!(t.facilities_in_city(ams), &[f]);
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_and_node_index_roundtrips() {
+        let mut b = Topology::builder();
+        b.add_as(test_as(10, AsType::Tier1, "US"));
+        b.add_as(test_as(20, AsType::Tier2, "DE"));
+        b.add_as(test_as(30, AsType::Eyeball, "FR"));
+        b.add_as(test_as(40, AsType::Eyeball, "GB"));
+        b.add_transit(Asn(20), Asn(10));
+        b.add_transit(Asn(30), Asn(20));
+        b.add_transit(Asn(40), Asn(20));
+        b.add_peering(Asn(30), Asn(40));
+        let t = b.build();
+
+        let idx = t.node_index();
+        assert_eq!(idx.len(), 4);
+        for (i, info) in t.ases().iter().enumerate() {
+            let node = idx.node(info.asn).expect("every AS indexed");
+            assert_eq!(node, NodeId(i as u32), "insertion order");
+            assert_eq!(idx.asn(node), info.asn);
+        }
+        assert!(idx.node(Asn(999)).is_none());
+
+        // Every class range of every node mirrors the Adjacency vecs,
+        // in the same order.
+        let csr = t.csr();
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 2 * t.link_count());
+        for info in t.ases() {
+            let node = idx.node(info.asn).unwrap();
+            let adj = t.adjacency(info.asn);
+            let to_asns = |nodes: &[NodeId]| nodes.iter().map(|&n| idx.asn(n)).collect::<Vec<_>>();
+            assert_eq!(to_asns(csr.providers(node)), adj.providers);
+            assert_eq!(to_asns(csr.customers(node)), adj.customers);
+            assert_eq!(to_asns(csr.peers(node)), adj.peers);
+        }
+    }
+
+    #[test]
+    fn per_type_asn_lists_are_cached_in_insertion_order() {
+        let mut b = Topology::builder();
+        b.add_as(test_as(3, AsType::Eyeball, "US"));
+        b.add_as(test_as(1, AsType::Tier1, "US"));
+        b.add_as(test_as(2, AsType::Eyeball, "DE"));
+        let t = b.build();
+        assert_eq!(t.eyeball_asns(), &[Asn(3), Asn(2)]);
+        assert_eq!(t.asns_of_type(AsType::Tier1), &[Asn(1)]);
+        assert!(t.asns_of_type(AsType::Research).is_empty());
     }
 
     #[test]

@@ -16,6 +16,32 @@ impl fmt::Display for Asn {
     }
 }
 
+/// Dense index of an AS within one assembled topology.
+///
+/// ASNs are sparse (the generator hands out realistic numbers up to the
+/// tens of thousands); a `NodeId` is the AS's position in the
+/// topology's insertion-ordered AS table, so `0..n` is contiguous and
+/// can index flat arrays directly. The mapping lives in
+/// [`crate::graph::NodeIndex`] and is fixed once
+/// [`crate::graph::TopologyBuilder::build`] runs — routing tables and
+/// the CSR adjacency are all expressed in this space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a flat-array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
 /// Identifier of a point of presence within the topology (global, not
 /// per-AS: a PoP belongs to exactly one AS).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -21,7 +21,9 @@
 //!   enterprise/research), countries, PoPs.
 //! - [`facility`] — colocation facilities and IXPs with membership.
 //! - [`graph`] — the assembled [`Topology`] with adjacency by business
-//!   relationship.
+//!   relationship, plus the dense [`NodeId`] space: a shared
+//!   [`graph::NodeIndex`] and a flat CSR adjacency
+//!   ([`graph::CsrAdjacency`]) the routing core sweeps over.
 //! - [`generator`] — the seeded random generator producing realistic
 //!   topologies ([`TopologyConfig`], [`Topology::generate`]).
 //! - [`routing`] — Gao–Rexford valley-free route computation
@@ -35,7 +37,7 @@
 //! let topo = Topology::generate(&TopologyConfig::small(), 42);
 //! let router = Router::new(&topo);
 //! // Pick two eyeball ASes and compute the policy path between them.
-//! let eyeballs: Vec<_> = topo.eyeball_asns();
+//! let eyeballs = topo.eyeball_asns();
 //! let path = router.as_path(eyeballs[0], eyeballs[1]);
 //! assert!(path.is_some());
 //! ```
@@ -51,6 +53,6 @@ pub mod routing;
 pub use asys::{AsInfo, AsType, Pop};
 pub use facility::{Facility, Ixp};
 pub use generator::TopologyConfig;
-pub use graph::{Relationship, Topology};
-pub use ids::{Asn, FacilityId, IxpId, PopId};
+pub use graph::{CsrAdjacency, NodeIndex, Relationship, Topology};
+pub use ids::{Asn, FacilityId, IxpId, NodeId, PopId};
 pub use ip::{IpAllocator, Prefix};

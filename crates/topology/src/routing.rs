@@ -12,29 +12,54 @@
 //! **customer route > peer route > provider route**, then shortest AS
 //! path, then lowest next-hop ASN (deterministic tie-break).
 //!
-//! This yields the classic three-phase computation, each phase a
-//! shortest-path sweep:
+//! This yields the classic three-phase computation. All edges are unit
+//! weight, so each phase is a *bucket-queue sweep* over flat arrays in
+//! the topology's dense [`NodeId`] space rather than a heap-based
+//! Dijkstra over hash maps:
 //!
-//! - Phase 1 ("up"): customer routes climb provider links from `d`.
-//! - Phase 2 ("across"): ASes with customer routes announce to peers.
-//! - Phase 3 ("down"): routes descend customer links.
+//! - **Phase 1 ("up")**: customer routes climb provider links from `d`
+//!   — a plain BFS (the single-source, all-unit-weight special case of
+//!   a bucket queue: one frontier per distance).
+//! - **Phase 2 ("across")**: ASes with customer routes announce to
+//!   peers — a single linear sweep over the entry array (peer routes
+//!   are never re-exported, so there is no propagation to schedule).
+//! - **Phase 3 ("down")**: routes descend customer links — a
+//!   multi-source bucket queue: every route holder is seeded into the
+//!   bucket of its path length and buckets drain in increasing
+//!   distance, giving Dijkstra's visit order in O(V + E + D) without a
+//!   heap.
 //!
-//! The result is a full routing table toward `d`: every AS that can reach
-//! `d` has a best (class, length, next-hop) entry, and the AS-level
-//! forwarding path is recovered by following next-hops. Path *inflation*
-//! — the paper's root cause for TIVs — falls out of this policy: the
-//! shortest policy-compliant path is often much longer (in hops and
-//! kilometers) than the shortest unrestricted path.
+//! Each sweep writes into a dense `Vec<RouteEntry>` indexed by
+//! [`NodeId`] and walks the topology's CSR adjacency
+//! ([`crate::graph::CsrAdjacency`]), so the hot loop is sequential
+//! array traffic instead of per-AS pointer chases. The tie-break is
+//! preserved exactly: a node is first reached at its minimal distance
+//! (buckets drain in order), and equal-distance offers — all of which
+//! arrive while the predecessor bucket drains — keep the lowest
+//! next-hop ASN. Tables are therefore bit-identical to the reference
+//! heap implementation, which survives as [`oracle`] for the
+//! equivalence proptest and the `routing` benchmark.
+//!
+//! The result is a full routing table toward `d`: every AS that can
+//! reach `d` has a best (class, length, next-hop) entry, and the
+//! AS-level forwarding path is recovered by following next-hops. Path
+//! *inflation* — the paper's root cause for TIVs — falls out of this
+//! policy: the shortest policy-compliant path is often much longer (in
+//! hops and kilometers) than the shortest unrestricted path.
 //!
 //! [`Router`] adds a thread-safe per-destination cache; the measurement
 //! campaign touches a few hundred destination ASes out of thousands, so
 //! caching tables per destination is the right granularity.
+//! [`Router::precompute`] builds a batch of destination tables
+//! data-parallel on the worker pool — the campaign warms every table
+//! its plan can touch before round 0 instead of serializing table
+//! construction behind the first round's pair cache.
 
-use crate::graph::Topology;
-use crate::ids::Asn;
+use crate::graph::{NodeIndex, Topology};
+use crate::ids::{Asn, NodeId};
 use parking_lot::RwLock;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Preference class of a route, ordered best-first.
@@ -60,215 +85,249 @@ pub struct RouteEntry {
     pub next_hop: Asn,
 }
 
+/// Sentinel `path_len` marking a node with no route in the dense entry
+/// array.
+const UNREACHED: u32 = u32::MAX;
+
 /// Routing table toward a single destination AS.
+///
+/// Backed by a dense `Vec<RouteEntry>` indexed by [`NodeId`] plus the
+/// topology's shared ASN ↔ node map, so `route` is one hash lookup +
+/// one array read and `as_path` follows precomputed node links without
+/// hashing at all.
 #[derive(Debug)]
 pub struct RoutingTable {
     /// The destination all entries point toward.
     pub destination: Asn,
-    routes: HashMap<Asn, RouteEntry>,
+    /// Shared ASN ↔ NodeId map of the topology the table was computed
+    /// over.
+    nodes: Arc<NodeIndex>,
+    /// Dense entries by NodeId; `path_len == UNREACHED` means no route.
+    entries: Vec<RouteEntry>,
+    /// Dense next hop by NodeId, as a node (valid where `entries` is).
+    next_node: Vec<NodeId>,
+    /// The destination's own entry (also covers a destination ASN that
+    /// is unknown to the topology, which the map cannot index).
+    dst_entry: RouteEntry,
+    /// Number of ASes with a route (including the destination).
+    reachable: usize,
 }
 
 impl RoutingTable {
     /// Best route of `asn` toward the destination, if reachable.
     pub fn route(&self, asn: Asn) -> Option<&RouteEntry> {
-        self.routes.get(&asn)
+        if asn == self.destination {
+            return Some(&self.dst_entry);
+        }
+        let e = &self.entries[self.nodes.node(asn)?.index()];
+        (e.path_len != UNREACHED).then_some(e)
     }
 
     /// Number of ASes that can reach the destination (including itself).
     pub fn reachable_count(&self) -> usize {
-        self.routes.len()
+        self.reachable
     }
 
     /// Reconstructs the AS path from `src` to the destination
     /// (inclusive on both ends). `None` if unreachable.
     pub fn as_path(&self, src: Asn) -> Option<Vec<Asn>> {
+        if src == self.destination {
+            return Some(vec![src]);
+        }
+        let mut node = self.nodes.node(src)?;
+        if self.entries[node.index()].path_len == UNREACHED {
+            return None;
+        }
         let mut path = vec![src];
-        let mut cur = src;
         // Bound iterations by the table size to guard against cycles
         // (which would indicate a computation bug).
-        for _ in 0..=self.routes.len() {
-            if cur == self.destination {
+        for _ in 0..=self.entries.len() {
+            node = self.next_node[node.index()];
+            let asn = self.nodes.asn(node);
+            path.push(asn);
+            if asn == self.destination {
                 return Some(path);
             }
-            let entry = self.routes.get(&cur)?;
-            cur = entry.next_hop;
-            path.push(cur);
         }
         panic!("routing loop toward {} from {}", self.destination, src);
     }
 }
 
-/// Candidate route offer used by the phase sweeps: ordered so that the
-/// *best* candidate (smallest length, then smallest next-hop ASN, then
-/// smallest owner ASN) pops first from a max-heap via reversed ordering.
-#[derive(Debug, PartialEq, Eq)]
-struct Candidate {
-    path_len: u32,
-    owner: Asn,
-    next_hop: Asn,
+/// Mutable sweep state: the dense entry and next-node arrays all three
+/// phases write into.
+struct SweepState {
+    entries: Vec<RouteEntry>,
+    next_node: Vec<NodeId>,
 }
 
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse for min-heap behavior.
-        (other.path_len, other.next_hop, other.owner).cmp(&(
-            self.path_len,
-            self.next_hop,
-            self.owner,
-        ))
+impl SweepState {
+    fn new(n: usize, dst: Asn) -> Self {
+        SweepState {
+            entries: vec![
+                RouteEntry {
+                    class: RouteClass::Customer,
+                    path_len: UNREACHED,
+                    next_hop: dst,
+                };
+                n
+            ],
+            next_node: vec![NodeId(0); n],
+        }
     }
-}
 
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    /// Finalizes into a table, counting reachable nodes.
+    fn finish(self, topo: &Topology, dst: Asn) -> RoutingTable {
+        let dst_entry = RouteEntry {
+            class: RouteClass::Customer,
+            path_len: 0,
+            next_hop: dst,
+        };
+        let known = topo.node_index().node(dst).is_some();
+        let reachable = self
+            .entries
+            .iter()
+            .filter(|e| e.path_len != UNREACHED)
+            .count()
+            + usize::from(!known);
+        RoutingTable {
+            destination: dst,
+            nodes: Arc::clone(topo.node_index()),
+            entries: self.entries,
+            next_node: self.next_node,
+            dst_entry,
+            reachable,
+        }
     }
-}
-
-/// Whether `candidate` (class implied equal) beats `incumbent`.
-fn better(len: u32, next_hop: Asn, incumbent: &RouteEntry) -> bool {
-    (len, next_hop) < (incumbent.path_len, incumbent.next_hop)
 }
 
 /// Computes the full valley-free routing table toward `dst`.
 pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
-    let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
-    routes.insert(
-        dst,
-        RouteEntry {
-            class: RouteClass::Customer,
-            path_len: 0,
-            next_hop: dst,
-        },
-    );
+    let nodes = topo.node_index();
+    let csr = topo.csr();
+    let mut st = SweepState::new(nodes.len(), dst);
+    let Some(d) = nodes.node(dst) else {
+        // Unknown destination: only the destination itself (handled by
+        // `dst_entry`) has a route.
+        return st.finish(topo, dst);
+    };
+    st.entries[d.index()] = RouteEntry {
+        class: RouteClass::Customer,
+        path_len: 0,
+        next_hop: dst,
+    };
+    st.next_node[d.index()] = d;
 
     // ---- Phase 1: customer routes climb provider links -----------------
-    // Dijkstra over unit-weight edges u -> provider(u). An AS's customer
-    // route may always be re-exported upward.
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-    heap.push(Candidate {
-        path_len: 0,
-        owner: dst,
-        next_hop: dst,
-    });
-    while let Some(c) = heap.pop() {
-        // Skip stale heap entries.
-        match routes.get(&c.owner) {
-            Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
-            _ => continue,
-        }
-        for &p in &topo.adjacency(c.owner).providers {
-            let len = c.path_len + 1;
-            let accept = match routes.get(&p) {
-                None => true,
-                Some(e) => e.class == RouteClass::Customer && better(len, c.owner, e),
-            };
-            if accept {
-                routes.insert(
-                    p,
-                    RouteEntry {
+    // Single-source BFS over unit-weight edges u -> provider(u). A
+    // node's distance is final the first time it is reached (frontiers
+    // drain in increasing distance); equal-distance offers all arrive
+    // while the predecessor frontier drains, keeping the minimum
+    // next-hop ASN.
+    let mut frontier = vec![d];
+    let mut next_frontier: Vec<NodeId> = Vec::new();
+    let mut len = 1u32;
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            let u_asn = nodes.asn(u);
+            for &p in csr.providers(u) {
+                let e = &mut st.entries[p.index()];
+                if e.path_len == UNREACHED {
+                    *e = RouteEntry {
                         class: RouteClass::Customer,
                         path_len: len,
-                        next_hop: c.owner,
-                    },
-                );
-                heap.push(Candidate {
-                    path_len: len,
-                    owner: p,
-                    next_hop: c.owner,
-                });
+                        next_hop: u_asn,
+                    };
+                    st.next_node[p.index()] = u;
+                    next_frontier.push(p);
+                } else if e.path_len == len && u_asn < e.next_hop {
+                    e.next_hop = u_asn;
+                    st.next_node[p.index()] = u;
+                }
             }
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
+        next_frontier.clear();
+        len += 1;
     }
 
     // ---- Phase 2: one peer hop ------------------------------------------
-    // Every AS holding a customer route announces it to its peers. A peer
-    // route is never re-exported to peers/providers, so this is a single
-    // sweep, not a propagation. Collect candidates first to keep the
-    // result independent of map iteration order.
-    let holders: Vec<(Asn, u32)> = {
-        let mut v: Vec<_> = routes
-            .iter()
-            .filter(|(_, e)| e.class == RouteClass::Customer)
-            .map(|(&a, e)| (a, e.path_len))
-            .collect();
-        v.sort();
-        v
-    };
-    for (owner, len) in holders {
-        for &p in &topo.adjacency(owner).peers {
-            let cand_len = len + 1;
-            let accept = match routes.get(&p) {
-                None => true,
-                Some(e) => match e.class {
-                    RouteClass::Customer => false,
-                    RouteClass::Peer => better(cand_len, owner, e),
-                    RouteClass::Provider => true, // can't exist yet, but harmless
-                },
-            };
+    // Every AS holding a customer route announces it to its peers. A
+    // peer route is never re-exported to peers/providers, so this is a
+    // single sweep, not a propagation — and since customer entries are
+    // never displaced by peer offers, the holder set is fixed and the
+    // sweep can run in place, in node order (the per-peer minimum is
+    // order-independent).
+    for i in 0..st.entries.len() {
+        let e = st.entries[i];
+        if e.path_len == UNREACHED || e.class != RouteClass::Customer {
+            continue;
+        }
+        let u = NodeId(i as u32);
+        let u_asn = nodes.asn(u);
+        let cand_len = e.path_len + 1;
+        for &p in csr.peers(u) {
+            let pe = &mut st.entries[p.index()];
+            let accept = pe.path_len == UNREACHED
+                || (pe.class == RouteClass::Peer && (cand_len, u_asn) < (pe.path_len, pe.next_hop));
             if accept {
-                routes.insert(
-                    p,
-                    RouteEntry {
-                        class: RouteClass::Peer,
-                        path_len: cand_len,
-                        next_hop: owner,
-                    },
-                );
+                *pe = RouteEntry {
+                    class: RouteClass::Peer,
+                    path_len: cand_len,
+                    next_hop: u_asn,
+                };
+                st.next_node[p.index()] = u;
             }
         }
     }
 
     // ---- Phase 3: routes descend customer links -------------------------
-    // Any route (customer, peer, provider) may be exported to customers;
-    // provider routes keep descending. Dijkstra downward from every
-    // route holder.
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-    let mut seeds: Vec<(Asn, u32)> = routes.iter().map(|(&a, e)| (a, e.path_len)).collect();
-    seeds.sort();
-    for (owner, len) in seeds {
-        heap.push(Candidate {
-            path_len: len,
-            owner,
-            next_hop: owner, // marker; not used for seeds
-        });
-    }
-    while let Some(c) = heap.pop() {
-        match routes.get(&c.owner) {
-            Some(e) if e.path_len == c.path_len => {}
-            _ => continue,
+    // Any route (customer, peer, provider) may be exported to
+    // customers; provider routes keep descending. Seeds sit at
+    // heterogeneous path lengths, so this is the genuine bucket queue:
+    // one bucket per distance, drained in increasing order, which
+    // reproduces Dijkstra's visit order over unit-weight edges.
+    let mut buckets: Vec<Vec<NodeId>> = Vec::new();
+    for (i, e) in st.entries.iter().enumerate() {
+        if e.path_len != UNREACHED {
+            let d = e.path_len as usize;
+            if buckets.len() <= d {
+                buckets.resize_with(d + 1, Vec::new);
+            }
+            buckets[d].push(NodeId(i as u32));
         }
-        for &cust in &topo.adjacency(c.owner).customers {
-            let len = c.path_len + 1;
-            let accept = match routes.get(&cust) {
-                None => true,
-                Some(e) => match e.class {
-                    RouteClass::Customer | RouteClass::Peer => false,
-                    RouteClass::Provider => better(len, c.owner, e),
-                },
-            };
-            if accept {
-                routes.insert(
-                    cust,
-                    RouteEntry {
+    }
+    let mut dist = 0usize;
+    while dist < buckets.len() {
+        let bucket = std::mem::take(&mut buckets[dist]);
+        let len = dist as u32 + 1;
+        for &u in &bucket {
+            let u_asn = nodes.asn(u);
+            for &cust in csr.customers(u) {
+                let ce = &mut st.entries[cust.index()];
+                if ce.path_len == UNREACHED {
+                    *ce = RouteEntry {
                         class: RouteClass::Provider,
                         path_len: len,
-                        next_hop: c.owner,
-                    },
-                );
-                heap.push(Candidate {
-                    path_len: len,
-                    owner: cust,
-                    next_hop: c.owner,
-                });
+                        next_hop: u_asn,
+                    };
+                    st.next_node[cust.index()] = u;
+                    if buckets.len() <= len as usize {
+                        buckets.resize_with(len as usize + 1, Vec::new);
+                    }
+                    buckets[len as usize].push(cust);
+                } else if ce.class == RouteClass::Provider
+                    && ce.path_len == len
+                    && u_asn < ce.next_hop
+                {
+                    ce.next_hop = u_asn;
+                    st.next_node[cust.index()] = u;
+                }
             }
         }
+        dist += 1;
     }
 
-    RoutingTable {
-        destination: dst,
-        routes,
-    }
+    st.finish(topo, dst)
 }
 
 /// Shortest-path (policy-free) table toward `dst`, used by the
@@ -276,59 +335,53 @@ pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
 /// business relationships. Comparing against this isolates how much of
 /// the relay gain is produced by *policy* inflation.
 pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> RoutingTable {
-    let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
-    routes.insert(
-        dst,
-        RouteEntry {
-            class: RouteClass::Customer,
-            path_len: 0,
-            next_hop: dst,
-        },
-    );
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-    heap.push(Candidate {
+    let nodes = topo.node_index();
+    let csr = topo.csr();
+    let mut st = SweepState::new(nodes.len(), dst);
+    let Some(d) = nodes.node(dst) else {
+        return st.finish(topo, dst);
+    };
+    st.entries[d.index()] = RouteEntry {
+        class: RouteClass::Customer,
         path_len: 0,
-        owner: dst,
         next_hop: dst,
-    });
-    while let Some(c) = heap.pop() {
-        match routes.get(&c.owner) {
-            Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
-            _ => continue,
-        }
-        let adj = topo.adjacency(c.owner);
-        for &n in adj
-            .providers
-            .iter()
-            .chain(adj.customers.iter())
-            .chain(adj.peers.iter())
-        {
-            let len = c.path_len + 1;
-            let accept = match routes.get(&n) {
-                None => true,
-                Some(e) => better(len, c.owner, e),
-            };
-            if accept {
-                routes.insert(
-                    n,
-                    RouteEntry {
+    };
+    st.next_node[d.index()] = d;
+
+    // One BFS over all three edge classes at once.
+    let mut frontier = vec![d];
+    let mut next_frontier: Vec<NodeId> = Vec::new();
+    let mut len = 1u32;
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            let u_asn = nodes.asn(u);
+            for &nb in csr
+                .providers(u)
+                .iter()
+                .chain(csr.customers(u))
+                .chain(csr.peers(u))
+            {
+                let e = &mut st.entries[nb.index()];
+                if e.path_len == UNREACHED {
+                    *e = RouteEntry {
                         class: RouteClass::Customer,
                         path_len: len,
-                        next_hop: c.owner,
-                    },
-                );
-                heap.push(Candidate {
-                    path_len: len,
-                    owner: n,
-                    next_hop: c.owner,
-                });
+                        next_hop: u_asn,
+                    };
+                    st.next_node[nb.index()] = u;
+                    next_frontier.push(nb);
+                } else if e.path_len == len && u_asn < e.next_hop {
+                    e.next_hop = u_asn;
+                    st.next_node[nb.index()] = u;
+                }
             }
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
+        next_frontier.clear();
+        len += 1;
     }
-    RoutingTable {
-        destination: dst,
-        routes,
-    }
+
+    st.finish(topo, dst)
 }
 
 /// Routing mode selector for [`Router`].
@@ -369,21 +422,56 @@ impl<'t> Router<'t> {
         self.topo
     }
 
+    fn compute(&self, dst: Asn) -> RoutingTable {
+        match self.policy {
+            RoutingPolicy::ValleyFree => compute_table(self.topo, dst),
+            RoutingPolicy::ShortestPath => compute_table_shortest(self.topo, dst),
+        }
+    }
+
     /// Routing table toward `dst`, computed once and cached.
     pub fn table(&self, dst: Asn) -> Arc<RoutingTable> {
         if let Some(t) = self.cache.read().get(&dst) {
             return Arc::clone(t);
         }
-        let table = Arc::new(match self.policy {
-            RoutingPolicy::ValleyFree => compute_table(self.topo, dst),
-            RoutingPolicy::ShortestPath => compute_table_shortest(self.topo, dst),
-        });
-        self.cache
-            .write()
-            .entry(dst)
-            .or_insert_with(|| Arc::clone(&table));
-        // Return the cached instance in case another thread won the race.
-        Arc::clone(self.cache.read().get(&dst).expect("just inserted"))
+        // Miss: compute outside any lock (racing threads may duplicate
+        // the work, but tables are identical and the loser's copy is
+        // simply dropped — readers of other destinations never block
+        // behind a construction), then insert through the entry so
+        // exactly one table is kept and handed back — no
+        // read→write→read recheck dance.
+        let table = Arc::new(self.compute(dst));
+        Arc::clone(self.cache.write().entry(dst).or_insert(table))
+    }
+
+    /// Computes and caches the tables of every destination in `dsts`
+    /// data-parallel on the worker pool (duplicates and already-cached
+    /// destinations are skipped).
+    ///
+    /// The campaign calls this with every destination its plan can
+    /// route toward before the first round, so cold-start table
+    /// construction uses all cores instead of serializing behind the
+    /// first round's pair-cache misses.
+    pub fn precompute(&self, dsts: &[Asn]) {
+        let todo: Vec<Asn> = {
+            let cache = self.cache.read();
+            let mut seen = HashSet::new();
+            dsts.iter()
+                .copied()
+                .filter(|d| !cache.contains_key(d) && seen.insert(*d))
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let tables: Vec<Arc<RoutingTable>> = todo
+            .par_iter()
+            .map(|&d| Arc::new(self.compute(d)))
+            .collect();
+        let mut cache = self.cache.write();
+        for (d, t) in todo.into_iter().zip(tables) {
+            cache.entry(d).or_insert(t);
+        }
     }
 
     /// AS path from `src` to `dst`, or `None` if unreachable.
@@ -395,6 +483,246 @@ impl<'t> Router<'t> {
     pub fn cached_tables(&self) -> usize {
         self.cache.read().len()
     }
+}
+
+pub mod oracle {
+    //! Reference heap-based route computation (the pre-CSR
+    //! implementation), kept verbatim as the correctness oracle.
+    //!
+    //! The equivalence proptest asserts the flat bucket-queue sweeps in
+    //! the parent module produce entry-for-entry identical tables, and
+    //! the `routing` benchmark measures the speedup against this
+    //! implementation. Not for production use — [`super::compute_table`]
+    //! is strictly faster and returns the same routes.
+
+    use super::{better, Candidate, RouteClass, RouteEntry};
+    use crate::graph::Topology;
+    use crate::ids::Asn;
+    use std::collections::{BinaryHeap, HashMap};
+
+    /// Valley-free table toward `dst` as a sparse map (reachable ASes
+    /// only), via heap-based Dijkstra phases over `Topology::adjacency`.
+    pub fn compute_table(topo: &Topology, dst: Asn) -> HashMap<Asn, RouteEntry> {
+        let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
+        routes.insert(
+            dst,
+            RouteEntry {
+                class: RouteClass::Customer,
+                path_len: 0,
+                next_hop: dst,
+            },
+        );
+
+        // ---- Phase 1: customer routes climb provider links -------------
+        // Dijkstra over unit-weight edges u -> provider(u). An AS's
+        // customer route may always be re-exported upward.
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        heap.push(Candidate {
+            path_len: 0,
+            owner: dst,
+            next_hop: dst,
+        });
+        while let Some(c) = heap.pop() {
+            // Skip stale heap entries.
+            match routes.get(&c.owner) {
+                Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
+                _ => continue,
+            }
+            for &p in &topo.adjacency(c.owner).providers {
+                let len = c.path_len + 1;
+                let accept = match routes.get(&p) {
+                    None => true,
+                    Some(e) => e.class == RouteClass::Customer && better(len, c.owner, e),
+                };
+                if accept {
+                    routes.insert(
+                        p,
+                        RouteEntry {
+                            class: RouteClass::Customer,
+                            path_len: len,
+                            next_hop: c.owner,
+                        },
+                    );
+                    heap.push(Candidate {
+                        path_len: len,
+                        owner: p,
+                        next_hop: c.owner,
+                    });
+                }
+            }
+        }
+
+        // ---- Phase 2: one peer hop --------------------------------------
+        // Every AS holding a customer route announces it to its peers.
+        // Collect candidates first to keep the result independent of
+        // map iteration order.
+        let holders: Vec<(Asn, u32)> = {
+            let mut v: Vec<_> = routes
+                .iter()
+                .filter(|(_, e)| e.class == RouteClass::Customer)
+                .map(|(&a, e)| (a, e.path_len))
+                .collect();
+            v.sort();
+            v
+        };
+        for (owner, len) in holders {
+            for &p in &topo.adjacency(owner).peers {
+                let cand_len = len + 1;
+                let accept = match routes.get(&p) {
+                    None => true,
+                    Some(e) => match e.class {
+                        RouteClass::Customer => false,
+                        RouteClass::Peer => better(cand_len, owner, e),
+                        RouteClass::Provider => true, // can't exist yet, but harmless
+                    },
+                };
+                if accept {
+                    routes.insert(
+                        p,
+                        RouteEntry {
+                            class: RouteClass::Peer,
+                            path_len: cand_len,
+                            next_hop: owner,
+                        },
+                    );
+                }
+            }
+        }
+
+        // ---- Phase 3: routes descend customer links ---------------------
+        // Dijkstra downward from every route holder.
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        let mut seeds: Vec<(Asn, u32)> = routes.iter().map(|(&a, e)| (a, e.path_len)).collect();
+        seeds.sort();
+        for (owner, len) in seeds {
+            heap.push(Candidate {
+                path_len: len,
+                owner,
+                next_hop: owner, // marker; not used for seeds
+            });
+        }
+        while let Some(c) = heap.pop() {
+            match routes.get(&c.owner) {
+                Some(e) if e.path_len == c.path_len => {}
+                _ => continue,
+            }
+            for &cust in &topo.adjacency(c.owner).customers {
+                let len = c.path_len + 1;
+                let accept = match routes.get(&cust) {
+                    None => true,
+                    Some(e) => match e.class {
+                        RouteClass::Customer | RouteClass::Peer => false,
+                        RouteClass::Provider => better(len, c.owner, e),
+                    },
+                };
+                if accept {
+                    routes.insert(
+                        cust,
+                        RouteEntry {
+                            class: RouteClass::Provider,
+                            path_len: len,
+                            next_hop: c.owner,
+                        },
+                    );
+                    heap.push(Candidate {
+                        path_len: len,
+                        owner: cust,
+                        next_hop: c.owner,
+                    });
+                }
+            }
+        }
+
+        routes
+    }
+
+    /// Shortest-path (policy-free) table toward `dst` as a sparse map,
+    /// via heap-based Dijkstra over all links.
+    pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> HashMap<Asn, RouteEntry> {
+        let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
+        routes.insert(
+            dst,
+            RouteEntry {
+                class: RouteClass::Customer,
+                path_len: 0,
+                next_hop: dst,
+            },
+        );
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        heap.push(Candidate {
+            path_len: 0,
+            owner: dst,
+            next_hop: dst,
+        });
+        while let Some(c) = heap.pop() {
+            match routes.get(&c.owner) {
+                Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
+                _ => continue,
+            }
+            let adj = topo.adjacency(c.owner);
+            for &n in adj
+                .providers
+                .iter()
+                .chain(adj.customers.iter())
+                .chain(adj.peers.iter())
+            {
+                let len = c.path_len + 1;
+                let accept = match routes.get(&n) {
+                    None => true,
+                    Some(e) => better(len, c.owner, e),
+                };
+                if accept {
+                    routes.insert(
+                        n,
+                        RouteEntry {
+                            class: RouteClass::Customer,
+                            path_len: len,
+                            next_hop: c.owner,
+                        },
+                    );
+                    heap.push(Candidate {
+                        path_len: len,
+                        owner: n,
+                        next_hop: c.owner,
+                    });
+                }
+            }
+        }
+        routes
+    }
+}
+
+/// Candidate route offer used by the [`oracle`] heap phases: ordered so
+/// that the *best* candidate (smallest length, then smallest next-hop
+/// ASN, then smallest owner ASN) pops first from a max-heap via
+/// reversed ordering.
+#[derive(Debug, PartialEq, Eq)]
+struct Candidate {
+    path_len: u32,
+    owner: Asn,
+    next_hop: Asn,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for min-heap behavior.
+        (other.path_len, other.next_hop, other.owner).cmp(&(
+            self.path_len,
+            self.next_hop,
+            self.owner,
+        ))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Whether `candidate` (class implied equal) beats `incumbent`.
+fn better(len: u32, next_hop: Asn, incumbent: &RouteEntry) -> bool {
+    (len, next_hop) < (incumbent.path_len, incumbent.next_hop)
 }
 
 #[cfg(test)]
@@ -523,6 +851,17 @@ mod tests {
     }
 
     #[test]
+    fn unknown_destination_reaches_only_itself() {
+        let t = valley_topology();
+        let table = compute_table(&t, Asn(99));
+        assert_eq!(table.reachable_count(), 1);
+        assert_eq!(table.as_path(Asn(99)).unwrap(), vec![Asn(99)]);
+        assert!(table.as_path(Asn(5)).is_none());
+        assert!(table.route(Asn(5)).is_none());
+        assert_eq!(table.route(Asn(99)).unwrap().path_len, 0);
+    }
+
+    #[test]
     fn peer_route_not_reexported_to_peer() {
         // 1 -- 2 peer, 2 -- 3 peer. 1's route must not reach 3 across two
         // peering hops (no customer in between).
@@ -602,6 +941,46 @@ mod tests {
         assert_eq!(r.cached_tables(), 1);
         assert_eq!(p1.last(), Some(&Asn(6)));
         assert_eq!(p2.last(), Some(&Asn(6)));
+    }
+
+    #[test]
+    fn precompute_warms_cache_and_agrees_with_on_demand() {
+        let t = valley_topology();
+        let warm = Router::new(&t);
+        // Duplicates and repeats must be handled; all six tables land
+        // in the cache in one call.
+        warm.precompute(&[Asn(1), Asn(2), Asn(3), Asn(4), Asn(5), Asn(6), Asn(5)]);
+        assert_eq!(warm.cached_tables(), 6);
+        // Precomputing again is a no-op.
+        warm.precompute(&[Asn(1), Asn(6)]);
+        assert_eq!(warm.cached_tables(), 6);
+
+        let cold = Router::new(&t);
+        for dst in [1u32, 2, 3, 4, 5, 6] {
+            let a = warm.table(Asn(dst));
+            let b = cold.table(Asn(dst));
+            assert_eq!(a.reachable_count(), b.reachable_count());
+            for src in [1u32, 2, 3, 4, 5, 6] {
+                assert_eq!(a.route(Asn(src)), b.route(Asn(src)), "dst {dst} src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_tables_match_oracle_on_valley_topology() {
+        let t = valley_topology();
+        for dst in [1u32, 2, 3, 4, 5, 6] {
+            let flat = compute_table(&t, Asn(dst));
+            let reference = oracle::compute_table(&t, Asn(dst));
+            assert_eq!(flat.reachable_count(), reference.len(), "dst {dst}");
+            for src in [1u32, 2, 3, 4, 5, 6] {
+                assert_eq!(
+                    flat.route(Asn(src)),
+                    reference.get(&Asn(src)),
+                    "dst {dst} src {src}"
+                );
+            }
+        }
     }
 
     /// Asserts the Gao-Rexford valley-free property along `path`:
