@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use shortcuts_geo::CityId;
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::{HostId, HostKind, HostRegistry, PingEngine};
+use shortcuts_netsim::{HostId, HostKind, HostRegistry, Pinger};
 use shortcuts_topology::{AsType, Asn, Topology};
 use std::collections::HashMap;
 
@@ -146,9 +146,9 @@ impl<'n> Periscope<'n> {
     /// This is the §2.2 "RTT-based geolocation" primitive: the paper
     /// keeps the minimum across LGs to sidestep RTT inflation at
     /// individual vantage points.
-    pub fn min_rtt_from_city<R: Rng + ?Sized>(
+    pub fn min_rtt_from_city<P: Pinger, R: Rng + ?Sized>(
         &self,
-        engine: &PingEngine<'_>,
+        engine: &P,
         city: CityId,
         target: HostId,
         t: SimTime,
@@ -174,19 +174,20 @@ impl<'n> Periscope<'n> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shortcuts_netsim::LatencyModel;
+    use shortcuts_netsim::{LatencyModel, PingEngine};
     use shortcuts_topology::routing::Router;
     use shortcuts_topology::TopologyConfig;
+    use std::sync::Arc;
 
-    fn topo() -> &'static Topology {
-        Box::leak(Box::new(Topology::generate(&TopologyConfig::small(), 99)))
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::generate(&TopologyConfig::small(), 99))
     }
 
     #[test]
     fn lgs_cover_many_cities() {
         let t = topo();
         let mut hosts = HostRegistry::new();
-        let net = LookingGlassNet::generate(t, &mut hosts, &LookingGlassConfig::default(), 3);
+        let net = LookingGlassNet::generate(&t, &mut hosts, &LookingGlassConfig::default(), 3);
         assert!(!net.lgs().is_empty());
         assert!(net.city_count() > 10, "got {}", net.city_count());
         // by-city index is consistent.
@@ -199,7 +200,7 @@ mod tests {
     fn lgs_only_at_transit_or_content() {
         let t = topo();
         let mut hosts = HostRegistry::new();
-        let net = LookingGlassNet::generate(t, &mut hosts, &LookingGlassConfig::default(), 3);
+        let net = LookingGlassNet::generate(&t, &mut hosts, &LookingGlassConfig::default(), 3);
         for lg in net.lgs() {
             let ty = t.expect_as(lg.asn).as_type;
             assert!(
@@ -213,17 +214,16 @@ mod tests {
     #[test]
     fn same_city_target_has_tiny_min_rtt() {
         let t = topo();
-        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(t)));
+        let router = Arc::new(Router::new(Arc::clone(&t)));
         let mut hosts = HostRegistry::new();
-        let net = LookingGlassNet::generate(t, &mut hosts, &LookingGlassConfig::default(), 3);
+        let net = LookingGlassNet::generate(&t, &mut hosts, &LookingGlassConfig::default(), 3);
         // Pick a city with an LG and plant a target host there, in the
         // same AS as the LG (same-city, best case).
         let lg = &net.lgs()[0];
         let target = hosts
-            .add_host(t, lg.asn, Some(lg.city), HostKind::ColoInterface)
+            .add_host(&t, lg.asn, Some(lg.city), HostKind::ColoInterface)
             .unwrap();
-        let hosts: &'static HostRegistry = Box::leak(Box::new(hosts));
-        let engine = PingEngine::new(t, router, hosts, LatencyModel::default());
+        let engine = PingEngine::new(t, router, Arc::new(hosts), LatencyModel::default());
         let peri = Periscope::new(&net);
         let mut rng = StdRng::seed_from_u64(8);
         let rtt = peri
@@ -235,9 +235,9 @@ mod tests {
     #[test]
     fn city_without_lgs_returns_none() {
         let t = topo();
-        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(t)));
+        let router = Arc::new(Router::new(Arc::clone(&t)));
         let mut hosts = HostRegistry::new();
-        let net = LookingGlassNet::generate(t, &mut hosts, &LookingGlassConfig::default(), 3);
+        let net = LookingGlassNet::generate(&t, &mut hosts, &LookingGlassConfig::default(), 3);
         let lg_cities: std::collections::HashSet<_> = net.lgs().iter().map(|l| l.city).collect();
         let empty_city = t
             .cities
@@ -246,8 +246,7 @@ mod tests {
             .find(|c| !lg_cities.contains(c))
             .expect("some city without LGs");
         let target = net.lgs()[0].host;
-        let hosts: &'static HostRegistry = Box::leak(Box::new(hosts));
-        let engine = PingEngine::new(t, router, hosts, LatencyModel::default());
+        let engine = PingEngine::new(t, router, Arc::new(hosts), LatencyModel::default());
         let peri = Periscope::new(&net);
         let mut rng = StdRng::seed_from_u64(8);
         assert!(peri

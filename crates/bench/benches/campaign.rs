@@ -10,8 +10,6 @@ use shortcuts_core::colo::{run_pipeline, ColoPipelineConfig};
 use shortcuts_core::workflow::{Campaign, CampaignConfig};
 use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::PingEngine;
-use shortcuts_topology::routing::Router;
 
 fn bench_campaign_round(c: &mut Criterion) {
     let world = World::build(&WorldConfig::small(), 7);
@@ -26,15 +24,14 @@ fn bench_campaign_round(c: &mut Criterion) {
 
 fn bench_colo_funnel(c: &mut Criterion) {
     let world = World::build(&WorldConfig::small(), 7);
-    let router = Router::new(&world.topo);
-    let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let engine = world.shared().engine(Default::default());
     let vantage = world.looking_glasses.lgs()[0].host;
     c.bench_function("campaign/colo_filter_funnel", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             black_box(run_pipeline(
                 &world,
-                &engine,
+                &*engine,
                 vantage,
                 SimTime(0.0),
                 &ColoPipelineConfig::default(),

@@ -1,0 +1,127 @@
+//! Cross-campaign scenario sweep vs. sequential solo campaigns: the
+//! number behind the ROADMAP's "many scenarios served fast" item.
+//!
+//! Both sides run the same `(seed, config)` scenarios on the same
+//! world:
+//!
+//! - **sequential** — each scenario as a solo `Campaign::run`
+//!   (parallel exec mode) with its own router, destination tables and
+//!   pair cache, one after another. Every campaign re-pays cold
+//!   routing tables, cold pair expansion and per-stage barrier idle
+//!   time.
+//! - **sweep** — `core::sweep` runs all scenarios concurrently on one
+//!   engine: destination tables warmed once with the union of all
+//!   scenarios' destinations, pair facts computed once however many
+//!   scenarios visit the pair, and `(campaign, round)` jobs from every
+//!   scenario interleaved on one worker pool so no core idles at any
+//!   single campaign's stage barrier.
+//!
+//! The outputs are asserted byte-identical per scenario (the sweep
+//! determinism contract), so the speedup table compares equal work.
+//!
+//! Knobs: `SHORTCUTS_SWEEP_SCENARIOS` (default 4) scenarios,
+//! `SHORTCUTS_BENCH_ROUNDS` (default 4) rounds each,
+//! `SHORTCUTS_JOBS_IN_FLIGHT` (default 8) sweep jobs in flight,
+//! `RAYON_NUM_THREADS` caps the worker count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_core::report::cases_csv;
+use shortcuts_core::sweep::{run_sequential, Sweep, SweepConfig};
+use shortcuts_core::workflow::CampaignConfig;
+use shortcuts_core::world::{World, WorldConfig};
+use std::time::Instant;
+
+fn env_or(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn sweep_config() -> SweepConfig {
+    let mut base = CampaignConfig::paper();
+    base.rounds = env_or("SHORTCUTS_BENCH_ROUNDS", 4);
+    let scenarios = u64::from(env_or("SHORTCUTS_SWEEP_SCENARIOS", 4));
+    let mut cfg = SweepConfig::from_seeds(&base, 2017..2017 + scenarios);
+    cfg.jobs_in_flight = env_or("SHORTCUTS_JOBS_IN_FLIGHT", 8) as usize;
+    cfg
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    let cfg = sweep_config();
+    c.bench_function("campaign_sweep/sweep", |b| {
+        b.iter(|| black_box(Sweep::new(&world, cfg.clone()).run()))
+    });
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    let cfg = sweep_config();
+    c.bench_function("campaign_sweep/sequential", |b| {
+        b.iter(|| black_box(run_sequential(&world, &cfg)))
+    });
+}
+
+/// One timed sweep-vs-sequential run with an explicit speedup table,
+/// plus the bit-identity canary on every scenario.
+fn bench_speedup_report(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    let cfg = sweep_config();
+
+    let t = Instant::now();
+    let sequential = run_sequential(&world, &cfg);
+    let sequential_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let sweep = Sweep::new(&world, cfg.clone()).run();
+    let sweep_secs = t.elapsed().as_secs_f64();
+
+    // Canary: scenario for scenario, the sweep must reproduce the solo
+    // runs byte for byte — the speedup rows compare identical outputs.
+    for (a, b) in sweep.scenarios.iter().zip(&sequential.scenarios) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(
+            cases_csv(&a.results),
+            cases_csv(&b.results),
+            "sweep diverged from solo on {}",
+            a.label
+        );
+        assert_eq!(a.results.pings_sent, b.results.pings_sent);
+    }
+
+    let cases: usize = sweep
+        .scenarios
+        .iter()
+        .map(|s| s.results.total_cases())
+        .sum();
+    println!(
+        "campaign_sweep/speedup ({} scenarios x {} rounds, {cases} cases total, \
+         {} thread(s), {} jobs in flight):",
+        cfg.scenarios.len(),
+        env_or("SHORTCUTS_BENCH_ROUNDS", 4),
+        rayon::current_num_threads(),
+        cfg.jobs_in_flight,
+    );
+    for (name, secs) in [("sequential", sequential_secs), ("sweep", sweep_secs)] {
+        println!(
+            "  {name:>10}: {secs:6.2}s  ({:.2}x vs sequential)",
+            sequential_secs / secs
+        );
+    }
+
+    // Keep criterion's ledger aware this ran.
+    c.bench_function("campaign_sweep/speedup_report_noop", |b| {
+        b.iter(|| black_box(0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(20))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_speedup_report, bench_sweep, bench_sequential
+}
+criterion_main!(benches);

@@ -15,8 +15,8 @@ use shortcuts_topology::routing::Router;
 use shortcuts_topology::{Topology, TopologyConfig};
 
 fn bench_expansion(c: &mut Criterion) {
-    let topo = Topology::generate(&TopologyConfig::paper_scale(), 1);
-    let router = Router::new(&topo);
+    let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::paper_scale(), 1));
+    let router = Router::new(std::sync::Arc::clone(&topo));
     let eyes = topo.eyeball_asns();
     // A representative long AS path.
     let (src, dst) = (eyes[0], eyes[eyes.len() / 2]);
@@ -36,8 +36,8 @@ fn bench_expansion(c: &mut Criterion) {
 }
 
 fn bench_ping(c: &mut Criterion) {
-    let topo = Topology::generate(&TopologyConfig::paper_scale(), 1);
-    let router = Router::new(&topo);
+    let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::paper_scale(), 1));
+    let router = std::sync::Arc::new(Router::new(std::sync::Arc::clone(&topo)));
     let mut hosts = HostRegistry::new();
     let eyes = topo.eyeball_asns();
     let mut ids = Vec::new();
@@ -46,7 +46,12 @@ fn bench_ping(c: &mut Criterion) {
             ids.push(id);
         }
     }
-    let engine = PingEngine::new(&topo, &router, &hosts, LatencyModel::default());
+    let engine = PingEngine::new(
+        std::sync::Arc::clone(&topo),
+        router,
+        std::sync::Arc::new(hosts),
+        LatencyModel::default(),
+    );
     // Warm the pair caches so the benchmark measures the steady state
     // the campaign actually runs in.
     let mut rng = StdRng::seed_from_u64(5);

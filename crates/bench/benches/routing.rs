@@ -31,8 +31,8 @@ fn table_count() -> usize {
         .unwrap_or(64)
 }
 
-fn paper_topology() -> Topology {
-    Topology::generate(&TopologyConfig::paper_scale(), 1)
+fn paper_topology() -> std::sync::Arc<Topology> {
+    std::sync::Arc::new(Topology::generate(&TopologyConfig::paper_scale(), 1))
 }
 
 fn bench_single_table(c: &mut Criterion) {
@@ -67,7 +67,7 @@ fn bench_single_table(c: &mut Criterion) {
 fn bench_as_path(c: &mut Criterion) {
     let topo = paper_topology();
     let eyes = topo.eyeball_asns();
-    let router = Router::new(&topo);
+    let router = Router::new(std::sync::Arc::clone(&topo));
     let dst = eyes[0];
     let _ = router.table(dst); // warm the one table
     c.bench_function("routing/as_path_cached", |b| {
@@ -109,7 +109,7 @@ fn bench_warmup_report(c: &mut Criterion) {
         .collect();
     let flat_secs = t.elapsed().as_secs_f64();
 
-    let router = Router::new(&topo);
+    let router = Router::new(std::sync::Arc::clone(&topo));
     let t = Instant::now();
     router.precompute(&dsts);
     let precompute_secs = t.elapsed().as_secs_f64();
@@ -149,7 +149,7 @@ fn bench_warmup_report(c: &mut Criterion) {
     // path too (one cheap iteration over a single destination).
     c.bench_function("routing/precompute_one", |b| {
         b.iter(|| {
-            let r = Router::new(&topo);
+            let r = Router::new(std::sync::Arc::clone(&topo));
             r.precompute(&dsts[..1]);
             black_box(r.cached_tables())
         })

@@ -15,20 +15,17 @@ use shortcuts_core::feasibility::{is_feasible, min_relay_rtt};
 use shortcuts_core::measure::{measure_pair, WindowConfig};
 use shortcuts_core::relays::RelayPools;
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::PingEngine;
-use shortcuts_topology::routing::Router;
 
 fn main() {
     let world = build_world();
     print_header("Ablation: feasibility pre-filter (§2.4)", &world, 1);
 
-    let router = Router::new(&world.topo);
-    let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let engine = world.shared().engine(Default::default());
     let mut rng = StdRng::seed_from_u64(seed_from_env());
     let vantage = world.looking_glasses.lgs()[0].host;
     let colo = run_pipeline(
         &world,
-        &engine,
+        &*engine,
         vantage,
         SimTime(0.0),
         &ColoPipelineConfig::default(),
@@ -51,7 +48,7 @@ fn main() {
     for i in 0..raes.len() {
         for j in (i + 1)..raes.len() {
             let Some(direct) = measure_pair(
-                &engine,
+                &*engine,
                 raes[i].host,
                 raes[j].host,
                 SimTime(0.0),

@@ -8,20 +8,17 @@ use rand::SeedableRng;
 use shortcuts_bench::{build_world, print_header, seed_from_env};
 use shortcuts_core::colo::{run_pipeline, ColoPipelineConfig};
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::PingEngine;
-use shortcuts_topology::routing::Router;
 
 fn main() {
     let world = build_world();
     print_header("§2.2 funnel: COR selection filters", &world, 0);
 
-    let router = Router::new(&world.topo);
-    let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let engine = world.shared().engine(Default::default());
     let vantage = world.looking_glasses.lgs()[0].host;
     let mut rng = StdRng::seed_from_u64(seed_from_env());
     let pool = run_pipeline(
         &world,
-        &engine,
+        &*engine,
         vantage,
         SimTime(0.0),
         &ColoPipelineConfig::default(),

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::{HostId, PingEngine};
+use shortcuts_netsim::{HostId, PingHandle};
 
 /// What a measurement window is for (part of the task's RNG identity:
 /// a direct pair and an overlay link between the same two hosts get
@@ -95,30 +95,41 @@ pub trait MeasurementBackend: Sync {
     fn pings_sent(&self) -> u64;
 }
 
-/// The netsim-backed implementation: each task runs one ping window on
-/// the shared [`PingEngine`] with its own derived RNG.
-pub struct NetsimBackend<'e, 't> {
-    engine: &'e PingEngine<'t>,
+/// The netsim-backed implementation: each task runs one ping window
+/// through the campaign's [`PingHandle`] with its own derived RNG.
+///
+/// The backend *owns* the handle — and through it co-owns the shared
+/// engine — so it is self-contained and `'static`: the sweep scheduler
+/// keeps one backend per campaign, all of them measuring on one
+/// engine's pair cache, each counting its own pings and applying its
+/// own fault plan.
+pub struct NetsimBackend {
+    handle: PingHandle,
     window: WindowConfig,
     campaign_seed: u64,
 }
 
-impl<'e, 't> NetsimBackend<'e, 't> {
-    /// Wraps a ping engine as a backend.
-    pub fn new(engine: &'e PingEngine<'t>, window: WindowConfig, campaign_seed: u64) -> Self {
+impl NetsimBackend {
+    /// Wraps a campaign's engine handle as a backend.
+    pub fn new(handle: PingHandle, window: WindowConfig, campaign_seed: u64) -> Self {
         NetsimBackend {
-            engine,
+            handle,
             window,
             campaign_seed,
         }
     }
+
+    /// The campaign's engine handle.
+    pub fn handle(&self) -> &PingHandle {
+        &self.handle
+    }
 }
 
-impl MeasurementBackend for NetsimBackend<'_, '_> {
+impl MeasurementBackend for NetsimBackend {
     fn measure(&self, task: &MeasureTask) -> Option<f64> {
         let mut rng = task.rng(self.campaign_seed);
         measure_pair(
-            self.engine,
+            &self.handle,
             task.src,
             task.dst,
             task.start,
@@ -128,7 +139,7 @@ impl MeasurementBackend for NetsimBackend<'_, '_> {
     }
 
     fn pings_sent(&self) -> u64 {
-        self.engine.stats().attempts
+        self.handle.pings_sent()
     }
 }
 

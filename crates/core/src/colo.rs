@@ -25,7 +25,7 @@ use rand::Rng;
 use shortcuts_atlas::looking_glass::Periscope;
 use shortcuts_geo::CityId;
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::{HostId, PingEngine};
+use shortcuts_netsim::{HostId, Pinger};
 use shortcuts_topology::{Asn, FacilityId};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -134,9 +134,14 @@ impl Default for ColoPipelineConfig {
 /// Runs the five-filter pipeline. `vantage` is the host pingability is
 /// checked from (the paper pinged from their own machines; any
 /// well-connected host works). Measurements happen at `t`.
-pub fn run_pipeline<R: Rng + ?Sized>(
+///
+/// Generic over [`Pinger`]: a campaign runs this through its own
+/// [`shortcuts_netsim::PingHandle`] so the funnel's pings count toward
+/// that campaign (and see its fault plan), even when many campaigns of
+/// a sweep share one engine.
+pub fn run_pipeline<P: Pinger, R: Rng + ?Sized>(
     world: &World,
-    engine: &PingEngine<'_>,
+    engine: &P,
     vantage: HostId,
     t: SimTime,
     cfg: &ColoPipelineConfig,
@@ -228,16 +233,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use shortcuts_datasets::GroundTruth;
-    use shortcuts_topology::routing::Router;
 
     fn run(world: &World) -> ColoPool {
-        let router = Router::new(&world.topo);
-        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let engine = world.shared().engine(Default::default());
         let vantage = world.looking_glasses.lgs()[0].host;
         let mut rng = StdRng::seed_from_u64(77);
         run_pipeline(
             world,
-            &engine,
+            &*engine,
             vantage,
             SimTime(0.0),
             &ColoPipelineConfig::default(),

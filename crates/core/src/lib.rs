@@ -39,6 +39,13 @@
 //! [`workflow::RoundSummary`] per completed round, in round order,
 //! while later rounds are still measuring.
 //!
+//! On top of the single campaign sits [`sweep`]: many `(seed, config)`
+//! scenarios run **concurrently on one world**, sharing the engine's
+//! pair cache, the router's destination tables (warmed once with the
+//! union of every scenario's destinations) and one worker pool via the
+//! two-level [`shard::run_interleaved`] scheduler — with every
+//! scenario bit-identical to running it alone.
+//!
 //! ## Paper-section map
 //!
 //! | paper section | module |
@@ -75,6 +82,7 @@ pub mod relays;
 pub mod report;
 pub mod shard;
 pub mod stitch;
+pub mod sweep;
 pub mod workflow;
 pub mod world;
 
@@ -82,5 +90,6 @@ pub use backend::{ExecMode, MeasureTask, MeasurementBackend, NetsimBackend, Task
 pub use plan::{OverlayPlan, RoundPlan};
 pub use relays::{Relay, RelayType};
 pub use stitch::ResultsBuilder;
+pub use sweep::{Sweep, SweepConfig, SweepReport, SweepScenario};
 pub use workflow::{Campaign, CampaignConfig, CampaignResults, CaseRecord, RoundSummary};
-pub use world::{World, WorldConfig};
+pub use world::{SharedWorld, World, WorldConfig};

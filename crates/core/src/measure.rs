@@ -9,7 +9,7 @@
 
 use rand::Rng;
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::{HostId, PingEngine};
+use shortcuts_netsim::{HostId, Pinger};
 
 /// Parameters of a measurement window.
 #[derive(Debug, Clone, Copy)]
@@ -69,9 +69,11 @@ fn median_in_place(v: &mut [f64]) -> f64 {
 }
 
 /// Measures one pair over a window: pings per [`WindowConfig`], median
-/// if enough replies, `None` otherwise.
-pub fn measure_pair<R: Rng + ?Sized>(
-    engine: &PingEngine<'_>,
+/// if enough replies, `None` otherwise. Generic over [`Pinger`], so it
+/// runs identically on a bare engine or a campaign's fault-carrying
+/// handle.
+pub fn measure_pair<P: Pinger, R: Rng + ?Sized>(
+    engine: &P,
     src: HostId,
     dst: HostId,
     window_start: SimTime,

@@ -275,18 +275,15 @@ mod tests {
     use crate::world::WorldConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use shortcuts_netsim::PingEngine;
-    use shortcuts_topology::routing::Router;
 
     fn plan_fixture() -> (World, RoundPlan) {
         let world = World::build(&WorldConfig::small(), 31);
-        let router = Router::new(&world.topo);
-        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let engine = world.shared().engine(Default::default());
         let vantage = world.looking_glasses.lgs()[0].host;
         let mut rng = StdRng::seed_from_u64(1);
         let colo = run_pipeline(
             &world,
-            &engine,
+            &*engine,
             vantage,
             SimTime(0.0),
             &ColoPipelineConfig::default(),
@@ -378,13 +375,12 @@ mod tests {
         let (world, _) = plan_fixture();
         let verified = select_eyeballs(&world, 10.0).verified;
         let pool = EndpointPool::build(&world, &verified);
-        let router = Router::new(&world.topo);
-        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let engine = world.shared().engine(Default::default());
         let vantage = world.looking_glasses.lgs()[0].host;
         let mut rng = StdRng::seed_from_u64(1);
         let colo = run_pipeline(
             &world,
-            &engine,
+            &*engine,
             vantage,
             SimTime(0.0),
             &ColoPipelineConfig::default(),
@@ -418,13 +414,12 @@ mod tests {
         let (world, _) = plan_fixture();
         let verified = select_eyeballs(&world, 10.0).verified;
         let pool = EndpointPool::build(&world, &verified);
-        let router = Router::new(&world.topo);
-        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let engine = world.shared().engine(Default::default());
         let vantage = world.looking_glasses.lgs()[0].host;
         let mut rng = StdRng::seed_from_u64(1);
         let colo = run_pipeline(
             &world,
-            &engine,
+            &*engine,
             vantage,
             SimTime(0.0),
             &ColoPipelineConfig::default(),

@@ -266,18 +266,15 @@ mod tests {
     use crate::world::WorldConfig;
     use rand::rngs::StdRng;
     use shortcuts_netsim::clock::SimTime;
-    use shortcuts_netsim::PingEngine;
-    use shortcuts_topology::routing::Router;
 
     fn setup() -> (World, ColoPool, Vec<VerifiedEyeball>) {
         let world = World::build(&WorldConfig::small(), 14);
-        let router = Router::new(&world.topo);
-        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+        let engine = world.shared().engine(Default::default());
         let vantage = world.looking_glasses.lgs()[0].host;
         let mut rng = StdRng::seed_from_u64(1);
         let colo = run_pipeline(
             &world,
-            &engine,
+            &*engine,
             vantage,
             SimTime(0.0),
             &ColoPipelineConfig::default(),

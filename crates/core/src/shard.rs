@@ -1,5 +1,5 @@
-//! Round-sharded scheduler: keeps several campaign rounds in flight at
-//! once.
+//! Two-level sharded scheduler: keeps `(campaign, round)` work items
+//! from one *or many* campaigns in flight on one worker pool.
 //!
 //! The serial/parallel round loop has three full barriers per round
 //! (direct → reverse/overlay → stitch): every core waits for the
@@ -8,25 +8,40 @@
 //! however, are independent — a round's plan is a pure function of
 //! `(seed, round)` ([`crate::plan::plan_round_for`]) and every window's
 //! outcome is a pure function of its task identity — so the barriers
-//! only need to exist *per round*, not across the campaign.
+//! only need to exist *per round*, not across the campaign. And since
+//! each campaign's windows derive their RNG from its own seed,
+//! *campaigns* are just as independent as rounds: a scenario sweep's
+//! `(campaign, round)` jobs can interleave on the same pool.
 //!
-//! This scheduler exploits that: a single FIFO work queue feeds a
+//! [`run_interleaved`] exploits that: a single FIFO work queue feeds a
 //! fixed worker pool with `Plan` and `Measure` items from up to
-//! `rounds_in_flight` rounds at once, so while round *k* sits at a
-//! stage boundary waiting for its last window, the workers measure
-//! round *k+1*'s windows instead of idling. Per-round state machines
-//! (direct stage → tail stage of reverse + overlay windows → complete)
-//! advance whenever their last outstanding window lands; the worker
-//! that completes a round hands the bundle to the coordinator thread
-//! and admits the next un-planned round, keeping at most
-//! `rounds_in_flight` rounds' plans and partial results alive.
+//! `jobs_in_flight` jobs at once, each job one `(campaign, round)`
+//! pair. While job *j* sits at a stage boundary waiting for its last
+//! window, the workers measure another job's windows — from the same
+//! campaign or a different one — instead of idling. Per-job state
+//! machines (direct stage → tail stage of reverse + overlay windows →
+//! complete) advance whenever their last outstanding window lands; the
+//! worker that completes a job hands the bundle to the coordinator
+//! thread and admits the next un-planned job, keeping at most
+//! `jobs_in_flight` jobs' plans and partial results alive. Jobs are
+//! admitted round-major (round 0 of every campaign, then round 1, …)
+//! so all campaigns of a sweep stream from their first round.
+//!
+//! Each campaign brings its own [`MeasurementBackend`] — in a sweep,
+//! one [`crate::backend::NetsimBackend`] per campaign, all sharing one
+//! engine — so a window is always measured with its campaign's seed
+//! and fault plan.
 //!
 //! Determinism is untouched: every result is written to a slot
-//! addressed by `(round, stage, index)`, tail tasks are derived from
-//! the round's *complete* direct results by the same pure functions
-//! the serial loop uses, and the order-independent
+//! addressed by `(job, stage, index)`, tail tasks are derived from the
+//! job's *complete* direct results by the same pure functions the
+//! serial loop uses, and the order-independent
 //! [`crate::stitch::ResultsBuilder`] merges completed rounds by round
-//! index — so a sharded campaign is bit-identical to a serial one.
+//! index — so a sharded campaign is bit-identical to a serial one, and
+//! a swept campaign bit-identical to running it alone.
+//!
+//! [`run_sharded`] is the single-campaign wrapper the solo
+//! [`crate::workflow::Campaign`] uses.
 
 use crate::backend::{MeasureTask, MeasurementBackend};
 use crate::plan::{plan_overlay, OverlayPlan, RoundPlan};
@@ -57,21 +72,23 @@ enum Dest {
     Link,
 }
 
-/// One unit of work in the shared queue.
+/// One unit of work in the shared queue. `job` indexes the
+/// coordination's job table (one entry per admitted `(campaign,
+/// round)` pair).
 enum Item {
-    /// Plan round `n` and enqueue its direct windows.
+    /// Plan job `j` and enqueue its direct windows.
     Plan(u32),
-    /// Measure one window and store it at `(round, dest, idx)`.
+    /// Measure one window and store it at `(job, dest, idx)`.
     Measure {
-        round: u32,
+        job: u32,
         dest: Dest,
         idx: usize,
         task: MeasureTask,
     },
 }
 
-/// A round currently in flight.
-struct RoundState {
+/// A job currently in flight.
+struct JobState {
     plan: RoundPlan,
     overlay: Option<OverlayPlan>,
     direct: Vec<Option<f64>>,
@@ -79,34 +96,36 @@ struct RoundState {
     links: Vec<Option<f64>>,
     /// Outstanding windows in the current stage.
     remaining: usize,
-    /// Whether the round has advanced past the direct stage into the
+    /// Whether the job has advanced past the direct stage into the
     /// reverse + overlay tail.
     in_tail: bool,
 }
 
 struct Queue {
     items: VecDeque<Item>,
-    /// Next round index not yet admitted.
-    next_round: u32,
-    /// All rounds complete: workers exit.
+    /// Next index into the admission-ordered job table not yet
+    /// admitted.
+    next_job: u32,
+    /// All jobs complete: workers exit.
     finished: bool,
     /// A thread panicked: everyone bails out.
     aborted: bool,
 }
 
 struct DoneState {
-    completed: VecDeque<CompletedRound>,
-    rounds_done: u32,
+    completed: VecDeque<(u32, CompletedRound)>,
+    jobs_done: u32,
     aborted: bool,
 }
 
 /// The non-generic coordination core shared by workers and the
 /// coordinator.
 struct Coordination {
-    total_rounds: u32,
+    /// `(campaign, round)` per job, in admission order.
+    jobs: Vec<(u32, u32)>,
     queue: Mutex<Queue>,
     work_cv: Condvar,
-    slots: Vec<Mutex<Option<RoundState>>>,
+    slots: Vec<Mutex<Option<JobState>>>,
     done: Mutex<DoneState>,
     done_cv: Condvar,
 }
@@ -142,13 +161,100 @@ impl Drop for AbortGuard<'_> {
     }
 }
 
-/// Runs `total_rounds` rounds with up to `rounds_in_flight` rounds in
-/// flight, calling `on_round` on the calling thread for each completed
-/// round **in completion order** (callers needing round order reorder
-/// on top; [`crate::stitch::ResultsBuilder`] does not care).
+/// Runs every `(campaign, round)` job of a batch of campaigns with up
+/// to `jobs_in_flight` jobs in flight on one worker pool, calling
+/// `on_round(campaign, round)` on the calling thread for each
+/// completed job **in completion order** (callers needing round order
+/// reorder on top; [`crate::stitch::ResultsBuilder`] does not care).
 ///
-/// `planner` must be a pure function of the round index — it is called
-/// from worker threads, at most once per round.
+/// `backends[c]` measures campaign `c`'s windows; `rounds[c]` is its
+/// round count. `planner(c, round)` must be a pure function of its
+/// arguments — it is called from worker threads, at most once per job.
+pub fn run_interleaved<B, P, F>(
+    backends: &[&B],
+    rounds: &[u32],
+    jobs_in_flight: usize,
+    planner: P,
+    mut on_round: F,
+) where
+    B: MeasurementBackend + ?Sized,
+    P: Fn(u32, u32) -> RoundPlan + Sync,
+    F: FnMut(u32, CompletedRound),
+{
+    assert_eq!(
+        backends.len(),
+        rounds.len(),
+        "one backend per campaign in the sweep"
+    );
+    let total_jobs: u32 = rounds.iter().sum();
+    if total_jobs == 0 {
+        return;
+    }
+    // Admission order: round-major across campaigns, so every campaign
+    // of a sweep makes progress (and streams) from its first round
+    // instead of campaigns running back to back.
+    let mut jobs: Vec<(u32, u32)> = Vec::with_capacity(total_jobs as usize);
+    let max_rounds = rounds.iter().copied().max().unwrap_or(0);
+    for round in 0..max_rounds {
+        for (campaign, &r) in rounds.iter().enumerate() {
+            if round < r {
+                jobs.push((campaign as u32, round));
+            }
+        }
+    }
+    let in_flight = jobs_in_flight.clamp(1, total_jobs as usize);
+    let coord = Coordination {
+        queue: Mutex::new(Queue {
+            items: (0..in_flight as u32).map(Item::Plan).collect(),
+            next_job: in_flight as u32,
+            finished: false,
+            aborted: false,
+        }),
+        work_cv: Condvar::new(),
+        slots: (0..total_jobs).map(|_| Mutex::new(None)).collect(),
+        done: Mutex::new(DoneState {
+            completed: VecDeque::new(),
+            jobs_done: 0,
+            aborted: false,
+        }),
+        done_cv: Condvar::new(),
+        jobs,
+    };
+
+    let threads = rayon::current_num_threads().max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(backends, &planner, &coord));
+        }
+
+        // Coordinator: drain completed jobs as they land. The guard
+        // keeps a panic in `on_round` from stranding the workers.
+        let guard = AbortGuard(&coord);
+        let mut seen = 0u32;
+        while seen < total_jobs {
+            let (campaign, bundle) = {
+                let mut d = coord.done.lock().expect("done lock");
+                loop {
+                    assert!(!d.aborted, "sharded worker panicked");
+                    if let Some(b) = d.completed.pop_front() {
+                        break b;
+                    }
+                    d = coord.done_cv.wait(d).expect("done lock");
+                }
+            };
+            seen += 1;
+            on_round(campaign, bundle);
+        }
+        drop(guard);
+        // All jobs delivered; release any workers still parked.
+        coord.queue.lock().expect("queue lock").finished = true;
+        coord.work_cv.notify_all();
+    });
+}
+
+/// Runs `total_rounds` rounds of a single campaign with up to
+/// `rounds_in_flight` rounds in flight — the one-campaign special case
+/// of [`run_interleaved`].
 pub fn run_sharded<B, P, F>(
     backend: &B,
     total_rounds: u32,
@@ -160,65 +266,21 @@ pub fn run_sharded<B, P, F>(
     P: Fn(u32) -> RoundPlan + Sync,
     F: FnMut(CompletedRound),
 {
-    if total_rounds == 0 {
-        return;
-    }
-    let in_flight = rounds_in_flight.clamp(1, total_rounds as usize);
-    let coord = Coordination {
-        total_rounds,
-        queue: Mutex::new(Queue {
-            items: (0..in_flight as u32).map(Item::Plan).collect(),
-            next_round: in_flight as u32,
-            finished: false,
-            aborted: false,
-        }),
-        work_cv: Condvar::new(),
-        slots: (0..total_rounds).map(|_| Mutex::new(None)).collect(),
-        done: Mutex::new(DoneState {
-            completed: VecDeque::new(),
-            rounds_done: 0,
-            aborted: false,
-        }),
-        done_cv: Condvar::new(),
-    };
-
-    let threads = rayon::current_num_threads().max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| worker(backend, &planner, &coord));
-        }
-
-        // Coordinator: drain completed rounds as they land. The guard
-        // keeps a panic in `on_round` from stranding the workers.
-        let guard = AbortGuard(&coord);
-        let mut seen = 0u32;
-        while seen < total_rounds {
-            let bundle = {
-                let mut d = coord.done.lock().expect("done lock");
-                loop {
-                    assert!(!d.aborted, "sharded worker panicked");
-                    if let Some(b) = d.completed.pop_front() {
-                        break b;
-                    }
-                    d = coord.done_cv.wait(d).expect("done lock");
-                }
-            };
-            seen += 1;
-            on_round(bundle);
-        }
-        drop(guard);
-        // All rounds delivered; release any workers still parked.
-        coord.queue.lock().expect("queue lock").finished = true;
-        coord.work_cv.notify_all();
-    });
+    run_interleaved(
+        &[backend],
+        &[total_rounds],
+        rounds_in_flight,
+        |_, round| planner(round),
+        |_, done| on_round(done),
+    );
 }
 
-/// Worker loop: pull an item, do the work, advance the round's state
+/// Worker loop: pull an item, do the work, advance the job's state
 /// machine when its stage drains.
-fn worker<B, P>(backend: &B, planner: &P, coord: &Coordination)
+fn worker<B, P>(backends: &[&B], planner: &P, coord: &Coordination)
 where
     B: MeasurementBackend + ?Sized,
-    P: Fn(u32) -> RoundPlan + Sync,
+    P: Fn(u32, u32) -> RoundPlan + Sync,
 {
     let _guard = AbortGuard(coord);
     loop {
@@ -235,12 +297,13 @@ where
             }
         };
         match item {
-            Item::Plan(round) => {
-                let plan = planner(round);
+            Item::Plan(job) => {
+                let (campaign, round) = coord.jobs[job as usize];
+                let plan = planner(campaign, round);
                 debug_assert_eq!(plan.round, round, "planner must plan the asked round");
                 let direct_tasks = plan.direct_tasks();
                 let n = direct_tasks.len();
-                *coord.slots[round as usize].lock().expect("slot lock") = Some(RoundState {
+                *coord.slots[job as usize].lock().expect("slot lock") = Some(JobState {
                     plan,
                     overlay: None,
                     direct: vec![None; n],
@@ -251,21 +314,24 @@ where
                 });
                 if n == 0 {
                     // Degenerate round with nothing to measure.
-                    advance_round(coord, round);
+                    advance_job(coord, job);
                 } else {
-                    enqueue_measures(coord, round, Dest::Direct, direct_tasks);
+                    enqueue_measures(coord, job, Dest::Direct, direct_tasks);
                 }
             }
             Item::Measure {
-                round,
+                job,
                 dest,
                 idx,
                 task,
             } => {
-                // Measure outside any lock — this is the expensive part.
-                let m = backend.measure(&task);
-                let mut slot = coord.slots[round as usize].lock().expect("slot lock");
-                let st = slot.as_mut().expect("measured round is in flight");
+                // Measure outside any lock — this is the expensive
+                // part — on the owning campaign's backend (its seed,
+                // its faults, its ping accounting).
+                let campaign = coord.jobs[job as usize].0;
+                let m = backends[campaign as usize].measure(&task);
+                let mut slot = coord.slots[job as usize].lock().expect("slot lock");
+                let st = slot.as_mut().expect("measured job is in flight");
                 match dest {
                     Dest::Direct => st.direct[idx] = m,
                     Dest::Reverse => st.reverse[idx] = m,
@@ -275,14 +341,14 @@ where
                 let stage_drained = st.remaining == 0;
                 drop(slot);
                 if stage_drained {
-                    advance_round(coord, round);
+                    advance_job(coord, job);
                 }
             }
         }
     }
 }
 
-fn enqueue_measures(coord: &Coordination, round: u32, dest: Dest, tasks: Vec<MeasureTask>) {
+fn enqueue_measures(coord: &Coordination, job: u32, dest: Dest, tasks: Vec<MeasureTask>) {
     {
         let mut q = coord.queue.lock().expect("queue lock");
         q.items.extend(
@@ -290,7 +356,7 @@ fn enqueue_measures(coord: &Coordination, round: u32, dest: Dest, tasks: Vec<Mea
                 .into_iter()
                 .enumerate()
                 .map(|(idx, task)| Item::Measure {
-                    round,
+                    job,
                     dest,
                     idx,
                     task,
@@ -300,12 +366,12 @@ fn enqueue_measures(coord: &Coordination, round: u32, dest: Dest, tasks: Vec<Mea
     coord.work_cv.notify_all();
 }
 
-/// Advances a round whose current stage has no outstanding windows:
+/// Advances a job whose current stage has no outstanding windows:
 /// direct → tail (reverse + overlay links), tail → complete. Runs on
 /// the worker that landed the stage's last window.
-fn advance_round(coord: &Coordination, round: u32) {
-    let mut slot = coord.slots[round as usize].lock().expect("slot lock");
-    let st = slot.as_mut().expect("advanced round is in flight");
+fn advance_job(coord: &Coordination, job: u32) {
+    let mut slot = coord.slots[job as usize].lock().expect("slot lock");
+    let st = slot.as_mut().expect("advanced job is in flight");
     debug_assert_eq!(st.remaining, 0, "stage still has outstanding windows");
 
     if !st.in_tail {
@@ -321,14 +387,14 @@ fn advance_round(coord: &Coordination, round: u32) {
         st.in_tail = true;
         if st.remaining > 0 {
             drop(slot);
-            enqueue_measures(coord, round, Dest::Reverse, reverse_tasks);
-            enqueue_measures(coord, round, Dest::Link, link_tasks);
+            enqueue_measures(coord, job, Dest::Reverse, reverse_tasks);
+            enqueue_measures(coord, job, Dest::Link, link_tasks);
             return;
         }
         // No tail windows at all: fall through to completion.
     }
 
-    let st = slot.take().expect("completed round is in flight");
+    let st = slot.take().expect("completed job is in flight");
     drop(slot);
     let bundle = CompletedRound {
         overlay: st.overlay.expect("tail stage set the overlay plan"),
@@ -337,25 +403,26 @@ fn advance_round(coord: &Coordination, round: u32) {
         reverse: st.reverse,
         links: st.links,
     };
+    let campaign = coord.jobs[job as usize].0;
 
-    // Admit the next round, keeping at most `rounds_in_flight` alive.
+    // Admit the next job, keeping at most `jobs_in_flight` alive.
     {
         let mut q = coord.queue.lock().expect("queue lock");
-        if q.next_round < coord.total_rounds {
-            let next = q.next_round;
-            q.next_round += 1;
+        if (q.next_job as usize) < coord.jobs.len() {
+            let next = q.next_job;
+            q.next_job += 1;
             q.items.push_back(Item::Plan(next));
             coord.work_cv.notify_all();
         }
     }
 
-    // Deliver to the coordinator; the last round also releases the
+    // Deliver to the coordinator; the last job also releases the
     // worker pool.
     let all_done = {
         let mut d = coord.done.lock().expect("done lock");
-        d.completed.push_back(bundle);
-        d.rounds_done += 1;
-        d.rounds_done == coord.total_rounds
+        d.completed.push_back((campaign, bundle));
+        d.jobs_done += 1;
+        d.jobs_done as usize == coord.jobs.len()
     };
     coord.done_cv.notify_all();
     if all_done {
@@ -377,6 +444,15 @@ mod tests {
     struct SyntheticBackend {
         seed: u64,
         pings: AtomicU64,
+    }
+
+    impl SyntheticBackend {
+        fn new(seed: u64) -> Self {
+            SyntheticBackend {
+                seed,
+                pings: AtomicU64::new(0),
+            }
+        }
     }
 
     impl MeasurementBackend for SyntheticBackend {
@@ -429,10 +505,7 @@ mod tests {
     }
 
     fn run(rounds: u32, in_flight: usize) -> Vec<CompletedRound> {
-        let backend = SyntheticBackend {
-            seed: 11,
-            pings: AtomicU64::new(0),
-        };
+        let backend = SyntheticBackend::new(11);
         let mut done = Vec::new();
         run_sharded(&backend, rounds, in_flight, planner, |r| done.push(r));
         done
@@ -454,10 +527,7 @@ mod tests {
 
     #[test]
     fn sharded_results_match_a_direct_serial_evaluation() {
-        let backend = SyntheticBackend {
-            seed: 11,
-            pings: AtomicU64::new(0),
-        };
+        let backend = SyntheticBackend::new(11);
         let mut done = run(6, 3);
         done.sort_by_key(|r| r.plan.round);
         for r in &done {
@@ -534,10 +604,7 @@ mod tests {
 
     #[test]
     fn ping_counts_are_exact() {
-        let backend = SyntheticBackend {
-            seed: 3,
-            pings: AtomicU64::new(0),
-        };
+        let backend = SyntheticBackend::new(3);
         let mut done = Vec::new();
         run_sharded(&backend, 4, 4, planner, |r| done.push(r));
         let windows: u64 = done
@@ -545,5 +612,105 @@ mod tests {
             .map(|r| (r.direct.len() + r.reverse.len() + r.links.len()) as u64)
             .sum();
         assert_eq!(backend.pings_sent(), windows);
+    }
+
+    // ---- Two-level (multi-campaign) scheduling ------------------------
+
+    /// Runs `seeds.len()` synthetic campaigns interleaved, returning
+    /// each campaign's completed rounds sorted by round.
+    fn run_batch(seeds: &[u64], rounds: &[u32], in_flight: usize) -> Vec<Vec<CompletedRound>> {
+        let backends: Vec<SyntheticBackend> =
+            seeds.iter().map(|&s| SyntheticBackend::new(s)).collect();
+        let refs: Vec<&SyntheticBackend> = backends.iter().collect();
+        let mut done: Vec<Vec<CompletedRound>> = seeds.iter().map(|_| Vec::new()).collect();
+        run_interleaved(
+            &refs,
+            rounds,
+            in_flight,
+            |_, round| planner(round),
+            |c, r| done[c as usize].push(r),
+        );
+        for rounds in &mut done {
+            rounds.sort_by_key(|r| r.plan.round);
+        }
+        done
+    }
+
+    #[test]
+    fn interleaved_campaigns_complete_all_their_rounds() {
+        for in_flight in [1, 3, 64] {
+            let done = run_batch(&[11, 22, 33], &[4, 2, 5], in_flight);
+            assert_eq!(done[0].len(), 4);
+            assert_eq!(done[1].len(), 2);
+            assert_eq!(done[2].len(), 5);
+            for campaign in &done {
+                for (i, r) in campaign.iter().enumerate() {
+                    assert_eq!(r.plan.round, i as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_swept_campaign_is_bit_identical_to_running_it_alone() {
+        // The sweep determinism contract at the scheduler level: a
+        // campaign's rounds in a 3-campaign interleave match a solo
+        // single-campaign run of the same seed, window for window.
+        let seeds = [11u64, 22, 11]; // duplicate seed: identical twins
+        let rounds = [3u32, 4, 3];
+        let batch = run_batch(&seeds, &rounds, 5);
+        for (c, &seed) in seeds.iter().enumerate() {
+            let backend = SyntheticBackend::new(seed);
+            let mut solo = Vec::new();
+            run_sharded(&backend, rounds[c], 2, planner, |r| solo.push(r));
+            solo.sort_by_key(|r| r.plan.round);
+            assert_eq!(batch[c].len(), solo.len());
+            for (a, b) in batch[c].iter().zip(&solo) {
+                assert_eq!(a.plan.round, b.plan.round);
+                for (x, y) in a.direct.iter().zip(&b.direct) {
+                    assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits));
+                }
+                for (x, y) in a.reverse.iter().zip(&b.reverse) {
+                    assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits));
+                }
+            }
+        }
+        // The twin campaigns agree with each other too.
+        for (a, b) in batch[0].iter().zip(&batch[2]) {
+            for (x, y) in a.direct.iter().zip(&b.direct) {
+                assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_land_on_their_own_campaigns_backend() {
+        // Per-campaign ping accounting: each backend's count must equal
+        // its own campaign's windows, not a share of the pool's.
+        let backends = [SyntheticBackend::new(1), SyntheticBackend::new(2)];
+        let refs: Vec<&SyntheticBackend> = backends.iter().collect();
+        let mut per_campaign = [0u64, 0];
+        run_interleaved(
+            &refs,
+            &[3, 6],
+            4,
+            |_, round| planner(round),
+            |c, r| {
+                per_campaign[c as usize] +=
+                    (r.direct.len() + r.reverse.len() + r.links.len()) as u64;
+            },
+        );
+        assert_eq!(backends[0].pings_sent(), per_campaign[0]);
+        assert_eq!(backends[1].pings_sent(), per_campaign[1]);
+    }
+
+    #[test]
+    fn mismatched_backend_and_round_counts_panic() {
+        let backend = SyntheticBackend::new(1);
+        let refs: Vec<&SyntheticBackend> = vec![&backend];
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_interleaved(&refs, &[1, 1], 1, |_, round| planner(round), |_, _| {});
+        }));
+        assert!(outcome.is_err());
     }
 }

@@ -273,6 +273,34 @@ fn summarize(plan: &RoundPlan, overlay: &OverlayPlan, partial: &RoundPartial) ->
     }
 }
 
+/// Buffers out-of-order [`RoundSummary`]s and releases them in round
+/// order — the reorder step between "rounds complete whenever their
+/// last window lands" and the streaming APIs' in-round-order promise.
+/// One instance per campaign (`Campaign::run_streaming` keeps one;
+/// `Sweep::run_streaming` one per scenario).
+#[derive(Debug, Default)]
+pub struct RoundReorder {
+    pending: BTreeMap<u32, RoundSummary>,
+    next: u32,
+}
+
+impl RoundReorder {
+    /// An empty buffer expecting round 0 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts one completed round's summary and invokes `emit` for
+    /// every summary that is now ready, in round order.
+    pub fn push<F: FnMut(&RoundSummary)>(&mut self, summary: RoundSummary, mut emit: F) {
+        self.pending.insert(summary.round, summary);
+        while let Some(ready) = self.pending.remove(&self.next) {
+            emit(&ready);
+            self.next += 1;
+        }
+    }
+}
+
 /// Stand-alone stitching of one (pair, relay) combination from its leg
 /// medians — the invariant the proptest suite pins down: a stitched
 /// RTT exists iff both legs have medians, and equals their sum.
@@ -467,6 +495,21 @@ mod tests {
         let mut b = ResultsBuilder::new();
         b.absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links);
         b.absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links);
+    }
+
+    #[test]
+    fn round_reorder_releases_in_round_order() {
+        let summary = |round: u32| {
+            let (plan, overlay) = tiny_round_at(round);
+            let no_links: Vec<Option<f64>> = vec![None; overlay.needed.len()];
+            ResultsBuilder::new().absorb_round(&plan, &overlay, &[Some(50.0)], &[None], &no_links)
+        };
+        let mut buf = RoundReorder::new();
+        let mut seen = Vec::new();
+        for round in [2u32, 0, 3, 1] {
+            buf.push(summary(round), |s| seen.push(s.round));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     #[test]

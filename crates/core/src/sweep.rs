@@ -1,0 +1,436 @@
+//! Cross-campaign scenario sweeps on one shared world.
+//!
+//! The paper's result is one point in a large parameter space — seeds,
+//! round counts, fault scenarios, endpoint cutoffs, window shapes. A
+//! [`Sweep`] evaluates many such `(seed, CampaignConfig)` scenarios
+//! **concurrently on one world**, sharing everything that is a world
+//! fact rather than a campaign fact:
+//!
+//! - **One engine** ([`shortcuts_netsim::PingEngine`]): the pair cache
+//!   (deterministic path facts per host pair) is shared, so a pair two
+//!   scenarios both visit is expanded once, not once per scenario.
+//! - **One router** ([`shortcuts_topology::routing::Router`]): the
+//!   destination-table cache is warmed **once** with the union of all
+//!   scenarios' destinations, data-parallel, before any round runs.
+//! - **One worker pool**: the [`crate::shard::run_interleaved`]
+//!   scheduler keeps `(campaign, round)` jobs from every scenario in
+//!   flight together, so a stage barrier in one scenario never idles a
+//!   core — it measures another scenario's windows instead.
+//!
+//! What stays strictly per-scenario is exactly what identifies a
+//! campaign: its seed (every window's RNG derives from
+//! `(campaign_seed, round, src, dst, kind)`), its fault plan and its
+//! ping accounting (both carried by the scenario's private
+//! [`shortcuts_netsim::PingHandle`]), its §2.1/§2.2/§2.3 selection
+//! (run through that handle by [`CampaignSetup::prepare`], the same
+//! code path a solo run uses), and its [`crate::stitch::ResultsBuilder`].
+//!
+//! The consequence — enforced by the `sweep_equivalence` suite — is
+//! the sweep determinism contract: **every scenario of a concurrent
+//! sweep is bit-identical to running that `(seed, config)` alone** via
+//! [`Campaign::run_streaming`], down to the CSV bytes, at any
+//! `jobs_in_flight` and any worker count. Sharing caches is purely a
+//! scheduling/performance choice; cached pair facts and routing tables
+//! are deterministic world facts, identical however many campaigns
+//! touch them.
+//!
+//! [`Sweep::run_streaming`] streams a `(scenario, RoundSummary)` per
+//! completed round — per scenario in round order, as rounds complete —
+//! and [`SweepReport`] carries per-scenario [`CampaignResults`] plus a
+//! cross-scenario comparison table of improvement rates
+//! ([`SweepReport::comparison_csv`]).
+
+use crate::analysis::improvement::ImprovementAnalysis;
+use crate::relays::RelayType;
+use crate::shard::run_interleaved;
+use crate::stitch::{ResultsBuilder, RoundReorder};
+use crate::workflow::{Campaign, CampaignConfig, CampaignResults, CampaignSetup, RoundSummary};
+use crate::world::World;
+use crate::{NetsimBackend, RoundPlan};
+use rayon::prelude::*;
+use shortcuts_netsim::PingHandle;
+use shortcuts_topology::Asn;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One scenario of a sweep: a labelled campaign configuration.
+#[derive(Debug, Clone)]
+pub struct SweepScenario {
+    /// Human-readable label (CSV column / CLI output / file names).
+    pub label: String,
+    /// The campaign to run. `exec` is ignored — the sweep always runs
+    /// its own two-level sharded scheduler.
+    pub config: CampaignConfig,
+}
+
+/// A batch of scenarios to run concurrently on one world.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The scenarios. All must share one routing policy (the sweep
+    /// shares a single router; mixed-policy batches must be split).
+    pub scenarios: Vec<SweepScenario>,
+    /// Maximum `(campaign, round)` jobs in flight at once across the
+    /// whole sweep. Bounds memory (live plans and partial results) and
+    /// streaming latency; values a bit above the worker count saturate
+    /// typical machines.
+    pub jobs_in_flight: usize,
+}
+
+impl SweepConfig {
+    /// The most common sweep: one base configuration evaluated under
+    /// many seeds. Labels are `seed-<n>`.
+    pub fn from_seeds(base: &CampaignConfig, seeds: impl IntoIterator<Item = u64>) -> Self {
+        let scenarios = seeds
+            .into_iter()
+            .map(|seed| {
+                let mut config = base.clone();
+                config.seed = seed;
+                SweepScenario {
+                    label: format!("seed-{seed}"),
+                    config,
+                }
+            })
+            .collect();
+        SweepConfig {
+            scenarios,
+            jobs_in_flight: 8,
+        }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug)]
+pub struct ScenarioResults {
+    /// The scenario's label.
+    pub label: String,
+    /// The scenario's campaign seed.
+    pub seed: u64,
+    /// Full campaign results — bit-identical to a solo run of the
+    /// scenario's `(seed, config)`.
+    pub results: CampaignResults,
+}
+
+/// Everything a sweep produces: per-scenario results plus the
+/// cross-scenario comparison.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-scenario outcomes, in [`SweepConfig::scenarios`] order.
+    pub scenarios: Vec<ScenarioResults>,
+}
+
+impl SweepReport {
+    /// Cross-scenario comparison table: one row per scenario with its
+    /// headline §3 numbers — cases, and per relay type the improved
+    /// fraction and median improvement — so a parameter sweep reads as
+    /// one CSV instead of N separate reports.
+    pub fn comparison_csv(&self) -> String {
+        let mut out = String::from("scenario,seed,cases");
+        for t in RelayType::ALL {
+            out.push_str(&format!(
+                ",{t}_improved_fraction,{t}_median_improvement_ms",
+                t = t.label()
+            ));
+        }
+        out.push('\n');
+        for sc in &self.scenarios {
+            let imp = ImprovementAnalysis::compute(&sc.results);
+            out.push_str(&format!(
+                "{},{},{}",
+                sc.label,
+                sc.seed,
+                sc.results.total_cases()
+            ));
+            for t in RelayType::ALL {
+                let ti = imp.for_type(t);
+                out.push_str(&format!(
+                    ",{:.4},{:.3}",
+                    ti.improved_fraction, ti.median_improvement_ms
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The sweep runner: many campaigns, one world, one engine, one worker
+/// pool.
+pub struct Sweep<'w> {
+    world: &'w World,
+    cfg: SweepConfig,
+}
+
+impl<'w> Sweep<'w> {
+    /// Creates a sweep over a world.
+    ///
+    /// # Panics
+    ///
+    /// If the batch is empty or the scenarios disagree on routing
+    /// policy (the sweep shares one router; split mixed-policy batches
+    /// into one sweep per policy).
+    pub fn new(world: &'w World, cfg: SweepConfig) -> Self {
+        assert!(
+            !cfg.scenarios.is_empty(),
+            "sweep needs at least one scenario"
+        );
+        let policy = cfg.scenarios[0].config.routing;
+        assert!(
+            cfg.scenarios.iter().all(|s| s.config.routing == policy),
+            "all sweep scenarios must share one routing policy"
+        );
+        Sweep { world, cfg }
+    }
+
+    /// Runs every scenario to completion.
+    pub fn run(&self) -> SweepReport {
+        self.run_streaming(|_, _| {})
+    }
+
+    /// Runs every scenario, streaming `(scenario index, RoundSummary)`
+    /// per completed round — for each scenario in round order, as its
+    /// rounds complete. Rounds of different scenarios interleave on
+    /// one worker pool, so early rounds of *every* scenario arrive
+    /// while later rounds are still measuring.
+    pub fn run_streaming<F: FnMut(usize, &RoundSummary)>(&self, mut on_round: F) -> SweepReport {
+        let world = self.world;
+        let scenarios = &self.cfg.scenarios;
+        let policy = scenarios[0].config.routing;
+
+        // One engine for the whole sweep: shared topology, host
+        // registry, latency model, router table cache and pair cache.
+        let engine = world.shared().engine(policy);
+
+        // Per-scenario selection through per-scenario handles — the
+        // identical code path (and RNG streams) a solo run uses, so
+        // funnels, pools and ping counts match solo runs exactly.
+        // Setups are independent (each draws only on its own seeded
+        // RNG and deterministic shared caches), so they run
+        // data-parallel rather than idling the pool through N
+        // sequential funnels.
+        let prepared: Vec<(CampaignSetup<'w>, NetsimBackend)> = scenarios
+            .par_iter()
+            .map(|sc| {
+                let handle = PingHandle::with_faults(Arc::clone(&engine), sc.config.faults.clone());
+                let setup = CampaignSetup::prepare(world, &handle, &sc.config);
+                let backend = NetsimBackend::new(handle, sc.config.window, sc.config.seed);
+                (setup, backend)
+            })
+            .collect();
+        let (setups, backends): (Vec<CampaignSetup<'w>>, Vec<NetsimBackend>) =
+            prepared.into_iter().unzip();
+
+        // One warmup over the UNION of every scenario's destinations:
+        // each table is built exactly once, data-parallel, however
+        // many scenarios route toward it.
+        let union: BTreeSet<Asn> = setups.iter().flat_map(|s| s.warmup()).collect();
+        let union: Vec<Asn> = union.into_iter().collect();
+        engine.router().precompute(&union);
+
+        // Two-level schedule: all (scenario, round) jobs on one pool.
+        let rounds: Vec<u32> = scenarios.iter().map(|s| s.config.rounds).collect();
+        let backend_refs: Vec<&NetsimBackend> = backends.iter().collect();
+        let mut builders: Vec<ResultsBuilder> =
+            scenarios.iter().map(|_| ResultsBuilder::new()).collect();
+        // Observers are promised round order per scenario; jobs
+        // complete in any order, so buffer summaries until their turn.
+        let mut reorder: Vec<RoundReorder> =
+            scenarios.iter().map(|_| RoundReorder::new()).collect();
+
+        let planner = |campaign: u32, round: u32| -> RoundPlan {
+            let setup = &setups[campaign as usize];
+            crate::plan::plan_round_for(
+                world,
+                &setup.endpoints,
+                &setup.relays,
+                &scenarios[campaign as usize].config,
+                round,
+            )
+        };
+        run_interleaved(
+            &backend_refs,
+            &rounds,
+            self.cfg.jobs_in_flight,
+            planner,
+            |campaign, done| {
+                let c = campaign as usize;
+                let summary = builders[c].absorb_round(
+                    &done.plan,
+                    &done.overlay,
+                    &done.direct,
+                    &done.reverse,
+                    &done.links,
+                );
+                reorder[c].push(summary, |s| on_round(c, s));
+            },
+        );
+
+        // Stitch each scenario independently, with its own funnel and
+        // its own ping count.
+        let mut out = Vec::with_capacity(scenarios.len());
+        for ((sc, builder), (setup, backend)) in scenarios
+            .iter()
+            .zip(builders)
+            .zip(setups.into_iter().zip(backends))
+        {
+            use crate::backend::MeasurementBackend;
+            out.push(ScenarioResults {
+                label: sc.label.clone(),
+                seed: sc.config.seed,
+                results: builder.finish(setup.colo, backend.pings_sent()),
+            });
+        }
+        SweepReport { scenarios: out }
+    }
+}
+
+/// Convenience: runs `cfg`'s scenarios as **sequential solo campaigns**
+/// (each with its own engine and caches) and returns the same report
+/// shape. This is the baseline the `campaign_sweep` benchmark times
+/// the shared-world sweep against; results are bit-identical.
+pub fn run_sequential(world: &World, cfg: &SweepConfig) -> SweepReport {
+    let scenarios = cfg
+        .scenarios
+        .iter()
+        .map(|sc| ScenarioResults {
+            label: sc.label.clone(),
+            seed: sc.config.seed,
+            results: Campaign::new(world, sc.config.clone()).run(),
+        })
+        .collect();
+    SweepReport { scenarios }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report;
+    use crate::world::WorldConfig;
+    use shortcuts_netsim::clock::SimTime;
+    use shortcuts_netsim::FaultPlan;
+
+    fn small_cfg(rounds: u32) -> CampaignConfig {
+        let mut cfg = CampaignConfig::small();
+        cfg.rounds = rounds;
+        cfg
+    }
+
+    #[test]
+    fn sweep_produces_one_result_per_scenario() {
+        let world = World::build(&WorldConfig::small(), 50);
+        let cfg = SweepConfig::from_seeds(&small_cfg(2), [2017, 2018, 2019]);
+        let report = Sweep::new(&world, cfg).run();
+        assert_eq!(report.scenarios.len(), 3);
+        for sc in &report.scenarios {
+            assert!(!sc.results.cases.is_empty(), "{}", sc.label);
+            assert!(sc.results.pings_sent > 0, "{}", sc.label);
+        }
+        // Different seeds genuinely differ.
+        assert_ne!(
+            report.scenarios[0].results.pings_sent,
+            report.scenarios[1].results.pings_sent
+        );
+    }
+
+    #[test]
+    fn swept_scenarios_match_solo_runs_bitwise() {
+        // The tentpole acceptance check at unit scale: concurrent
+        // sweep scenarios produce byte-identical CSVs to solo runs.
+        let world = World::build(&WorldConfig::small(), 50);
+        let mut cfg = SweepConfig::from_seeds(&small_cfg(2), [2017, 4242]);
+        // Heterogeneous round counts too.
+        cfg.scenarios[1].config.rounds = 3;
+        let sweep = Sweep::new(&world, cfg.clone()).run();
+        for (sc, swept) in cfg.scenarios.iter().zip(&sweep.scenarios) {
+            let solo = Campaign::new(&world, sc.config.clone()).run();
+            assert_eq!(
+                report::cases_csv(&swept.results),
+                report::cases_csv(&solo),
+                "scenario {} diverged from its solo run",
+                sc.label
+            );
+            assert_eq!(swept.results.pings_sent, solo.pings_sent);
+            assert_eq!(swept.results.unresponsive_pairs, solo.unresponsive_pairs);
+        }
+    }
+
+    #[test]
+    fn per_scenario_faults_stay_per_scenario() {
+        // Two scenarios, same seed; one has a long outage of a transit
+        // AS. The faulty one must lose windows, the clean one must be
+        // bit-identical to a solo clean run — no cross-talk through
+        // the shared engine.
+        let world = World::build(&WorldConfig::small(), 51);
+        let clean = small_cfg(1);
+        let mut faulty = clean.clone();
+        // Black out a tier-1 for the whole campaign.
+        let tier1 = world.topo.asns_of_type(shortcuts_topology::AsType::Tier1)[0];
+        faulty.faults = FaultPlan::none().with_outage(tier1, SimTime(0.0), SimTime(1e12));
+        let cfg = SweepConfig {
+            scenarios: vec![
+                SweepScenario {
+                    label: "clean".into(),
+                    config: clean.clone(),
+                },
+                SweepScenario {
+                    label: "tier1-outage".into(),
+                    config: faulty,
+                },
+            ],
+            jobs_in_flight: 4,
+        };
+        let report = Sweep::new(&world, cfg).run();
+        let solo_clean = Campaign::new(&world, clean).run();
+        assert_eq!(
+            report::cases_csv(&report.scenarios[0].results),
+            report::cases_csv(&solo_clean)
+        );
+        assert!(
+            report.scenarios[1].results.unresponsive_pairs
+                > report.scenarios[0].results.unresponsive_pairs,
+            "the outage scenario should lose pairs"
+        );
+    }
+
+    #[test]
+    fn streaming_emits_rounds_in_order_per_scenario() {
+        let world = World::build(&WorldConfig::small(), 50);
+        let cfg = SweepConfig::from_seeds(&small_cfg(3), [1, 2]);
+        let mut seen: Vec<Vec<u32>> = vec![Vec::new(); 2];
+        let report = Sweep::new(&world, cfg).run_streaming(|c, s| seen[c].push(s.round));
+        assert_eq!(seen[0], vec![0, 1, 2]);
+        assert_eq!(seen[1], vec![0, 1, 2]);
+        assert_eq!(report.scenarios.len(), 2);
+    }
+
+    #[test]
+    fn comparison_csv_has_one_row_per_scenario() {
+        let world = World::build(&WorldConfig::small(), 50);
+        let cfg = SweepConfig::from_seeds(&small_cfg(1), [7, 8, 9]);
+        let report = Sweep::new(&world, cfg).run();
+        let csv = report.comparison_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("scenario,seed,cases,COR_improved_fraction"));
+        assert!(lines[1].starts_with("seed-7,7,"));
+    }
+
+    #[test]
+    fn sequential_baseline_matches_the_sweep() {
+        let world = World::build(&WorldConfig::small(), 52);
+        let cfg = SweepConfig::from_seeds(&small_cfg(1), [5, 6]);
+        let swept = Sweep::new(&world, cfg.clone()).run();
+        let sequential = run_sequential(&world, &cfg);
+        for (a, b) in swept.scenarios.iter().zip(&sequential.scenarios) {
+            assert_eq!(report::cases_csv(&a.results), report::cases_csv(&b.results));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "routing policy")]
+    fn mixed_policies_are_rejected() {
+        let world = World::build(&WorldConfig::small(), 50);
+        let mut cfg = SweepConfig::from_seeds(&small_cfg(1), [1, 2]);
+        cfg.scenarios[1].config.routing = shortcuts_topology::routing::RoutingPolicy::ShortestPath;
+        let _ = Sweep::new(&world, cfg);
+    }
+}

@@ -59,19 +59,20 @@ use crate::backend::{execute, ExecMode, MeasurementBackend, NetsimBackend};
 use crate::colo::{run_pipeline, ColoPipelineConfig, ColoPool};
 use crate::eyeball::{select_eyeballs, EndpointPool};
 use crate::measure::WindowConfig;
-use crate::plan::{plan_overlay, plan_round_for};
+use crate::plan::{plan_overlay, plan_round_for, warmup_destinations};
 use crate::relays::{RelayPools, RelayType};
 use crate::shard::run_sharded;
-use crate::stitch::ResultsBuilder;
+use crate::stitch::{ResultsBuilder, RoundReorder};
 use crate::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shortcuts_geo::{CityId, CountryCode};
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::{HostId, PingEngine};
-use shortcuts_topology::routing::{Router, RoutingPolicy};
+use shortcuts_netsim::{FaultPlan, HostId, PingHandle, Pinger};
+use shortcuts_topology::routing::RoutingPolicy;
 use shortcuts_topology::{Asn, FacilityId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -91,6 +92,10 @@ pub struct CampaignConfig {
     pub symmetry_sample_prob: f64,
     /// Routing policy (valley-free; ablations use shortest-path).
     pub routing: RoutingPolicy,
+    /// Faults injected for this campaign (outages, lossy ASes). Routed
+    /// through the campaign's private [`PingHandle`], never the shared
+    /// engine — campaigns of a sweep each see only their own plan.
+    pub faults: FaultPlan,
     /// Master seed for all per-round randomness.
     pub seed: u64,
     /// Task scheduling. Every mode yields bit-identical results for
@@ -110,6 +115,7 @@ impl CampaignConfig {
             colo: ColoPipelineConfig::default(),
             symmetry_sample_prob: 0.1,
             routing: RoutingPolicy::ValleyFree,
+            faults: FaultPlan::none(),
             seed: 2017,
             exec: ExecMode::Parallel,
         }
@@ -260,6 +266,54 @@ pub struct RoundSummary {
     pub improved: [usize; 4],
 }
 
+/// The backend-agnostic one-time selection state of a campaign: the
+/// §2.2 COR funnel, the §2.1 endpoint pool and the §2.3 relay pools —
+/// everything `run_rounds` needs besides a backend.
+///
+/// Factored out so a solo campaign and every campaign of a
+/// [`crate::sweep::Sweep`] run the **byte-identical** setup path: same
+/// RNG stream, same pools, same funnel — which is what makes a sweep's
+/// per-scenario results bit-identical to solo runs.
+pub struct CampaignSetup<'w> {
+    /// §2.2 funnel outcome (also the COR candidate pool).
+    pub colo: ColoPool,
+    /// §2.1 endpoint pool.
+    pub endpoints: EndpointPool<'w>,
+    /// §2.3 relay pools.
+    pub relays: RelayPools,
+}
+
+impl<'w> CampaignSetup<'w> {
+    /// Runs the campaign's one-time selection (§2.1, §2.2) against a
+    /// pinger — a campaign's own [`PingHandle`], so the funnel's pings
+    /// count toward that campaign and see its fault plan.
+    pub fn prepare<P: Pinger>(world: &'w World, pinger: &P, cfg: &CampaignConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vantage = world
+            .looking_glasses
+            .lgs()
+            .first()
+            .expect("world has looking glasses")
+            .host;
+        let colo = run_pipeline(world, pinger, vantage, SimTime(0.0), &cfg.colo, &mut rng);
+        let selection = select_eyeballs(world, cfg.eyeball_cutoff_pct);
+        let endpoints = EndpointPool::build(world, &selection.verified);
+        let relays = RelayPools::build(world, &colo, &selection.verified);
+        CampaignSetup {
+            colo,
+            endpoints,
+            relays,
+        }
+    }
+
+    /// Every destination AS this campaign's plans can route toward
+    /// (the router warmup set; a sweep warms the union across
+    /// campaigns).
+    pub fn warmup(&self) -> Vec<Asn> {
+        warmup_destinations(&self.endpoints, &self.relays)
+    }
+}
+
 /// The campaign runner.
 pub struct Campaign<'w> {
     world: &'w World,
@@ -285,21 +339,14 @@ impl<'w> Campaign<'w> {
     pub fn run_streaming<F: FnMut(&RoundSummary)>(&self, on_round: F) -> CampaignResults {
         let world = self.world;
         let cfg = &self.cfg;
-        let router = Router::with_policy(&world.topo, cfg.routing);
-        let engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // The engine stack co-owns the world's shared pieces (Arc), so
+        // the same construction serves one campaign here and many in
+        // core::sweep.
+        let engine = world.shared().engine(cfg.routing);
+        let handle = PingHandle::with_faults(Arc::clone(&engine), cfg.faults.clone());
 
         // --- One-time selection (§2.1, §2.2) -----------------------------
-        let vantage = world
-            .looking_glasses
-            .lgs()
-            .first()
-            .expect("world has looking glasses")
-            .host;
-        let colo_pool = run_pipeline(world, &engine, vantage, SimTime(0.0), &cfg.colo, &mut rng);
-        let selection = select_eyeballs(world, cfg.eyeball_cutoff_pct);
-        let endpoint_pool = EndpointPool::build(world, &selection.verified);
-        let relay_pools = RelayPools::build(world, &colo_pool, &selection.verified);
+        let setup = CampaignSetup::prepare(world, &handle, cfg);
 
         // Warm every destination table the campaign can touch,
         // data-parallel, before round 0 — the first round's windows
@@ -307,13 +354,16 @@ impl<'w> Campaign<'w> {
         // construction. Purely a scheduling change: tables are
         // identical however they are built, so results stay
         // bit-identical.
-        router.precompute(&crate::plan::warmup_destinations(
-            &endpoint_pool,
-            &relay_pools,
-        ));
+        engine.router().precompute(&setup.warmup());
 
-        let backend = NetsimBackend::new(&engine, cfg.window, cfg.seed);
-        self.run_rounds(&backend, &endpoint_pool, &relay_pools, colo_pool, on_round)
+        let backend = NetsimBackend::new(handle, cfg.window, cfg.seed);
+        self.run_rounds(
+            &backend,
+            &setup.endpoints,
+            &setup.relays,
+            setup.colo,
+            on_round,
+        )
     }
 
     /// Runs the round loop against any backend, streaming summaries in
@@ -340,8 +390,7 @@ impl<'w> Campaign<'w> {
                 // Rounds complete out of order; the builder does not
                 // care, but observers are promised round order, so
                 // buffer summaries until their turn.
-                let mut pending: BTreeMap<u32, RoundSummary> = BTreeMap::new();
-                let mut next_emit = 0u32;
+                let mut reorder = RoundReorder::new();
                 run_sharded(backend, cfg.rounds, rounds_in_flight, planner, |done| {
                     let summary = builder.absorb_round(
                         &done.plan,
@@ -350,11 +399,7 @@ impl<'w> Campaign<'w> {
                         &done.reverse,
                         &done.links,
                     );
-                    pending.insert(summary.round, summary);
-                    while let Some(summary) = pending.remove(&next_emit) {
-                        on_round(&summary);
-                        next_emit += 1;
-                    }
+                    reorder.push(summary, &mut on_round);
                 });
             }
             mode => {

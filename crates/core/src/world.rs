@@ -3,17 +3,26 @@
 //! A [`World`] owns everything a campaign measures against: the
 //! topology, the host registry, the three measurement platforms and the
 //! four datasets — all generated deterministically from one seed. It
-//! deliberately does **not** own a router or ping engine (those borrow
-//! the world and are created per campaign), so the world itself stays
+//! deliberately does **not** own a router or ping engine (those are
+//! created per campaign or per sweep), so the world itself stays
 //! freely shareable across campaigns, ablations and benchmarks.
+//!
+//! The pieces every measurement stack needs — topology, host registry,
+//! latency model — live behind `Arc`s, surfaced as a [`SharedWorld`]
+//! by [`World::shared`]. A campaign's router and ping engine co-own
+//! them, so engines outlive no-one and can be handed to worker
+//! threads, other campaigns of a sweep, or a future service front end
+//! without borrowing the `World`.
 
 use shortcuts_atlas::looking_glass::{LookingGlassConfig, LookingGlassNet};
 use shortcuts_atlas::planetlab::{PlanetLab, PlanetLabConfig};
 use shortcuts_atlas::ripe::{RipeAtlas, RipeAtlasConfig};
 use shortcuts_datasets::facility_dataset::{FacilityDataset, FacilityDatasetConfig};
 use shortcuts_datasets::{ApnicDataset, PeeringDb, Prefix2As};
-use shortcuts_netsim::{HostRegistry, LatencyModel};
+use shortcuts_netsim::{HostRegistry, LatencyModel, PingEngine};
+use shortcuts_topology::routing::{Router, RoutingPolicy};
 use shortcuts_topology::{Topology, TopologyConfig};
+use std::sync::Arc;
 
 /// Configuration of the full world.
 #[derive(Debug, Clone)]
@@ -67,10 +76,11 @@ impl Default for WorldConfig {
 /// The fully assembled simulation world.
 #[derive(Debug)]
 pub struct World {
-    /// The AS-level topology.
-    pub topo: Topology,
-    /// All registered hosts (probes, nodes, colo interfaces, LGs).
-    pub hosts: HostRegistry,
+    /// The AS-level topology, co-ownable by routers and engines.
+    pub topo: Arc<Topology>,
+    /// All registered hosts (probes, nodes, colo interfaces, LGs),
+    /// co-ownable by engines.
+    pub hosts: Arc<HostRegistry>,
     /// RIPE Atlas platform.
     pub ripe: RipeAtlas,
     /// PlanetLab deployment.
@@ -96,7 +106,7 @@ impl World {
     /// derived per component so the world is fully reproducible.
     pub fn build(cfg: &WorldConfig, seed: u64) -> Self {
         let sub = |k: u64| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k);
-        let topo = Topology::generate(&cfg.topology, sub(1));
+        let topo = Arc::new(Topology::generate(&cfg.topology, sub(1)));
         let mut hosts = HostRegistry::new();
         let ripe = RipeAtlas::generate(&topo, &mut hosts, &cfg.ripe, sub(2));
         let planetlab = PlanetLab::generate(&topo, &mut hosts, &cfg.planetlab, sub(3));
@@ -109,7 +119,7 @@ impl World {
         let prefix2as = Prefix2As::from_topology(&topo, cfg.moas_fraction, sub(7));
         World {
             topo,
-            hosts,
+            hosts: Arc::new(hosts),
             ripe,
             planetlab,
             looking_glasses,
@@ -120,6 +130,54 @@ impl World {
             latency: cfg.latency.clone(),
             seed,
         }
+    }
+
+    /// The world's shared measurement substrate: cheap-clone handles
+    /// on the pieces a router/engine stack co-owns.
+    pub fn shared(&self) -> SharedWorld {
+        SharedWorld {
+            topo: Arc::clone(&self.topo),
+            hosts: Arc::clone(&self.hosts),
+            latency: self.latency.clone(),
+        }
+    }
+}
+
+/// The co-ownable core of a [`World`]: exactly the pieces campaigns,
+/// sweep schedulers and worker threads share — the topology, the host
+/// registry and the latency model. Cloning is a couple of refcount
+/// bumps.
+///
+/// This is what breaks the old `Campaign<'w> → &'w World` ownership
+/// chain for the measurement stack: a [`PingEngine`] built from a
+/// `SharedWorld` owns everything it routes over, so one engine (and
+/// its caches) can serve many concurrent campaigns.
+#[derive(Debug, Clone)]
+pub struct SharedWorld {
+    /// The AS-level topology.
+    pub topo: Arc<Topology>,
+    /// All registered hosts.
+    pub hosts: Arc<HostRegistry>,
+    /// Latency model campaigns should use.
+    pub latency: LatencyModel,
+}
+
+impl SharedWorld {
+    /// A router over the shared topology under `policy`.
+    pub fn router(&self, policy: RoutingPolicy) -> Arc<Router> {
+        Arc::new(Router::with_policy(Arc::clone(&self.topo), policy))
+    }
+
+    /// A ping engine over the shared substrate, routing under
+    /// `policy`. The engine co-owns its inputs; share it across as
+    /// many campaigns as the sweep runs.
+    pub fn engine(&self, policy: RoutingPolicy) -> Arc<PingEngine> {
+        Arc::new(PingEngine::new(
+            Arc::clone(&self.topo),
+            self.router(policy),
+            Arc::clone(&self.hosts),
+            self.latency.clone(),
+        ))
     }
 }
 
@@ -147,6 +205,21 @@ mod tests {
         }
         // PeeringDB facility count matches the topology.
         assert_eq!(w.peeringdb.facilities().len(), w.topo.facilities().len());
+    }
+
+    #[test]
+    fn shared_world_co_owns_the_substrate() {
+        let w = World::build(&WorldConfig::small(), 7);
+        let shared = w.shared();
+        assert!(Arc::ptr_eq(&shared.topo, &w.topo));
+        assert!(Arc::ptr_eq(&shared.hosts, &w.hosts));
+        // An engine built from the shared substrate is self-contained:
+        // it keeps working when the handle is gone.
+        let engine = shared.engine(RoutingPolicy::default());
+        drop(shared);
+        assert_eq!(engine.hosts().len(), w.hosts.len());
+        // Same topology instance, not a copy.
+        assert!(std::ptr::eq(engine.topology(), &*w.topo));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! hosts, which is what the ping engine operates on.
 
 use shortcuts_geo::{CityId, GeoPoint};
-use shortcuts_topology::{Asn, Topology};
+use shortcuts_topology::{Asn, NodeId, Topology};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -37,6 +37,11 @@ pub struct Host {
     pub ip: Ipv4Addr,
     /// AS the address belongs to.
     pub asn: Asn,
+    /// Dense node id of that AS in the topology the host was
+    /// registered against. Carrying it here lets the ping engine hand
+    /// routing-table lookups a [`NodeId`] directly instead of hashing
+    /// the ASN on every cold pair.
+    pub node: NodeId,
     /// City the host is physically in.
     pub city: CityId,
     /// Physical location (city center).
@@ -183,10 +188,15 @@ impl HostRegistry {
 
         let id = HostId(self.hosts.len() as u32);
         let location = topo.cities.get(city).location;
+        let node = topo
+            .node_index()
+            .node(asn)
+            .expect("validated AS has a dense node id");
         self.hosts.push(Host {
             id,
             ip,
             asn,
+            node,
             city,
             location,
             kind,
@@ -214,6 +224,7 @@ mod tests {
         let id = reg.add_host_in_as(&topo, asn, None).unwrap();
         let host = reg.get(id);
         assert_eq!(host.asn, asn);
+        assert_eq!(Some(host.node), topo.node_index().node(asn));
         let info = topo.expect_as(asn);
         assert!(
             info.prefixes.iter().any(|p| p.contains(host.ip)),

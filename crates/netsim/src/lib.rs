@@ -21,20 +21,26 @@
 //!   links for failure-injection tests, in the spirit of smoltcp's
 //!   fault-injection examples.
 //!
+//! The engine co-owns its inputs behind `Arc`s and keeps no
+//! per-campaign state; campaigns hold a [`ping::PingHandle`] each
+//! (fault plan + ping accounting) so many campaigns can share one
+//! engine — and its pair cache — concurrently.
+//!
 //! ## Example
 //!
 //! ```
 //! use shortcuts_topology::{Topology, TopologyConfig, routing::Router};
 //! use shortcuts_netsim::{HostRegistry, LatencyModel, PingEngine, SimClock};
+//! use std::sync::Arc;
 //!
-//! let topo = Topology::generate(&TopologyConfig::small(), 1);
-//! let router = Router::new(&topo);
+//! let topo = Arc::new(Topology::generate(&TopologyConfig::small(), 1));
+//! let router = Arc::new(Router::new(Arc::clone(&topo)));
 //! let mut hosts = HostRegistry::new();
 //! // Put one host in each of two eyeball ASes.
 //! let eyes = topo.eyeball_asns();
 //! let a = hosts.add_host_in_as(&topo, eyes[0], None).unwrap();
 //! let b = hosts.add_host_in_as(&topo, eyes[1], None).unwrap();
-//! let engine = PingEngine::new(&topo, &router, &hosts, LatencyModel::default());
+//! let engine = PingEngine::new(topo, router, Arc::new(hosts), LatencyModel::default());
 //! let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(9);
 //! let clock = SimClock::start();
 //! let reply = engine.ping(a, b, clock.now(), &mut rng);
@@ -55,5 +61,5 @@ pub use fault::FaultPlan;
 pub use host::{Host, HostId, HostKind, HostRegistry};
 pub use latency::LatencyModel;
 pub use path::{expand_path, RouterPath};
-pub use ping::PingEngine;
+pub use ping::{PingEngine, PingHandle, Pinger};
 pub use traceroute::{Traceroute, TracerouteHop};

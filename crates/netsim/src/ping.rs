@@ -5,12 +5,22 @@
 //! noise/faults → one observed sample. The deterministic part
 //! (path + base RTT) is cached per host pair because the campaign pings
 //! the same pairs six times per window, 45 rounds in a row.
+//!
+//! The engine co-owns its topology, router and host registry behind
+//! `Arc`s and holds **no per-campaign state**: everything inside is
+//! either immutable or a deterministic cache, so one engine — and with
+//! it the pair cache and the router's destination tables — is shared
+//! by every campaign of a scenario sweep. Per-campaign concerns
+//! (a fault plan, ping accounting) live in [`PingHandle`], a cheap
+//! per-campaign view of the shared engine. The [`Pinger`] trait
+//! abstracts over the two so measurement code works with either.
 
 use crate::clock::SimTime;
 use crate::fault::FaultPlan;
 use crate::host::{HostId, HostRegistry};
 use crate::latency::LatencyModel;
 use crate::path::expand_path;
+use crate::traceroute::Traceroute;
 use parking_lot::RwLock;
 use rand::Rng;
 use shortcuts_topology::routing::Router;
@@ -104,50 +114,61 @@ impl PairCache {
 
 /// The ping engine. `Sync`: all interior mutability is a read-mostly
 /// sharded pair cache behind per-shard `RwLock`s plus atomic counters,
-/// so one engine is shared by every measurement worker thread.
-pub struct PingEngine<'t> {
-    topo: &'t Topology,
-    router: &'t Router<'t>,
-    hosts: &'t HostRegistry,
+/// so one engine is shared by every measurement worker thread — and,
+/// since it co-owns its inputs and carries no per-campaign state, by
+/// every campaign of a sweep.
+pub struct PingEngine {
+    topo: Arc<Topology>,
+    router: Arc<Router>,
+    hosts: Arc<HostRegistry>,
     model: LatencyModel,
-    faults: FaultPlan,
     cache: PairCache,
     stats: StatCounters,
 }
 
-impl<'t> PingEngine<'t> {
+impl PingEngine {
     /// Creates an engine over a topology, router, host registry and
-    /// latency model, with no faults scheduled.
+    /// latency model.
     pub fn new(
-        topo: &'t Topology,
-        router: &'t Router<'t>,
-        hosts: &'t HostRegistry,
+        topo: Arc<Topology>,
+        router: Arc<Router>,
+        hosts: Arc<HostRegistry>,
         model: LatencyModel,
     ) -> Self {
+        // Route resolution trusts `Host::node` as a dense index into
+        // `topo`'s node space; a registry built against a different
+        // topology would silently resolve other ASes' routes. One
+        // cheap construction-time check keeps that a loud failure.
+        debug_assert!(
+            hosts
+                .iter()
+                .all(|h| topo.node_index().node(h.asn) == Some(h.node)),
+            "host registry was built against a different topology"
+        );
         PingEngine {
             topo,
             router,
             hosts,
             model,
-            faults: FaultPlan::none(),
             cache: PairCache::new(),
             stats: StatCounters::default(),
         }
     }
 
-    /// Installs a fault plan (replaces any previous plan).
-    pub fn set_faults(&mut self, plan: FaultPlan) {
-        self.faults = plan;
+    /// The topology the engine routes over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
-    /// The topology the engine routes over.
-    pub fn topology(&self) -> &'t Topology {
-        self.topo
+    /// The router whose destination tables the engine resolves paths
+    /// with (shared — a sweep warms it once for all campaigns).
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
     }
 
     /// The host registry.
     pub fn hosts(&self) -> &HostRegistry {
-        self.hosts
+        &self.hosts
     }
 
     /// The latency model in use.
@@ -177,7 +198,7 @@ impl<'t> PingEngine<'t> {
         let access = s.access_ms + d.access_ms;
         let info = if s.asn == d.asn {
             let path = expand_path(
-                self.topo,
+                &self.topo,
                 &[s.asn],
                 s.location,
                 d.location,
@@ -193,19 +214,21 @@ impl<'t> PingEngine<'t> {
             // (possibly different) return route; base RTT sums both
             // one-way expansions, which also makes RTT(a,b) == RTT(b,a)
             // exactly — matching the paper's symmetry observation.
-            let fwd_as = self.router.as_path(s.asn, d.asn);
-            let rev_as = self.router.as_path(d.asn, s.asn);
+            // Hosts carry their AS's dense node id, so the table
+            // lookups skip the Asn→NodeId hash entirely.
+            let fwd_as = self.router.as_path_between(s.node, d.node);
+            let rev_as = self.router.as_path_between(d.node, s.node);
             match (fwd_as, rev_as) {
                 (Some(fwd_as), Some(rev_as)) => {
                     let fwd = expand_path(
-                        self.topo,
+                        &self.topo,
                         &fwd_as,
                         s.location,
                         d.location,
                         &self.model.expand,
                     );
                     let rev = expand_path(
-                        self.topo,
+                        &self.topo,
                         &rev_as,
                         d.location,
                         s.location,
@@ -238,7 +261,8 @@ impl<'t> PingEngine<'t> {
     }
 
     /// Sends one ping at time `t`; returns the observed RTT in ms, or
-    /// `None` on loss / outage / no route.
+    /// `None` on loss / outage / no route. Fault-free — per-campaign
+    /// fault plans are applied by [`PingHandle`].
     pub fn ping<R: Rng + ?Sized>(
         &self,
         src: HostId,
@@ -246,19 +270,35 @@ impl<'t> PingEngine<'t> {
         t: SimTime,
         rng: &mut R,
     ) -> Option<f64> {
+        self.ping_faulted(src, dst, t, &FaultPlan::NONE, rng)
+    }
+
+    /// [`PingEngine::ping`] under a fault plan the *caller* owns. The
+    /// engine itself carries no faults — campaigns sharing one engine
+    /// each bring their own plan through their [`PingHandle`].
+    pub fn ping_faulted<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        faults: &FaultPlan,
+        rng: &mut R,
+    ) -> Option<f64> {
         self.stats.attempts.fetch_add(1, Ordering::Relaxed);
         let Some(info) = self.pair_info(src, dst) else {
             self.stats.unroutable.fetch_add(1, Ordering::Relaxed);
             return None;
         };
-        if self.faults.path_down(&info.as_path, t) {
-            self.stats.losses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let extra = self.faults.path_extra_loss(&info.as_path);
-        if extra > 0.0 && rng.gen_bool(extra.min(1.0)) {
-            self.stats.losses.fetch_add(1, Ordering::Relaxed);
-            return None;
+        if !faults.is_empty() {
+            if faults.path_down(&info.as_path, t) {
+                self.stats.losses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            let extra = faults.path_extra_loss(&info.as_path);
+            if extra > 0.0 && rng.gen_bool(extra.min(1.0)) {
+                self.stats.losses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
         }
         match self.model.sample_rtt(info.base_ms, t, info.mid_lon, rng) {
             Some(rtt) => {
@@ -290,6 +330,164 @@ impl<'t> PingEngine<'t> {
     }
 }
 
+/// Anything that can measure: the shared [`PingEngine`] itself, or a
+/// per-campaign [`PingHandle`] over it. Measurement code (windows, the
+/// §2.2 funnel, Periscope) is generic over this, so a solo run and a
+/// sweep campaign execute the byte-identical code path.
+pub trait Pinger: Sync {
+    /// Sends one ping at time `t`.
+    fn ping<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<f64>;
+
+    /// Runs a traceroute (the Periscope geolocation primitive).
+    fn traceroute<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<Traceroute>;
+
+    /// Sends `n` pings spaced `interval_secs` apart starting at `t`
+    /// and returns the replies (lost pings omitted).
+    fn ping_series<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        n: usize,
+        interval_secs: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        (0..n)
+            .filter_map(|i| self.ping(src, dst, t.plus_secs(i as f64 * interval_secs), rng))
+            .collect()
+    }
+}
+
+impl Pinger for PingEngine {
+    fn ping<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<f64> {
+        PingEngine::ping(self, src, dst, t, rng)
+    }
+
+    fn traceroute<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<Traceroute> {
+        PingEngine::traceroute(self, src, dst, t, rng)
+    }
+}
+
+/// A campaign's private view of a shared [`PingEngine`]: the
+/// campaign's fault plan plus its own ping accounting.
+///
+/// The engine is co-owned (`Arc`) and never mutated — campaigns of a
+/// sweep all hold handles onto one engine, sharing its pair cache and
+/// routing tables, while faults and ping counts stay strictly
+/// per-campaign. This is why installing a fault plan no longer needs
+/// `&mut` access to the (shared) engine: the handle is exclusively
+/// owned by its campaign.
+pub struct PingHandle {
+    engine: Arc<PingEngine>,
+    faults: FaultPlan,
+    /// Pings this handle has attempted (the campaign's `pings_sent`).
+    attempts: AtomicU64,
+}
+
+impl PingHandle {
+    /// A fault-free handle on a shared engine.
+    pub fn new(engine: Arc<PingEngine>) -> Self {
+        Self::with_faults(engine, FaultPlan::none())
+    }
+
+    /// A handle with a fault plan installed.
+    pub fn with_faults(engine: Arc<PingEngine>, faults: FaultPlan) -> Self {
+        PingHandle {
+            engine,
+            faults,
+            attempts: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a fault plan (replaces any previous plan). `&mut self`
+    /// is fine here: the handle belongs to exactly one campaign.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The handle's fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The shared engine under the handle.
+    pub fn engine(&self) -> &Arc<PingEngine> {
+        &self.engine
+    }
+
+    /// Pings attempted through this handle (its campaign's share of
+    /// the engine-wide [`PingEngine::stats`] attempts).
+    pub fn pings_sent(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// The deterministic base RTT between two hosts (see
+    /// [`PingEngine::base_rtt`]).
+    pub fn base_rtt(&self, src: HostId, dst: HostId) -> Option<f64> {
+        self.engine.base_rtt(src, dst)
+    }
+
+    /// AS path between two hosts (see [`PingEngine::as_path`]).
+    pub fn as_path(&self, src: HostId, dst: HostId) -> Option<Arc<[Asn]>> {
+        self.engine.as_path(src, dst)
+    }
+}
+
+impl Pinger for PingHandle {
+    fn ping<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<f64> {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.engine.ping_faulted(src, dst, t, &self.faults, rng)
+    }
+
+    fn traceroute<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<Traceroute> {
+        let tr = self
+            .engine
+            .traceroute_faulted(src, dst, t, &self.faults, rng);
+        if tr.is_some() {
+            // A routed traceroute pings the destination exactly once
+            // (its last hop) — count it like the engine does.
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+        }
+        tr
+    }
+}
+
 /// Longitude midpoint that respects the antimeridian (picks the midpoint
 /// on the shorter arc).
 fn mid_longitude(a: f64, b: f64) -> f64 {
@@ -307,35 +505,39 @@ mod tests {
     use shortcuts_topology::TopologyConfig;
 
     struct Fixture {
-        topo: &'static Topology,
-        router: &'static Router<'static>,
+        topo: Arc<Topology>,
+        router: Arc<Router>,
     }
 
-    /// Builds a leaked topology+router (tests only; avoids self-ref
-    /// structs). The topology is small, so the leak is negligible.
+    /// Builds a shared topology+router — the Arc ownership the real
+    /// engine stack uses.
     fn fixture() -> Fixture {
-        let topo: &'static Topology =
-            Box::leak(Box::new(Topology::generate(&TopologyConfig::small(), 77)));
-        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(topo)));
+        let topo = Arc::new(Topology::generate(&TopologyConfig::small(), 77));
+        let router = Arc::new(Router::new(Arc::clone(&topo)));
         Fixture { topo, router }
     }
 
-    fn two_hosts(f: &Fixture) -> (PingEngine<'static>, HostId, HostId) {
+    fn two_hosts(f: &Fixture) -> (PingEngine, HostId, HostId) {
         let mut reg = HostRegistry::new();
         let eyes = f.topo.eyeball_asns();
-        let a = reg.add_host_in_as(f.topo, eyes[0], None).unwrap();
+        let a = reg.add_host_in_as(&f.topo, eyes[0], None).unwrap();
         let b = reg
-            .add_host_in_as(f.topo, eyes[eyes.len() / 2], None)
+            .add_host_in_as(&f.topo, eyes[eyes.len() / 2], None)
             .unwrap();
-        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
-        let engine = PingEngine::new(f.topo, f.router, reg, LatencyModel::default());
+        let engine = PingEngine::new(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            Arc::new(reg),
+            LatencyModel::default(),
+        );
         (engine, a, b)
     }
 
     #[test]
     fn engine_is_sync_and_shareable() {
         fn assert_sync<T: Sync>() {}
-        assert_sync::<PingEngine<'static>>();
+        assert_sync::<PingEngine>();
+        assert_sync::<PingHandle>();
 
         // Concurrent pings through one shared engine must keep the
         // counters consistent.
@@ -417,10 +619,14 @@ mod tests {
         let f = fixture();
         let mut reg = HostRegistry::new();
         let asn = f.topo.eyeball_asns()[0];
-        let a = reg.add_host_in_as(f.topo, asn, None).unwrap();
-        let b = reg.add_host_in_as(f.topo, asn, None).unwrap();
-        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
-        let engine = PingEngine::new(f.topo, f.router, reg, LatencyModel::default());
+        let a = reg.add_host_in_as(&f.topo, asn, None).unwrap();
+        let b = reg.add_host_in_as(&f.topo, asn, None).unwrap();
+        let engine = PingEngine::new(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            Arc::new(reg),
+            LatencyModel::default(),
+        );
         assert_eq!(engine.as_path(a, b).unwrap().to_vec(), vec![asn]);
         assert!(engine.base_rtt(a, b).unwrap() >= 0.0);
     }
@@ -428,34 +634,49 @@ mod tests {
     #[test]
     fn outage_kills_pings_during_window() {
         let f = fixture();
-        let (mut engine, a, b) = two_hosts(&f);
-        let path = engine.as_path(a, b).unwrap();
+        let (engine, a, b) = two_hosts(&f);
+        let mut handle = PingHandle::new(Arc::new(engine));
+        let path = handle.as_path(a, b).unwrap();
         let transit = path[1]; // some AS in the middle
-        engine.set_faults(FaultPlan::none().with_outage(transit, SimTime(100.0), SimTime(200.0)));
+        handle.set_faults(FaultPlan::none().with_outage(transit, SimTime(100.0), SimTime(200.0)));
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(engine.ping(a, b, SimTime(150.0), &mut rng).is_none());
+        assert!(handle.ping(a, b, SimTime(150.0), &mut rng).is_none());
         // Outside the window pings mostly succeed.
         let ok = (0..10)
             .filter(|i| {
-                engine
+                handle
                     .ping(a, b, SimTime(300.0 + *i as f64), &mut rng)
                     .is_some()
             })
             .count();
         assert!(ok >= 8);
+        assert_eq!(handle.pings_sent(), 11);
     }
 
     #[test]
     fn lossy_as_degrades_success_rate() {
         let f = fixture();
-        let (mut engine, a, b) = two_hosts(&f);
+        let (engine, a, b) = two_hosts(&f);
+        let engine = Arc::new(engine);
         let path = engine.as_path(a, b).unwrap();
-        engine.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.9));
+        let faulty = PingHandle::with_faults(
+            Arc::clone(&engine),
+            FaultPlan::none().with_lossy_as(path[0], 0.9),
+        );
+        // A clean handle on the SAME shared engine stays unaffected —
+        // fault plans are per-handle, not engine state.
+        let clean = PingHandle::new(Arc::clone(&engine));
         let mut rng = StdRng::seed_from_u64(3);
         let ok = (0..100)
-            .filter(|i| engine.ping(a, b, SimTime(*i as f64), &mut rng).is_some())
+            .filter(|i| faulty.ping(a, b, SimTime(*i as f64), &mut rng).is_some())
             .count();
         assert!(ok < 30, "90% lossy AS should kill most pings, got {ok}");
+        let ok = (0..100)
+            .filter(|i| clean.ping(a, b, SimTime(*i as f64), &mut rng).is_some())
+            .count();
+        assert!(ok > 70, "clean handle must not see the faults, got {ok}");
+        assert_eq!(faulty.pings_sent(), 100);
+        assert_eq!(clean.pings_sent(), 100);
     }
 
     #[test]
@@ -501,13 +722,12 @@ mod tests {
         let nyc = b.cities().by_name("NewYork").unwrap().id;
         b.add_pop(Asn(1), nyc);
         b.add_pop(Asn(2), nyc);
-        let topo: &'static Topology = Box::leak(Box::new(b.build()));
-        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(topo)));
+        let topo = Arc::new(b.build());
+        let router = Arc::new(Router::new(Arc::clone(&topo)));
         let mut reg = HostRegistry::new();
-        let a = reg.add_host(topo, Asn(1), None, HostKind::Probe).unwrap();
-        let c = reg.add_host(topo, Asn(2), None, HostKind::Probe).unwrap();
-        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
-        let engine = PingEngine::new(topo, router, reg, LatencyModel::default());
+        let a = reg.add_host(&topo, Asn(1), None, HostKind::Probe).unwrap();
+        let c = reg.add_host(&topo, Asn(2), None, HostKind::Probe).unwrap();
+        let engine = PingEngine::new(topo, router, Arc::new(reg), LatencyModel::default());
         let mut rng = StdRng::seed_from_u64(5);
         assert!(engine.ping(a, c, SimTime(0.0), &mut rng).is_none());
         assert_eq!(engine.stats().unroutable, 1);

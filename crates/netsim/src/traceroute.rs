@@ -13,6 +13,7 @@
 //! an analysis consumes.
 
 use crate::clock::SimTime;
+use crate::fault::FaultPlan;
 use crate::host::HostId;
 use crate::path::expand_path;
 use crate::ping::PingEngine;
@@ -62,7 +63,7 @@ impl Traceroute {
 /// Probability an intermediate router ignores TTL-exceeded probing.
 const SILENT_HOP_PROB: f64 = 0.15;
 
-impl<'t> PingEngine<'t> {
+impl PingEngine {
     /// Runs a traceroute from `src` to `dst` at time `t`.
     ///
     /// Returns `None` when no route exists. Hop RTTs are built from the
@@ -75,6 +76,20 @@ impl<'t> PingEngine<'t> {
         src: HostId,
         dst: HostId,
         t: SimTime,
+        rng: &mut R,
+    ) -> Option<Traceroute> {
+        self.traceroute_faulted(src, dst, t, &FaultPlan::NONE, rng)
+    }
+
+    /// [`PingEngine::traceroute`] under a caller-owned fault plan (the
+    /// per-campaign plan a [`crate::ping::PingHandle`] carries); the
+    /// destination's reply is a real ping under those faults.
+    pub fn traceroute_faulted<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        faults: &FaultPlan,
         rng: &mut R,
     ) -> Option<Traceroute> {
         let s = self.hosts().get(src);
@@ -101,7 +116,7 @@ impl<'t> PingEngine<'t> {
             let is_last = i == as_path.len() - 1;
             let rtt_ms = if is_last {
                 // The destination's reply is a real ping.
-                self.ping(src, dst, t, rng)
+                self.ping_faulted(src, dst, t, faults, rng)
             } else if rng.gen_bool(SILENT_HOP_PROB) {
                 None
             } else {
@@ -133,18 +148,21 @@ mod tests {
     use shortcuts_topology::routing::Router;
     use shortcuts_topology::{Topology, TopologyConfig};
 
-    fn setup() -> (PingEngine<'static>, HostId, HostId) {
-        let topo: &'static Topology =
-            Box::leak(Box::new(Topology::generate(&TopologyConfig::small(), 88)));
-        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(topo)));
+    fn setup() -> (PingEngine, HostId, HostId) {
+        let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::small(), 88));
+        let router = std::sync::Arc::new(Router::new(std::sync::Arc::clone(&topo)));
         let mut reg = HostRegistry::new();
         let eyes = topo.eyeball_asns();
-        let a = reg.add_host_in_as(topo, eyes[0], None).unwrap();
+        let a = reg.add_host_in_as(&topo, eyes[0], None).unwrap();
         let b = reg
-            .add_host_in_as(topo, eyes[eyes.len() / 2], None)
+            .add_host_in_as(&topo, eyes[eyes.len() / 2], None)
             .unwrap();
-        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
-        let engine = PingEngine::new(topo, router, reg, LatencyModel::default());
+        let engine = PingEngine::new(
+            topo,
+            router,
+            std::sync::Arc::new(reg),
+            LatencyModel::default(),
+        );
         (engine, a, b)
     }
 
@@ -243,13 +261,17 @@ mod tests {
         let nyc = b.cities().by_name("NewYork").unwrap().id;
         b.add_pop(Asn(1), nyc);
         b.add_pop(Asn(2), nyc);
-        let topo: &'static Topology = Box::leak(Box::new(b.build()));
-        let router: &'static Router<'static> = Box::leak(Box::new(Router::new(topo)));
+        let topo = std::sync::Arc::new(b.build());
+        let router = std::sync::Arc::new(Router::new(std::sync::Arc::clone(&topo)));
         let mut reg = HostRegistry::new();
-        let a = reg.add_host_in_as(topo, Asn(1), None).unwrap();
-        let c = reg.add_host_in_as(topo, Asn(2), None).unwrap();
-        let reg: &'static HostRegistry = Box::leak(Box::new(reg));
-        let engine = PingEngine::new(topo, router, reg, LatencyModel::default());
+        let a = reg.add_host_in_as(&topo, Asn(1), None).unwrap();
+        let c = reg.add_host_in_as(&topo, Asn(2), None).unwrap();
+        let engine = PingEngine::new(
+            topo,
+            router,
+            std::sync::Arc::new(reg),
+            LatencyModel::default(),
+        );
         let mut rng = StdRng::seed_from_u64(5);
         assert!(engine.traceroute(a, c, SimTime(0.0), &mut rng).is_none());
     }

@@ -785,8 +785,8 @@ mod tests {
 
     #[test]
     fn full_reachability_between_eyeballs() {
-        let t = Topology::generate(&TopologyConfig::small(), 13);
-        let router = Router::new(&t);
+        let t = std::sync::Arc::new(Topology::generate(&TopologyConfig::small(), 13));
+        let router = Router::new(std::sync::Arc::clone(&t));
         let eyes = t.eyeball_asns();
         let mut unreachable = 0;
         // Sample pairs to keep the test fast.

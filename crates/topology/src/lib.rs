@@ -33,9 +33,12 @@
 //!
 //! ```
 //! use shortcuts_topology::{Topology, TopologyConfig, routing::Router};
+//! use std::sync::Arc;
 //!
-//! let topo = Topology::generate(&TopologyConfig::small(), 42);
-//! let router = Router::new(&topo);
+//! let topo = Arc::new(Topology::generate(&TopologyConfig::small(), 42));
+//! // The router co-owns the topology, so it can be shared freely
+//! // across campaigns and worker threads.
+//! let router = Router::new(Arc::clone(&topo));
 //! // Pick two eyeball ASes and compute the policy path between them.
 //! let eyeballs = topo.eyeball_asns();
 //! let path = router.as_path(eyeballs[0], eyeballs[1]);

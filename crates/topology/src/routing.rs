@@ -66,28 +66,95 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RouteClass {
     /// Learned from a customer (most preferred — it earns money).
-    Customer,
+    Customer = 0,
     /// Learned from a settlement-free peer.
-    Peer,
+    Peer = 1,
     /// Learned from a provider (least preferred — it costs money).
-    Provider,
+    Provider = 2,
 }
 
 /// Best route of one AS toward the table's destination.
+///
+/// Packed to 8 bytes — next-hop ASN plus class and length sharing one
+/// `u32` — so a full paper-scale table is a dense array two thirds the
+/// size of the naive `(class, u32, Asn)` layout and routing sweeps keep
+/// more of the entry array in cache. The `routing::oracle` equivalence
+/// proptests compare these packed entries field-for-field against the
+/// unpacked reference computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteEntry {
-    /// Preference class under which the route was learned.
-    pub class: RouteClass,
-    /// AS-path length in hops (destination itself has 0).
-    pub path_len: u32,
     /// Neighbor the route was learned from (next hop toward the
     /// destination). The destination's own entry points to itself.
-    pub next_hop: Asn,
+    next_hop: Asn,
+    /// `class << LEN_BITS | path_len`; `path_len == UNREACHED` marks a
+    /// node with no route.
+    class_len: u32,
 }
 
+/// Bits of `class_len` holding the path length.
+const LEN_BITS: u32 = 30;
+/// Mask extracting the path length from `class_len`.
+const LEN_MASK: u32 = (1 << LEN_BITS) - 1;
 /// Sentinel `path_len` marking a node with no route in the dense entry
-/// array.
-const UNREACHED: u32 = u32::MAX;
+/// array. Real paths are bounded by the AS count (< 2^30).
+const UNREACHED: u32 = LEN_MASK;
+
+// The packing is the point; keep it honest.
+const _: () = assert!(std::mem::size_of::<RouteEntry>() == 8);
+
+impl RouteEntry {
+    /// A reachable entry.
+    pub fn new(class: RouteClass, path_len: u32, next_hop: Asn) -> Self {
+        debug_assert!(path_len < UNREACHED, "path length overflows packing");
+        RouteEntry {
+            next_hop,
+            class_len: ((class as u32) << LEN_BITS) | path_len,
+        }
+    }
+
+    /// The no-route sentinel entry.
+    fn unreached(dst: Asn) -> Self {
+        RouteEntry {
+            next_hop: dst,
+            class_len: UNREACHED,
+        }
+    }
+
+    /// Whether this slot holds no route.
+    #[inline]
+    fn is_unreached(&self) -> bool {
+        self.class_len & LEN_MASK == UNREACHED
+    }
+
+    /// Preference class under which the route was learned.
+    #[inline]
+    pub fn class(&self) -> RouteClass {
+        match self.class_len >> LEN_BITS {
+            0 => RouteClass::Customer,
+            1 => RouteClass::Peer,
+            _ => RouteClass::Provider,
+        }
+    }
+
+    /// AS-path length in hops (destination itself has 0).
+    #[inline]
+    pub fn path_len(&self) -> u32 {
+        self.class_len & LEN_MASK
+    }
+
+    /// Neighbor the route was learned from.
+    #[inline]
+    pub fn next_hop(&self) -> Asn {
+        self.next_hop
+    }
+
+    /// Replaces the next hop, keeping class and length (equal-cost
+    /// tie-break updates in the sweeps).
+    #[inline]
+    fn set_next_hop(&mut self, next_hop: Asn) {
+        self.next_hop = next_hop;
+    }
+}
 
 /// Routing table toward a single destination AS.
 ///
@@ -119,8 +186,16 @@ impl RoutingTable {
         if asn == self.destination {
             return Some(&self.dst_entry);
         }
-        let e = &self.entries[self.nodes.node(asn)?.index()];
-        (e.path_len != UNREACHED).then_some(e)
+        self.route_at(self.nodes.node(asn)?)
+    }
+
+    /// Best route of the AS at dense id `src`, if reachable — the
+    /// hash-free lookup the ping engine uses once hosts carry their
+    /// AS's [`NodeId`].
+    #[inline]
+    pub fn route_at(&self, src: NodeId) -> Option<&RouteEntry> {
+        let e = &self.entries[src.index()];
+        (!e.is_unreached()).then_some(e)
     }
 
     /// Number of ASes that can reach the destination (including itself).
@@ -134,11 +209,23 @@ impl RoutingTable {
         if src == self.destination {
             return Some(vec![src]);
         }
-        let mut node = self.nodes.node(src)?;
-        if self.entries[node.index()].path_len == UNREACHED {
+        self.as_path_from(self.nodes.node(src)?)
+    }
+
+    /// As [`RoutingTable::as_path`], from a dense node id — no ASN
+    /// hashing anywhere on the reconstruction path.
+    pub fn as_path_from(&self, src: NodeId) -> Option<Vec<Asn>> {
+        let entry = &self.entries[src.index()];
+        if entry.is_unreached() {
             return None;
         }
-        let mut path = vec![src];
+        let src_asn = self.nodes.asn(src);
+        if entry.path_len() == 0 {
+            // The destination's own node.
+            return Some(vec![src_asn]);
+        }
+        let mut node = src;
+        let mut path = vec![src_asn];
         // Bound iterations by the table size to guard against cycles
         // (which would indicate a computation bug).
         for _ in 0..=self.entries.len() {
@@ -149,7 +236,7 @@ impl RoutingTable {
                 return Some(path);
             }
         }
-        panic!("routing loop toward {} from {}", self.destination, src);
+        panic!("routing loop toward {} from {}", self.destination, src_asn);
     }
 }
 
@@ -163,32 +250,17 @@ struct SweepState {
 impl SweepState {
     fn new(n: usize, dst: Asn) -> Self {
         SweepState {
-            entries: vec![
-                RouteEntry {
-                    class: RouteClass::Customer,
-                    path_len: UNREACHED,
-                    next_hop: dst,
-                };
-                n
-            ],
+            entries: vec![RouteEntry::unreached(dst); n],
             next_node: vec![NodeId(0); n],
         }
     }
 
     /// Finalizes into a table, counting reachable nodes.
     fn finish(self, topo: &Topology, dst: Asn) -> RoutingTable {
-        let dst_entry = RouteEntry {
-            class: RouteClass::Customer,
-            path_len: 0,
-            next_hop: dst,
-        };
+        let dst_entry = RouteEntry::new(RouteClass::Customer, 0, dst);
         let known = topo.node_index().node(dst).is_some();
-        let reachable = self
-            .entries
-            .iter()
-            .filter(|e| e.path_len != UNREACHED)
-            .count()
-            + usize::from(!known);
+        let reachable =
+            self.entries.iter().filter(|e| !e.is_unreached()).count() + usize::from(!known);
         RoutingTable {
             destination: dst,
             nodes: Arc::clone(topo.node_index()),
@@ -210,11 +282,7 @@ pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
         // `dst_entry`) has a route.
         return st.finish(topo, dst);
     };
-    st.entries[d.index()] = RouteEntry {
-        class: RouteClass::Customer,
-        path_len: 0,
-        next_hop: dst,
-    };
+    st.entries[d.index()] = RouteEntry::new(RouteClass::Customer, 0, dst);
     st.next_node[d.index()] = d;
 
     // ---- Phase 1: customer routes climb provider links -----------------
@@ -231,16 +299,12 @@ pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
             let u_asn = nodes.asn(u);
             for &p in csr.providers(u) {
                 let e = &mut st.entries[p.index()];
-                if e.path_len == UNREACHED {
-                    *e = RouteEntry {
-                        class: RouteClass::Customer,
-                        path_len: len,
-                        next_hop: u_asn,
-                    };
+                if e.is_unreached() {
+                    *e = RouteEntry::new(RouteClass::Customer, len, u_asn);
                     st.next_node[p.index()] = u;
                     next_frontier.push(p);
-                } else if e.path_len == len && u_asn < e.next_hop {
-                    e.next_hop = u_asn;
+                } else if e.path_len() == len && u_asn < e.next_hop() {
+                    e.set_next_hop(u_asn);
                     st.next_node[p.index()] = u;
                 }
             }
@@ -259,22 +323,19 @@ pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
     // order-independent).
     for i in 0..st.entries.len() {
         let e = st.entries[i];
-        if e.path_len == UNREACHED || e.class != RouteClass::Customer {
+        if e.is_unreached() || e.class() != RouteClass::Customer {
             continue;
         }
         let u = NodeId(i as u32);
         let u_asn = nodes.asn(u);
-        let cand_len = e.path_len + 1;
+        let cand_len = e.path_len() + 1;
         for &p in csr.peers(u) {
             let pe = &mut st.entries[p.index()];
-            let accept = pe.path_len == UNREACHED
-                || (pe.class == RouteClass::Peer && (cand_len, u_asn) < (pe.path_len, pe.next_hop));
+            let accept = pe.is_unreached()
+                || (pe.class() == RouteClass::Peer
+                    && (cand_len, u_asn) < (pe.path_len(), pe.next_hop()));
             if accept {
-                *pe = RouteEntry {
-                    class: RouteClass::Peer,
-                    path_len: cand_len,
-                    next_hop: u_asn,
-                };
+                *pe = RouteEntry::new(RouteClass::Peer, cand_len, u_asn);
                 st.next_node[p.index()] = u;
             }
         }
@@ -288,8 +349,8 @@ pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
     // reproduces Dijkstra's visit order over unit-weight edges.
     let mut buckets: Vec<Vec<NodeId>> = Vec::new();
     for (i, e) in st.entries.iter().enumerate() {
-        if e.path_len != UNREACHED {
-            let d = e.path_len as usize;
+        if !e.is_unreached() {
+            let d = e.path_len() as usize;
             if buckets.len() <= d {
                 buckets.resize_with(d + 1, Vec::new);
             }
@@ -304,22 +365,18 @@ pub fn compute_table(topo: &Topology, dst: Asn) -> RoutingTable {
             let u_asn = nodes.asn(u);
             for &cust in csr.customers(u) {
                 let ce = &mut st.entries[cust.index()];
-                if ce.path_len == UNREACHED {
-                    *ce = RouteEntry {
-                        class: RouteClass::Provider,
-                        path_len: len,
-                        next_hop: u_asn,
-                    };
+                if ce.is_unreached() {
+                    *ce = RouteEntry::new(RouteClass::Provider, len, u_asn);
                     st.next_node[cust.index()] = u;
                     if buckets.len() <= len as usize {
                         buckets.resize_with(len as usize + 1, Vec::new);
                     }
                     buckets[len as usize].push(cust);
-                } else if ce.class == RouteClass::Provider
-                    && ce.path_len == len
-                    && u_asn < ce.next_hop
+                } else if ce.class() == RouteClass::Provider
+                    && ce.path_len() == len
+                    && u_asn < ce.next_hop()
                 {
-                    ce.next_hop = u_asn;
+                    ce.set_next_hop(u_asn);
                     st.next_node[cust.index()] = u;
                 }
             }
@@ -341,11 +398,7 @@ pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> RoutingTable {
     let Some(d) = nodes.node(dst) else {
         return st.finish(topo, dst);
     };
-    st.entries[d.index()] = RouteEntry {
-        class: RouteClass::Customer,
-        path_len: 0,
-        next_hop: dst,
-    };
+    st.entries[d.index()] = RouteEntry::new(RouteClass::Customer, 0, dst);
     st.next_node[d.index()] = d;
 
     // One BFS over all three edge classes at once.
@@ -362,16 +415,12 @@ pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> RoutingTable {
                 .chain(csr.peers(u))
             {
                 let e = &mut st.entries[nb.index()];
-                if e.path_len == UNREACHED {
-                    *e = RouteEntry {
-                        class: RouteClass::Customer,
-                        path_len: len,
-                        next_hop: u_asn,
-                    };
+                if e.is_unreached() {
+                    *e = RouteEntry::new(RouteClass::Customer, len, u_asn);
                     st.next_node[nb.index()] = u;
                     next_frontier.push(nb);
-                } else if e.path_len == len && u_asn < e.next_hop {
-                    e.next_hop = u_asn;
+                } else if e.path_len() == len && u_asn < e.next_hop() {
+                    e.set_next_hop(u_asn);
                     st.next_node[nb.index()] = u;
                 }
             }
@@ -394,71 +443,118 @@ pub enum RoutingPolicy {
     ShortestPath,
 }
 
-/// Thread-safe, per-destination-cached route computation over a topology.
-pub struct Router<'t> {
-    topo: &'t Topology,
+/// Thread-safe, per-destination-cached route computation over a
+/// topology.
+///
+/// The router co-owns its topology behind an `Arc`, so campaigns, the
+/// sweep scheduler and worker threads can all hold the same router
+/// without borrowing anything — the ownership shape cross-campaign
+/// sweeps need (many campaigns, one table cache).
+///
+/// The cache itself is **dense**: one slot per [`NodeId`], so a lookup
+/// for an in-topology destination is an array index plus one `RwLock`
+/// read — no hashing — and construction races are confined to the
+/// single destination being built. Destinations outside the topology
+/// (degenerate tables; tests) fall back to a side map.
+pub struct Router {
+    topo: Arc<Topology>,
     policy: RoutingPolicy,
-    cache: RwLock<HashMap<Asn, Arc<RoutingTable>>>,
+    /// Dense per-destination cache, indexed by the destination's
+    /// [`NodeId`].
+    tables: Vec<RwLock<Option<Arc<RoutingTable>>>>,
+    /// Tables toward ASNs the topology does not know.
+    other: RwLock<HashMap<Asn, Arc<RoutingTable>>>,
 }
 
-impl<'t> Router<'t> {
+impl Router {
     /// Creates a router with valley-free policy.
-    pub fn new(topo: &'t Topology) -> Self {
+    pub fn new(topo: Arc<Topology>) -> Self {
         Self::with_policy(topo, RoutingPolicy::ValleyFree)
     }
 
     /// Creates a router with an explicit policy (ablations use
     /// [`RoutingPolicy::ShortestPath`]).
-    pub fn with_policy(topo: &'t Topology, policy: RoutingPolicy) -> Self {
+    pub fn with_policy(topo: Arc<Topology>, policy: RoutingPolicy) -> Self {
+        let n = topo.node_index().len();
         Router {
             topo,
             policy,
-            cache: RwLock::new(HashMap::new()),
+            tables: (0..n).map(|_| RwLock::new(None)).collect(),
+            other: RwLock::new(HashMap::new()),
         }
     }
 
     /// The topology this router operates on.
-    pub fn topology(&self) -> &'t Topology {
-        self.topo
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing policy tables are computed under.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
     }
 
     fn compute(&self, dst: Asn) -> RoutingTable {
         match self.policy {
-            RoutingPolicy::ValleyFree => compute_table(self.topo, dst),
-            RoutingPolicy::ShortestPath => compute_table_shortest(self.topo, dst),
+            RoutingPolicy::ValleyFree => compute_table(&self.topo, dst),
+            RoutingPolicy::ShortestPath => compute_table_shortest(&self.topo, dst),
         }
+    }
+
+    /// Routing table toward the destination at dense id `dst`,
+    /// computed once and cached — an array slot away, no hashing.
+    pub fn table_at(&self, dst: NodeId) -> Arc<RoutingTable> {
+        if let Some(t) = self.tables[dst.index()].read().as_ref() {
+            return Arc::clone(t);
+        }
+        // Miss: compute outside the lock (racing threads may duplicate
+        // the work, but tables are identical and the loser's copy is
+        // simply dropped — readers of other destinations never block
+        // behind a construction). The first writer wins the slot.
+        let table = Arc::new(self.compute(self.topo.node_index().asn(dst)));
+        let mut slot = self.tables[dst.index()].write();
+        if let Some(t) = slot.as_ref() {
+            return Arc::clone(t);
+        }
+        *slot = Some(Arc::clone(&table));
+        table
     }
 
     /// Routing table toward `dst`, computed once and cached.
     pub fn table(&self, dst: Asn) -> Arc<RoutingTable> {
-        if let Some(t) = self.cache.read().get(&dst) {
-            return Arc::clone(t);
+        match self.topo.node_index().node(dst) {
+            Some(node) => self.table_at(node),
+            None => {
+                if let Some(t) = self.other.read().get(&dst) {
+                    return Arc::clone(t);
+                }
+                let table = Arc::new(self.compute(dst));
+                Arc::clone(self.other.write().entry(dst).or_insert(table))
+            }
         }
-        // Miss: compute outside any lock (racing threads may duplicate
-        // the work, but tables are identical and the loser's copy is
-        // simply dropped — readers of other destinations never block
-        // behind a construction), then insert through the entry so
-        // exactly one table is kept and handed back — no
-        // read→write→read recheck dance.
-        let table = Arc::new(self.compute(dst));
-        Arc::clone(self.cache.write().entry(dst).or_insert(table))
     }
 
     /// Computes and caches the tables of every destination in `dsts`
     /// data-parallel on the worker pool (duplicates and already-cached
     /// destinations are skipped).
     ///
-    /// The campaign calls this with every destination its plan can
-    /// route toward before the first round, so cold-start table
-    /// construction uses all cores instead of serializing behind the
-    /// first round's pair-cache misses.
+    /// A campaign calls this with every destination its plan can route
+    /// toward before the first round; a sweep calls it once with the
+    /// **union** of all its campaigns' destinations, so cold-start
+    /// table construction happens exactly once however many campaigns
+    /// share the router.
     pub fn precompute(&self, dsts: &[Asn]) {
         let todo: Vec<Asn> = {
-            let cache = self.cache.read();
             let mut seen = HashSet::new();
             dsts.iter()
                 .copied()
-                .filter(|d| !cache.contains_key(d) && seen.insert(*d))
+                .filter(|&d| {
+                    let cached = match self.topo.node_index().node(d) {
+                        Some(node) => self.tables[node.index()].read().is_some(),
+                        None => self.other.read().contains_key(&d),
+                    };
+                    !cached && seen.insert(d)
+                })
                 .collect()
         };
         if todo.is_empty() {
@@ -468,9 +564,18 @@ impl<'t> Router<'t> {
             .par_iter()
             .map(|&d| Arc::new(self.compute(d)))
             .collect();
-        let mut cache = self.cache.write();
         for (d, t) in todo.into_iter().zip(tables) {
-            cache.entry(d).or_insert(t);
+            match self.topo.node_index().node(d) {
+                Some(node) => {
+                    let mut slot = self.tables[node.index()].write();
+                    if slot.is_none() {
+                        *slot = Some(t);
+                    }
+                }
+                None => {
+                    self.other.write().entry(d).or_insert(t);
+                }
+            }
         }
     }
 
@@ -479,9 +584,16 @@ impl<'t> Router<'t> {
         self.table(dst).as_path(src)
     }
 
+    /// AS path between dense node ids — the ping engine's hot lookup:
+    /// hosts carry their AS's [`NodeId`], so resolving a pair's route
+    /// does no ASN hashing at all.
+    pub fn as_path_between(&self, src: NodeId, dst: NodeId) -> Option<Vec<Asn>> {
+        self.table_at(dst).as_path_from(src)
+    }
+
     /// Number of cached destination tables (diagnostics).
     pub fn cached_tables(&self) -> usize {
-        self.cache.read().len()
+        self.tables.iter().filter(|s| s.read().is_some()).count() + self.other.read().len()
     }
 }
 
@@ -504,14 +616,7 @@ pub mod oracle {
     /// only), via heap-based Dijkstra phases over `Topology::adjacency`.
     pub fn compute_table(topo: &Topology, dst: Asn) -> HashMap<Asn, RouteEntry> {
         let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
-        routes.insert(
-            dst,
-            RouteEntry {
-                class: RouteClass::Customer,
-                path_len: 0,
-                next_hop: dst,
-            },
-        );
+        routes.insert(dst, RouteEntry::new(RouteClass::Customer, 0, dst));
 
         // ---- Phase 1: customer routes climb provider links -------------
         // Dijkstra over unit-weight edges u -> provider(u). An AS's
@@ -525,24 +630,17 @@ pub mod oracle {
         while let Some(c) = heap.pop() {
             // Skip stale heap entries.
             match routes.get(&c.owner) {
-                Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
+                Some(e) if e.path_len() == c.path_len && e.next_hop() == c.next_hop => {}
                 _ => continue,
             }
             for &p in &topo.adjacency(c.owner).providers {
                 let len = c.path_len + 1;
                 let accept = match routes.get(&p) {
                     None => true,
-                    Some(e) => e.class == RouteClass::Customer && better(len, c.owner, e),
+                    Some(e) => e.class() == RouteClass::Customer && better(len, c.owner, e),
                 };
                 if accept {
-                    routes.insert(
-                        p,
-                        RouteEntry {
-                            class: RouteClass::Customer,
-                            path_len: len,
-                            next_hop: c.owner,
-                        },
-                    );
+                    routes.insert(p, RouteEntry::new(RouteClass::Customer, len, c.owner));
                     heap.push(Candidate {
                         path_len: len,
                         owner: p,
@@ -559,8 +657,8 @@ pub mod oracle {
         let holders: Vec<(Asn, u32)> = {
             let mut v: Vec<_> = routes
                 .iter()
-                .filter(|(_, e)| e.class == RouteClass::Customer)
-                .map(|(&a, e)| (a, e.path_len))
+                .filter(|(_, e)| e.class() == RouteClass::Customer)
+                .map(|(&a, e)| (a, e.path_len()))
                 .collect();
             v.sort();
             v
@@ -570,21 +668,14 @@ pub mod oracle {
                 let cand_len = len + 1;
                 let accept = match routes.get(&p) {
                     None => true,
-                    Some(e) => match e.class {
+                    Some(e) => match e.class() {
                         RouteClass::Customer => false,
                         RouteClass::Peer => better(cand_len, owner, e),
                         RouteClass::Provider => true, // can't exist yet, but harmless
                     },
                 };
                 if accept {
-                    routes.insert(
-                        p,
-                        RouteEntry {
-                            class: RouteClass::Peer,
-                            path_len: cand_len,
-                            next_hop: owner,
-                        },
-                    );
+                    routes.insert(p, RouteEntry::new(RouteClass::Peer, cand_len, owner));
                 }
             }
         }
@@ -592,7 +683,7 @@ pub mod oracle {
         // ---- Phase 3: routes descend customer links ---------------------
         // Dijkstra downward from every route holder.
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-        let mut seeds: Vec<(Asn, u32)> = routes.iter().map(|(&a, e)| (a, e.path_len)).collect();
+        let mut seeds: Vec<(Asn, u32)> = routes.iter().map(|(&a, e)| (a, e.path_len())).collect();
         seeds.sort();
         for (owner, len) in seeds {
             heap.push(Candidate {
@@ -603,27 +694,20 @@ pub mod oracle {
         }
         while let Some(c) = heap.pop() {
             match routes.get(&c.owner) {
-                Some(e) if e.path_len == c.path_len => {}
+                Some(e) if e.path_len() == c.path_len => {}
                 _ => continue,
             }
             for &cust in &topo.adjacency(c.owner).customers {
                 let len = c.path_len + 1;
                 let accept = match routes.get(&cust) {
                     None => true,
-                    Some(e) => match e.class {
+                    Some(e) => match e.class() {
                         RouteClass::Customer | RouteClass::Peer => false,
                         RouteClass::Provider => better(len, c.owner, e),
                     },
                 };
                 if accept {
-                    routes.insert(
-                        cust,
-                        RouteEntry {
-                            class: RouteClass::Provider,
-                            path_len: len,
-                            next_hop: c.owner,
-                        },
-                    );
+                    routes.insert(cust, RouteEntry::new(RouteClass::Provider, len, c.owner));
                     heap.push(Candidate {
                         path_len: len,
                         owner: cust,
@@ -640,14 +724,7 @@ pub mod oracle {
     /// via heap-based Dijkstra over all links.
     pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> HashMap<Asn, RouteEntry> {
         let mut routes: HashMap<Asn, RouteEntry> = HashMap::new();
-        routes.insert(
-            dst,
-            RouteEntry {
-                class: RouteClass::Customer,
-                path_len: 0,
-                next_hop: dst,
-            },
-        );
+        routes.insert(dst, RouteEntry::new(RouteClass::Customer, 0, dst));
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
         heap.push(Candidate {
             path_len: 0,
@@ -656,7 +733,7 @@ pub mod oracle {
         });
         while let Some(c) = heap.pop() {
             match routes.get(&c.owner) {
-                Some(e) if e.path_len == c.path_len && e.next_hop == c.next_hop => {}
+                Some(e) if e.path_len() == c.path_len && e.next_hop() == c.next_hop => {}
                 _ => continue,
             }
             let adj = topo.adjacency(c.owner);
@@ -672,14 +749,7 @@ pub mod oracle {
                     Some(e) => better(len, c.owner, e),
                 };
                 if accept {
-                    routes.insert(
-                        n,
-                        RouteEntry {
-                            class: RouteClass::Customer,
-                            path_len: len,
-                            next_hop: c.owner,
-                        },
-                    );
+                    routes.insert(n, RouteEntry::new(RouteClass::Customer, len, c.owner));
                     heap.push(Candidate {
                         path_len: len,
                         owner: n,
@@ -722,7 +792,7 @@ impl PartialOrd for Candidate {
 
 /// Whether `candidate` (class implied equal) beats `incumbent`.
 fn better(len: u32, next_hop: Asn, incumbent: &RouteEntry) -> bool {
-    (len, next_hop) < (incumbent.path_len, incumbent.next_hop)
+    (len, next_hop) < (incumbent.path_len(), incumbent.next_hop())
 }
 
 #[cfg(test)]
@@ -823,8 +893,8 @@ mod tests {
         let t = b.build();
         let table = compute_table(&t, Asn(10));
         let entry = table.route(Asn(1)).unwrap();
-        assert_eq!(entry.class, RouteClass::Customer);
-        assert_eq!(entry.path_len, 2);
+        assert_eq!(entry.class(), RouteClass::Customer);
+        assert_eq!(entry.path_len(), 2);
         assert_eq!(
             table.as_path(Asn(1)).unwrap(),
             vec![Asn(1), Asn(2), Asn(10)]
@@ -847,7 +917,7 @@ mod tests {
         let t = valley_topology();
         let table = compute_table(&t, Asn(5));
         assert_eq!(table.as_path(Asn(5)).unwrap(), vec![Asn(5)]);
-        assert_eq!(table.route(Asn(5)).unwrap().path_len, 0);
+        assert_eq!(table.route(Asn(5)).unwrap().path_len(), 0);
     }
 
     #[test]
@@ -858,7 +928,7 @@ mod tests {
         assert_eq!(table.as_path(Asn(99)).unwrap(), vec![Asn(99)]);
         assert!(table.as_path(Asn(5)).is_none());
         assert!(table.route(Asn(5)).is_none());
-        assert_eq!(table.route(Asn(99)).unwrap().path_len, 0);
+        assert_eq!(table.route(Asn(99)).unwrap().path_len(), 0);
     }
 
     #[test]
@@ -891,7 +961,7 @@ mod tests {
         b.add_transit(Asn(4), Asn(3));
         let t = b.build();
         let table = compute_table(&t, Asn(1));
-        assert_eq!(table.route(Asn(4)).unwrap().class, RouteClass::Provider);
+        assert_eq!(table.route(Asn(4)).unwrap().class(), RouteClass::Provider);
         assert_eq!(
             table.as_path(Asn(4)).unwrap(),
             vec![Asn(4), Asn(3), Asn(2), Asn(1)]
@@ -933,8 +1003,7 @@ mod tests {
 
     #[test]
     fn router_caches_tables() {
-        let t = valley_topology();
-        let r = Router::new(&t);
+        let r = Router::new(Arc::new(valley_topology()));
         assert_eq!(r.cached_tables(), 0);
         let p1 = r.as_path(Asn(5), Asn(6)).unwrap();
         let p2 = r.as_path(Asn(3), Asn(6)).unwrap();
@@ -945,8 +1014,8 @@ mod tests {
 
     #[test]
     fn precompute_warms_cache_and_agrees_with_on_demand() {
-        let t = valley_topology();
-        let warm = Router::new(&t);
+        let t = Arc::new(valley_topology());
+        let warm = Router::new(Arc::clone(&t));
         // Duplicates and repeats must be handled; all six tables land
         // in the cache in one call.
         warm.precompute(&[Asn(1), Asn(2), Asn(3), Asn(4), Asn(5), Asn(6), Asn(5)]);
@@ -955,7 +1024,7 @@ mod tests {
         warm.precompute(&[Asn(1), Asn(6)]);
         assert_eq!(warm.cached_tables(), 6);
 
-        let cold = Router::new(&t);
+        let cold = Router::new(Arc::clone(&t));
         for dst in [1u32, 2, 3, 4, 5, 6] {
             let a = warm.table(Asn(dst));
             let b = cold.table(Asn(dst));

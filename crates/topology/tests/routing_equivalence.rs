@@ -162,18 +162,18 @@ proptest! {
                 let Some(path) = table.as_path(src.asn) else { continue };
                 assert_valley_free(&topo, &path);
                 let entry = table.route(src.asn).expect("path implies entry");
-                prop_assert_eq!(path.len() as u32 - 1, entry.path_len);
+                prop_assert_eq!(path.len() as u32 - 1, entry.path_len());
                 // A customer-class route must start on a provider link
                 // (the entry's class describes the first hop).
                 if path.len() > 1 {
                     let adj = topo.adjacency(src.asn);
-                    match entry.class {
+                    match entry.class() {
                         RouteClass::Customer => {
-                            prop_assert!(adj.customers.contains(&entry.next_hop))
+                            prop_assert!(adj.customers.contains(&entry.next_hop()))
                         }
-                        RouteClass::Peer => prop_assert!(adj.peers.contains(&entry.next_hop)),
+                        RouteClass::Peer => prop_assert!(adj.peers.contains(&entry.next_hop())),
                         RouteClass::Provider => {
-                            prop_assert!(adj.providers.contains(&entry.next_hop))
+                            prop_assert!(adj.providers.contains(&entry.next_hop()))
                         }
                     }
                 }
@@ -204,12 +204,12 @@ fn generated_topology_tables_match_oracle() {
 /// computation, destination for destination.
 #[test]
 fn precompute_matches_on_demand_on_generated_topology() {
-    let topo = Topology::generate(&TopologyConfig::small(), 77);
+    let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::small(), 77));
     let eyes: Vec<Asn> = topo.eyeball_asns().iter().step_by(7).copied().collect();
-    let warm = routing::Router::new(&topo);
+    let warm = routing::Router::new(std::sync::Arc::clone(&topo));
     warm.precompute(&eyes);
     assert_eq!(warm.cached_tables(), eyes.len());
-    let cold = routing::Router::new(&topo);
+    let cold = routing::Router::new(std::sync::Arc::clone(&topo));
     for &dst in &eyes {
         let a = warm.table(dst);
         let b = cold.table(dst);

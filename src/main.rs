@@ -3,8 +3,10 @@
 //! ```text
 //! colo-shortcuts world-info [--seed S]
 //! colo-shortcuts funnel     [--seed S]
-//! colo-shortcuts campaign   [--seed S] [--rounds N] [--out DIR]
-//!                           [--serial | --rounds-in-flight N]
+//! colo-shortcuts campaign   [--seed S] [--world-seed W] [--rounds N]
+//!                           [--out DIR] [--serial | --rounds-in-flight N]
+//! colo-shortcuts sweep      [--seed S] [--seeds S1,S2,..] [--rounds N]
+//!                           [--jobs-in-flight N] [--out DIR]
 //! ```
 //!
 //! `campaign` runs the paper's measurement campaign — streaming a
@@ -15,11 +17,20 @@
 //! measured concurrently); `--serial` forces one window at a time; the
 //! default is per-round parallel. All three produce bit-identical
 //! results for the same seed.
+//!
+//! `sweep` runs one campaign **per seed in `--seeds`** concurrently on
+//! one world — built from `--seed` — sharing router tables, the pair
+//! cache and one worker pool, streaming a progress line per completed
+//! `(scenario, round)`. It writes `cases_<label>.csv` per scenario —
+//! byte-identical to a solo `campaign --seed <s> --world-seed W` run
+//! on the same world (`W` being the sweep's `--seed`) — plus a
+//! cross-scenario `sweep.csv` comparison table of improvement rates.
 
 use shortcuts_core::analysis::improvement::ImprovementAnalysis;
 use shortcuts_core::analysis::threshold::ThresholdCurve;
 use shortcuts_core::analysis::top_relays::TopRelayAnalysis;
 use shortcuts_core::report;
+use shortcuts_core::sweep::{Sweep, SweepConfig};
 use shortcuts_core::workflow::{Campaign, CampaignConfig};
 use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_core::RelayType;
@@ -27,10 +38,13 @@ use std::path::PathBuf;
 
 struct Args {
     seed: u64,
+    world_seed: Option<u64>,
+    seeds: Vec<u64>,
     rounds: u32,
     out: PathBuf,
     serial: bool,
     rounds_in_flight: Option<usize>,
+    jobs_in_flight: usize,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -38,10 +52,13 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
     let cmd = argv.next().unwrap_or_else(|| "help".to_string());
     let mut args = Args {
         seed: 2017,
+        world_seed: None,
+        seeds: Vec::new(),
         rounds: 8,
         out: PathBuf::from("out"),
         serial: false,
         rounds_in_flight: None,
+        jobs_in_flight: 8,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -57,6 +74,23 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         match rest[i].as_str() {
             "--seed" => {
                 args.seed = need_value(i).parse().expect("--seed takes a u64");
+                i += 2;
+            }
+            "--world-seed" => {
+                args.world_seed = Some(need_value(i).parse().expect("--world-seed takes a u64"));
+                i += 2;
+            }
+            "--seeds" => {
+                args.seeds = need_value(i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--seeds takes u64,u64,..."))
+                    .collect();
+                i += 2;
+            }
+            "--jobs-in-flight" => {
+                args.jobs_in_flight = need_value(i)
+                    .parse()
+                    .expect("--jobs-in-flight takes a usize");
                 i += 2;
             }
             "--rounds" => {
@@ -98,10 +132,12 @@ fn main() {
         "world-info" => world_info(&args),
         "funnel" => funnel(&args),
         "campaign" => campaign(&args),
+        "sweep" => sweep(&args),
         _ => {
             eprintln!(
-                "usage: colo-shortcuts <world-info|funnel|campaign> [--seed S] [--rounds N] \
-                 [--out DIR] [--serial | --rounds-in-flight N]"
+                "usage: colo-shortcuts <world-info|funnel|campaign|sweep> [--seed S] \
+                 [--seeds S1,S2,..] [--rounds N] [--out DIR] \
+                 [--serial | --rounds-in-flight N] [--jobs-in-flight N]"
             );
             std::process::exit(2);
         }
@@ -109,8 +145,12 @@ fn main() {
 }
 
 fn build(args: &Args) -> World {
-    eprintln!("building world (seed {}) ...", args.seed);
-    World::build(&WorldConfig::paper_scale(), args.seed)
+    // The world seed defaults to the campaign seed but can be pinned
+    // independently (--world-seed), e.g. to compare several campaign
+    // seeds on one world the way `sweep` does.
+    let seed = args.world_seed.unwrap_or(args.seed);
+    eprintln!("building world (seed {seed}) ...");
+    World::build(&WorldConfig::paper_scale(), seed)
 }
 
 fn world_info(args: &Args) {
@@ -135,15 +175,12 @@ fn funnel(args: &Args) {
     use rand::SeedableRng;
     use shortcuts_core::colo::{run_pipeline, ColoPipelineConfig};
     use shortcuts_netsim::clock::SimTime;
-    use shortcuts_netsim::PingEngine;
-    use shortcuts_topology::routing::Router;
     let w = build(args);
-    let router = Router::new(&w.topo);
-    let engine = PingEngine::new(&w.topo, &router, &w.hosts, w.latency.clone());
+    let engine = w.shared().engine(Default::default());
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
     let pool = run_pipeline(
         &w,
-        &engine,
+        &*engine,
         w.looking_glasses.lgs()[0].host,
         SimTime(0.0),
         &ColoPipelineConfig::default(),
@@ -213,4 +250,71 @@ fn campaign(args: &Args) {
     }
     write("threshold.csv", report::threshold_csv(&curves));
     write("funnel.csv", report::funnel_csv(&results.colo_pool.funnel));
+}
+
+fn sweep(args: &Args) {
+    let w = build(args);
+    let mut seeds: Vec<u64> = if args.seeds.is_empty() {
+        // Default: four seeds starting at --seed.
+        (args.seed..args.seed + 4).collect()
+    } else {
+        args.seeds.clone()
+    };
+    // Scenario labels (and output file names) derive from the seed, so
+    // duplicates would silently overwrite each other's CSVs.
+    let mut seen = std::collections::HashSet::new();
+    let before = seeds.len();
+    seeds.retain(|s| seen.insert(*s));
+    if seeds.len() < before {
+        eprintln!(
+            "ignoring {} duplicate seed(s) in --seeds",
+            before - seeds.len()
+        );
+    }
+    let mut base = CampaignConfig::paper();
+    base.rounds = args.rounds;
+    let mut cfg = SweepConfig::from_seeds(&base, seeds);
+    cfg.jobs_in_flight = args.jobs_in_flight;
+    let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
+    eprintln!(
+        "sweeping {} scenarios x {} rounds ({} jobs in flight, shared world) ...",
+        cfg.scenarios.len(),
+        args.rounds,
+        cfg.jobs_in_flight,
+    );
+    // One line per completed (scenario, round): each scenario streams
+    // in round order while the others are still measuring.
+    let outcome = Sweep::new(&w, cfg).run_streaming(|scenario, s| {
+        eprintln!(
+            "{:>10} round {:>3}: {} endpoints, {} cases ({} unresponsive), \
+             {} of {} links",
+            labels[scenario],
+            s.round,
+            s.endpoints,
+            s.cases,
+            s.unresponsive_pairs,
+            s.links_measured,
+            s.links_planned,
+        );
+    });
+
+    std::fs::create_dir_all(&args.out).expect("create --out directory");
+    let write = |name: &str, contents: String| {
+        let path = args.out.join(name);
+        std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("wrote {}", path.display());
+    };
+    for sc in &outcome.scenarios {
+        eprintln!(
+            "{:>10}: {} cases, {:.2} M pings",
+            sc.label,
+            sc.results.total_cases(),
+            sc.results.pings_sent as f64 / 1e6
+        );
+        write(
+            &format!("cases_{}.csv", sc.label),
+            report::cases_csv(&sc.results),
+        );
+    }
+    write("sweep.csv", outcome.comparison_csv());
 }

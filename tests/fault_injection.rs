@@ -1,11 +1,16 @@
 //! Fault injection across the stack: outages and lossy transit must
 //! degrade measurements without breaking the pipeline.
+//!
+//! Faults are per-campaign state: they ride on a [`PingHandle`] (and,
+//! at the campaign level, on `CampaignConfig::faults`), never on the
+//! shared engine — so installing a plan needs no `&mut` access to the
+//! engine and campaigns sharing one engine see only their own faults.
 
 use colo_shortcuts::core::measure::{measure_pair, WindowConfig};
+use colo_shortcuts::core::workflow::{Campaign, CampaignConfig};
 use colo_shortcuts::core::world::{World, WorldConfig};
 use colo_shortcuts::netsim::clock::SimTime;
-use colo_shortcuts::netsim::{FaultPlan, PingEngine};
-use colo_shortcuts::topology::routing::Router;
+use colo_shortcuts::netsim::{FaultPlan, PingHandle, Pinger};
 use colo_shortcuts::topology::AsType;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,8 +18,8 @@ use rand::SeedableRng;
 #[test]
 fn tier1_outage_blacks_out_dependent_pairs() {
     let world = World::build(&WorldConfig::small(), 42);
-    let router = Router::new(&world.topo);
-    let mut engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let engine = world.shared().engine(Default::default());
+    let mut handle = PingHandle::new(engine);
 
     // Find an eyeball pair routed through some tier-1.
     let probes = world.ripe.probes();
@@ -25,7 +30,7 @@ fn tier1_outage_blacks_out_dependent_pairs() {
             if a.host == b.host {
                 continue;
             }
-            if let Some(path) = engine.as_path(a.host, b.host) {
+            if let Some(path) = handle.as_path(a.host, b.host) {
                 if let Some(&transit) = path
                     .iter()
                     .find(|&&asn| world.topo.expect_as(asn).as_type == AsType::Tier1)
@@ -40,40 +45,40 @@ fn tier1_outage_blacks_out_dependent_pairs() {
 
     // Sanity: works before the outage.
     let w = WindowConfig::default();
-    assert!(measure_pair(&engine, src, dst, SimTime(0.0), &w, &mut rng).is_some());
+    assert!(measure_pair(&handle, src, dst, SimTime(0.0), &w, &mut rng).is_some());
 
     // Outage covering a whole measurement window.
-    engine.set_faults(FaultPlan::none().with_outage(
+    handle.set_faults(FaultPlan::none().with_outage(
         transit,
         SimTime(10_000.0),
         SimTime(10_000.0 + 3_600.0),
     ));
     assert!(
-        measure_pair(&engine, src, dst, SimTime(10_000.0), &w, &mut rng).is_none(),
+        measure_pair(&handle, src, dst, SimTime(10_000.0), &w, &mut rng).is_none(),
         "window inside the outage must fail"
     );
     // After the outage everything recovers.
-    assert!(measure_pair(&engine, src, dst, SimTime(20_000.0), &w, &mut rng).is_some());
+    assert!(measure_pair(&handle, src, dst, SimTime(20_000.0), &w, &mut rng).is_some());
 }
 
 #[test]
 fn lossy_as_degrades_but_median_still_works() {
     let world = World::build(&WorldConfig::small(), 43);
-    let router = Router::new(&world.topo);
-    let mut engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let engine = world.shared().engine(Default::default());
+    let mut handle = PingHandle::new(engine);
     let probes = world.ripe.probes();
     let (src, dst) = (probes[0].host, probes[probes.len() / 2].host);
-    let path = engine.as_path(src, dst).expect("routable");
+    let path = handle.as_path(src, dst).expect("routable");
 
     // 30% extra loss on the first AS: with 6 pings and min_valid 3, the
     // window usually still yields a median.
-    engine.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.3));
+    handle.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.3));
     let w = WindowConfig::default();
     let mut rng = StdRng::seed_from_u64(9);
     let ok = (0..30)
         .filter(|i| {
             measure_pair(
-                &engine,
+                &handle,
                 src,
                 dst,
                 SimTime(f64::from(*i) * 3600.0),
@@ -86,11 +91,11 @@ fn lossy_as_degrades_but_median_still_works() {
     assert!(ok >= 20, "medians should survive 30% loss, got {ok}/30");
 
     // 95% loss: the window collapses.
-    engine.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.95));
+    handle.set_faults(FaultPlan::none().with_lossy_as(path[0], 0.95));
     let ok = (0..30)
         .filter(|i| {
             measure_pair(
-                &engine,
+                &handle,
                 src,
                 dst,
                 SimTime(f64::from(*i) * 3600.0),
@@ -106,20 +111,48 @@ fn lossy_as_degrades_but_median_still_works() {
 #[test]
 fn engine_stats_account_for_faults() {
     let world = World::build(&WorldConfig::small(), 44);
-    let router = Router::new(&world.topo);
-    let mut engine = PingEngine::new(&world.topo, &router, &world.hosts, world.latency.clone());
+    let engine = world.shared().engine(Default::default());
     let probes = world.ripe.probes();
     let (src, dst) = (probes[0].host, probes[1].host);
     let path = engine.as_path(src, dst).expect("routable");
-    engine.set_faults(FaultPlan::none().with_outage(path[0], SimTime(0.0), SimTime(1e9)));
+    let handle = PingHandle::with_faults(
+        std::sync::Arc::clone(&engine),
+        FaultPlan::none().with_outage(path[0], SimTime(0.0), SimTime(1e9)),
+    );
     let mut rng = StdRng::seed_from_u64(1);
     for i in 0..10 {
-        assert!(engine
+        assert!(handle
             .ping(src, dst, SimTime(f64::from(i)), &mut rng)
             .is_none());
     }
+    // The handle counts its own attempts; the shared engine's global
+    // stats classify them as losses.
+    assert_eq!(handle.pings_sent(), 10);
     let stats = engine.stats();
     assert_eq!(stats.attempts, 10);
     assert_eq!(stats.losses, 10);
     assert_eq!(stats.replies, 0);
+}
+
+#[test]
+fn campaign_level_faults_flow_through_the_config() {
+    // A whole-campaign outage of a tier-1 must measurably degrade the
+    // campaign vs. the identical fault-free configuration — proving
+    // `CampaignConfig::faults` reaches the measurement hot path.
+    let world = World::build(&WorldConfig::small(), 45);
+    let mut clean_cfg = CampaignConfig::small();
+    clean_cfg.rounds = 1;
+    let clean = Campaign::new(&world, clean_cfg.clone()).run();
+
+    let tier1 = world.topo.asns_of_type(AsType::Tier1)[0];
+    let mut faulty_cfg = clean_cfg;
+    faulty_cfg.faults = FaultPlan::none().with_outage(tier1, SimTime(0.0), SimTime(1e12));
+    let faulty = Campaign::new(&world, faulty_cfg).run();
+
+    assert!(
+        faulty.unresponsive_pairs > clean.unresponsive_pairs,
+        "blacking out a tier-1 should lose pairs ({} vs {})",
+        faulty.unresponsive_pairs,
+        clean.unresponsive_pairs
+    );
 }

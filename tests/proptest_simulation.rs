@@ -49,15 +49,20 @@ proptest! {
 
     #[test]
     fn any_seed_pings_are_physical(seed in 0u64..10_000) {
-        let topo = Topology::generate(&TopologyConfig::small(), seed);
-        let router = Router::new(&topo);
+        let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::small(), seed));
+        let router = std::sync::Arc::new(Router::new(std::sync::Arc::clone(&topo)));
         let mut hosts = colo_shortcuts::netsim::HostRegistry::new();
         let eyes = topo.eyeball_asns();
         let a = hosts.add_host_in_as(&topo, eyes[0], None).expect("host");
         let b = hosts
             .add_host_in_as(&topo, eyes[eyes.len() / 2], None)
             .expect("host");
-        let engine = PingEngine::new(&topo, &router, &hosts, LatencyModel::default());
+        let engine = PingEngine::new(
+            std::sync::Arc::clone(&topo),
+            router,
+            std::sync::Arc::new(hosts),
+            LatencyModel::default(),
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         if let Some(base) = engine.base_rtt(a, b) {
             // Base is the floor of every observed sample.

@@ -52,18 +52,18 @@ fn route_classes_are_consistent_with_next_hops() {
             continue;
         }
         let adj = topo.adjacency(info.asn);
-        match entry.class {
-            RouteClass::Customer => assert!(adj.customers.contains(&entry.next_hop)),
-            RouteClass::Peer => assert!(adj.peers.contains(&entry.next_hop)),
-            RouteClass::Provider => assert!(adj.providers.contains(&entry.next_hop)),
+        match entry.class() {
+            RouteClass::Customer => assert!(adj.customers.contains(&entry.next_hop())),
+            RouteClass::Peer => assert!(adj.peers.contains(&entry.next_hop())),
+            RouteClass::Provider => assert!(adj.providers.contains(&entry.next_hop())),
         }
     }
 }
 
 #[test]
 fn base_rtt_respects_speed_of_light_floor() {
-    let topo = Topology::generate(&TopologyConfig::small(), 406);
-    let router = Router::new(&topo);
+    let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::small(), 406));
+    let router = std::sync::Arc::new(Router::new(std::sync::Arc::clone(&topo)));
     let mut hosts = HostRegistry::new();
     let eyes = topo.eyeball_asns();
     let mut ids = Vec::new();
@@ -72,7 +72,12 @@ fn base_rtt_respects_speed_of_light_floor() {
             ids.push(id);
         }
     }
-    let engine = PingEngine::new(&topo, &router, &hosts, LatencyModel::default());
+    let engine = PingEngine::new(
+        std::sync::Arc::clone(&topo),
+        router,
+        std::sync::Arc::new(hosts),
+        LatencyModel::default(),
+    );
     for (i, &a) in ids.iter().enumerate() {
         for &b in ids.iter().skip(i + 1) {
             let Some(base) = engine.base_rtt(a, b) else {
@@ -113,8 +118,8 @@ fn policy_paths_are_never_shorter_than_shortest_paths() {
 
 #[test]
 fn router_cache_is_shared_across_queries() {
-    let topo = Topology::generate(&TopologyConfig::small(), 408);
-    let router = Router::new(&topo);
+    let topo = std::sync::Arc::new(Topology::generate(&TopologyConfig::small(), 408));
+    let router = Router::new(std::sync::Arc::clone(&topo));
     let eyes = topo.eyeball_asns();
     for &src in eyes.iter().take(20) {
         let _ = router.as_path(src, eyes[0]);
