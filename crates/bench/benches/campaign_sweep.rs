@@ -29,6 +29,7 @@ use shortcuts_core::report::cases_csv;
 use shortcuts_core::sweep::{run_sequential, Sweep, SweepConfig};
 use shortcuts_core::workflow::CampaignConfig;
 use shortcuts_core::world::{World, WorldConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn env_or(name: &str, default: u32) -> u32 {
@@ -48,15 +49,15 @@ fn sweep_config() -> SweepConfig {
 }
 
 fn bench_sweep(c: &mut Criterion) {
-    let world = World::build(&WorldConfig::small(), 7);
+    let world = Arc::new(World::build(&WorldConfig::small(), 7));
     let cfg = sweep_config();
     c.bench_function("campaign_sweep/sweep", |b| {
-        b.iter(|| black_box(Sweep::new(&world, cfg.clone()).run()))
+        b.iter(|| black_box(Sweep::new(Arc::clone(&world), cfg.clone()).run()))
     });
 }
 
 fn bench_sequential(c: &mut Criterion) {
-    let world = World::build(&WorldConfig::small(), 7);
+    let world = Arc::new(World::build(&WorldConfig::small(), 7));
     let cfg = sweep_config();
     c.bench_function("campaign_sweep/sequential", |b| {
         b.iter(|| black_box(run_sequential(&world, &cfg)))
@@ -66,7 +67,7 @@ fn bench_sequential(c: &mut Criterion) {
 /// One timed sweep-vs-sequential run with an explicit speedup table,
 /// plus the bit-identity canary on every scenario.
 fn bench_speedup_report(c: &mut Criterion) {
-    let world = World::build(&WorldConfig::small(), 7);
+    let world = Arc::new(World::build(&WorldConfig::small(), 7));
     let cfg = sweep_config();
 
     let t = Instant::now();
@@ -74,7 +75,7 @@ fn bench_speedup_report(c: &mut Criterion) {
     let sequential_secs = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let sweep = Sweep::new(&world, cfg.clone()).run();
+    let sweep = Sweep::new(Arc::clone(&world), cfg.clone()).run();
     let sweep_secs = t.elapsed().as_secs_f64();
 
     // Canary: scenario for scenario, the sweep must reproduce the solo

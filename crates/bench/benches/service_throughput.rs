@@ -1,0 +1,183 @@
+//! Service throughput: N concurrent client sessions vs N sequential
+//! sessions on one warmed shared world.
+//!
+//! Each session is the full client workflow over a real socket —
+//! connect, `RUN`, stream every `ROUND` line, fetch the cases CSV,
+//! `QUIT`. The server pools one engine stack for the world, so the
+//! question this bench answers is the service's reason to exist: how
+//! much faster do N clients finish when their sessions overlap on the
+//! warmed stack than when they queue up one after another?
+//!
+//! The report prints **sessions/sec** and aggregate **rounds/sec** for
+//! both schedules, plus a byte-identity canary: every concurrent
+//! session's CSV must equal its sequential twin's, and the first seed's
+//! CSV must equal a direct solo `Campaign::run` on a locally built
+//! world — concurrency and pooling must never leak into results.
+//!
+//! Knobs: `SHORTCUTS_SERVICE_SESSIONS` (default 4) concurrent clients,
+//! `SHORTCUTS_BENCH_ROUNDS` (default 4) rounds per session,
+//! `RAYON_NUM_THREADS` caps each run's worker count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_core::report::cases_csv;
+use shortcuts_core::workflow::{Campaign, CampaignConfig};
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_service::{Client, Server, ServiceConfig};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const WORLD_SEED: u64 = 7;
+const FIRST_CAMPAIGN_SEED: u64 = 2017;
+
+fn env_or(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn sessions() -> u64 {
+    u64::from(env_or("SHORTCUTS_SERVICE_SESSIONS", 4))
+}
+
+fn rounds() -> u32 {
+    env_or("SHORTCUTS_BENCH_ROUNDS", 4)
+}
+
+fn seeds() -> Vec<u64> {
+    (FIRST_CAMPAIGN_SEED..FIRST_CAMPAIGN_SEED + sessions()).collect()
+}
+
+/// Starts a server on an ephemeral port and warms the world's engine
+/// stack with one throwaway session, so both schedules measure serving
+/// cost, not first-touch world construction.
+fn warmed_server() -> Server {
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = 64;
+    cfg.default_world_seed = WORLD_SEED;
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    run_one_session(server.local_addr(), 1, rounds());
+    server
+}
+
+/// One full client session; returns (rounds streamed, cases CSV).
+fn run_one_session(addr: SocketAddr, seed: u64, rounds: u32) -> (u64, Vec<u8>) {
+    let mut client = Client::connect(addr).expect("session admitted");
+    let mut streamed = 0u64;
+    client
+        .run_streaming(
+            &format!("RUN seed={seed} rounds={rounds} world-seed={WORLD_SEED}"),
+            |e| {
+                if matches!(e, shortcuts_service::StreamEvent::Round(_)) {
+                    streamed += 1;
+                }
+            },
+        )
+        .expect("run");
+    let (_, bytes) = client.fetch_csv("cases").expect("csv");
+    client.quit();
+    (streamed, bytes)
+}
+
+fn sequential_sessions(addr: SocketAddr) -> Vec<(u64, Vec<u8>)> {
+    seeds()
+        .into_iter()
+        .map(|seed| run_one_session(addr, seed, rounds()))
+        .collect()
+}
+
+fn concurrent_sessions(addr: SocketAddr) -> Vec<(u64, Vec<u8>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds()
+            .into_iter()
+            .map(|seed| scope.spawn(move || run_one_session(addr, seed, rounds())))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let server = warmed_server();
+    let addr = server.local_addr();
+    c.bench_function("service_throughput/sequential_sessions", |b| {
+        b.iter(|| black_box(sequential_sessions(addr)))
+    });
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let server = warmed_server();
+    let addr = server.local_addr();
+    c.bench_function("service_throughput/concurrent_sessions", |b| {
+        b.iter(|| black_box(concurrent_sessions(addr)))
+    });
+}
+
+/// One timed concurrent-vs-sequential comparison with an explicit
+/// sessions/sec + rounds/sec table and the byte-identity canaries.
+fn bench_throughput_report(c: &mut Criterion) {
+    let server = warmed_server();
+    let addr = server.local_addr();
+    let n = sessions();
+    let rounds = rounds();
+
+    let t = Instant::now();
+    let sequential = sequential_sessions(addr);
+    let sequential_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let concurrent = concurrent_sessions(addr);
+    let concurrent_secs = t.elapsed().as_secs_f64();
+
+    // Canary 1: concurrency is unobservable in the payloads.
+    for (seed, ((r_seq, csv_seq), (r_con, csv_con))) in
+        seeds().iter().zip(sequential.iter().zip(&concurrent))
+    {
+        assert_eq!(r_seq, r_con, "seed {seed} round counts differ");
+        assert_eq!(*r_seq, u64::from(rounds), "seed {seed} missing rounds");
+        assert_eq!(csv_seq, csv_con, "seed {seed} CSV differs across schedules");
+    }
+    // Canary 2: the service reproduces a direct solo run byte for byte.
+    let world = World::build(&WorldConfig::small(), WORLD_SEED);
+    let mut solo_cfg = CampaignConfig::small();
+    solo_cfg.seed = FIRST_CAMPAIGN_SEED;
+    solo_cfg.rounds = rounds;
+    let solo = cases_csv(&Campaign::new(&world, solo_cfg).run());
+    assert_eq!(
+        solo.as_bytes(),
+        &concurrent[0].1[..],
+        "service CSV diverged from the solo campaign"
+    );
+
+    let total_rounds = (n * u64::from(rounds)) as f64;
+    println!(
+        "service_throughput ({n} sessions x {rounds} rounds, one warmed world, \
+         {} worker thread(s) per run):",
+        rayon::current_num_threads(),
+    );
+    for (name, secs) in [
+        ("sequential", sequential_secs),
+        ("concurrent", concurrent_secs),
+    ] {
+        println!(
+            "  {name:>10}: {secs:6.2}s  {:6.2} sessions/s  {:7.2} rounds/s  ({:.2}x vs sequential)",
+            n as f64 / secs,
+            total_rounds / secs,
+            sequential_secs / secs,
+        );
+    }
+
+    // Keep criterion's ledger aware this ran.
+    c.bench_function("service_throughput/report_noop", |b| {
+        b.iter(|| black_box(0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(20))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_throughput_report, bench_concurrent, bench_sequential
+}
+criterion_main!(benches);

@@ -44,7 +44,12 @@
 //! pair cache, the router's destination tables (warmed once with the
 //! union of every scenario's destinations) and one worker pool via the
 //! two-level [`shard::run_interleaved`] scheduler — with every
-//! scenario bit-identical to running it alone.
+//! scenario bit-identical to running it alone. A [`sweep::Sweep`] owns
+//! its world (`Arc`) and can measure through a caller-pooled engine
+//! ([`sweep::Sweep::with_engine`],
+//! [`workflow::Campaign::run_streaming_on`]) — the ownership shape the
+//! `shortcuts_service` session server uses to keep one warmed engine
+//! stack serving many concurrent client sessions.
 //!
 //! ## Paper-section map
 //!

@@ -39,6 +39,13 @@
 //! and [`SweepReport`] carries per-scenario [`CampaignResults`] plus a
 //! cross-scenario comparison table of improvement rates
 //! ([`SweepReport::comparison_csv`]).
+//!
+//! **Ownership**: a [`Sweep`] owns its world (`Arc<World>`) and, via
+//! [`Sweep::with_engine`], can measure through a caller-pooled shared
+//! engine. Neither borrows anything, so a sweep constructed in one
+//! scope — a session thread of the `shortcuts_service` server — runs
+//! happily after that scope is gone, and many concurrent sessions
+//! reuse one warmed pair cache and router table cache.
 
 use crate::analysis::improvement::ImprovementAnalysis;
 use crate::relays::RelayType;
@@ -48,7 +55,7 @@ use crate::workflow::{Campaign, CampaignConfig, CampaignResults, CampaignSetup, 
 use crate::world::World;
 use crate::{NetsimBackend, RoundPlan};
 use rayon::prelude::*;
-use shortcuts_netsim::PingHandle;
+use shortcuts_netsim::{PingEngine, PingHandle};
 use shortcuts_topology::Asn;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -79,10 +86,22 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The most common sweep: one base configuration evaluated under
     /// many seeds. Labels are `seed-<n>`.
+    ///
+    /// # Panics
+    ///
+    /// On duplicate seeds: labels (and therefore `cases_<label>.csv`
+    /// output files) derive from the seed, so a duplicate would
+    /// silently overwrite another scenario's results.
     pub fn from_seeds(base: &CampaignConfig, seeds: impl IntoIterator<Item = u64>) -> Self {
+        let mut seen = BTreeSet::new();
         let scenarios = seeds
             .into_iter()
             .map(|seed| {
+                assert!(
+                    seen.insert(seed),
+                    "duplicate sweep seed {seed}: scenario labels derive from the seed, \
+                     so its results would overwrite each other"
+                );
                 let mut config = base.clone();
                 config.seed = seed;
                 SweepScenario {
@@ -155,20 +174,73 @@ impl SweepReport {
 
 /// The sweep runner: many campaigns, one world, one engine, one worker
 /// pool.
-pub struct Sweep<'w> {
-    world: &'w World,
+///
+/// A sweep **owns** its world (`Arc<World>`) and optionally the shared
+/// engine it measures through — no borrowed lifetimes — so a sweep
+/// built in one scope (an RPC handler, a session thread) can be handed
+/// to another and run long after its creator returned. This is the
+/// ownership shape the `shortcuts_service` session server builds on:
+/// its [`WorldPool`](../../shortcuts_service/struct.WorldPool.html)
+/// hands every session an `Arc<World>` plus a pooled warmed engine,
+/// and sessions come and go while both live on.
+pub struct Sweep {
+    world: Arc<World>,
+    /// Shared engine to measure through, if the caller pools one;
+    /// otherwise the sweep builds its own private stack.
+    engine: Option<Arc<PingEngine>>,
     cfg: SweepConfig,
 }
 
-impl<'w> Sweep<'w> {
-    /// Creates a sweep over a world.
+impl Sweep {
+    /// Creates a sweep over a world, with a private engine stack.
     ///
     /// # Panics
     ///
-    /// If the batch is empty or the scenarios disagree on routing
-    /// policy (the sweep shares one router; split mixed-policy batches
-    /// into one sweep per policy).
-    pub fn new(world: &'w World, cfg: SweepConfig) -> Self {
+    /// If the batch is empty, the scenarios disagree on routing policy
+    /// (the sweep shares one router; split mixed-policy batches into
+    /// one sweep per policy), or two scenarios share a label (their
+    /// outputs — `cases_<label>.csv` — would overwrite each other).
+    pub fn new(world: Arc<World>, cfg: SweepConfig) -> Self {
+        Self::validate(&cfg);
+        Sweep {
+            world,
+            engine: None,
+            cfg,
+        }
+    }
+
+    /// Creates a sweep that measures through a caller-provided shared
+    /// engine — the warmed stack a session server pools per
+    /// `(world seed, policy)` — instead of building its own. Results
+    /// are bit-identical either way: the engine only caches
+    /// deterministic world facts, while faults and ping accounting
+    /// stay on per-scenario [`PingHandle`]s.
+    ///
+    /// # Panics
+    ///
+    /// As [`Sweep::new`], and additionally if the engine's router
+    /// policy differs from the scenarios' routing policy or the
+    /// engine was built from a different world (scenario selection
+    /// would then plan against hosts the engine cannot resolve).
+    pub fn with_engine(world: Arc<World>, engine: Arc<PingEngine>, cfg: SweepConfig) -> Self {
+        Self::validate(&cfg);
+        assert_eq!(
+            engine.router().policy(),
+            cfg.scenarios[0].config.routing,
+            "shared engine routes under a different policy than the sweep"
+        );
+        assert!(
+            std::ptr::eq(engine.topology(), &*world.topo),
+            "shared engine was built from a different world than the sweep"
+        );
+        Sweep {
+            world,
+            engine: Some(engine),
+            cfg,
+        }
+    }
+
+    fn validate(cfg: &SweepConfig) {
         assert!(
             !cfg.scenarios.is_empty(),
             "sweep needs at least one scenario"
@@ -178,7 +250,15 @@ impl<'w> Sweep<'w> {
             cfg.scenarios.iter().all(|s| s.config.routing == policy),
             "all sweep scenarios must share one routing policy"
         );
-        Sweep { world, cfg }
+        let mut labels = BTreeSet::new();
+        for sc in &cfg.scenarios {
+            assert!(
+                labels.insert(sc.label.as_str()),
+                "duplicate scenario label {:?}: its results (cases_<label>.csv) \
+                 would overwrite each other",
+                sc.label
+            );
+        }
     }
 
     /// Runs every scenario to completion.
@@ -192,13 +272,18 @@ impl<'w> Sweep<'w> {
     /// one worker pool, so early rounds of *every* scenario arrive
     /// while later rounds are still measuring.
     pub fn run_streaming<F: FnMut(usize, &RoundSummary)>(&self, mut on_round: F) -> SweepReport {
-        let world = self.world;
+        let world: &World = &self.world;
         let scenarios = &self.cfg.scenarios;
         let policy = scenarios[0].config.routing;
 
         // One engine for the whole sweep: shared topology, host
-        // registry, latency model, router table cache and pair cache.
-        let engine = world.shared().engine(policy);
+        // registry, latency model, router table cache and pair cache —
+        // the caller's pooled (already warmed) stack if it provided
+        // one, a private stack otherwise.
+        let engine = match &self.engine {
+            Some(e) => Arc::clone(e),
+            None => world.shared().engine(policy),
+        };
 
         // Per-scenario selection through per-scenario handles — the
         // identical code path (and RNG streams) a solo run uses, so
@@ -207,7 +292,7 @@ impl<'w> Sweep<'w> {
         // RNG and deterministic shared caches), so they run
         // data-parallel rather than idling the pool through N
         // sequential funnels.
-        let prepared: Vec<(CampaignSetup<'w>, NetsimBackend)> = scenarios
+        let prepared: Vec<(CampaignSetup<'_>, NetsimBackend)> = scenarios
             .par_iter()
             .map(|sc| {
                 let handle = PingHandle::with_faults(Arc::clone(&engine), sc.config.faults.clone());
@@ -216,7 +301,7 @@ impl<'w> Sweep<'w> {
                 (setup, backend)
             })
             .collect();
-        let (setups, backends): (Vec<CampaignSetup<'w>>, Vec<NetsimBackend>) =
+        let (setups, backends): (Vec<CampaignSetup<'_>>, Vec<NetsimBackend>) =
             prepared.into_iter().unzip();
 
         // One warmup over the UNION of every scenario's destinations:
@@ -316,9 +401,9 @@ mod tests {
 
     #[test]
     fn sweep_produces_one_result_per_scenario() {
-        let world = World::build(&WorldConfig::small(), 50);
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
         let cfg = SweepConfig::from_seeds(&small_cfg(2), [2017, 2018, 2019]);
-        let report = Sweep::new(&world, cfg).run();
+        let report = Sweep::new(Arc::clone(&world), cfg).run();
         assert_eq!(report.scenarios.len(), 3);
         for sc in &report.scenarios {
             assert!(!sc.results.cases.is_empty(), "{}", sc.label);
@@ -335,11 +420,11 @@ mod tests {
     fn swept_scenarios_match_solo_runs_bitwise() {
         // The tentpole acceptance check at unit scale: concurrent
         // sweep scenarios produce byte-identical CSVs to solo runs.
-        let world = World::build(&WorldConfig::small(), 50);
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
         let mut cfg = SweepConfig::from_seeds(&small_cfg(2), [2017, 4242]);
         // Heterogeneous round counts too.
         cfg.scenarios[1].config.rounds = 3;
-        let sweep = Sweep::new(&world, cfg.clone()).run();
+        let sweep = Sweep::new(Arc::clone(&world), cfg.clone()).run();
         for (sc, swept) in cfg.scenarios.iter().zip(&sweep.scenarios) {
             let solo = Campaign::new(&world, sc.config.clone()).run();
             assert_eq!(
@@ -359,7 +444,7 @@ mod tests {
         // AS. The faulty one must lose windows, the clean one must be
         // bit-identical to a solo clean run — no cross-talk through
         // the shared engine.
-        let world = World::build(&WorldConfig::small(), 51);
+        let world = Arc::new(World::build(&WorldConfig::small(), 51));
         let clean = small_cfg(1);
         let mut faulty = clean.clone();
         // Black out a tier-1 for the whole campaign.
@@ -378,7 +463,7 @@ mod tests {
             ],
             jobs_in_flight: 4,
         };
-        let report = Sweep::new(&world, cfg).run();
+        let report = Sweep::new(Arc::clone(&world), cfg).run();
         let solo_clean = Campaign::new(&world, clean).run();
         assert_eq!(
             report::cases_csv(&report.scenarios[0].results),
@@ -393,10 +478,11 @@ mod tests {
 
     #[test]
     fn streaming_emits_rounds_in_order_per_scenario() {
-        let world = World::build(&WorldConfig::small(), 50);
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
         let cfg = SweepConfig::from_seeds(&small_cfg(3), [1, 2]);
         let mut seen: Vec<Vec<u32>> = vec![Vec::new(); 2];
-        let report = Sweep::new(&world, cfg).run_streaming(|c, s| seen[c].push(s.round));
+        let report =
+            Sweep::new(Arc::clone(&world), cfg).run_streaming(|c, s| seen[c].push(s.round));
         assert_eq!(seen[0], vec![0, 1, 2]);
         assert_eq!(seen[1], vec![0, 1, 2]);
         assert_eq!(report.scenarios.len(), 2);
@@ -404,9 +490,9 @@ mod tests {
 
     #[test]
     fn comparison_csv_has_one_row_per_scenario() {
-        let world = World::build(&WorldConfig::small(), 50);
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
         let cfg = SweepConfig::from_seeds(&small_cfg(1), [7, 8, 9]);
-        let report = Sweep::new(&world, cfg).run();
+        let report = Sweep::new(Arc::clone(&world), cfg).run();
         let csv = report.comparison_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -416,9 +502,9 @@ mod tests {
 
     #[test]
     fn sequential_baseline_matches_the_sweep() {
-        let world = World::build(&WorldConfig::small(), 52);
+        let world = Arc::new(World::build(&WorldConfig::small(), 52));
         let cfg = SweepConfig::from_seeds(&small_cfg(1), [5, 6]);
-        let swept = Sweep::new(&world, cfg.clone()).run();
+        let swept = Sweep::new(Arc::clone(&world), cfg.clone()).run();
         let sequential = run_sequential(&world, &cfg);
         for (a, b) in swept.scenarios.iter().zip(&sequential.scenarios) {
             assert_eq!(report::cases_csv(&a.results), report::cases_csv(&b.results));
@@ -428,9 +514,73 @@ mod tests {
     #[test]
     #[should_panic(expected = "routing policy")]
     fn mixed_policies_are_rejected() {
-        let world = World::build(&WorldConfig::small(), 50);
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
         let mut cfg = SweepConfig::from_seeds(&small_cfg(1), [1, 2]);
         cfg.scenarios[1].config.routing = shortcuts_topology::routing::RoutingPolicy::ShortestPath;
-        let _ = Sweep::new(&world, cfg);
+        let _ = Sweep::new(Arc::clone(&world), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep seed")]
+    fn duplicate_seeds_are_rejected() {
+        let _ = SweepConfig::from_seeds(&small_cfg(1), [7, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario label")]
+    fn duplicate_labels_are_rejected() {
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
+        let mut cfg = SweepConfig::from_seeds(&small_cfg(1), [1, 2]);
+        cfg.scenarios[1].label = cfg.scenarios[0].label.clone();
+        let _ = Sweep::new(world, cfg);
+    }
+
+    #[test]
+    fn sweep_outlives_the_scope_that_created_it() {
+        // The service ownership contract: a session thread builds a
+        // sweep from pool handles and runs it after the building scope
+        // (and its Arc bindings) are gone.
+        let sweep = {
+            let world = Arc::new(World::build(&WorldConfig::small(), 50));
+            let engine = world.shared().engine(Default::default());
+            Sweep::with_engine(world, engine, SweepConfig::from_seeds(&small_cfg(1), [3]))
+        };
+        let report = sweep.run();
+        assert_eq!(report.scenarios.len(), 1);
+        assert!(!report.scenarios[0].results.cases.is_empty());
+    }
+
+    #[test]
+    fn pooled_engine_reproduces_private_engine_results() {
+        // with_engine is a pure scheduling/caching choice: running two
+        // sweeps back to back on ONE engine (second run fully warmed)
+        // matches the private-engine run byte for byte.
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
+        let cfg = SweepConfig::from_seeds(&small_cfg(2), [2017, 2018]);
+        let private = Sweep::new(Arc::clone(&world), cfg.clone()).run();
+        let engine = world.shared().engine(Default::default());
+        for _ in 0..2 {
+            let pooled =
+                Sweep::with_engine(Arc::clone(&world), Arc::clone(&engine), cfg.clone()).run();
+            for (a, b) in pooled.scenarios.iter().zip(&private.scenarios) {
+                assert_eq!(report::cases_csv(&a.results), report::cases_csv(&b.results));
+                assert_eq!(a.results.pings_sent, b.results.pings_sent);
+            }
+        }
+        // The pooled engine's health counters saw both runs.
+        let stats = engine.engine_stats();
+        assert!(stats.pings_sent > 0);
+        assert!(stats.router_tables_resident > 0);
+        assert!(stats.pair_cache_hits > stats.pair_cache_misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "different policy")]
+    fn engine_policy_mismatch_is_rejected() {
+        let world = Arc::new(World::build(&WorldConfig::small(), 50));
+        let engine = world
+            .shared()
+            .engine(shortcuts_topology::routing::RoutingPolicy::ShortestPath);
+        let _ = Sweep::with_engine(world, engine, SweepConfig::from_seeds(&small_cfg(1), [1]));
     }
 }

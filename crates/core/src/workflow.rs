@@ -337,13 +337,45 @@ impl<'w> Campaign<'w> {
     /// is emitted as soon as rounds `0..=k` are complete — consumers
     /// see results while later rounds are still measuring.
     pub fn run_streaming<F: FnMut(&RoundSummary)>(&self, on_round: F) -> CampaignResults {
-        let world = self.world;
-        let cfg = &self.cfg;
         // The engine stack co-owns the world's shared pieces (Arc), so
         // the same construction serves one campaign here and many in
         // core::sweep.
-        let engine = world.shared().engine(cfg.routing);
-        let handle = PingHandle::with_faults(Arc::clone(&engine), cfg.faults.clone());
+        let engine = self.world.shared().engine(self.cfg.routing);
+        self.run_streaming_on(&engine, on_round)
+    }
+
+    /// [`Campaign::run_streaming`] against a **caller-provided shared
+    /// engine** instead of a private one. This is how a long-lived
+    /// session server reuses one warmed engine stack — pair cache and
+    /// router tables — across many campaigns touching the same world:
+    /// results are bit-identical either way, because everything the
+    /// engine caches is a deterministic world fact, while faults and
+    /// ping accounting stay on this campaign's private [`PingHandle`].
+    ///
+    /// # Panics
+    ///
+    /// If the engine's router policy differs from the campaign's
+    /// configured routing policy (the cached tables would answer for
+    /// the wrong policy), or the engine was built from a different
+    /// world (its host registry could not resolve this campaign's
+    /// planned hosts).
+    pub fn run_streaming_on<F: FnMut(&RoundSummary)>(
+        &self,
+        engine: &Arc<shortcuts_netsim::PingEngine>,
+        on_round: F,
+    ) -> CampaignResults {
+        let world = self.world;
+        let cfg = &self.cfg;
+        assert_eq!(
+            engine.router().policy(),
+            cfg.routing,
+            "shared engine routes under a different policy than the campaign"
+        );
+        assert!(
+            std::ptr::eq(engine.topology(), &*world.topo),
+            "shared engine was built from a different world than the campaign"
+        );
+        let handle = PingHandle::with_faults(Arc::clone(engine), cfg.faults.clone());
 
         // --- One-time selection (§2.1, §2.2) -----------------------------
         let setup = CampaignSetup::prepare(world, &handle, cfg);

@@ -61,5 +61,5 @@ pub use fault::FaultPlan;
 pub use host::{Host, HostId, HostKind, HostRegistry};
 pub use latency::LatencyModel;
 pub use path::{expand_path, RouterPath};
-pub use ping::{PingEngine, PingHandle, Pinger};
+pub use ping::{EngineStats, PingEngine, PingHandle, Pinger};
 pub use traceroute::{Traceroute, TracerouteHop};

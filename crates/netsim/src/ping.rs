@@ -66,6 +66,56 @@ struct StatCounters {
     unroutable: AtomicU64,
 }
 
+/// Health snapshot of a (possibly long-lived, shared) engine stack:
+/// how warm its caches are and how much traffic it has carried. This
+/// is what a measurement *service* reports per pooled engine (`STATS`)
+/// and what `sweep` prints as its end-of-run summary line.
+///
+/// All counters are monotonic over the engine's lifetime and read with
+/// relaxed ordering — each is exact, and cross-counter totals are
+/// exact whenever no ping is mid-flight on another thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Pair-cache lookups that found a resident entry.
+    pub pair_cache_hits: u64,
+    /// Pair-cache lookups that had to expand the pair first.
+    pub pair_cache_misses: u64,
+    /// Host pairs currently resident in the pair cache.
+    pub pair_cache_entries: u64,
+    /// Destination routing tables resident in the router's cache.
+    pub router_tables_resident: u64,
+    /// Pings attempted through the engine (all campaigns, all
+    /// sessions).
+    pub pings_sent: u64,
+}
+
+impl EngineStats {
+    /// Fraction of pair lookups served from cache (0 when idle).
+    pub fn pair_cache_hit_rate(&self) -> f64 {
+        let total = self.pair_cache_hits + self.pair_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pair_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// One-line human/machine-readable summary, `key=value` separated
+    /// by spaces — the service's `STATS` payload format.
+    pub fn summary(&self) -> String {
+        format!(
+            "pair_hits={} pair_misses={} pair_hit_rate={:.4} pair_entries={} \
+             tables_resident={} pings_sent={}",
+            self.pair_cache_hits,
+            self.pair_cache_misses,
+            self.pair_cache_hit_rate(),
+            self.pair_cache_entries,
+            self.router_tables_resident,
+            self.pings_sent,
+        )
+    }
+}
+
 /// Shards in the pair cache. First-touch rounds are write-heavy — the
 /// campaign's sharded scheduler can have several rounds' worth of
 /// worker threads inserting fresh pairs at once — so the cache is
@@ -73,12 +123,26 @@ struct StatCounters {
 /// serializing on one `RwLock`. 64 shards ≫ any realistic core count.
 const CACHE_SHARDS: usize = 64;
 
-/// One independently locked portion of the pair cache.
-type CacheShard = RwLock<HashMap<(HostId, HostId), Option<Arc<PairInfo>>>>;
+/// Resident pair facts of one shard (`None` = known-unroutable pair).
+type PairMap = HashMap<(HostId, HostId), Option<Arc<PairInfo>>>;
+
+/// One independently locked portion of the pair cache, with its own
+/// hit/miss telemetry so the counters contend exactly as little as the
+/// lock they sit next to.
+#[derive(Default)]
+struct CacheShard {
+    map: RwLock<PairMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// Pair cache: `Arc` per entry so a hit is a refcount bump, not a
 /// deep clone of the AS path under the read lock; one lock per shard
-/// so concurrent first-touch inserts rarely contend.
+/// so concurrent first-touch inserts rarely contend. Hit/miss counters
+/// are per-shard relaxed atomics feeding [`EngineStats`] — health
+/// telemetry for long-lived engines (the service's `STATS` command),
+/// never control flow — summed on read so the all-hits steady state
+/// never bounces one shared cache line across worker threads.
 struct PairCache {
     shards: Vec<CacheShard>,
 }
@@ -86,9 +150,7 @@ struct PairCache {
 impl PairCache {
     fn new() -> Self {
         PairCache {
-            shards: (0..CACHE_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+            shards: (0..CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
         }
     }
 
@@ -104,11 +166,32 @@ impl PairCache {
     }
 
     fn get(&self, key: (HostId, HostId)) -> Option<Option<Arc<PairInfo>>> {
-        self.shard(key).read().get(&key).cloned()
+        let shard = self.shard(key);
+        let cached = shard.map.read().get(&key).cloned();
+        match cached {
+            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
+            None => shard.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        cached
     }
 
     fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>) {
-        self.shard(key).write().insert(key, info);
+        self.shard(key).map.write().insert(key, info);
+    }
+
+    /// Pairs currently resident across all shards.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().len()).sum()
+    }
+
+    /// Total (hits, misses) summed across shards.
+    fn hit_miss(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            (
+                h + s.hits.load(Ordering::Relaxed),
+                m + s.misses.load(Ordering::Relaxed),
+            )
+        })
     }
 }
 
@@ -185,6 +268,20 @@ impl PingEngine {
             replies: self.stats.replies.load(Ordering::Relaxed),
             losses: self.stats.losses.load(Ordering::Relaxed),
             unroutable: self.stats.unroutable.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Engine-stack health: cache warmth and traffic counters for this
+    /// engine and the router it resolves paths with. See
+    /// [`EngineStats`].
+    pub fn engine_stats(&self) -> EngineStats {
+        let (pair_cache_hits, pair_cache_misses) = self.cache.hit_miss();
+        EngineStats {
+            pair_cache_hits,
+            pair_cache_misses,
+            pair_cache_entries: self.cache.len() as u64,
+            router_tables_resident: self.router.cached_tables() as u64,
+            pings_sent: self.stats.attempts.load(Ordering::Relaxed),
         }
     }
 
@@ -569,8 +666,43 @@ mod tests {
         }
         // The shard hash must actually spread pairs; a constant hash
         // would silently restore single-lock contention.
-        let used = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        let used = cache
+            .shards
+            .iter()
+            .filter(|s| !s.map.read().is_empty())
+            .count();
         assert!(used > CACHE_SHARDS / 2, "only {used} shards used");
+    }
+
+    #[test]
+    fn engine_stats_track_cache_warmth_and_traffic() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        assert_eq!(engine.engine_stats(), EngineStats::default());
+
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..10 {
+            let _ = engine.ping(a, b, SimTime(f64::from(i)), &mut rng);
+        }
+        let stats = engine.engine_stats();
+        // First lookup misses and expands the pair; the rest hit.
+        assert_eq!(stats.pair_cache_misses, 1);
+        assert_eq!(stats.pair_cache_hits, 9);
+        assert_eq!(stats.pair_cache_entries, 1);
+        assert_eq!(stats.pings_sent, 10);
+        assert!(stats.pair_cache_hit_rate() > 0.85);
+        // Resolving the pair cached routing tables toward both hosts.
+        assert!(stats.router_tables_resident >= 1);
+        // The summary line carries every counter.
+        let line = stats.summary();
+        for key in [
+            "pair_hits=9",
+            "pair_misses=1",
+            "pair_entries=1",
+            "pings_sent=10",
+        ] {
+            assert!(line.contains(key), "{line} missing {key}");
+        }
     }
 
     #[test]

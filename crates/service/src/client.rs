@@ -1,0 +1,150 @@
+//! A minimal blocking client for the service protocol.
+//!
+//! Wraps one TCP connection: send a request line, stream the response
+//! lines, fetch length-prefixed CSV payloads. Used by the
+//! `colo-shortcuts client` subcommand, the end-to-end tests and the
+//! `service_throughput` bench; scripts can just as well speak the
+//! protocol over `nc`.
+
+use crate::protocol::GREETING;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One line streamed while a batch runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A `ROUND <label> <round> …` progress line (raw payload).
+    Round(String),
+    /// An `END <label> …` scenario-summary line (raw payload).
+    End(String),
+}
+
+fn protocol_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A connected session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects and consumes the greeting. A server over capacity
+    /// answers `ERR busy …` instead; that surfaces as an error of kind
+    /// [`std::io::ErrorKind::ConnectionRefused`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        let greeting = client.read_response_line()?;
+        if greeting.starts_with("ERR") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                greeting,
+            ));
+        }
+        if greeting != GREETING {
+            return Err(protocol_err(format!("unexpected greeting {greeting:?}")));
+        }
+        Ok(client)
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn read_response_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Sends a `RUN`/`SWEEP` request and streams its `ROUND`/`END`
+    /// lines into `on_event` until the terminating `OK` (returned) or
+    /// `ERR` (an [`std::io::ErrorKind::InvalidData`] error).
+    pub fn run_streaming<F: FnMut(StreamEvent)>(
+        &mut self,
+        request: &str,
+        mut on_event: F,
+    ) -> std::io::Result<String> {
+        self.send(request)?;
+        loop {
+            let line = self.read_response_line()?;
+            if let Some(rest) = line.strip_prefix("ROUND ") {
+                on_event(StreamEvent::Round(rest.to_string()));
+            } else if let Some(rest) = line.strip_prefix("END ") {
+                on_event(StreamEvent::End(rest.to_string()));
+            } else if let Some(rest) = line.strip_prefix("OK ") {
+                return Ok(rest.to_string());
+            } else if line.starts_with("ERR") {
+                return Err(protocol_err(line));
+            } else {
+                return Err(protocol_err(format!("unexpected line {line:?}")));
+            }
+        }
+    }
+
+    /// Fetches one CSV payload: `what` is the argument part of the
+    /// `CSV` request (`"cases"`, `"cases <label>"`, `"sweep"`).
+    /// Returns `(name, bytes)`.
+    pub fn fetch_csv(&mut self, what: &str) -> std::io::Result<(String, Vec<u8>)> {
+        self.send(&format!("CSV {what}"))?;
+        let header = self.read_response_line()?;
+        if header.starts_with("ERR") {
+            return Err(protocol_err(header));
+        }
+        let mut parts = header.split_whitespace();
+        let (tag, name, len) = (parts.next(), parts.next(), parts.next());
+        if tag != Some("CSV") {
+            return Err(protocol_err(format!("unexpected CSV header {header:?}")));
+        }
+        let name = name.ok_or_else(|| protocol_err("CSV header missing name"))?;
+        let len: usize = len
+            .and_then(|l| l.parse().ok())
+            .ok_or_else(|| protocol_err("CSV header missing length"))?;
+        let mut bytes = vec![0u8; len];
+        self.reader.read_exact(&mut bytes)?;
+        Ok((name.to_string(), bytes))
+    }
+
+    /// Fetches the engine-health lines of every pooled engine stack.
+    pub fn stats(&mut self) -> std::io::Result<Vec<String>> {
+        self.send("STATS")?;
+        let mut out = Vec::new();
+        loop {
+            let line = self.read_response_line()?;
+            if let Some(rest) = line.strip_prefix("STATS ") {
+                out.push(rest.to_string());
+            } else if line.starts_with("OK ") {
+                return Ok(out);
+            } else {
+                return Err(protocol_err(line));
+            }
+        }
+    }
+
+    /// Sends a raw request and returns the single `OK`/`ERR` response
+    /// line (for protocol probing; streaming requests need
+    /// [`Client::run_streaming`]).
+    pub fn round_trip(&mut self, request: &str) -> std::io::Result<String> {
+        self.send(request)?;
+        self.read_response_line()
+    }
+
+    /// Polite goodbye (best-effort; the connection drops either way).
+    pub fn quit(mut self) {
+        let _ = self.send("QUIT");
+        let _ = self.read_response_line();
+    }
+}

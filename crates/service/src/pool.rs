@@ -1,0 +1,150 @@
+//! The world pool: one warmed engine stack per `(world seed, policy)`.
+//!
+//! Building a [`World`] and warming an engine's caches is the
+//! expensive part of a measurement run — routing tables and pair
+//! expansions dwarf the pings themselves for short campaigns. A
+//! long-lived service therefore never rebuilds them per request:
+//! the pool caches
+//!
+//! - **worlds** by seed (`Arc<World>` — topology, hosts, datasets), and
+//! - **engine stacks** by `(world seed, routing policy)`
+//!   (`Arc<PingEngine>` — router with its destination-table cache plus
+//!   the sharded pair cache),
+//!
+//! so every session touching the same world measures through the same
+//! warmed caches. Sharing is sound because the engine holds only
+//! deterministic world facts (the sweep determinism contract); faults
+//! and accounting stay on per-campaign `PingHandle`s.
+//!
+//! Locks are `parking_lot` mutexes: they do not poison, so a session
+//! thread that panics mid-request can never wedge the pool for every
+//! other session — the service's panic-safety story leans on this.
+
+use parking_lot::Mutex;
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_netsim::{EngineStats, PingEngine};
+use shortcuts_topology::routing::RoutingPolicy;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-seed world slot: lets a build synchronize its duplicates
+/// without blocking the pool-wide map.
+type WorldSlot = Arc<std::sync::OnceLock<Arc<World>>>;
+
+/// Caches worlds by seed and engine stacks by `(world seed, policy)`.
+pub struct WorldPool {
+    cfg: WorldConfig,
+    worlds: Mutex<HashMap<u64, WorldSlot>>,
+    engines: Mutex<HashMap<(u64, RoutingPolicy), Arc<PingEngine>>>,
+}
+
+impl WorldPool {
+    /// A pool building worlds from `cfg` (each seed still produces its
+    /// own deterministic world).
+    pub fn new(cfg: WorldConfig) -> Self {
+        WorldPool {
+            cfg,
+            worlds: Mutex::new(HashMap::new()),
+            engines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The world for `seed`, built on first use.
+    ///
+    /// The pool-wide lock covers only the slot lookup; the (expensive)
+    /// build runs under the *seed's* `OnceLock`. Concurrent sessions
+    /// asking for the same new seed wait for one build instead of
+    /// racing N duplicates, while sessions on other — already cached —
+    /// worlds sail past untouched.
+    pub fn world(&self, seed: u64) -> Arc<World> {
+        let slot: WorldSlot = {
+            let mut worlds = self.worlds.lock();
+            Arc::clone(worlds.entry(seed).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(World::build(&self.cfg, seed))))
+    }
+
+    /// The shared engine stack for `(world seed, policy)`, created on
+    /// first use. Every later caller gets the same engine — same
+    /// router tables, same pair cache — however many sessions run on
+    /// it concurrently.
+    pub fn engine(&self, seed: u64, policy: RoutingPolicy) -> Arc<PingEngine> {
+        let world = self.world(seed);
+        let mut engines = self.engines.lock();
+        Arc::clone(
+            engines
+                .entry((seed, policy))
+                .or_insert_with(|| world.shared().engine(policy)),
+        )
+    }
+
+    /// Number of worlds currently resident (builds in flight on other
+    /// threads do not count until they finish).
+    pub fn worlds_resident(&self) -> usize {
+        self.worlds
+            .lock()
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// Health snapshot of every pooled engine stack, sorted by
+    /// `(world seed, policy)` for stable output.
+    pub fn stats(&self) -> Vec<(u64, RoutingPolicy, EngineStats)> {
+        let engines = self.engines.lock();
+        let mut out: Vec<_> = engines
+            .iter()
+            .map(|(&(seed, policy), engine)| (seed, policy, engine.engine_stats()))
+            .collect();
+        drop(engines);
+        out.sort_by_key(|&(seed, policy, _)| (seed, policy.label()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> WorldPool {
+        WorldPool::new(WorldConfig::small())
+    }
+
+    #[test]
+    fn worlds_are_cached_by_seed() {
+        let p = pool();
+        let a = p.world(5);
+        let b = p.world(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = p.world(6);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(p.worlds_resident(), 2);
+    }
+
+    #[test]
+    fn engines_are_cached_by_seed_and_policy() {
+        let p = pool();
+        let a = p.engine(5, RoutingPolicy::ValleyFree);
+        let b = p.engine(5, RoutingPolicy::ValleyFree);
+        assert!(Arc::ptr_eq(&a, &b), "same key must reuse the stack");
+        let c = p.engine(5, RoutingPolicy::ShortestPath);
+        assert!(!Arc::ptr_eq(&a, &c), "policies get separate routers");
+        // Both engines route over the one cached world's topology.
+        assert!(std::ptr::eq(a.topology(), c.topology()));
+        assert_eq!(p.worlds_resident(), 1);
+    }
+
+    #[test]
+    fn stats_cover_every_pooled_engine() {
+        let p = pool();
+        p.engine(1, RoutingPolicy::ValleyFree);
+        p.engine(2, RoutingPolicy::ValleyFree);
+        p.engine(1, RoutingPolicy::ShortestPath);
+        let stats = p.stats();
+        assert_eq!(stats.len(), 3);
+        // Sorted by (seed, policy label).
+        assert_eq!(stats[0].0, 1);
+        assert_eq!(stats[1].0, 1);
+        assert_eq!(stats[2].0, 2);
+    }
+}

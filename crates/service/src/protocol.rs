@@ -1,0 +1,301 @@
+//! The wire protocol: a small, line-oriented request/response language.
+//!
+//! Every request is one text line; every response is one or more text
+//! lines, except CSV payloads which are length-prefixed raw bytes. The
+//! protocol is deliberately telnet-friendly — you can drive a server
+//! by hand with `nc` — and trivially scriptable, which is all a
+//! measurement front end needs.
+//!
+//! ## Requests
+//!
+//! ```text
+//! RUN seed=<u64> [rounds=<u32>] [world-seed=<u64>] [policy=<p>]
+//!     [label=<name>] [rounds-in-flight=<n>]
+//! SWEEP seeds=<u64,u64,..> [rounds=<u32>] [world-seed=<u64>]
+//!     [policy=<p>] [jobs-in-flight=<n>]
+//! CSV cases [<label>]
+//! CSV sweep
+//! STATS
+//! QUIT
+//! ```
+//!
+//! `policy` is `valley-free` (default) or `shortest-path`. `world-seed`
+//! defaults to the server's configured default world. `rounds` defaults
+//! to 4. Labels default to `seed-<seed>`.
+//!
+//! ## Responses
+//!
+//! - `OK <detail>` — request finished.
+//! - `ERR <message>` — request rejected; the session stays usable
+//!   (except the admission `ERR busy`, after which the server closes
+//!   the connection).
+//! - `ROUND <label> <round> endpoints=<e> pairs=<p> cases=<c>
+//!   unresponsive=<u> links=<measured>/<planned> symmetry=<s>` — one
+//!   per completed round, **per scenario in round order**, streamed
+//!   while later rounds are still measuring.
+//! - `END <label> seed=<s> cases=<n> pings=<n> unresponsive=<n>` — one
+//!   per scenario once the whole batch finishes.
+//! - `CSV <name> <len>` followed by exactly `<len>` raw bytes — a CSV
+//!   payload.
+//! - `STATS world=<seed> policy=<p> <EngineStats summary>` — one per
+//!   pooled engine stack.
+
+use shortcuts_topology::routing::RoutingPolicy;
+
+/// Greeting the server sends on every admitted connection.
+pub const GREETING: &str = "OK shortcuts-service ready";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run one campaign, streaming its rounds.
+    Run {
+        /// Campaign seed.
+        seed: u64,
+        /// Number of rounds.
+        rounds: u32,
+        /// World to run against (server default when absent).
+        world_seed: Option<u64>,
+        /// Routing policy.
+        policy: RoutingPolicy,
+        /// Scenario label (default `seed-<seed>`).
+        label: Option<String>,
+        /// Rounds kept in flight (server-clamped).
+        rounds_in_flight: Option<usize>,
+    },
+    /// Run a multi-scenario sweep, streaming all scenarios' rounds.
+    Sweep {
+        /// One campaign seed per scenario; duplicates are rejected.
+        seeds: Vec<u64>,
+        /// Rounds per scenario.
+        rounds: u32,
+        /// World to run against (server default when absent).
+        world_seed: Option<u64>,
+        /// Routing policy (shared by all scenarios).
+        policy: RoutingPolicy,
+        /// `(campaign, round)` jobs kept in flight (server-clamped).
+        jobs_in_flight: Option<usize>,
+    },
+    /// Fetch the cases CSV of the session's last run — of scenario
+    /// `label`, or of the only/first scenario when `None`.
+    CsvCases {
+        /// Scenario label to fetch.
+        label: Option<String>,
+    },
+    /// Fetch the cross-scenario comparison CSV of the last run.
+    CsvSweep,
+    /// Engine-stack health of every pooled `(world, policy)` engine.
+    Stats,
+    /// Close the session.
+    Quit,
+}
+
+/// Splits `key=value` with a protocol-grade error.
+fn split_kv(tok: &str) -> Result<(&str, &str), String> {
+    tok.split_once('=')
+        .ok_or_else(|| format!("expected key=value, got {tok:?}"))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, val: &str) -> Result<T, String> {
+    val.parse()
+        .map_err(|_| format!("{key} takes a number, got {val:?}"))
+}
+
+fn parse_seeds(val: &str) -> Result<Vec<u64>, String> {
+    let seeds: Vec<u64> = val
+        .split(',')
+        .map(|s| parse_num("seeds", s.trim()))
+        .collect::<Result<_, _>>()?;
+    if seeds.is_empty() {
+        return Err("seeds must name at least one seed".into());
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &seeds {
+        if !seen.insert(*s) {
+            return Err(format!(
+                "duplicate seed {s}: scenario labels derive from the seed, \
+                 so its results would overwrite each other"
+            ));
+        }
+    }
+    Ok(seeds)
+}
+
+impl Request {
+    /// Parses one request line. Errors are protocol `ERR` payloads:
+    /// human-readable, single-line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut toks = line.split_whitespace();
+        let cmd = toks.next().ok_or("empty request")?;
+        let rest: Vec<&str> = toks.collect();
+        match cmd.to_ascii_uppercase().as_str() {
+            "RUN" => {
+                let mut seed = None;
+                let mut rounds = 4u32;
+                let mut world_seed = None;
+                let mut policy = RoutingPolicy::default();
+                let mut label = None;
+                let mut rounds_in_flight = None;
+                for tok in rest {
+                    let (k, v) = split_kv(tok)?;
+                    match k {
+                        "seed" => seed = Some(parse_num("seed", v)?),
+                        "rounds" => rounds = parse_num("rounds", v)?,
+                        "world-seed" => world_seed = Some(parse_num("world-seed", v)?),
+                        "policy" => {
+                            policy = RoutingPolicy::parse(v)
+                                .ok_or_else(|| format!("unknown policy {v:?}"))?;
+                        }
+                        "label" => label = Some(v.to_string()),
+                        "rounds-in-flight" => {
+                            rounds_in_flight = Some(parse_num("rounds-in-flight", v)?);
+                        }
+                        other => return Err(format!("unknown RUN option {other:?}")),
+                    }
+                }
+                Ok(Request::Run {
+                    seed: seed.ok_or("RUN requires seed=<u64>")?,
+                    rounds,
+                    world_seed,
+                    policy,
+                    label,
+                    rounds_in_flight,
+                })
+            }
+            "SWEEP" => {
+                let mut seeds = None;
+                let mut rounds = 4u32;
+                let mut world_seed = None;
+                let mut policy = RoutingPolicy::default();
+                let mut jobs_in_flight = None;
+                for tok in rest {
+                    let (k, v) = split_kv(tok)?;
+                    match k {
+                        "seeds" => seeds = Some(parse_seeds(v)?),
+                        "rounds" => rounds = parse_num("rounds", v)?,
+                        "world-seed" => world_seed = Some(parse_num("world-seed", v)?),
+                        "policy" => {
+                            policy = RoutingPolicy::parse(v)
+                                .ok_or_else(|| format!("unknown policy {v:?}"))?;
+                        }
+                        "jobs-in-flight" => {
+                            jobs_in_flight = Some(parse_num("jobs-in-flight", v)?);
+                        }
+                        other => return Err(format!("unknown SWEEP option {other:?}")),
+                    }
+                }
+                Ok(Request::Sweep {
+                    seeds: seeds.ok_or("SWEEP requires seeds=<u64,u64,..>")?,
+                    rounds,
+                    world_seed,
+                    policy,
+                    jobs_in_flight,
+                })
+            }
+            "CSV" => match rest.as_slice() {
+                ["cases"] => Ok(Request::CsvCases { label: None }),
+                ["cases", label] => Ok(Request::CsvCases {
+                    label: Some((*label).to_string()),
+                }),
+                ["sweep"] => Ok(Request::CsvSweep),
+                _ => Err("CSV takes `cases [label]` or `sweep`".into()),
+            },
+            "STATS" => {
+                if rest.is_empty() {
+                    Ok(Request::Stats)
+                } else {
+                    Err("STATS takes no options".into())
+                }
+            }
+            "QUIT" => Ok(Request::Quit),
+            other => Err(format!(
+                "unknown command {other:?} (try RUN, SWEEP, CSV, STATS, QUIT)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parses_with_defaults() {
+        let r = Request::parse("RUN seed=2017").unwrap();
+        assert_eq!(
+            r,
+            Request::Run {
+                seed: 2017,
+                rounds: 4,
+                world_seed: None,
+                policy: RoutingPolicy::ValleyFree,
+                label: None,
+                rounds_in_flight: None,
+            }
+        );
+    }
+
+    #[test]
+    fn run_parses_every_option() {
+        let r = Request::parse(
+            "RUN seed=1 rounds=9 world-seed=7 policy=shortest-path label=x rounds-in-flight=3",
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Run {
+                seed: 1,
+                rounds: 9,
+                world_seed: Some(7),
+                policy: RoutingPolicy::ShortestPath,
+                label: Some("x".into()),
+                rounds_in_flight: Some(3),
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_parses_seed_lists() {
+        let r = Request::parse("SWEEP seeds=1,2,3 rounds=2 jobs-in-flight=5").unwrap();
+        match r {
+            Request::Sweep {
+                seeds,
+                rounds,
+                jobs_in_flight,
+                ..
+            } => {
+                assert_eq!(seeds, vec![1, 2, 3]);
+                assert_eq!(rounds, 2);
+                assert_eq!(jobs_in_flight, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_error_without_panicking() {
+        for bad in [
+            "",
+            "FROBNICATE",
+            "RUN",
+            "RUN seed=abc",
+            "RUN bogus=1",
+            "RUN seed",
+            "SWEEP",
+            "SWEEP seeds=",
+            "SWEEP seeds=1,1",
+            "SWEEP seeds=1 policy=teleport",
+            "CSV",
+            "CSV nonsense",
+            "STATS now",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn commands_are_case_insensitive() {
+        assert_eq!(Request::parse("quit").unwrap(), Request::Quit);
+        assert_eq!(Request::parse("stats").unwrap(), Request::Stats);
+    }
+}

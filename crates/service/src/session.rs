@@ -1,0 +1,406 @@
+//! Sessions: bounded admission plus the per-connection request loop.
+//!
+//! A session is one TCP connection driven by one thread. The
+//! [`SessionManager`] owns what sessions share — the [`WorldPool`] and
+//! the admission counter — while everything request-scoped (the last
+//! run's results, the half-parsed line) lives on the session thread's
+//! stack, so a dying session takes nothing shared down with it:
+//!
+//! - admission is released by a [`SessionPermit`] drop guard, which
+//!   runs during unwinding too;
+//! - the pool's locks are non-poisoning (`parking_lot`), so a panic
+//!   mid-`world()` cannot wedge other sessions;
+//! - the measurement scheduler ([`shortcuts_core::shard`]) already
+//!   propagates worker panics as a panic of the calling (session)
+//!   thread instead of deadlocking the pool.
+//!
+//! Requests execute synchronously on the session thread; concurrency
+//! across sessions comes from the thread-per-connection server, and
+//! concurrency *within* a request from the sharded
+//! `(campaign, round)` scheduler every run uses.
+
+use crate::pool::WorldPool;
+use crate::protocol::{Request, GREETING};
+use shortcuts_core::report::cases_csv;
+use shortcuts_core::sweep::{Sweep, SweepConfig, SweepReport};
+use shortcuts_core::workflow::CampaignConfig;
+use shortcuts_core::world::WorldConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum concurrent sessions; further connections are refused
+    /// with `ERR busy` at accept time.
+    pub max_sessions: usize,
+    /// Upper bound a session's `jobs-in-flight` / `rounds-in-flight`
+    /// request options are clamped to (bounds live plans and partial
+    /// results per session).
+    pub max_jobs_in_flight: usize,
+    /// World generator configuration for pooled worlds.
+    pub world: WorldConfig,
+    /// World seed used when a request does not pin `world-seed`.
+    pub default_world_seed: u64,
+    /// Base campaign configuration requests specialize (seed, rounds,
+    /// policy and scheduling are overridden per request).
+    pub base_campaign: CampaignConfig,
+}
+
+impl ServiceConfig {
+    /// Paper-scale worlds, 8 sessions, the paper's campaign shape.
+    pub fn paper_scale() -> Self {
+        ServiceConfig {
+            max_sessions: 8,
+            max_jobs_in_flight: 32,
+            world: WorldConfig::paper_scale(),
+            default_world_seed: 2017,
+            base_campaign: CampaignConfig::paper(),
+        }
+    }
+
+    /// Small worlds and small campaigns — tests and benches.
+    pub fn small() -> Self {
+        ServiceConfig {
+            world: WorldConfig::small(),
+            base_campaign: CampaignConfig::small(),
+            ..Self::paper_scale()
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// Shared session state: the pool and the admission counter.
+pub struct SessionManager {
+    cfg: ServiceConfig,
+    pool: WorldPool,
+    active: AtomicUsize,
+}
+
+impl SessionManager {
+    /// Creates a manager (and its world pool) from a config.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let pool = WorldPool::new(cfg.world.clone());
+        SessionManager {
+            cfg,
+            pool,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shared world pool.
+    pub fn pool(&self) -> &WorldPool {
+        &self.pool
+    }
+
+    /// Sessions currently admitted.
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Tries to admit one more session; `None` when the service is at
+    /// `max_sessions`. The returned permit releases the slot on drop —
+    /// including the drop that runs while a session thread unwinds
+    /// from a panic.
+    pub fn try_admit(self: &Arc<Self>) -> Option<SessionPermit> {
+        let mut current = self.active.load(Ordering::SeqCst);
+        loop {
+            if current >= self.cfg.max_sessions {
+                return None;
+            }
+            match self.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(SessionPermit {
+                        mgr: Arc::clone(self),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// RAII admission slot; dropping it (normally or during unwinding)
+/// frees the slot for the next client.
+pub struct SessionPermit {
+    mgr: Arc<SessionManager>,
+}
+
+impl Drop for SessionPermit {
+    fn drop(&mut self) {
+        self.mgr.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The session's memory of its last finished batch, for `CSV` fetches.
+struct LastRun {
+    report: SweepReport,
+}
+
+/// Runs one session to completion: greeting, then the request loop
+/// until the client quits or disconnects. IO errors (client went away)
+/// end the session silently; protocol errors are reported as `ERR`
+/// lines and the loop continues.
+pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{GREETING}")?;
+    writer.flush()?;
+
+    let mut last: Option<LastRun> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // clean disconnect
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request = match Request::parse(trimmed) {
+            Ok(r) => r,
+            Err(msg) => {
+                writeln!(writer, "ERR {msg}")?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match request {
+            Request::Quit => {
+                writeln!(writer, "OK bye")?;
+                return writer.flush();
+            }
+            Request::Stats => {
+                let stats = mgr.pool.stats();
+                for (seed, policy, s) in &stats {
+                    writeln!(
+                        writer,
+                        "STATS world={seed} policy={} {}",
+                        policy.label(),
+                        s.summary()
+                    )?;
+                }
+                writeln!(writer, "OK stats {}", stats.len())?;
+                writer.flush()?;
+            }
+            Request::CsvCases { label } => {
+                let Some(run) = &last else {
+                    writeln!(writer, "ERR no finished run in this session")?;
+                    writer.flush()?;
+                    continue;
+                };
+                let scenario = match &label {
+                    Some(l) => run.report.scenarios.iter().find(|s| &s.label == l),
+                    None => run.report.scenarios.first(),
+                };
+                match scenario {
+                    Some(sc) => {
+                        send_csv(&mut writer, &format!("cases_{}.csv", sc.label), {
+                            cases_csv(&sc.results).as_bytes()
+                        })?;
+                    }
+                    None => {
+                        writeln!(writer, "ERR no scenario labelled {:?}", label.unwrap())?;
+                        writer.flush()?;
+                    }
+                }
+            }
+            Request::CsvSweep => match &last {
+                Some(run) => {
+                    send_csv(&mut writer, "sweep.csv", {
+                        run.report.comparison_csv().as_bytes()
+                    })?;
+                }
+                None => {
+                    writeln!(writer, "ERR no finished run in this session")?;
+                    writer.flush()?;
+                }
+            },
+            Request::Run {
+                seed,
+                rounds,
+                world_seed,
+                policy,
+                label,
+                rounds_in_flight,
+            } => {
+                let mut cfg = sweep_config(mgr, &[seed], rounds, policy, rounds_in_flight);
+                if let Some(label) = label {
+                    cfg.scenarios[0].label = label;
+                }
+                let report = stream_batch(mgr, &mut writer, world_seed, policy, cfg)?;
+                last = Some(LastRun { report });
+                writeln!(writer, "OK run 1")?;
+                writer.flush()?;
+            }
+            Request::Sweep {
+                seeds,
+                rounds,
+                world_seed,
+                policy,
+                jobs_in_flight,
+            } => {
+                let n = seeds.len();
+                let cfg = sweep_config(mgr, &seeds, rounds, policy, jobs_in_flight);
+                let report = stream_batch(mgr, &mut writer, world_seed, policy, cfg)?;
+                last = Some(LastRun { report });
+                writeln!(writer, "OK sweep {n}")?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+/// Builds the scenario batch for a request from the service's base
+/// campaign, clamping the in-flight bound to the service limit.
+fn sweep_config(
+    mgr: &SessionManager,
+    seeds: &[u64],
+    rounds: u32,
+    policy: shortcuts_topology::routing::RoutingPolicy,
+    jobs_in_flight: Option<usize>,
+) -> SweepConfig {
+    let mut base = mgr.cfg.base_campaign.clone();
+    base.rounds = rounds;
+    base.routing = policy;
+    let mut cfg = SweepConfig::from_seeds(&base, seeds.iter().copied());
+    cfg.jobs_in_flight = jobs_in_flight
+        .unwrap_or(cfg.jobs_in_flight)
+        .clamp(1, mgr.cfg.max_jobs_in_flight);
+    cfg
+}
+
+/// Runs one batch on the pooled engine stack, streaming `ROUND` lines
+/// as rounds complete and `END` lines per scenario at the end.
+///
+/// A client that disconnects mid-stream stops receiving lines but the
+/// batch runs to completion — the shared engine and scheduler are
+/// never interrupted mid-flight — and the session ends right after
+/// with the write error.
+fn stream_batch(
+    mgr: &SessionManager,
+    writer: &mut TcpStream,
+    world_seed: Option<u64>,
+    policy: shortcuts_topology::routing::RoutingPolicy,
+    cfg: SweepConfig,
+) -> std::io::Result<SweepReport> {
+    let world_seed = world_seed.unwrap_or(mgr.cfg.default_world_seed);
+    let world = mgr.pool.world(world_seed);
+    let engine = mgr.pool.engine(world_seed, policy);
+    let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
+
+    // Stream rounds as they complete. Write failures (the client went
+    // away) are remembered rather than propagated mid-run: the
+    // scheduler finishes the batch, then the error ends the session.
+    let mut write_err: Option<std::io::Error> = None;
+    let report = Sweep::with_engine(world, engine, cfg).run_streaming(|scenario, s| {
+        if write_err.is_some() {
+            return;
+        }
+        let outcome = writeln!(
+            writer,
+            "ROUND {} {} endpoints={} pairs={} cases={} unresponsive={} links={}/{} symmetry={}",
+            labels[scenario],
+            s.round,
+            s.endpoints,
+            s.pairs,
+            s.cases,
+            s.unresponsive_pairs,
+            s.links_measured,
+            s.links_planned,
+            s.symmetry_samples,
+        )
+        .and_then(|()| writer.flush());
+        if let Err(e) = outcome {
+            write_err = Some(e);
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    for sc in &report.scenarios {
+        writeln!(
+            writer,
+            "END {} seed={} cases={} pings={} unresponsive={}",
+            sc.label,
+            sc.seed,
+            sc.results.total_cases(),
+            sc.results.pings_sent,
+            sc.results.unresponsive_pairs,
+        )?;
+    }
+    writer.flush()?;
+    Ok(report)
+}
+
+/// Sends one length-prefixed CSV payload: `CSV <name> <len>` then the
+/// raw bytes.
+fn send_csv(writer: &mut TcpStream, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    writeln!(writer, "CSV {name} {}", bytes.len())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_bounded_and_released_on_drop() {
+        let mut cfg = ServiceConfig::small();
+        cfg.max_sessions = 2;
+        let mgr = Arc::new(SessionManager::new(cfg));
+        let a = mgr.try_admit().expect("slot 1");
+        let _b = mgr.try_admit().expect("slot 2");
+        assert!(mgr.try_admit().is_none(), "third session must be refused");
+        assert_eq!(mgr.active_sessions(), 2);
+        drop(a);
+        assert_eq!(mgr.active_sessions(), 1);
+        assert!(mgr.try_admit().is_some(), "freed slot must be reusable");
+    }
+
+    #[test]
+    fn permit_is_released_during_unwinding() {
+        let mut cfg = ServiceConfig::small();
+        cfg.max_sessions = 1;
+        let mgr = Arc::new(SessionManager::new(cfg));
+        let mgr2 = Arc::clone(&mgr);
+        let _ = std::panic::catch_unwind(move || {
+            let _permit = mgr2.try_admit().expect("slot");
+            panic!("session died");
+        });
+        assert_eq!(mgr.active_sessions(), 0, "panicked session must release");
+        assert!(mgr.try_admit().is_some());
+    }
+
+    #[test]
+    fn jobs_in_flight_is_clamped_to_the_service_limit() {
+        let mut service_cfg = ServiceConfig::small();
+        service_cfg.max_jobs_in_flight = 4;
+        let mgr = SessionManager::new(service_cfg);
+        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(1000));
+        assert_eq!(cfg.jobs_in_flight, 4);
+        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(0));
+        assert_eq!(cfg.jobs_in_flight, 1);
+        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(3));
+        assert_eq!(cfg.jobs_in_flight, 3);
+    }
+}

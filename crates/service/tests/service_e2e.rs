@@ -1,0 +1,286 @@
+//! End-to-end tests of the measurement service over real sockets.
+//!
+//! The headline contract (the PR's acceptance criterion): the cases
+//! CSV a session streams over a socket is **byte-identical** to a solo
+//! `Campaign::run` at the same seed — including when four concurrent
+//! sessions share one world's warmed engine stack. Around it: protocol
+//! robustness (malformed requests, disconnect mid-session) and bounded
+//! admission.
+
+use shortcuts_core::report::cases_csv;
+use shortcuts_core::workflow::{Campaign, CampaignConfig};
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_service::{Client, Server, ServiceConfig, StreamEvent};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A small-world server with the test's default world seed.
+fn small_server(max_sessions: usize) -> Server {
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = max_sessions;
+    cfg.default_world_seed = 90;
+    Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+/// The solo-run baseline the service must reproduce byte for byte.
+/// Every baseline here runs on world seed 90, so the (expensive) world
+/// build is shared across tests; each solo campaign still gets a
+/// completely private engine stack.
+fn solo_cases_csv(world_seed: u64, campaign_seed: u64, rounds: u32) -> String {
+    static SOLO_WORLD: std::sync::OnceLock<World> = std::sync::OnceLock::new();
+    assert_eq!(world_seed, 90, "baseline world cache is seeded with 90");
+    let world = SOLO_WORLD.get_or_init(|| World::build(&WorldConfig::small(), 90));
+    let mut cfg = CampaignConfig::small();
+    cfg.seed = campaign_seed;
+    cfg.rounds = rounds;
+    cases_csv(&Campaign::new(world, cfg).run())
+}
+
+#[test]
+fn streamed_csv_is_byte_identical_to_a_solo_run() {
+    let server = small_server(4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut rounds = Vec::new();
+    let ok = client
+        .run_streaming("RUN seed=4242 rounds=2 world-seed=90", |e| {
+            if let StreamEvent::Round(line) = e {
+                rounds.push(line);
+            }
+        })
+        .unwrap();
+    assert_eq!(ok, "run 1");
+    // One ROUND line per round, in round order, for the right label.
+    assert_eq!(rounds.len(), 2);
+    for (i, line) in rounds.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("seed-4242 {i} ")),
+            "round line {line:?}"
+        );
+    }
+    let (name, bytes) = client.fetch_csv("cases").unwrap();
+    assert_eq!(name, "cases_seed-4242.csv");
+    assert_eq!(
+        String::from_utf8(bytes).unwrap(),
+        solo_cases_csv(90, 4242, 2),
+        "service CSV diverged from the solo run"
+    );
+    client.quit();
+    server.shutdown();
+}
+
+/// The acceptance criterion: 4 concurrent sessions on ONE shared world
+/// each receive CSVs byte-identical to solo runs at their seeds.
+#[test]
+fn four_concurrent_sessions_match_solo_runs_bytewise() {
+    let server = small_server(8);
+    let addr = server.local_addr();
+    let seeds = [2017u64, 2018, 2019, 2020];
+
+    let streamed: Vec<(u64, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("admitted");
+                    client
+                        .run_streaming(&format!("RUN seed={seed} rounds=2 world-seed=90"), |_| {})
+                        .expect("run");
+                    let (_, bytes) = client.fetch_csv("cases").expect("csv");
+                    client.quit();
+                    (seed, String::from_utf8(bytes).unwrap())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All four sessions shared one pooled engine stack.
+    assert_eq!(server.manager().pool().worlds_resident(), 1);
+    for (seed, csv) in streamed {
+        assert_eq!(
+            csv,
+            solo_cases_csv(90, seed, 2),
+            "concurrent session seed {seed} diverged from its solo run"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sweep_session_streams_all_scenarios_and_serves_every_csv() {
+    let server = small_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut per_label_rounds = std::collections::BTreeMap::<String, Vec<u32>>::new();
+    let mut ends = 0;
+    let ok = client
+        .run_streaming(
+            "SWEEP seeds=7,8 rounds=2 world-seed=90 jobs-in-flight=4",
+            |e| match e {
+                StreamEvent::Round(line) => {
+                    let mut parts = line.split_whitespace();
+                    let label = parts.next().unwrap().to_string();
+                    let round: u32 = parts.next().unwrap().parse().unwrap();
+                    per_label_rounds.entry(label).or_default().push(round);
+                }
+                StreamEvent::End(_) => ends += 1,
+            },
+        )
+        .unwrap();
+    assert_eq!(ok, "sweep 2");
+    assert_eq!(ends, 2);
+    // Per scenario: every round, in round order.
+    for label in ["seed-7", "seed-8"] {
+        assert_eq!(per_label_rounds[label], vec![0, 1], "{label}");
+    }
+    // Each scenario's CSV matches its solo run; the comparison table
+    // has one row per scenario.
+    for seed in [7u64, 8] {
+        let (name, bytes) = client.fetch_csv(&format!("cases seed-{seed}")).unwrap();
+        assert_eq!(name, format!("cases_seed-{seed}.csv"));
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            solo_cases_csv(90, seed, 2)
+        );
+    }
+    let (name, bytes) = client.fetch_csv("sweep").unwrap();
+    assert_eq!(name, "sweep.csv");
+    let sweep_csv = String::from_utf8(bytes).unwrap();
+    assert_eq!(sweep_csv.lines().count(), 3, "{sweep_csv}");
+    client.quit();
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_err_and_the_session_survives() {
+    let server = small_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for bad in [
+        "FROBNICATE",
+        "RUN",
+        "RUN seed=abc",
+        "SWEEP seeds=1,1 rounds=1",
+        "CSV nonsense",
+    ] {
+        let resp = client.round_trip(bad).unwrap();
+        assert!(resp.starts_with("ERR"), "{bad:?} answered {resp:?}");
+    }
+    // CSV before any run is a clean protocol error too.
+    let resp = client.round_trip("CSV cases").unwrap();
+    assert!(resp.starts_with("ERR no finished run"), "{resp:?}");
+    // The session is still fully usable after all those rejections.
+    let ok = client
+        .run_streaming("RUN seed=5 rounds=1 world-seed=90", |_| {})
+        .unwrap();
+    assert_eq!(ok, "run 1");
+    client.quit();
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_session_leaves_the_server_serving() {
+    let server = small_server(2);
+    let addr = server.local_addr();
+
+    // Rudely drop a connection right after submitting a run — no
+    // reading, no QUIT. The server must absorb it (the batch runs to
+    // completion server-side; writes to the dead socket just fail).
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"RUN seed=3 rounds=2 world-seed=90\n")
+            .unwrap();
+        // Dropped here, mid-stream.
+    }
+
+    // A fresh session on the same shared engine works, and its output
+    // is still byte-exact (the aborted session left no dirty state).
+    let mut client = Client::connect(addr).unwrap();
+    let ok = client
+        .run_streaming("RUN seed=3 rounds=2 world-seed=90", |_| {})
+        .unwrap();
+    assert_eq!(ok, "run 1");
+    let (_, bytes) = client.fetch_csv("cases").unwrap();
+    assert_eq!(String::from_utf8(bytes).unwrap(), solo_cases_csv(90, 3, 2));
+    client.quit();
+
+    // The dropped session's permit must drain (its run finishes in the
+    // background first).
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while server.manager().active_sessions() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dropped session never released its permit"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn admission_limit_refuses_and_recovers() {
+    let server = small_server(1);
+    let addr = server.local_addr();
+
+    // First client occupies the only slot.
+    let first = Client::connect(addr).expect("first session admitted");
+
+    // While it holds the slot, further clients are refused with ERR
+    // busy. (The accept loop admits synchronously, so the refusal is
+    // immediate and deterministic.)
+    let refused = Client::connect(addr);
+    match refused {
+        Err(e) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::ConnectionRefused);
+            assert!(e.to_string().contains("busy"), "{e}");
+        }
+        Ok(_) => panic!("second session must be refused at max-sessions=1"),
+    }
+
+    // Releasing the slot lets the next client in.
+    first.quit();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut admitted = None;
+    while admitted.is_none() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never became available again"
+        );
+        match Client::connect(addr) {
+            Ok(c) => admitted = Some(c),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut client = admitted.unwrap();
+    let resp = client.stats().expect("stats on recovered slot");
+    // No run yet in this server: no engine stacks pooled.
+    assert!(resp.is_empty());
+    client.quit();
+    server.shutdown();
+}
+
+#[test]
+fn stats_report_the_pooled_engine_health() {
+    let server = small_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .run_streaming("RUN seed=11 rounds=1 world-seed=90", |_| {})
+        .unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.len(), 1, "{stats:?}");
+    let line = &stats[0];
+    assert!(line.starts_with("world=90 policy=valley-free "), "{line}");
+    for key in ["pair_hits=", "tables_resident=", "pings_sent="] {
+        assert!(line.contains(key), "{line} missing {key}");
+    }
+    // The engine did real work.
+    let pings: u64 = line
+        .split("pings_sent=")
+        .nth(1)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(pings > 0);
+    client.quit();
+    server.shutdown();
+}

@@ -433,14 +433,34 @@ pub fn compute_table_shortest(topo: &Topology, dst: Asn) -> RoutingTable {
     st.finish(topo, dst)
 }
 
-/// Routing mode selector for [`Router`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Routing mode selector for [`Router`]. `Hash` because service-style
+/// front ends key cached engine stacks by `(world seed, policy)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RoutingPolicy {
     /// Gao–Rexford valley-free routing (the real Internet's behavior).
     #[default]
     ValleyFree,
     /// Unrestricted shortest-path routing (ablation baseline).
     ShortestPath,
+}
+
+impl RoutingPolicy {
+    /// Stable textual name, used by CLIs and the service protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::ValleyFree => "valley-free",
+            RoutingPolicy::ShortestPath => "shortest-path",
+        }
+    }
+
+    /// Parses a [`RoutingPolicy::label`] back into a policy.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "valley-free" => Some(RoutingPolicy::ValleyFree),
+            "shortest-path" => Some(RoutingPolicy::ShortestPath),
+            _ => None,
+        }
+    }
 }
 
 /// Thread-safe, per-destination-cached route computation over a

@@ -4,4 +4,5 @@ pub use shortcuts_core as core;
 pub use shortcuts_datasets as datasets;
 pub use shortcuts_geo as geo;
 pub use shortcuts_netsim as netsim;
+pub use shortcuts_service as service;
 pub use shortcuts_topology as topology;

@@ -7,6 +7,10 @@
 //!                           [--out DIR] [--serial | --rounds-in-flight N]
 //! colo-shortcuts sweep      [--seed S] [--seeds S1,S2,..] [--rounds N]
 //!                           [--jobs-in-flight N] [--out DIR]
+//! colo-shortcuts serve      [--addr A] [--max-sessions N]
+//!                           [--world-scale small|paper] [--seed S]
+//! colo-shortcuts client     --addr A [--stats] [--seed S | --seeds ..]
+//!                           [--rounds N] [--world-seed W] [--out DIR]
 //! ```
 //!
 //! `campaign` runs the paper's measurement campaign — streaming a
@@ -25,6 +29,15 @@
 //! byte-identical to a solo `campaign --seed <s> --world-seed W` run
 //! on the same world (`W` being the sweep's `--seed`) — plus a
 //! cross-scenario `sweep.csv` comparison table of improvement rates.
+//! Duplicate `--seeds` are an error (their output files would
+//! overwrite each other), and the run ends with an engine-health
+//! summary line (pair-cache hit rate, resident routing tables, pings).
+//!
+//! `serve` turns the same machinery into a long-lived measurement
+//! service ([`shortcuts_service`]): clients connect over TCP, submit
+//! `RUN`/`SWEEP` requests, stream per-round progress and fetch the
+//! final CSVs — sessions touching the same world share one warmed
+//! engine stack. `client` is the matching scripting front end.
 
 use shortcuts_core::analysis::improvement::ImprovementAnalysis;
 use shortcuts_core::analysis::threshold::ThresholdCurve;
@@ -34,7 +47,9 @@ use shortcuts_core::sweep::{Sweep, SweepConfig};
 use shortcuts_core::workflow::{Campaign, CampaignConfig};
 use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_core::RelayType;
+use shortcuts_service::{Client, Server, ServiceConfig, StreamEvent};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 struct Args {
     seed: u64,
@@ -45,6 +60,10 @@ struct Args {
     serial: bool,
     rounds_in_flight: Option<usize>,
     jobs_in_flight: usize,
+    addr: String,
+    max_sessions: usize,
+    world_scale: String,
+    stats: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -59,6 +78,10 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         serial: false,
         rounds_in_flight: None,
         jobs_in_flight: 8,
+        addr: "127.0.0.1:4617".to_string(),
+        max_sessions: 8,
+        world_scale: "paper".to_string(),
+        stats: false,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -105,6 +128,22 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
                 args.serial = true;
                 i += 1;
             }
+            "--addr" => {
+                args.addr = need_value(i).to_string();
+                i += 2;
+            }
+            "--max-sessions" => {
+                args.max_sessions = need_value(i).parse().expect("--max-sessions takes a usize");
+                i += 2;
+            }
+            "--world-scale" => {
+                args.world_scale = need_value(i).to_string();
+                i += 2;
+            }
+            "--stats" => {
+                args.stats = true;
+                i += 1;
+            }
             "--rounds-in-flight" => {
                 args.rounds_in_flight = Some(
                     need_value(i)
@@ -133,11 +172,14 @@ fn main() {
         "funnel" => funnel(&args),
         "campaign" => campaign(&args),
         "sweep" => sweep(&args),
+        "serve" => serve(&args),
+        "client" => client(&args),
         _ => {
             eprintln!(
-                "usage: colo-shortcuts <world-info|funnel|campaign|sweep> [--seed S] \
-                 [--seeds S1,S2,..] [--rounds N] [--out DIR] \
-                 [--serial | --rounds-in-flight N] [--jobs-in-flight N]"
+                "usage: colo-shortcuts <world-info|funnel|campaign|sweep|serve|client> \
+                 [--seed S] [--seeds S1,S2,..] [--rounds N] [--out DIR] \
+                 [--serial | --rounds-in-flight N] [--jobs-in-flight N] \
+                 [--addr HOST:PORT] [--max-sessions N] [--world-scale small|paper] [--stats]"
             );
             std::process::exit(2);
         }
@@ -253,24 +295,24 @@ fn campaign(args: &Args) {
 }
 
 fn sweep(args: &Args) {
-    let w = build(args);
-    let mut seeds: Vec<u64> = if args.seeds.is_empty() {
+    let seeds: Vec<u64> = if args.seeds.is_empty() {
         // Default: four seeds starting at --seed.
         (args.seed..args.seed + 4).collect()
     } else {
         args.seeds.clone()
     };
     // Scenario labels (and output file names) derive from the seed, so
-    // duplicates would silently overwrite each other's CSVs.
+    // a duplicate would silently overwrite another scenario's CSV.
+    // Reject it outright — before paying for the world build — rather
+    // than guessing which one was meant.
     let mut seen = std::collections::HashSet::new();
-    let before = seeds.len();
-    seeds.retain(|s| seen.insert(*s));
-    if seeds.len() < before {
-        eprintln!(
-            "ignoring {} duplicate seed(s) in --seeds",
-            before - seeds.len()
-        );
+    for s in &seeds {
+        if !seen.insert(*s) {
+            eprintln!("duplicate seed {s} in --seeds: each scenario writes cases_seed-{s}.csv");
+            std::process::exit(2);
+        }
     }
+    let w = Arc::new(build(args));
     let mut base = CampaignConfig::paper();
     base.rounds = args.rounds;
     let mut cfg = SweepConfig::from_seeds(&base, seeds);
@@ -282,21 +324,26 @@ fn sweep(args: &Args) {
         args.rounds,
         cfg.jobs_in_flight,
     );
+    // Build the shared engine stack explicitly so its health counters
+    // can be reported once the sweep is done.
+    let engine = w.shared().engine(base.routing);
     // One line per completed (scenario, round): each scenario streams
     // in round order while the others are still measuring.
-    let outcome = Sweep::new(&w, cfg).run_streaming(|scenario, s| {
-        eprintln!(
-            "{:>10} round {:>3}: {} endpoints, {} cases ({} unresponsive), \
+    let outcome = Sweep::with_engine(Arc::clone(&w), Arc::clone(&engine), cfg).run_streaming(
+        |scenario, s| {
+            eprintln!(
+                "{:>10} round {:>3}: {} endpoints, {} cases ({} unresponsive), \
              {} of {} links",
-            labels[scenario],
-            s.round,
-            s.endpoints,
-            s.cases,
-            s.unresponsive_pairs,
-            s.links_measured,
-            s.links_planned,
-        );
-    });
+                labels[scenario],
+                s.round,
+                s.endpoints,
+                s.cases,
+                s.unresponsive_pairs,
+                s.links_measured,
+                s.links_planned,
+            );
+        },
+    );
 
     std::fs::create_dir_all(&args.out).expect("create --out directory");
     let write = |name: &str, contents: String| {
@@ -317,4 +364,123 @@ fn sweep(args: &Args) {
         );
     }
     write("sweep.csv", outcome.comparison_csv());
+    eprintln!("engine: {}", engine.engine_stats().summary());
+}
+
+fn serve(args: &Args) {
+    let mut cfg = match args.world_scale.as_str() {
+        "paper" => ServiceConfig::paper_scale(),
+        "small" => ServiceConfig::small(),
+        other => {
+            eprintln!("--world-scale takes `small` or `paper`, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+    cfg.max_sessions = args.max_sessions;
+    cfg.default_world_seed = args.world_seed.unwrap_or(args.seed);
+    let max_sessions = cfg.max_sessions;
+    let server = Server::start(args.addr.as_str(), cfg).unwrap_or_else(|e| {
+        eprintln!("bind {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "shortcuts-service listening on {} ({} scale world, max {} sessions)",
+        server.local_addr(),
+        args.world_scale,
+        max_sessions,
+    );
+    eprintln!(
+        "try: colo-shortcuts client --addr {} --seed 2017 --rounds 4",
+        server.local_addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn client(args: &Args) {
+    let mut client = Client::connect(args.addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("connect {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+
+    if args.stats {
+        // Stats-only probe: print one line per pooled engine stack.
+        match client.stats() {
+            Ok(lines) if lines.is_empty() => println!("no engine stacks pooled yet"),
+            Ok(lines) => lines.iter().for_each(|l| println!("{l}")),
+            Err(e) => {
+                eprintln!("STATS failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        client.quit();
+        return;
+    }
+
+    // Build the request: SWEEP when --seeds names several scenarios,
+    // RUN otherwise. Progress lines stream to stderr as rounds finish.
+    let world = args
+        .world_seed
+        .map(|w| format!(" world-seed={w}"))
+        .unwrap_or_default();
+    let (request, labels): (String, Vec<String>) = if args.seeds.is_empty() {
+        (
+            format!("RUN seed={} rounds={}{world}", args.seed, args.rounds),
+            vec![format!("seed-{}", args.seed)],
+        )
+    } else {
+        let seeds: Vec<String> = args.seeds.iter().map(u64::to_string).collect();
+        (
+            format!(
+                "SWEEP seeds={} rounds={}{world} jobs-in-flight={}",
+                seeds.join(","),
+                args.rounds,
+                args.jobs_in_flight
+            ),
+            args.seeds.iter().map(|s| format!("seed-{s}")).collect(),
+        )
+    };
+    eprintln!("> {request}");
+    let outcome = client.run_streaming(&request, |event| match event {
+        StreamEvent::Round(line) => eprintln!("round {line}"),
+        StreamEvent::End(line) => eprintln!("done  {line}"),
+    });
+    if let Err(e) = outcome {
+        eprintln!("{request} failed: {e}");
+        std::process::exit(1);
+    }
+
+    // Fetch every scenario's cases CSV (plus the comparison table for
+    // sweeps) into --out, named by the server.
+    std::fs::create_dir_all(&args.out).expect("create --out directory");
+    let mut fetches: Vec<String> = labels.iter().map(|l| format!("cases {l}")).collect();
+    if labels.len() > 1 {
+        fetches.push("sweep".to_string());
+    }
+    for what in fetches {
+        match client.fetch_csv(&what) {
+            Ok((name, bytes)) => {
+                // The name comes off the wire; never let a hostile
+                // server steer the write outside --out (absolute paths
+                // or `..` traversal through Path::join).
+                let file = std::path::Path::new(&name)
+                    .file_name()
+                    .filter(|f| *f == std::path::Path::new(&name).as_os_str())
+                    .unwrap_or_else(|| {
+                        eprintln!("server sent unsafe CSV name {name:?}");
+                        std::process::exit(1);
+                    });
+                let path = args.out.join(file);
+                std::fs::write(&path, bytes).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+                eprintln!("wrote {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("CSV {what} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    client.quit();
 }

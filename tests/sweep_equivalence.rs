@@ -14,6 +14,7 @@ use colo_shortcuts::core::sweep::{Sweep, SweepConfig, SweepScenario};
 use colo_shortcuts::core::workflow::{Campaign, CampaignConfig, RoundSummary};
 use colo_shortcuts::core::world::{World, WorldConfig};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn base_cfg(rounds: u32) -> CampaignConfig {
     let mut cfg = CampaignConfig::small();
@@ -26,9 +27,9 @@ fn base_cfg(rounds: u32) -> CampaignConfig {
 /// paper-scale version runs in the `campaign_sweep` bench canary).
 #[test]
 fn four_scenario_sweep_matches_four_solo_runs_bytewise() {
-    let world = World::build(&WorldConfig::small(), 90);
+    let world = Arc::new(World::build(&WorldConfig::small(), 90));
     let cfg = SweepConfig::from_seeds(&base_cfg(2), [2017, 2018, 2019, 2020]);
-    let sweep = Sweep::new(&world, cfg.clone()).run();
+    let sweep = Sweep::new(Arc::clone(&world), cfg.clone()).run();
     assert_eq!(sweep.scenarios.len(), 4);
     for (sc, swept) in cfg.scenarios.iter().zip(&sweep.scenarios) {
         let solo = Campaign::new(&world, sc.config.clone()).run();
@@ -46,10 +47,11 @@ fn four_scenario_sweep_matches_four_solo_runs_bytewise() {
 /// streamed summaries, in the same (round) order.
 #[test]
 fn swept_streaming_summaries_match_solo_streams() {
-    let world = World::build(&WorldConfig::small(), 91);
+    let world = Arc::new(World::build(&WorldConfig::small(), 91));
     let cfg = SweepConfig::from_seeds(&base_cfg(2), [7, 8]);
     let mut streamed: Vec<Vec<RoundSummary>> = vec![Vec::new(); 2];
-    Sweep::new(&world, cfg.clone()).run_streaming(|scenario, s| streamed[scenario].push(s.clone()));
+    Sweep::new(Arc::clone(&world), cfg.clone())
+        .run_streaming(|scenario, s| streamed[scenario].push(s.clone()));
     for (i, sc) in cfg.scenarios.iter().enumerate() {
         let mut solo = Vec::new();
         Campaign::new(&world, sc.config.clone()).run_streaming(|s| solo.push(s.clone()));
@@ -72,7 +74,7 @@ proptest! {
         jobs_in_flight in 1usize..12,
         pings in 4usize..7,
     ) {
-        let world = World::build(&WorldConfig::small(), 92);
+        let world = Arc::new(World::build(&WorldConfig::small(), 92));
         let mut base = base_cfg(1);
         base.window.pings = pings;
         let mut cfg = SweepConfig::from_seeds(&base, seeds);
@@ -81,7 +83,7 @@ proptest! {
         for (sc, extra) in cfg.scenarios.iter_mut().zip(&extra_rounds) {
             sc.config.rounds = 1 + extra;
         }
-        let sweep = Sweep::new(&world, cfg.clone()).run();
+        let sweep = Sweep::new(Arc::clone(&world), cfg.clone()).run();
         for (sc, swept) in cfg.scenarios.iter().zip(&sweep.scenarios) {
             let solo = Campaign::new(&world, sc.config.clone()).run();
             prop_assert_eq!(
@@ -108,7 +110,7 @@ fn faulty_scenario_never_contaminates_its_clean_twin() {
     use colo_shortcuts::netsim::FaultPlan;
     use colo_shortcuts::topology::AsType;
 
-    let world = World::build(&WorldConfig::small(), 93);
+    let world = Arc::new(World::build(&WorldConfig::small(), 93));
     let clean = base_cfg(1);
     let mut faulty = clean.clone();
     let tier1 = world.topo.asns_of_type(AsType::Tier1)[0];
@@ -126,7 +128,7 @@ fn faulty_scenario_never_contaminates_its_clean_twin() {
         ],
         jobs_in_flight: 4,
     };
-    let sweep = Sweep::new(&world, cfg).run();
+    let sweep = Sweep::new(Arc::clone(&world), cfg).run();
     let solo_clean = Campaign::new(&world, clean).run();
     assert_eq!(
         cases_csv(&sweep.scenarios[1].results),
