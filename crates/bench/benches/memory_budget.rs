@@ -1,0 +1,184 @@
+//! Throughput vs memory budget on internet-scale worlds: the number
+//! behind the ISSUE's "bounded caches with eviction" tentpole.
+//!
+//! The budget contract is that a `--memory-budget` bounds cache
+//! *residency*, never results: the router's destination-table cache
+//! and the engine's pair cache evict (CLOCK, second chance) and
+//! transparently recompute, so a budgeted sweep streams the same CSV
+//! bytes as an unbounded one — it just re-derives evicted world facts
+//! on demand. This bench puts a price on that: for each world scale
+//! it runs one unbounded reference sweep, records its end-of-run
+//! cache residency (the unbounded stack only grows, so end-of-run IS
+//! peak), then re-runs the identical sweep under budgets at a set of
+//! fractions of that peak (default 50%, 25% and 12.5%) and reports
+//! wall time, throughput, residency, evictions and recomputes per
+//! budget level. Every
+//! budgeted run's per-scenario CSV is asserted byte-identical to the
+//! reference — the table compares equal outputs by construction.
+//!
+//! Knobs:
+//! - `SHORTCUTS_BUDGET_SCALES` (default `10`): comma-separated world
+//!   scale factors over the paper topology, e.g. `10,100` for the
+//!   full internet-scale table.
+//! - `SHORTCUTS_BUDGET_FRACS` (default `50,25,12.5`): budget levels
+//!   as percentages of the unbounded run's peak residency.
+//! - `SHORTCUTS_BUDGET_SCENARIOS` (default 3) sweep scenarios,
+//!   `SHORTCUTS_BENCH_ROUNDS` (default 2) rounds each.
+//! - `RAYON_NUM_THREADS` caps the worker count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_core::report::cases_csv;
+use shortcuts_core::sweep::{Sweep, SweepConfig};
+use shortcuts_core::workflow::CampaignConfig;
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_netsim::ping::{pair_entry_min_bytes, PingEngine, CACHE_SHARDS};
+use shortcuts_topology::routing::table_approx_bytes;
+use shortcuts_topology::MemoryBudget;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_or(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scales() -> Vec<f64> {
+    std::env::var("SHORTCUTS_BUDGET_SCALES")
+        .unwrap_or_else(|_| "10".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse::<f64>().ok())
+        .filter(|&f| f >= 1.0)
+        .collect()
+}
+
+/// Budget levels as percentages of the unbounded run's peak
+/// residency (`SHORTCUTS_BUDGET_FRACS`, default `50,25,12.5`).
+fn budget_fracs() -> Vec<f64> {
+    std::env::var("SHORTCUTS_BUDGET_FRACS")
+        .unwrap_or_else(|_| "50,25,12.5".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse::<f64>().ok())
+        .filter(|&f| f > 0.0 && f < 100.0)
+        .collect()
+}
+
+fn sweep_config() -> SweepConfig {
+    let mut base = CampaignConfig::paper();
+    base.rounds = env_or("SHORTCUTS_BENCH_ROUNDS", 2);
+    let scenarios = u64::from(env_or("SHORTCUTS_BUDGET_SCENARIOS", 3));
+    SweepConfig::from_seeds(&base, 2017..2017 + scenarios)
+}
+
+struct RunStats {
+    secs: f64,
+    pings: u64,
+    resident: u64,
+    evictions: u64,
+    recomputes: u64,
+    csvs: Vec<(String, String)>,
+}
+
+/// One full sweep through a freshly built engine under `budget`.
+fn run_once(world: &Arc<World>, cfg: &SweepConfig, budget: MemoryBudget) -> RunStats {
+    let engine: Arc<PingEngine> = world
+        .shared()
+        .engine_budgeted(cfg.scenarios[0].config.routing, budget);
+    let t = Instant::now();
+    let report = Sweep::with_engine(Arc::clone(world), Arc::clone(&engine), cfg.clone()).run();
+    let secs = t.elapsed().as_secs_f64();
+    let stats = engine.engine_stats();
+    RunStats {
+        secs,
+        pings: stats.pings_sent,
+        resident: stats.router_resident_bytes + stats.pair_resident_bytes,
+        evictions: stats.router_evictions + stats.pair_evictions,
+        recomputes: stats.router_recomputes,
+        csvs: report
+            .scenarios
+            .iter()
+            .map(|s| (s.label.clone(), cases_csv(&s.results)))
+            .collect(),
+    }
+}
+
+/// The smallest budget `ensure_fits` would accept for this world —
+/// the bench never asks for a budget the CLI would reject.
+fn floor_bytes(world: &World) -> u64 {
+    let table = table_approx_bytes(world.topo.node_index().len());
+    let need_router = table * 2;
+    let need_pair = pair_entry_min_bytes() * CACHE_SHARDS as u64;
+    (need_router.max(need_pair) * 1000 / 450) + 1000
+}
+
+fn bench_budget_report(c: &mut Criterion) {
+    let cfg = sweep_config();
+    for scale in scales() {
+        let t = Instant::now();
+        let world = Arc::new(World::build(&WorldConfig::scaled(scale), 7));
+        let build_secs = t.elapsed().as_secs_f64();
+
+        let reference = run_once(&world, &cfg, MemoryBudget::unbounded());
+        let peak = reference.resident;
+        let floor = floor_bytes(&world);
+
+        println!(
+            "memory_budget/scale-{scale}x: {} ASes, {} links, world build {build_secs:.1}s, \
+             {} scenarios x {} rounds, {} thread(s); unbounded peak residency {:.1} MiB",
+            world.topo.as_count(),
+            world.topo.link_count(),
+            cfg.scenarios.len(),
+            env_or("SHORTCUTS_BENCH_ROUNDS", 2),
+            rayon::current_num_threads(),
+            peak as f64 / (1 << 20) as f64,
+        );
+        println!(
+            "  {:>12} {:>8} {:>12} {:>14} {:>10} {:>10}",
+            "budget", "time", "pings/s", "resident", "evictions", "recomputes"
+        );
+        let row = |name: &str, s: &RunStats| {
+            println!(
+                "  {:>12} {:>7.2}s {:>12.0} {:>10.1} MiB {:>10} {:>10}",
+                name,
+                s.secs,
+                s.pings as f64 / s.secs,
+                s.resident as f64 / (1 << 20) as f64,
+                s.evictions,
+                s.recomputes
+            );
+        };
+        row("unbounded", &reference);
+
+        for frac_pct in budget_fracs() {
+            let name = format!("{frac_pct}%");
+            let bytes = ((peak as f64 * frac_pct / 100.0) as u64).max(floor);
+            let budget = MemoryBudget::bytes(bytes);
+            let run = run_once(&world, &cfg, budget);
+            // The whole point: bounded residency, identical bytes.
+            assert!(
+                run.resident <= bytes,
+                "scale {scale}x budget {bytes}: residency {} exceeded the budget",
+                run.resident
+            );
+            assert_eq!(
+                run.csvs, reference.csvs,
+                "scale {scale}x budget {bytes}: budgeted sweep diverged from unbounded"
+            );
+            row(&name, &run);
+        }
+    }
+
+    // Keep criterion's ledger aware this ran.
+    c.bench_function("memory_budget/report_noop", |b| b.iter(|| black_box(0)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_budget_report
+}
+criterion_main!(benches);

@@ -111,20 +111,28 @@ impl RoundPlan {
 }
 
 /// Every destination AS the campaign's measurement tasks can route
-/// toward, ascending and deduplicated: the endpoint-pool ASes (each
-/// direct pair needs tables toward both ends — forward and return
-/// routes) and the relay ASes (each overlay link needs the relay's
+/// toward, deduplicated and in **priority order**: the endpoint-pool
+/// ASes first (each direct pair needs tables toward both ends —
+/// forward and return routes — so every window of every round touches
+/// them), then the relay ASes (each overlay link needs the relay's
 /// table, and its return route needs the endpoint's, already covered).
+/// Each group is ascending, so the order is fully deterministic.
 ///
 /// The pools are round-invariant — every round samples from them — so
 /// this is the complete destination set of the whole campaign, known
 /// before round 0. Handing it to `Router::precompute` builds all
 /// tables data-parallel up front instead of serializing construction
-/// behind the first round's pair-cache misses.
+/// behind the first round's pair-cache misses. Under a byte budget
+/// `precompute` warms front-to-back and stops when the budget fills,
+/// which is exactly why the hottest (endpoint) destinations lead.
 pub fn warmup_destinations(endpoints: &EndpointPool<'_>, relays: &RelayPools) -> Vec<Asn> {
-    let mut dsts: BTreeSet<Asn> = endpoints.asns().into_iter().collect();
-    dsts.extend(relays.asns());
-    dsts.into_iter().collect()
+    let hot: BTreeSet<Asn> = endpoints.asns().into_iter().collect();
+    let warm: BTreeSet<Asn> = relays
+        .asns()
+        .into_iter()
+        .filter(|a| !hot.contains(a))
+        .collect();
+    hot.into_iter().chain(warm).collect()
 }
 
 /// The planning RNG for a round: one deterministic stream derived from

@@ -56,7 +56,7 @@ use crate::world::World;
 use crate::{NetsimBackend, RoundPlan};
 use rayon::prelude::*;
 use shortcuts_netsim::{PingEngine, PingHandle};
-use shortcuts_topology::Asn;
+use shortcuts_topology::{Asn, MemoryBudget};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -81,6 +81,12 @@ pub struct SweepConfig {
     /// streaming latency; values a bit above the worker count saturate
     /// typical machines.
     pub jobs_in_flight: usize,
+    /// Byte budget for the engine stack the sweep builds when the
+    /// caller does not provide one ([`Sweep::new`]). Bounds cache
+    /// residency via eviction without changing a single output byte.
+    /// Ignored under [`Sweep::with_engine`] — the engine's builder
+    /// chose its budget.
+    pub memory: MemoryBudget,
 }
 
 impl SweepConfig {
@@ -113,6 +119,7 @@ impl SweepConfig {
         SweepConfig {
             scenarios,
             jobs_in_flight: 8,
+            memory: base.memory,
         }
     }
 }
@@ -282,7 +289,7 @@ impl Sweep {
         // one, a private stack otherwise.
         let engine = match &self.engine {
             Some(e) => Arc::clone(e),
-            None => world.shared().engine(policy),
+            None => world.shared().engine_budgeted(policy, self.cfg.memory),
         };
 
         // Per-scenario selection through per-scenario handles — the
@@ -306,9 +313,15 @@ impl Sweep {
 
         // One warmup over the UNION of every scenario's destinations:
         // each table is built exactly once, data-parallel, however
-        // many scenarios route toward it.
-        let union: BTreeSet<Asn> = setups.iter().flat_map(|s| s.warmup()).collect();
-        let union: Vec<Asn> = union.into_iter().collect();
+        // many scenarios route toward it. First-seen order preserves
+        // each scenario's hottest-first priority, which is what a
+        // byte-budgeted router warms before its budget fills.
+        let mut seen = BTreeSet::new();
+        let union: Vec<Asn> = setups
+            .iter()
+            .flat_map(|s| s.warmup())
+            .filter(|&a| seen.insert(a))
+            .collect();
         engine.router().precompute(&union);
 
         // Two-level schedule: all (scenario, round) jobs on one pool.
@@ -462,6 +475,7 @@ mod tests {
                 },
             ],
             jobs_in_flight: 4,
+            memory: MemoryBudget::unbounded(),
         };
         let report = Sweep::new(Arc::clone(&world), cfg).run();
         let solo_clean = Campaign::new(&world, clean).run();

@@ -70,7 +70,7 @@ use shortcuts_geo::{CityId, CountryCode};
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::{FaultPlan, HostId, PingHandle, Pinger};
 use shortcuts_topology::routing::RoutingPolicy;
-use shortcuts_topology::{Asn, FacilityId};
+use shortcuts_topology::{Asn, FacilityId, MemoryBudget};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -102,6 +102,13 @@ pub struct CampaignConfig {
     /// the same seed; `Parallel` uses every core within a round,
     /// `Sharded` additionally pipelines across rounds.
     pub exec: ExecMode,
+    /// Byte budget for the engine stack this campaign builds when it
+    /// runs solo ([`Campaign::run_streaming`]). Budgets bound cache
+    /// residency via eviction and never change results — a budgeted
+    /// run is byte-identical to an unbudgeted one. Ignored when the
+    /// caller provides the engine ([`Campaign::run_streaming_on`]):
+    /// whoever built the engine chose its budget.
+    pub memory: MemoryBudget,
 }
 
 impl CampaignConfig {
@@ -118,6 +125,7 @@ impl CampaignConfig {
             faults: FaultPlan::none(),
             seed: 2017,
             exec: ExecMode::Parallel,
+            memory: MemoryBudget::unbounded(),
         }
     }
 
@@ -340,7 +348,10 @@ impl<'w> Campaign<'w> {
         // The engine stack co-owns the world's shared pieces (Arc), so
         // the same construction serves one campaign here and many in
         // core::sweep.
-        let engine = self.world.shared().engine(self.cfg.routing);
+        let engine = self
+            .world
+            .shared()
+            .engine_budgeted(self.cfg.routing, self.cfg.memory);
         self.run_streaming_on(&engine, on_round)
     }
 

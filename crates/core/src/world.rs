@@ -21,7 +21,7 @@ use shortcuts_datasets::facility_dataset::{FacilityDataset, FacilityDatasetConfi
 use shortcuts_datasets::{ApnicDataset, PeeringDb, Prefix2As};
 use shortcuts_netsim::{HostRegistry, LatencyModel, PingEngine};
 use shortcuts_topology::routing::{Router, RoutingPolicy};
-use shortcuts_topology::{Topology, TopologyConfig};
+use shortcuts_topology::{MemoryBudget, Topology, TopologyConfig};
 use std::sync::Arc;
 
 /// Configuration of the full world.
@@ -54,6 +54,19 @@ impl WorldConfig {
             facility_dataset: FacilityDatasetConfig::default(),
             moas_fraction: 0.01,
             latency: LatencyModel::default(),
+        }
+    }
+
+    /// Paper world grown `factor`× — the topology scales per
+    /// [`TopologyConfig::scaled`] (linear AS population, bounded
+    /// per-AS degree) while the measurement overlays (Atlas probes,
+    /// PlanetLab, looking glasses) keep their paper-scale footprints.
+    /// This is the "internet-scale world under a fixed budget" knob
+    /// the `memory_budget` bench turns.
+    pub fn scaled(factor: f64) -> Self {
+        WorldConfig {
+            topology: TopologyConfig::scaled(factor),
+            ..Self::paper_scale()
         }
     }
 
@@ -172,12 +185,35 @@ impl SharedWorld {
     /// `policy`. The engine co-owns its inputs; share it across as
     /// many campaigns as the sweep runs.
     pub fn engine(&self, policy: RoutingPolicy) -> Arc<PingEngine> {
-        Arc::new(PingEngine::new(
+        self.engine_budgeted(policy, MemoryBudget::unbounded())
+    }
+
+    /// As [`SharedWorld::engine`], but carves `budget` into the
+    /// router's and pair cache's byte shares so the stack's residency
+    /// stays bounded — evicted tables and pairs are recomputed
+    /// bit-identically on miss, so a budgeted engine produces the
+    /// exact measurements an unbounded one does.
+    pub fn engine_budgeted(&self, policy: RoutingPolicy, budget: MemoryBudget) -> Arc<PingEngine> {
+        let router = Arc::new(Router::with_budget(
             Arc::clone(&self.topo),
-            self.router(policy),
+            policy,
+            budget.router_bytes(),
+        ));
+        Arc::new(PingEngine::with_budget(
+            Arc::clone(&self.topo),
+            router,
             Arc::clone(&self.hosts),
             self.latency.clone(),
+            budget.pair_bytes(),
         ))
+    }
+
+    /// Approximate resident bytes of the shared substrate itself (the
+    /// topology and host registry a pooled world keeps warm even when
+    /// its caches are empty). Coarse by design — the pool budget uses
+    /// it to rank whole stacks, not to account exact allocations.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.topo.as_count() * 400 + self.topo.link_count() * 120 + self.hosts.len() * 200) as u64
     }
 }
 

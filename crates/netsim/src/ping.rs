@@ -26,7 +26,7 @@ use rand::Rng;
 use shortcuts_topology::routing::Router;
 use shortcuts_topology::{Asn, Topology};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cached deterministic path facts for a host pair.
@@ -87,6 +87,17 @@ pub struct EngineStats {
     /// Pings attempted through the engine (all campaigns, all
     /// sessions).
     pub pings_sent: u64,
+    /// Approximate bytes of resident routing tables.
+    pub router_resident_bytes: u64,
+    /// Routing tables dropped by the router's byte budget.
+    pub router_evictions: u64,
+    /// Routing-table misses on previously resident destinations — the
+    /// recomputation an earlier eviction deferred.
+    pub router_recomputes: u64,
+    /// Approximate bytes resident across the pair cache's shards.
+    pub pair_resident_bytes: u64,
+    /// Pair entries dropped by the per-shard byte budget.
+    pub pair_evictions: u64,
 }
 
 impl EngineStats {
@@ -105,13 +116,19 @@ impl EngineStats {
     pub fn summary(&self) -> String {
         format!(
             "pair_hits={} pair_misses={} pair_hit_rate={:.4} pair_entries={} \
-             tables_resident={} pings_sent={}",
+             tables_resident={} pings_sent={} tables_bytes={} table_evictions={} \
+             table_recomputes={} pair_bytes={} pair_evictions={}",
             self.pair_cache_hits,
             self.pair_cache_misses,
             self.pair_cache_hit_rate(),
             self.pair_cache_entries,
             self.router_tables_resident,
             self.pings_sent,
+            self.router_resident_bytes,
+            self.router_evictions,
+            self.router_recomputes,
+            self.pair_resident_bytes,
+            self.pair_evictions,
         )
     }
 }
@@ -121,19 +138,71 @@ impl EngineStats {
 /// worker threads inserting fresh pairs at once — so the cache is
 /// split into independently locked shards to keep writers from
 /// serializing on one `RwLock`. 64 shards ≫ any realistic core count.
-const CACHE_SHARDS: usize = 64;
+/// Public so front ends can validate a memory budget's pair share
+/// (each shard must afford at least one resident entry).
+pub const CACHE_SHARDS: usize = 64;
 
-/// Resident pair facts of one shard (`None` = known-unroutable pair).
-type PairMap = HashMap<(HostId, HostId), Option<Arc<PairInfo>>>;
+/// One resident pair entry (`info == None` = known-unroutable pair)
+/// with its CLOCK bookkeeping.
+struct CacheEntry {
+    info: Option<Arc<PairInfo>>,
+    /// CLOCK reference bit — set on every hit (under the shard's
+    /// *read* lock, hence atomic), cleared when the hand passes.
+    referenced: AtomicBool,
+    /// Bytes this entry is accounted at (fixed at insert).
+    bytes: u32,
+}
+
+/// Resident pair facts of one shard.
+type PairMap = HashMap<(HostId, HostId), CacheEntry>;
+
+/// Approximate bytes one cached pair costs: key, entry, hash-map and
+/// clock-ring bookkeeping, plus the shared path payload when routable.
+fn entry_bytes(info: &Option<Arc<PairInfo>>) -> u32 {
+    const FIXED: usize = 2 * std::mem::size_of::<(HostId, HostId)>() // map key + ring slot
+        + std::mem::size_of::<CacheEntry>()
+        + 16; // hash-map slot overhead
+    let payload = match info {
+        None => 0,
+        // PairInfo + Arc refcounts + the shared AS-path array.
+        Some(p) => {
+            std::mem::size_of::<PairInfo>() + 16 + p.as_path.len() * std::mem::size_of::<Asn>()
+        }
+    };
+    (FIXED + payload) as u32
+}
+
+/// Minimum bytes one resident pair costs (the unroutable-pair floor) —
+/// what `MemoryBudget::ensure_fits` should charge per shard when a
+/// front end validates a budget before running.
+pub fn pair_entry_min_bytes() -> u64 {
+    u64::from(entry_bytes(&None))
+}
+
+/// Write-locked state of one shard: the resident map plus its CLOCK
+/// machinery — a ring of resident keys, the hand position, and the
+/// byte gauge the shard budget is enforced against.
+#[derive(Default)]
+struct ShardState {
+    map: PairMap,
+    /// Resident keys in (approximate) insertion order; eviction swaps
+    /// removed keys out, so the ring stays dense and O(1) to maintain.
+    ring: Vec<(HostId, HostId)>,
+    /// CLOCK hand: index into `ring` the next sweep starts at.
+    hand: usize,
+    /// Approximate resident bytes of this shard.
+    bytes: u64,
+}
 
 /// One independently locked portion of the pair cache, with its own
-/// hit/miss telemetry so the counters contend exactly as little as the
-/// lock they sit next to.
+/// hit/miss/eviction telemetry so the counters contend exactly as
+/// little as the lock they sit next to.
 #[derive(Default)]
 struct CacheShard {
-    map: RwLock<PairMap>,
+    state: RwLock<ShardState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Pair cache: `Arc` per entry so a hit is a refcount bump, not a
@@ -143,14 +212,24 @@ struct CacheShard {
 /// telemetry for long-lived engines (the service's `STATS` command),
 /// never control flow — summed on read so the all-hits steady state
 /// never bounces one shared cache line across worker threads.
+///
+/// Under a byte budget each shard independently enforces its share
+/// (`budget / CACHE_SHARDS`) with a clock hand over its resident
+/// keys: inserts that push the shard over budget sweep the ring,
+/// clearing reference bits and evicting the first unreferenced entry
+/// until the shard fits. Every entry is a deterministic world fact,
+/// so an evicted pair re-expands bit-identically on its next miss.
 struct PairCache {
     shards: Vec<CacheShard>,
+    /// Per-shard byte allowance; `None` = never evict.
+    shard_budget: Option<u64>,
 }
 
 impl PairCache {
-    fn new() -> Self {
+    fn new(budget_bytes: Option<u64>) -> Self {
         PairCache {
             shards: (0..CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
+            shard_budget: budget_bytes.map(|b| b / CACHE_SHARDS as u64),
         }
     }
 
@@ -167,7 +246,13 @@ impl PairCache {
 
     fn get(&self, key: (HostId, HostId)) -> Option<Option<Arc<PairInfo>>> {
         let shard = self.shard(key);
-        let cached = shard.map.read().get(&key).cloned();
+        let cached = {
+            let st = shard.state.read();
+            st.map.get(&key).map(|e| {
+                e.referenced.store(true, Ordering::Relaxed);
+                e.info.clone()
+            })
+        };
         match cached {
             Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
             None => shard.misses.fetch_add(1, Ordering::Relaxed),
@@ -176,12 +261,32 @@ impl PairCache {
     }
 
     fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>) {
-        self.shard(key).map.write().insert(key, info);
+        let shard = self.shard(key);
+        let mut st = shard.state.write();
+        if st.map.contains_key(&key) {
+            // A racing expander won the slot; both computed the same
+            // deterministic facts, so keep the incumbent.
+            return;
+        }
+        let bytes = entry_bytes(&info);
+        st.map.insert(
+            key,
+            CacheEntry {
+                info,
+                referenced: AtomicBool::new(true),
+                bytes,
+            },
+        );
+        st.ring.push(key);
+        st.bytes += u64::from(bytes);
+        if let Some(budget) = self.shard_budget {
+            evict_shard_over_budget(&mut st, budget, key, &shard.evictions);
+        }
     }
 
     /// Pairs currently resident across all shards.
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.read().len()).sum()
+        self.shards.iter().map(|s| s.state.read().map.len()).sum()
     }
 
     /// Total (hits, misses) summed across shards.
@@ -192,6 +297,57 @@ impl PairCache {
                 m + s.misses.load(Ordering::Relaxed),
             )
         })
+    }
+
+    /// Approximate resident bytes across all shards.
+    fn resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.state.read().bytes).sum()
+    }
+
+    /// Entries evicted by the budget, across all shards.
+    fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// CLOCK sweep over one shard (holding its write lock): advance the
+/// hand over the ring, clearing reference bits (the second chance) and
+/// evicting unreferenced entries until the shard fits its budget.
+/// `keep` — the entry just inserted — is never evicted, so a lookup
+/// cannot thrash against its own result; two revolutions bound the
+/// sweep even when the budget is unsatisfiable.
+fn evict_shard_over_budget(
+    st: &mut ShardState,
+    budget: u64,
+    keep: (HostId, HostId),
+    evictions: &AtomicU64,
+) {
+    let mut scanned = 0usize;
+    let limit = 2 * st.ring.len();
+    while st.bytes > budget && st.ring.len() > 1 && scanned < limit {
+        scanned += 1;
+        if st.hand >= st.ring.len() {
+            st.hand = 0;
+        }
+        let k = st.ring[st.hand];
+        if k == keep {
+            st.hand += 1;
+            continue;
+        }
+        let referenced = st.map[&k].referenced.swap(false, Ordering::Relaxed);
+        if referenced {
+            st.hand += 1; // second chance
+            continue;
+        }
+        let e = st.map.remove(&k).expect("clock ring out of sync with map");
+        st.bytes -= u64::from(e.bytes);
+        // O(1) removal; the swapped-in tail key inherits this hand
+        // position, so the hand does not advance.
+        st.ring.swap_remove(st.hand);
+        evictions.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -211,12 +367,27 @@ pub struct PingEngine {
 
 impl PingEngine {
     /// Creates an engine over a topology, router, host registry and
-    /// latency model.
+    /// latency model, with an unbounded pair cache.
     pub fn new(
         topo: Arc<Topology>,
         router: Arc<Router>,
         hosts: Arc<HostRegistry>,
         model: LatencyModel,
+    ) -> Self {
+        Self::with_budget(topo, router, hosts, model, None)
+    }
+
+    /// As [`PingEngine::new`], but bounds the pair cache to
+    /// `pair_budget_bytes` (typically a
+    /// [`shortcuts_topology::MemoryBudget`]'s pair share), split
+    /// evenly across the shards and enforced by per-shard clock-hand
+    /// eviction. `None` keeps the grow-forever behaviour.
+    pub fn with_budget(
+        topo: Arc<Topology>,
+        router: Arc<Router>,
+        hosts: Arc<HostRegistry>,
+        model: LatencyModel,
+        pair_budget_bytes: Option<u64>,
     ) -> Self {
         // Route resolution trusts `Host::node` as a dense index into
         // `topo`'s node space; a registry built against a different
@@ -233,7 +404,7 @@ impl PingEngine {
             router,
             hosts,
             model,
-            cache: PairCache::new(),
+            cache: PairCache::new(pair_budget_bytes),
             stats: StatCounters::default(),
         }
     }
@@ -276,12 +447,18 @@ impl PingEngine {
     /// [`EngineStats`].
     pub fn engine_stats(&self) -> EngineStats {
         let (pair_cache_hits, pair_cache_misses) = self.cache.hit_miss();
+        let router = self.router.stats();
         EngineStats {
             pair_cache_hits,
             pair_cache_misses,
             pair_cache_entries: self.cache.len() as u64,
-            router_tables_resident: self.router.cached_tables() as u64,
+            router_tables_resident: router.tables_resident,
             pings_sent: self.stats.attempts.load(Ordering::Relaxed),
+            router_resident_bytes: router.resident_bytes,
+            router_evictions: router.evictions,
+            router_recomputes: router.recomputes,
+            pair_resident_bytes: self.cache.resident_bytes(),
+            pair_evictions: self.cache.evictions(),
         }
     }
 
@@ -658,7 +835,7 @@ mod tests {
 
     #[test]
     fn pair_cache_shards_are_stable_and_spread() {
-        let cache = PairCache::new();
+        let cache = PairCache::new(None);
         for i in 0..500u32 {
             let key = (HostId(i), HostId(i ^ 0xABC));
             cache.insert(key, None);
@@ -669,9 +846,92 @@ mod tests {
         let used = cache
             .shards
             .iter()
-            .filter(|s| !s.map.read().is_empty())
+            .filter(|s| !s.state.read().map.is_empty())
             .count();
         assert!(used > CACHE_SHARDS / 2, "only {used} shards used");
+    }
+
+    #[test]
+    fn budgeted_pair_cache_bounds_each_shard_and_still_answers() {
+        // Room for roughly two unroutable entries per shard.
+        let per_entry = u64::from(entry_bytes(&None));
+        let budget = 2 * per_entry * CACHE_SHARDS as u64;
+        let cache = PairCache::new(Some(budget));
+        for i in 0..2000u32 {
+            cache.insert((HostId(i), HostId(i)), None);
+        }
+        assert!(cache.evictions() > 0, "budget never forced an eviction");
+        for s in &cache.shards {
+            let st = s.state.read();
+            assert!(st.bytes <= 2 * per_entry, "shard over budget: {}", st.bytes);
+            assert_eq!(st.ring.len(), st.map.len(), "ring out of sync");
+        }
+        assert!(cache.resident_bytes() <= budget);
+        // Evicted keys read as misses (recomputed upstream), resident
+        // ones as hits; either way the cache still answers.
+        let resident = cache.len();
+        assert!((1..=2 * CACHE_SHARDS).contains(&resident), "{resident}");
+    }
+
+    #[test]
+    fn budgeted_engine_reexpands_evicted_pairs_identically() {
+        let f = fixture();
+        let mut reg = HostRegistry::new();
+        let eyes = f.topo.eyeball_asns();
+        let hosts: Vec<HostId> = eyes
+            .iter()
+            .step_by(eyes.len() / 8)
+            .take(8)
+            .map(|&asn| reg.add_host_in_as(&f.topo, asn, None).unwrap())
+            .collect();
+        let reg = Arc::new(reg);
+        let unbounded = PingEngine::new(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            Arc::clone(&reg),
+            LatencyModel::default(),
+        );
+        // ~1 byte per shard: at most one pair survives per shard, so
+        // any shard that sees a second pair must evict — yet every
+        // re-expanded answer stays bit-identical to the warm engine's.
+        let bounded = PingEngine::with_budget(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            reg,
+            LatencyModel::default(),
+            Some(CACHE_SHARDS as u64),
+        );
+        for _ in 0..3 {
+            for &s in &hosts {
+                for &d in &hosts {
+                    if s == d {
+                        continue;
+                    }
+                    assert_eq!(bounded.base_rtt(s, d), unbounded.base_rtt(s, d));
+                    assert_eq!(
+                        bounded.as_path(s, d).map(|p| p.to_vec()),
+                        unbounded.as_path(s, d).map(|p| p.to_vec()),
+                    );
+                }
+            }
+        }
+        let stats = bounded.engine_stats();
+        assert!(stats.pair_evictions > 0, "{stats:?}");
+        assert!(stats.pair_cache_entries <= CACHE_SHARDS as u64, "{stats:?}");
+        assert!(
+            stats.pair_resident_bytes < unbounded.engine_stats().pair_resident_bytes,
+            "budget did not reduce residency"
+        );
+        let line = stats.summary();
+        for key in [
+            "pair_evictions=",
+            "pair_bytes=",
+            "table_evictions=",
+            "tables_bytes=",
+            "table_recomputes=",
+        ] {
+            assert!(line.contains(key), "{line} missing {key}");
+        }
     }
 
     #[test]

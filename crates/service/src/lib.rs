@@ -39,6 +39,12 @@
 //!   session streams back is byte-identical to a solo
 //!   `Campaign::run` at the same seeds**, however many sessions share
 //!   the engine (enforced end-to-end in `tests/service_e2e.rs`).
+//!   Under a [`ServiceConfig`] memory budget the pool also bounds
+//!   *itself*: engines run with budgeted caches, sessions lease
+//!   stacks via [`pool::WorldPool::checkout`], and idle stacks are
+//!   evicted least-recently-detached-first once aggregate residency
+//!   exceeds the budget — byte-identical results either way, because
+//!   every evicted stack rebuilds deterministically from its seed.
 //! - [`session::SessionManager`] bounds admission (`max_sessions`,
 //!   per-session `jobs-in-flight` clamps) and keeps cleanup
 //!   panic-safe: permits are drop guards, pool locks never poison, and
@@ -84,7 +90,7 @@ pub mod server;
 pub mod session;
 
 pub use client::{Client, StreamEvent};
-pub use pool::WorldPool;
+pub use pool::{PoolStats, WorldPool};
 pub use protocol::Request;
 pub use server::Server;
 pub use session::{ServiceConfig, SessionManager};

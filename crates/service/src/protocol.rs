@@ -38,7 +38,15 @@
 //! - `CSV <name> <len>` followed by exactly `<len>` raw bytes — a CSV
 //!   payload.
 //! - `STATS world=<seed> policy=<p> <EngineStats summary>` — one per
-//!   pooled engine stack.
+//!   pooled engine stack. The engine summary includes the byte-budget
+//!   gauges: `tables_bytes`/`table_evictions`/`table_recomputes` for
+//!   the router's destination-table cache and
+//!   `pair_bytes`/`pair_evictions` for the sharded pair cache.
+//! - `STATS pool worlds=<n> engines=<n> bytes=<b> stack_evictions=<n>
+//!   budget=<b|unbounded>` — one aggregate line after the per-engine
+//!   lines: whole-stack residency against the service's memory budget
+//!   (`--memory-budget` on `serve`). The count in `OK stats <n>`
+//!   includes this line.
 
 use shortcuts_topology::routing::RoutingPolicy;
 
@@ -84,7 +92,8 @@ pub enum Request {
     },
     /// Fetch the cross-scenario comparison CSV of the last run.
     CsvSweep,
-    /// Engine-stack health of every pooled `(world, policy)` engine.
+    /// Engine-stack health of every pooled `(world, policy)` engine,
+    /// plus one aggregate pool-residency line.
     Stats,
     /// Close the session.
     Quit,

@@ -25,6 +25,7 @@ use shortcuts_core::report::cases_csv;
 use shortcuts_core::sweep::{Sweep, SweepConfig, SweepReport};
 use shortcuts_core::workflow::CampaignConfig;
 use shortcuts_core::world::WorldConfig;
+use shortcuts_topology::MemoryBudget;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,6 +48,10 @@ pub struct ServiceConfig {
     /// Base campaign configuration requests specialize (seed, rounds,
     /// policy and scheduling are overridden per request).
     pub base_campaign: CampaignConfig,
+    /// Service-wide memory budget: bounds each pooled engine's caches
+    /// *and* the pool's aggregate stack residency. Unbounded by
+    /// default.
+    pub memory: MemoryBudget,
 }
 
 impl ServiceConfig {
@@ -58,6 +63,7 @@ impl ServiceConfig {
             world: WorldConfig::paper_scale(),
             default_world_seed: 2017,
             base_campaign: CampaignConfig::paper(),
+            memory: MemoryBudget::unbounded(),
         }
     }
 
@@ -87,7 +93,7 @@ pub struct SessionManager {
 impl SessionManager {
     /// Creates a manager (and its world pool) from a config.
     pub fn new(cfg: ServiceConfig) -> Self {
-        let pool = WorldPool::new(cfg.world.clone());
+        let pool = WorldPool::with_budget(cfg.world.clone(), cfg.memory);
         SessionManager {
             cfg,
             pool,
@@ -198,7 +204,10 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                         s.summary()
                     )?;
                 }
-                writeln!(writer, "OK stats {}", stats.len())?;
+                // One aggregate pool line after the per-engine lines:
+                // residency, stack evictions and the budget itself.
+                writeln!(writer, "STATS pool {}", mgr.pool.pool_stats().summary())?;
+                writeln!(writer, "OK stats {}", stats.len() + 1)?;
                 writer.flush()?;
             }
             Request::CsvCases { label } => {
@@ -281,6 +290,9 @@ fn sweep_config(
     let mut base = mgr.cfg.base_campaign.clone();
     base.rounds = rounds;
     base.routing = policy;
+    // Engines come budgeted from the pool; recording the budget here
+    // keeps the config honest for anyone inspecting it.
+    base.memory = mgr.cfg.memory;
     let mut cfg = SweepConfig::from_seeds(&base, seeds.iter().copied());
     cfg.jobs_in_flight = jobs_in_flight
         .unwrap_or(cfg.jobs_in_flight)
@@ -303,8 +315,11 @@ fn stream_batch(
     cfg: SweepConfig,
 ) -> std::io::Result<SweepReport> {
     let world_seed = world_seed.unwrap_or(mgr.cfg.default_world_seed);
-    let world = mgr.pool.world(world_seed);
-    let engine = mgr.pool.engine(world_seed, policy);
+    // Lease the stack for the whole batch: the pool's evictor never
+    // reclaims a leased world, and the lease drop at the end of this
+    // function is what stamps the LRU detach tick.
+    let lease = mgr.pool.checkout(world_seed, policy);
+    let (world, engine) = (Arc::clone(&lease.world), Arc::clone(&lease.engine));
     let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
 
     // Stream rounds as they complete. Write failures (the client went

@@ -27,10 +27,14 @@ fn small_server(max_sessions: usize) -> Server {
 /// Every baseline here runs on world seed 90, so the (expensive) world
 /// build is shared across tests; each solo campaign still gets a
 /// completely private engine stack.
-fn solo_cases_csv(world_seed: u64, campaign_seed: u64, rounds: u32) -> String {
+fn solo_world() -> &'static World {
     static SOLO_WORLD: std::sync::OnceLock<World> = std::sync::OnceLock::new();
+    SOLO_WORLD.get_or_init(|| World::build(&WorldConfig::small(), 90))
+}
+
+fn solo_cases_csv(world_seed: u64, campaign_seed: u64, rounds: u32) -> String {
     assert_eq!(world_seed, 90, "baseline world cache is seeded with 90");
-    let world = SOLO_WORLD.get_or_init(|| World::build(&WorldConfig::small(), 90));
+    let world = solo_world();
     let mut cfg = CampaignConfig::small();
     cfg.seed = campaign_seed;
     cfg.rounds = rounds;
@@ -252,8 +256,10 @@ fn admission_limit_refuses_and_recovers() {
     }
     let mut client = admitted.unwrap();
     let resp = client.stats().expect("stats on recovered slot");
-    // No run yet in this server: no engine stacks pooled.
-    assert!(resp.is_empty());
+    // No run yet in this server: no engine stacks pooled — only the
+    // aggregate pool line.
+    assert_eq!(resp.len(), 1, "{resp:?}");
+    assert!(resp[0].starts_with("pool "), "{resp:?}");
     client.quit();
     server.shutdown();
 }
@@ -266,21 +272,85 @@ fn stats_report_the_pooled_engine_health() {
         .run_streaming("RUN seed=11 rounds=1 world-seed=90", |_| {})
         .unwrap();
     let stats = client.stats().unwrap();
-    assert_eq!(stats.len(), 1, "{stats:?}");
+    // One engine line plus the aggregate pool line.
+    assert_eq!(stats.len(), 2, "{stats:?}");
     let line = &stats[0];
     assert!(line.starts_with("world=90 policy=valley-free "), "{line}");
-    for key in ["pair_hits=", "tables_resident=", "pings_sent="] {
+    for key in [
+        "pair_hits=",
+        "tables_resident=",
+        "pings_sent=",
+        "tables_bytes=",
+        "pair_bytes=",
+    ] {
         assert!(line.contains(key), "{line} missing {key}");
     }
+    let pool_line = &stats[1];
+    assert!(pool_line.starts_with("pool worlds=1 "), "{pool_line}");
+    assert!(pool_line.contains("budget=unbounded"), "{pool_line}");
     // The engine did real work.
     let pings: u64 = line
         .split("pings_sent=")
         .nth(1)
         .unwrap()
-        .trim()
+        .split_whitespace()
+        .next()
+        .unwrap()
         .parse()
         .unwrap();
     assert!(pings > 0);
+    client.quit();
+    server.shutdown();
+}
+
+/// A byte-budgeted server keeps serving byte-exact results while its
+/// pool evicts idle stacks: two sequential sessions on different world
+/// seeds leave at most one stack resident, the STATS pool line counts
+/// the evictions, and every CSV still matches the solo baseline.
+#[test]
+fn budgeted_server_evicts_idle_stacks_and_stays_bytewise_correct() {
+    use shortcuts_topology::MemoryBudget;
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = 2;
+    cfg.default_world_seed = 90;
+    // Smaller than one small-world substrate: every detach leaves the
+    // pool over budget, so idle stacks are always reclaimed. Engine
+    // caches run budgeted (and small) too — results must not care.
+    cfg.memory = MemoryBudget::bytes(solo_world().shared().approx_bytes() / 2);
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .run_streaming("RUN seed=4242 rounds=2 world-seed=90", |_| {})
+        .unwrap();
+    let (_, bytes) = client.fetch_csv("cases").unwrap();
+    assert_eq!(
+        String::from_utf8(bytes).unwrap(),
+        solo_cases_csv(90, 4242, 2),
+        "budgeted service CSV diverged from the unbudgeted solo run"
+    );
+    // A second batch on another world seed: the first (now idle) stack
+    // gets evicted rather than accreting.
+    client
+        .run_streaming("RUN seed=7 rounds=1 world-seed=91", |_| {})
+        .unwrap();
+    assert!(
+        server.manager().pool().worlds_resident() <= 1,
+        "idle stacks must be evicted under the pool budget"
+    );
+    let stats = client.stats().unwrap();
+    let pool_line = stats.last().expect("pool line");
+    assert!(pool_line.starts_with("pool "), "{pool_line}");
+    let evictions: u64 = pool_line
+        .split("stack_evictions=")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(evictions >= 1, "{pool_line}");
     client.quit();
     server.shutdown();
 }

@@ -1,0 +1,229 @@
+//! Byte budgets for the engine's caches.
+//!
+//! A [`MemoryBudget`] is one number — a total byte allowance for an
+//! engine stack — carved into fixed shares for the two caches that
+//! dominate residency: the router's destination-table cache and the
+//! ping engine's pair cache. The service's `WorldPool` applies the
+//! *same* total as a pool-level allowance across whole warmed stacks.
+//!
+//! The contract that makes budgeting safe is that every cached value
+//! is a **deterministic world fact**: evicting it and recomputing it
+//! later yields the identical bytes. A budget therefore never changes
+//! results — only how much is resident at once — and the equivalence
+//! suites assert exactly that (budgeted runs are byte-identical to
+//! unbudgeted ones).
+//!
+//! Budgets are *approximate* by design: accounting uses cheap
+//! per-entry size estimates ([`crate::routing::RoutingTable::approx_bytes`]
+//! and the pair cache's per-entry estimate), not allocator truth.
+//! They bound residency within a small constant factor, which is what
+//! an operator sizing a host actually needs.
+
+use std::fmt;
+
+/// Fraction of the total allotted to the router's destination-table
+/// cache (per mille, to keep the arithmetic integral).
+const ROUTER_SHARE_PER_MILLE: u64 = 450;
+/// Fraction of the total allotted to the ping engine's pair cache.
+const PAIR_SHARE_PER_MILLE: u64 = 450;
+// The remaining 10% is slack for the fixed-size parts of a warmed
+// stack (host registry, latency model, counters) that are not
+// individually accounted.
+
+/// A byte allowance for an engine stack's caches, or unbounded.
+///
+/// `MemoryBudget::default()` is unbounded — existing call sites keep
+/// their grow-forever behaviour unless a budget is set explicitly
+/// (CLI `--memory-budget`, or the `memory` field on the campaign /
+/// sweep / service configs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct MemoryBudget {
+    total: Option<u64>,
+}
+
+impl MemoryBudget {
+    /// No limit: caches grow forever (the pre-budget behaviour).
+    pub fn unbounded() -> Self {
+        Self { total: None }
+    }
+
+    /// A hard total of `bytes` across the stack's caches.
+    pub fn bytes(bytes: u64) -> Self {
+        Self { total: Some(bytes) }
+    }
+
+    /// Parses `"<n>"`, `"<n>K"`, `"<n>M"` or `"<n>G"` (case
+    /// insensitive, binary units) into a budget. `"unbounded"`,
+    /// `"none"` and `"0"` mean no limit.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("unbounded") || s.eq_ignore_ascii_case("none") || s == "0" {
+            return Ok(Self::unbounded());
+        }
+        let (digits, mult) = match s.as_bytes().last() {
+            Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 1u64 << 10),
+            Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 1u64 << 20),
+            Some(b'g') | Some(b'G') => (&s[..s.len() - 1], 1u64 << 30),
+            _ => (s, 1),
+        };
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| format!("invalid memory budget '{s}' (expected <bytes>[K|M|G])"))?;
+        let bytes = n
+            .checked_mul(mult)
+            .ok_or_else(|| format!("memory budget '{s}' overflows u64"))?;
+        if bytes == 0 {
+            return Ok(Self::unbounded());
+        }
+        Ok(Self::bytes(bytes))
+    }
+
+    /// The total allowance in bytes, or `None` when unbounded.
+    pub fn total_bytes(&self) -> Option<u64> {
+        self.total
+    }
+
+    pub fn is_unbounded(&self) -> bool {
+        self.total.is_none()
+    }
+
+    /// The share reserved for the router's destination-table cache.
+    pub fn router_bytes(&self) -> Option<u64> {
+        self.total.map(|t| t / 1000 * ROUTER_SHARE_PER_MILLE)
+    }
+
+    /// The share reserved for the ping engine's pair cache (split
+    /// evenly across its shards by the cache itself).
+    pub fn pair_bytes(&self) -> Option<u64> {
+        self.total.map(|t| t / 1000 * PAIR_SHARE_PER_MILLE)
+    }
+
+    /// Rejects budgets too small to be useful for a concrete world:
+    /// the router share must hold at least `min_tables` destination
+    /// tables of `table_bytes` each, and the pair share at least one
+    /// entry of `pair_entry_bytes` per shard. Catching this up front
+    /// (at the CLI, or when a session attaches a world) turns silent
+    /// thrashing into an actionable error.
+    pub fn ensure_fits(
+        &self,
+        table_bytes: u64,
+        min_tables: u64,
+        pair_entry_bytes: u64,
+        pair_shards: u64,
+    ) -> Result<(), String> {
+        let Some(total) = self.total else {
+            return Ok(());
+        };
+        let need_router = table_bytes.saturating_mul(min_tables);
+        if self.router_bytes().unwrap_or(u64::MAX) < need_router {
+            return Err(format!(
+                "memory budget {total} B is too small: its router share \
+                 ({} B) cannot hold {min_tables} routing table(s) of ~{table_bytes} B \
+                 for this world; raise --memory-budget to at least {} B",
+                self.router_bytes().unwrap_or(0),
+                need_router * 1000 / ROUTER_SHARE_PER_MILLE + 1000,
+            ));
+        }
+        let need_pair = pair_entry_bytes.saturating_mul(pair_shards);
+        if self.pair_bytes().unwrap_or(u64::MAX) < need_pair {
+            return Err(format!(
+                "memory budget {total} B is too small: its pair-cache share \
+                 ({} B) cannot hold one ~{pair_entry_bytes} B entry in each of \
+                 {pair_shards} shards; raise --memory-budget to at least {} B",
+                self.pair_bytes().unwrap_or(0),
+                need_pair * 1000 / PAIR_SHARE_PER_MILLE + 1000,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.total {
+            None => write!(f, "unbounded"),
+            Some(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_plain_bytes_and_binary_suffixes() {
+        assert_eq!(
+            MemoryBudget::parse("1234").unwrap().total_bytes(),
+            Some(1234)
+        );
+        assert_eq!(
+            MemoryBudget::parse("8K").unwrap().total_bytes(),
+            Some(8 * 1024)
+        );
+        assert_eq!(
+            MemoryBudget::parse("3m").unwrap().total_bytes(),
+            Some(3 << 20)
+        );
+        assert_eq!(
+            MemoryBudget::parse("2G").unwrap().total_bytes(),
+            Some(2 << 30)
+        );
+    }
+
+    #[test]
+    fn parse_treats_zero_and_keywords_as_unbounded() {
+        assert!(MemoryBudget::parse("0").unwrap().is_unbounded());
+        assert!(MemoryBudget::parse("unbounded").unwrap().is_unbounded());
+        assert!(MemoryBudget::parse("NONE").unwrap().is_unbounded());
+        assert!(MemoryBudget::default().is_unbounded());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_overflow() {
+        assert!(MemoryBudget::parse("").is_err());
+        assert!(MemoryBudget::parse("12X").is_err());
+        assert!(MemoryBudget::parse("-5M").is_err());
+        assert!(MemoryBudget::parse("99999999999999999999G").is_err());
+        assert!(MemoryBudget::parse("18446744073709551615G").is_err());
+    }
+
+    #[test]
+    fn shares_split_the_total() {
+        let b = MemoryBudget::bytes(1_000_000);
+        assert_eq!(b.router_bytes(), Some(450_000));
+        assert_eq!(b.pair_bytes(), Some(450_000));
+        assert!(MemoryBudget::unbounded().router_bytes().is_none());
+    }
+
+    #[test]
+    fn ensure_fits_rejects_budgets_below_one_table() {
+        // Router share of 4500 B cannot hold one 8 KiB table.
+        let b = MemoryBudget::bytes(10_000);
+        let err = b.ensure_fits(8192, 1, 100, 64).unwrap_err();
+        assert!(err.contains("router share"), "{err}");
+        // A comfortable budget passes.
+        MemoryBudget::bytes(10 << 20)
+            .ensure_fits(8192, 1, 100, 64)
+            .unwrap();
+        // Unbounded always passes.
+        MemoryBudget::unbounded()
+            .ensure_fits(u64::MAX, 4, u64::MAX, 64)
+            .unwrap();
+    }
+
+    #[test]
+    fn ensure_fits_rejects_pair_share_below_one_entry_per_shard() {
+        // Router table tiny, but 64 shards × 200 B entries need
+        // 12800 B of pair share; total 20000 gives only 9000.
+        let b = MemoryBudget::bytes(20_000);
+        let err = b.ensure_fits(16, 1, 200, 64).unwrap_err();
+        assert!(err.contains("pair-cache share"), "{err}");
+    }
+
+    #[test]
+    fn display_reports_bytes_or_unbounded() {
+        assert_eq!(MemoryBudget::bytes(4096).to_string(), "4096");
+        assert_eq!(MemoryBudget::unbounded().to_string(), "unbounded");
+    }
+}

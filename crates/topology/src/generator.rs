@@ -31,7 +31,7 @@ use crate::ip::IpAllocator;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use shortcuts_geo::{CityDb, CityId, Continent};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Knobs of the topology generator.
 ///
@@ -79,6 +79,11 @@ pub struct TopologyConfig {
     /// Peering probability for a pair of co-located (same facility or
     /// IXP) ASes, by unordered type pair; see [`peer_prob`].
     pub peering_scale: f64,
+    /// Peering probability inside the global research/NREN mesh
+    /// (GEANT/Internet2 style). [`TopologyConfig::scaled`] divides it
+    /// by the scale factor so per-AS mesh degree stays constant as the
+    /// research population grows.
+    pub research_mesh_prob: f64,
     /// Prefixes originated per AS: min/max.
     pub prefixes_per_as: (usize, usize),
 }
@@ -103,7 +108,45 @@ impl TopologyConfig {
             // Tier1, Tier2, Eyeball, Content, Enterprise, Research
             facility_join_prob: [0.95, 0.85, 0.45, 0.9, 0.12, 0.35],
             peering_scale: 1.0,
+            research_mesh_prob: 0.35,
             prefixes_per_as: (1, 3),
+        }
+    }
+
+    /// A [`paper_scale`](Self::paper_scale) world inflated by `factor`
+    /// (≥ 1) — the internet-scale preset the `memory_budget` bench
+    /// sweeps under byte budgets.
+    ///
+    /// Populations that the paper treats as "the long tail" grow
+    /// linearly (tier-2 transits, content, enterprises, research, and
+    /// per-country eyeballs); the tier-1 clique grows with the square
+    /// root (backbones consolidate, they don't multiply); and both
+    /// peering probabilities are divided by `factor` so the *expected
+    /// per-AS peering degree* — and with it the routed graph's density
+    /// and the per-destination routing-table footprint — stays roughly
+    /// constant while AS count scales. Without that inverse scaling a
+    /// 100× world would have 100× the co-members per facility *and*
+    /// the same per-pair probability, i.e. a 10,000× edge blow-up.
+    pub fn scaled(factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "scaled() inflates paper_scale; factor must be finite and >= 1"
+        );
+        let base = Self::paper_scale();
+        let lin = |n: usize| ((n as f64) * factor).round().max(1.0) as usize;
+        TopologyConfig {
+            n_tier1: ((base.n_tier1 as f64) * factor.sqrt()).round() as usize,
+            n_tier2: lin(base.n_tier2),
+            eyeballs_per_country: (
+                lin(base.eyeballs_per_country.0),
+                lin(base.eyeballs_per_country.1),
+            ),
+            n_content: lin(base.n_content),
+            n_enterprise: lin(base.n_enterprise),
+            n_research: lin(base.n_research),
+            peering_scale: base.peering_scale / factor,
+            research_mesh_prob: base.research_mesh_prob / factor,
+            ..base
         }
     }
 
@@ -125,6 +168,7 @@ impl TopologyConfig {
             small_facility_fraction: 0.2,
             facility_join_prob: [0.95, 0.85, 0.45, 0.9, 0.12, 0.35],
             peering_scale: 1.0,
+            research_mesh_prob: 0.35,
             prefixes_per_as: (1, 2),
         }
     }
@@ -220,6 +264,89 @@ fn cities_by_continent(db: &CityDb) -> HashMap<Continent, Vec<CityId>> {
     m
 }
 
+/// Nearest hub metro to `from`, memoized: the generator asks this for
+/// every large eyeball, national hoster and research network, and at
+/// scaled sizes those repeat the same handful of home cities
+/// thousands of times. Pure geometry — no RNG — so caching cannot
+/// perturb the generation stream.
+fn nearest_hub(
+    cache: &mut HashMap<CityId, CityId>,
+    b: &TopologyBuilder,
+    hubs: &[CityId],
+    from: CityId,
+) -> Option<CityId> {
+    if let Some(&h) = cache.get(&from) {
+        return Some(h);
+    }
+    let here = b.cities().get(from).location;
+    let best = hubs.iter().copied().min_by(|&x, &y| {
+        let dx = b.cities().get(x).location.distance_km(&here);
+        let dy = b.cities().get(y).location.distance_km(&here);
+        dx.partial_cmp(&dy).expect("finite")
+    })?;
+    cache.insert(from, best);
+    Some(best)
+}
+
+/// Member count from which pair sampling switches to the sparse
+/// geometric-skip path. The presets top out near ~90 members per
+/// facility (and ~70 research networks), so they always take the
+/// dense walk and keep their RNG stream — and every generated
+/// topology — bit-identical; only [`TopologyConfig::scaled`] worlds
+/// cross this line.
+const SPARSE_PAIRS_MIN: usize = 512;
+
+/// Visits candidate pairs `(i, j)`, `i < j < n`, where each pair
+/// survives an independent Bernoulli(`p_max`) draw — in O(expected
+/// candidates) RNG draws instead of O(n²).
+///
+/// Walks the row-major upper triangle with geometric skips: the gap
+/// until the next success of a Bernoulli(`p_max`) stream is
+/// `floor(ln(u) / ln(1 - p_max))`. Callers whose per-pair probability
+/// varies (facility peering: it depends on the AS-type pair) pass the
+/// *maximum* probability as `p_max` and thin inside `hit` by
+/// accepting with `p_pair / p_max` — rejection sampling, exactly
+/// Bernoulli(`p_pair`) per pair. Callers with constant probability
+/// (the research mesh) pass it directly and accept every hit.
+fn bernoulli_pairs_sparse<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    p_max: f64,
+    mut hit: impl FnMut(&mut R, usize, usize),
+) {
+    if n < 2 || p_max <= 0.0 {
+        return;
+    }
+    debug_assert!(p_max < 1.0, "p_max >= 1 should take the dense walk");
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let ln_q = (1.0 - p_max).ln();
+    let mut k: u64 = 0; // next unexamined candidate index
+    let mut row = 0usize; // current i
+    let mut row_start: u64 = 0; // candidate index of (row, row + 1)
+    loop {
+        // u in (0, 1]: gen() is [0, 1) and ln(0) must not happen.
+        let u: f64 = 1.0 - rng.gen_range(0.0_f64..1.0);
+        let skip = (u.ln() / ln_q).floor();
+        k = k.saturating_add(if skip >= total as f64 {
+            total
+        } else {
+            skip as u64
+        });
+        if k >= total {
+            return;
+        }
+        // k is monotone, so the row pointer only ever advances: O(n)
+        // row-location work across the whole call.
+        while k >= row_start + (n - 1 - row) as u64 {
+            row_start += (n - 1 - row) as u64;
+            row += 1;
+        }
+        let j = row + 1 + (k - row_start) as usize;
+        hit(rng, row, j);
+        k += 1;
+    }
+}
+
 impl Topology {
     /// Generates a topology from `config` with the given `seed`.
     ///
@@ -238,23 +365,34 @@ impl Topology {
         let hubs: Vec<CityId> = b.cities().hubs();
         let by_continent = cities_by_continent(b.cities());
         let countries = b.cities().countries();
+        // Reused scratch buffers: at scaled sizes the per-AS loops
+        // below run tens of thousands of times, and a fresh Vec per
+        // iteration is pure allocator churn. Contents and order are
+        // identical to the per-iteration allocations they replace, so
+        // every shuffle consumes the same RNG stream.
+        let mut city_scratch: Vec<CityId> = Vec::with_capacity(all_cities.len());
+        let mut asn_scratch: Vec<Asn> = Vec::new();
+        let mut hub_cache: HashMap<CityId, CityId> = HashMap::new();
 
         // ---- Tier-1 backbones -------------------------------------------
+        // The non-hub pool is loop-invariant; hoist it (with a set for
+        // the membership test `all_cities × hubs` would otherwise pay).
+        let hub_set: std::collections::HashSet<CityId> = hubs.iter().copied().collect();
+        let nonhub_cities: Vec<CityId> = all_cities
+            .iter()
+            .copied()
+            .filter(|c| !hub_set.contains(c))
+            .collect();
         let mut tier1s = Vec::with_capacity(config.n_tier1);
         for _ in 0..config.n_tier1 {
             let home = *hubs.choose(&mut g.rng).expect("hubs exist");
             let asn = g.new_as(&mut b, AsType::Tier1, home, 0.0, false);
             // All hubs + random extra cities.
-            let mut cities: Vec<CityId> = hubs.clone();
             let extra = config.tier1_pops.saturating_sub(hubs.len());
-            let mut pool: Vec<CityId> = all_cities
-                .iter()
-                .copied()
-                .filter(|c| !hubs.contains(c))
-                .collect();
-            pool.shuffle(&mut g.rng);
-            cities.extend(pool.into_iter().take(extra));
-            for c in cities {
+            city_scratch.clear();
+            city_scratch.extend_from_slice(&nonhub_cities);
+            city_scratch.shuffle(&mut g.rng);
+            for &c in hubs.iter().chain(city_scratch.iter().take(extra)) {
                 b.add_pop(asn, c);
             }
             tier1s.push(asn);
@@ -271,49 +409,49 @@ impl Topology {
         let mut tier2s: Vec<Asn> = Vec::with_capacity(config.n_tier2);
         let mut tier2_by_continent: HashMap<Continent, Vec<Asn>> = HashMap::new();
         let continents: Vec<Continent> = Continent::ALL.to_vec();
+        // The continent weights never change mid-generation; build the
+        // weighted sampler once instead of per tier-2.
+        let weighted_continent = rand::distributions::WeightedIndex::new(
+            continents
+                .iter()
+                .map(|c| by_continent.get(c).map_or(0, |v| v.len()).max(1)),
+        )
+        .expect("weights nonzero");
         for i in 0..config.n_tier2 {
-            // Deterministic round-robin weighted by city counts.
-            let cont = {
-                let weights: Vec<usize> = continents
-                    .iter()
-                    .map(|c| by_continent.get(c).map_or(0, |v| v.len()))
-                    .collect();
-                let total: usize = weights.len();
-                // Cycle but bias: every 3rd pick is weighted-random.
-                if i % 3 == 0 {
-                    let dist =
-                        rand::distributions::WeightedIndex::new(weights.iter().map(|&w| w.max(1)))
-                            .expect("weights nonzero");
-                    continents[dist.sample(&mut g.rng)]
-                } else {
-                    continents[i % total]
-                }
+            // Deterministic round-robin weighted by city counts; every
+            // 3rd pick is weighted-random.
+            let cont = if i % 3 == 0 {
+                continents[weighted_continent.sample(&mut g.rng)]
+            } else {
+                continents[i % continents.len()]
             };
             let pool = by_continent.get(&cont).expect("continent has cities");
             let n_pops = g
                 .rng
                 .gen_range(config.tier2_pops.0..=config.tier2_pops.1)
                 .min(pool.len());
-            let mut cities: Vec<CityId> = pool.clone();
-            cities.shuffle(&mut g.rng);
-            cities.truncate(n_pops);
+            city_scratch.clear();
+            city_scratch.extend_from_slice(pool);
+            city_scratch.shuffle(&mut g.rng);
+            city_scratch.truncate(n_pops);
             // Ensure at least one hub PoP in-continent if the continent
             // has one: tier-2s interconnect at hubs.
             if let Some(&hub) = pool.iter().find(|c| b.cities().get(**c).is_hub) {
-                if !cities.contains(&hub) {
-                    cities.push(hub);
+                if !city_scratch.contains(&hub) {
+                    city_scratch.push(hub);
                 }
             }
-            let home = cities[0];
+            let home = city_scratch[0];
             let cloud = g.rng.gen_bool(0.15);
             let asn = g.new_as(&mut b, AsType::Tier2, home, 0.0, cloud);
-            for c in &cities {
-                b.add_pop(asn, *c);
+            for &c in &city_scratch {
+                b.add_pop(asn, c);
             }
             let n_prov = g.rng.gen_range(1..=3.min(tier1s.len()));
-            let mut provs = tier1s.clone();
-            provs.shuffle(&mut g.rng);
-            for p in provs.into_iter().take(n_prov) {
+            asn_scratch.clear();
+            asn_scratch.extend_from_slice(&tier1s);
+            asn_scratch.shuffle(&mut g.rng);
+            for &p in asn_scratch.iter().take(n_prov) {
                 b.add_transit(asn, p);
             }
             tier2_by_continent.entry(cont).or_default().push(asn);
@@ -349,12 +487,7 @@ impl Topology {
                 }
                 // Large eyeballs reach the nearest hub metro.
                 if share > 0.2 && g.rng.gen_bool(config.eyeball_hub_presence) {
-                    let here = b.cities().get(home).location;
-                    if let Some(&hub) = hubs.iter().min_by(|&&x, &&y| {
-                        let dx = b.cities().get(x).location.distance_km(&here);
-                        let dy = b.cities().get(y).location.distance_km(&here);
-                        dx.partial_cmp(&dy).expect("finite")
-                    }) {
+                    if let Some(hub) = nearest_hub(&mut hub_cache, &b, &hubs, home) {
                         b.add_pop(asn, hub);
                     }
                 }
@@ -363,9 +496,10 @@ impl Topology {
                 let n_prov = g.rng.gen_range(1..=2);
                 let mut picked = 0;
                 if let Some(regional) = regional {
-                    let mut pool = regional.clone();
-                    pool.shuffle(&mut g.rng);
-                    for p in pool.into_iter().take(n_prov) {
+                    asn_scratch.clear();
+                    asn_scratch.extend_from_slice(regional);
+                    asn_scratch.shuffle(&mut g.rng);
+                    for &p in asn_scratch.iter().take(n_prov) {
                         b.add_transit(asn, p);
                         picked += 1;
                     }
@@ -437,20 +571,16 @@ impl Topology {
                 b.add_pop(asn, c);
             }
             // Reach the nearest hub metro for interconnection.
-            let here = b.cities().get(home).location;
-            if let Some(&hub) = hubs.iter().min_by(|&&x, &&y| {
-                let dx = b.cities().get(x).location.distance_km(&here);
-                let dy = b.cities().get(y).location.distance_km(&here);
-                dx.partial_cmp(&dy).expect("finite")
-            }) {
+            if let Some(hub) = nearest_hub(&mut hub_cache, &b, &hubs, home) {
                 b.add_pop(asn, hub);
             }
             let n_prov = g.rng.gen_range(1..=2);
             let mut picked = 0;
             if let Some(regional) = tier2_by_continent.get(&continent) {
-                let mut pool = regional.clone();
-                pool.shuffle(&mut g.rng);
-                for p in pool.into_iter().take(n_prov) {
+                asn_scratch.clear();
+                asn_scratch.extend_from_slice(regional);
+                asn_scratch.shuffle(&mut g.rng);
+                for &p in asn_scratch.iter().take(n_prov) {
                     b.add_transit(asn, p);
                     picked += 1;
                 }
@@ -485,12 +615,7 @@ impl Topology {
             // The NREN backbone usually reaches the nearest exchange
             // metro, where research networks peer.
             if g.rng.gen_bool(0.7) {
-                let here = b.cities().get(home).location;
-                if let Some(&hub) = hubs.iter().min_by(|&&x, &&y| {
-                    let dx = b.cities().get(x).location.distance_km(&here);
-                    let dy = b.cities().get(y).location.distance_km(&here);
-                    dx.partial_cmp(&dy).expect("finite")
-                }) {
+                if let Some(hub) = nearest_hub(&mut hub_cache, &b, &hubs, home) {
                     b.add_pop(asn, hub);
                 }
             }
@@ -503,11 +628,24 @@ impl Topology {
             researches.push(asn);
         }
         // NREN backbone: research networks peer densely with each other
-        // (GEANT/Internet2-style mesh).
-        for i in 0..researches.len() {
-            for j in (i + 1)..researches.len() {
-                if g.rng.gen_bool(0.35) {
+        // (GEANT/Internet2-style mesh). Scaled worlds divide the mesh
+        // probability by the factor, so expected candidates stay O(n)
+        // and the geometric-skip walk visits only the hits.
+        if researches.len() >= SPARSE_PAIRS_MIN && config.research_mesh_prob < 1.0 {
+            bernoulli_pairs_sparse(
+                &mut g.rng,
+                researches.len(),
+                config.research_mesh_prob,
+                |_, i, j| {
                     b.add_peering(researches[i], researches[j]);
+                },
+            );
+        } else {
+            for i in 0..researches.len() {
+                for j in (i + 1)..researches.len() {
+                    if g.rng.gen_bool(config.research_mesh_prob) {
+                        b.add_peering(researches[i], researches[j]);
+                    }
                 }
             }
         }
@@ -544,22 +682,34 @@ impl Topology {
         let mut memberships: Vec<(FacilityId, Asn)> = Vec::new();
         {
             // Snapshot of AS list (asn, type, pop city set).
-            let snapshot: Vec<(Asn, AsType, Vec<CityId>)> = {
-                let t_ref = &b;
-                let mut v = Vec::new();
-                for info in t_ref.ases_snapshot() {
-                    v.push(info);
+            let snapshot: Vec<(Asn, AsType, Vec<CityId>)> = b.ases_snapshot();
+            // Invert once: city -> snapshot indices of ASes with a PoP
+            // there. Deduped per AS (an AS listing a city twice still
+            // joins at most once — same semantics as the `contains`
+            // scan this replaces), and each city's list stays in
+            // snapshot order, so the gen_bool stream is identical to
+            // the old facilities × ASes walk while costing a lookup
+            // per facility instead of a full scan.
+            let mut by_city: HashMap<CityId, Vec<usize>> = HashMap::new();
+            let mut seen: HashSet<CityId> = HashSet::new();
+            for (idx, (_, _, cities)) in snapshot.iter().enumerate() {
+                seen.clear();
+                for &c in cities {
+                    if seen.insert(c) {
+                        by_city.entry(c).or_default().push(idx);
+                    }
                 }
-                v
-            };
+            }
             for &fid in &facility_ids {
                 let fcity = b.facility_city(fid);
-                for (asn, t, cities) in &snapshot {
-                    if cities.contains(&fcity) {
-                        let p = config.facility_join_prob[type_index(*t)];
-                        if g.rng.gen_bool(p) {
-                            memberships.push((fid, *asn));
-                        }
+                let Some(idxs) = by_city.get(&fcity) else {
+                    continue;
+                };
+                for &idx in idxs {
+                    let (asn, t, _) = &snapshot[idx];
+                    let p = config.facility_join_prob[type_index(*t)];
+                    if g.rng.gen_bool(p) {
+                        memberships.push((fid, *asn));
                     }
                 }
             }
@@ -580,6 +730,8 @@ impl Topology {
         }
         let mut city_list: Vec<(CityId, Vec<FacilityId>)> = city_facilities.into_iter().collect();
         city_list.sort_by_key(|(c, _)| *c);
+        let mut member_set: HashSet<Asn> = HashSet::new();
+        let mut member_scratch: Vec<Asn> = Vec::new();
         for (city, fids) in &city_list {
             let n_ixps = if fids.len() >= 2 && g.rng.gen_bool(0.5) {
                 2
@@ -589,16 +741,22 @@ impl Topology {
             for k in 0..n_ixps {
                 let name = format!("IX-{}-{}", b.cities().get(*city).name, k);
                 let ixp = b.add_ixp(name, *city, fids.clone());
-                // Members: facility members join the local fabric w.p. 0.7.
-                let mut members: Vec<Asn> = Vec::new();
+                // Members: facility members join the local fabric w.p.
+                // 0.7. The set mirrors the short-circuit `contains`
+                // test it replaces — an AS already admitted draws no
+                // further, one rejected at an earlier facility draws
+                // again at the next — in O(1) instead of O(members).
+                member_set.clear();
+                member_scratch.clear();
                 for &fid in fids {
                     for asn in b.facility_members(fid) {
-                        if !members.contains(&asn) && g.rng.gen_bool(0.7) {
-                            members.push(asn);
+                        if !member_set.contains(&asn) && g.rng.gen_bool(0.7) {
+                            member_set.insert(asn);
+                            member_scratch.push(asn);
                         }
                     }
                 }
-                for m in members {
+                for &m in &member_scratch {
                     b.add_ixp_member(ixp, m);
                 }
             }
@@ -613,14 +771,33 @@ impl Topology {
                 .into_iter()
                 .map(|(a, t, _)| (a, t))
                 .collect();
+            // Envelope for the sparse walk: the largest entry in the
+            // peer_prob table, scaled. Every per-pair probability is
+            // <= this, so thinning a Bernoulli(p_max) stream by
+            // p / p_max reproduces Bernoulli(p) exactly.
+            let p_max = AsType::ALL
+                .iter()
+                .flat_map(|&x| AsType::ALL.iter().map(move |&y| peer_prob(x, y)))
+                .fold(0.0_f64, f64::max)
+                * config.peering_scale;
             for &fid in &facility_ids {
                 let members = b.facility_members(fid);
-                for i in 0..members.len() {
-                    for j in (i + 1)..members.len() {
+                if members.len() >= SPARSE_PAIRS_MIN && p_max < 1.0 {
+                    bernoulli_pairs_sparse(&mut g.rng, members.len(), p_max, |rng, i, j| {
                         let (x, y) = (members[i], members[j]);
                         let p = peer_prob(type_of[&x], type_of[&y]) * config.peering_scale;
-                        if p > 0.0 && g.rng.gen_bool(p.min(1.0)) {
+                        if p > 0.0 && rng.gen_bool(p / p_max) {
                             peerings.push((x, y));
+                        }
+                    });
+                } else {
+                    for i in 0..members.len() {
+                        for j in (i + 1)..members.len() {
+                            let (x, y) = (members[i], members[j]);
+                            let p = peer_prob(type_of[&x], type_of[&y]) * config.peering_scale;
+                            if p > 0.0 && g.rng.gen_bool(p.min(1.0)) {
+                                peerings.push((x, y));
+                            }
                         }
                     }
                 }
@@ -657,6 +834,40 @@ impl TopologyBuilder {
 mod tests {
     use super::*;
     use crate::routing::Router;
+
+    #[test]
+    fn sparse_pair_sampling_matches_bernoulli_statistics() {
+        let n = 600;
+        let p = 0.01;
+        let total = (n * (n - 1) / 2) as f64;
+        let mut hits = 0u64;
+        let mut last = (0usize, 0usize);
+        let mut rng = StdRng::seed_from_u64(5);
+        bernoulli_pairs_sparse(&mut rng, n, p, |_, i, j| {
+            assert!(i < j && j < n, "pair ({i},{j}) out of triangle");
+            assert!((i, j) > last, "pairs must arrive in row-major order");
+            last = (i, j);
+            hits += 1;
+        });
+        let expect = total * p;
+        let sd = (total * p * (1.0 - p)).sqrt();
+        assert!(
+            (hits as f64 - expect).abs() < 6.0 * sd,
+            "sparse walk produced {hits} hits, expected ~{expect:.0} (sd {sd:.1})"
+        );
+    }
+
+    #[test]
+    fn sparse_pair_sampling_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // n < 2 and p <= 0 both visit nothing.
+        bernoulli_pairs_sparse(&mut rng, 1, 0.5, |_, _, _| panic!("no pairs for n=1"));
+        bernoulli_pairs_sparse(&mut rng, 100, 0.0, |_, _, _| panic!("no pairs for p=0"));
+        // Tiny n still covers the whole triangle eventually.
+        let mut seen = Vec::new();
+        bernoulli_pairs_sparse(&mut rng, 3, 0.999, |_, i, j| seen.push((i, j)));
+        assert!(seen.iter().all(|&(i, j)| i < j && j < 3));
+    }
 
     #[test]
     fn generation_is_deterministic() {

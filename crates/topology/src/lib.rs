@@ -28,6 +28,9 @@
 //!   topologies ([`TopologyConfig`], [`Topology::generate`]).
 //! - [`routing`] — Gao–Rexford valley-free route computation
 //!   ([`routing::RoutingTable`], [`routing::Router`]).
+//! - [`budget`] — byte budgets for the engine's caches
+//!   ([`MemoryBudget`]); the router enforces its share with CLOCK
+//!   eviction over the destination-table cache.
 //!
 //! ## Example
 //!
@@ -46,6 +49,7 @@
 //! ```
 
 pub mod asys;
+pub mod budget;
 pub mod facility;
 pub mod generator;
 pub mod graph;
@@ -54,6 +58,7 @@ pub mod ip;
 pub mod routing;
 
 pub use asys::{AsInfo, AsType, Pop};
+pub use budget::MemoryBudget;
 pub use facility::{Facility, Ixp};
 pub use generator::TopologyConfig;
 pub use graph::{CsrAdjacency, NodeIndex, Relationship, Topology};

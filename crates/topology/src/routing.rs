@@ -57,9 +57,10 @@
 
 use crate::graph::{NodeIndex, Topology};
 use crate::ids::{Asn, NodeId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Preference class of a route, ordered best-first.
@@ -210,6 +211,17 @@ impl RoutingTable {
             return Some(vec![src]);
         }
         self.as_path_from(self.nodes.node(src)?)
+    }
+
+    /// Approximate resident size of this table in bytes — the unit the
+    /// router's byte budget is accounted in. Covers the two dense
+    /// arrays (which dominate at scale) plus the struct header; the
+    /// shared `NodeIndex` is owned by the topology and not charged to
+    /// any table.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.len() * std::mem::size_of::<RouteEntry>()
+            + self.next_node.len() * std::mem::size_of::<NodeId>()
     }
 
     /// As [`RoutingTable::as_path`], from a dense node id — no ASN
@@ -463,6 +475,59 @@ impl RoutingPolicy {
     }
 }
 
+/// Approximate resident size of one destination table over a topology
+/// with `n_nodes` dense nodes — what [`RoutingTable::approx_bytes`]
+/// will report before any table exists. The CLI uses this to reject a
+/// `--memory-budget` that cannot hold even a single table instead of
+/// letting the cache thrash silently.
+pub fn table_approx_bytes(n_nodes: usize) -> u64 {
+    (std::mem::size_of::<RoutingTable>()
+        + n_nodes * (std::mem::size_of::<RouteEntry>() + std::mem::size_of::<NodeId>())) as u64
+}
+
+/// One dense cache slot: the table plus its CLOCK bookkeeping.
+struct TableSlot {
+    table: RwLock<Option<Arc<RoutingTable>>>,
+    /// CLOCK reference bit — set on every hit and install, cleared
+    /// (one second chance) when the eviction hand passes.
+    referenced: AtomicBool,
+    /// Whether this slot has *ever* held a table: a miss on such a
+    /// slot is a recompute (the price of an earlier eviction), not a
+    /// cold-start miss.
+    ever_resident: AtomicBool,
+}
+
+impl TableSlot {
+    fn empty() -> Self {
+        TableSlot {
+            table: RwLock::new(None),
+            referenced: AtomicBool::new(false),
+            ever_resident: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Point-in-time cache health of a [`Router`] (all counters are
+/// monotonic; the gauges are current residency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute a table.
+    pub misses: u64,
+    /// Tables dropped by the budget enforcer.
+    pub evictions: u64,
+    /// Misses on destinations that were previously resident — the
+    /// recomputation work the byte budget traded for memory.
+    pub recomputes: u64,
+    /// Destination tables currently resident.
+    pub tables_resident: u64,
+    /// Approximate bytes of resident tables.
+    pub resident_bytes: u64,
+    /// The enforced byte budget, `None` when unbounded.
+    pub budget_bytes: Option<u64>,
+}
+
 /// Thread-safe, per-destination-cached route computation over a
 /// topology.
 ///
@@ -476,14 +541,43 @@ impl RoutingPolicy {
 /// read — no hashing — and construction races are confined to the
 /// single destination being built. Destinations outside the topology
 /// (degenerate tables; tests) fall back to a side map.
+///
+/// ## Byte budget
+///
+/// With [`Router::with_budget`], resident tables are byte-accounted
+/// (via [`RoutingTable::approx_bytes`]) and bounded by CLOCK
+/// (second-chance) eviction: when an install pushes residency over
+/// budget, a clock hand sweeps the dense slots, clearing reference
+/// bits and dropping the first unreferenced table it finds, until
+/// residency fits again. Because every table is a pure function of
+/// `(topology, policy, destination)`, an evicted table is recomputed
+/// bit-identically on the next miss — budgets change *residency*,
+/// never results. Readers holding an `Arc` to an evicted table are
+/// unaffected; the memory is freed when the last reader drops it.
+/// The side map for unknown destinations is not budgeted (its tables
+/// are degenerate single-entry affairs).
 pub struct Router {
     topo: Arc<Topology>,
     policy: RoutingPolicy,
     /// Dense per-destination cache, indexed by the destination's
     /// [`NodeId`].
-    tables: Vec<RwLock<Option<Arc<RoutingTable>>>>,
+    slots: Vec<TableSlot>,
     /// Tables toward ASNs the topology does not know.
     other: RwLock<HashMap<Asn, Arc<RoutingTable>>>,
+    /// Byte allowance for the dense cache; `None` = never evict.
+    budget: Option<u64>,
+    resident_bytes: AtomicU64,
+    resident_tables: AtomicU64,
+    /// CLOCK hand over `slots` (persisted across sweeps so second
+    /// chances mean something).
+    hand: AtomicUsize,
+    /// Serializes eviction sweeps; lookups and installs never wait on
+    /// this.
+    evict_gate: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    recomputes: AtomicU64,
 }
 
 impl Router {
@@ -495,12 +589,32 @@ impl Router {
     /// Creates a router with an explicit policy (ablations use
     /// [`RoutingPolicy::ShortestPath`]).
     pub fn with_policy(topo: Arc<Topology>, policy: RoutingPolicy) -> Self {
+        Self::with_budget(topo, policy, None)
+    }
+
+    /// Creates a router whose resident tables are bounded by
+    /// `budget_bytes` (typically a [`crate::MemoryBudget`]'s router
+    /// share). `None` keeps the grow-forever behaviour.
+    pub fn with_budget(
+        topo: Arc<Topology>,
+        policy: RoutingPolicy,
+        budget_bytes: Option<u64>,
+    ) -> Self {
         let n = topo.node_index().len();
         Router {
             topo,
             policy,
-            tables: (0..n).map(|_| RwLock::new(None)).collect(),
+            slots: (0..n).map(|_| TableSlot::empty()).collect(),
             other: RwLock::new(HashMap::new()),
+            budget: budget_bytes,
+            resident_bytes: AtomicU64::new(0),
+            resident_tables: AtomicU64::new(0),
+            hand: AtomicUsize::new(0),
+            evict_gate: Mutex::new(()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            recomputes: AtomicU64::new(0),
         }
     }
 
@@ -514,6 +628,25 @@ impl Router {
         self.policy
     }
 
+    /// The enforced byte budget (`None` when unbounded).
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Snapshot of the cache counters and residency gauges.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            recomputes: self.recomputes.load(Ordering::Relaxed),
+            tables_resident: self.resident_tables.load(Ordering::Relaxed)
+                + self.other.read().len() as u64,
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            budget_bytes: self.budget,
+        }
+    }
+
     fn compute(&self, dst: Asn) -> RoutingTable {
         match self.policy {
             RoutingPolicy::ValleyFree => compute_table(&self.topo, dst),
@@ -521,22 +654,95 @@ impl Router {
         }
     }
 
+    /// Stores `table` in its dense slot unless a racing thread beat us
+    /// to it (first writer wins; the loser's copy is dropped). Returns
+    /// the table that ended up cached.
+    fn install(&self, dst: NodeId, table: Arc<RoutingTable>) -> Arc<RoutingTable> {
+        let slot = &self.slots[dst.index()];
+        {
+            let mut guard = slot.table.write();
+            if let Some(t) = guard.as_ref() {
+                slot.referenced.store(true, Ordering::Relaxed);
+                return Arc::clone(t);
+            }
+            *guard = Some(Arc::clone(&table));
+        }
+        slot.referenced.store(true, Ordering::Relaxed);
+        slot.ever_resident.store(true, Ordering::Relaxed);
+        self.resident_tables.fetch_add(1, Ordering::Relaxed);
+        self.resident_bytes
+            .fetch_add(table.approx_bytes() as u64, Ordering::Relaxed);
+        table
+    }
+
+    /// CLOCK sweep: while residency exceeds the budget, advance the
+    /// hand over the dense slots, clearing reference bits (the second
+    /// chance) and evicting unreferenced tables. `keep` — the slot the
+    /// caller is about to return — is never evicted, so a lookup can
+    /// not thrash against its own result. Two full revolutions bound
+    /// the sweep even when the budget is unsatisfiable (e.g. `keep`
+    /// alone exceeds it).
+    fn enforce_budget(&self, keep: NodeId) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        if self.resident_bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let _gate = self.evict_gate.lock();
+        let n = self.slots.len();
+        if n == 0 {
+            return;
+        }
+        let mut hand = self.hand.load(Ordering::Relaxed) % n;
+        let mut scanned = 0usize;
+        while self.resident_bytes.load(Ordering::Relaxed) > budget && scanned < 2 * n {
+            let i = hand;
+            hand = (hand + 1) % n;
+            scanned += 1;
+            if i == keep.index() {
+                continue;
+            }
+            let slot = &self.slots[i];
+            if slot.table.read().is_none() {
+                continue;
+            }
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                continue; // second chance
+            }
+            let evicted = slot.table.write().take();
+            if let Some(t) = evicted {
+                self.resident_bytes
+                    .fetch_sub(t.approx_bytes() as u64, Ordering::Relaxed);
+                self.resident_tables.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.hand.store(hand, Ordering::Relaxed);
+    }
+
     /// Routing table toward the destination at dense id `dst`,
     /// computed once and cached — an array slot away, no hashing.
+    /// Under a byte budget the table may have been evicted since it
+    /// was last seen; it is then recomputed here, bit-identical.
     pub fn table_at(&self, dst: NodeId) -> Arc<RoutingTable> {
-        if let Some(t) = self.tables[dst.index()].read().as_ref() {
+        let slot = &self.slots[dst.index()];
+        if let Some(t) = slot.table.read().as_ref() {
+            slot.referenced.store(true, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(t);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if slot.ever_resident.load(Ordering::Relaxed) {
+            self.recomputes.fetch_add(1, Ordering::Relaxed);
         }
         // Miss: compute outside the lock (racing threads may duplicate
         // the work, but tables are identical and the loser's copy is
         // simply dropped — readers of other destinations never block
-        // behind a construction). The first writer wins the slot.
+        // behind a construction).
         let table = Arc::new(self.compute(self.topo.node_index().asn(dst)));
-        let mut slot = self.tables[dst.index()].write();
-        if let Some(t) = slot.as_ref() {
-            return Arc::clone(t);
-        }
-        *slot = Some(Arc::clone(&table));
+        let table = self.install(dst, table);
+        self.enforce_budget(dst);
         table
     }
 
@@ -546,8 +752,10 @@ impl Router {
             Some(node) => self.table_at(node),
             None => {
                 if let Some(t) = self.other.read().get(&dst) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(t);
                 }
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 let table = Arc::new(self.compute(dst));
                 Arc::clone(self.other.write().entry(dst).or_insert(table))
             }
@@ -563,6 +771,13 @@ impl Router {
     /// **union** of all its campaigns' destinations, so cold-start
     /// table construction happens exactly once however many campaigns
     /// share the router.
+    ///
+    /// Under a byte budget, `dsts` order is treated as priority order
+    /// (callers put the hottest destinations first — see
+    /// `plan::warmup_destinations`): warming proceeds front-to-back in
+    /// parallel chunks and **stops at the budget** rather than warming
+    /// and immediately evicting. Whatever stays cold is recomputed on
+    /// first miss.
     pub fn precompute(&self, dsts: &[Asn]) {
         let todo: Vec<Asn> = {
             let mut seen = HashSet::new();
@@ -570,7 +785,7 @@ impl Router {
                 .copied()
                 .filter(|&d| {
                     let cached = match self.topo.node_index().node(d) {
-                        Some(node) => self.tables[node.index()].read().is_some(),
+                        Some(node) => self.slots[node.index()].table.read().is_some(),
                         None => self.other.read().contains_key(&d),
                     };
                     !cached && seen.insert(d)
@@ -580,20 +795,33 @@ impl Router {
         if todo.is_empty() {
             return;
         }
-        let tables: Vec<Arc<RoutingTable>> = todo
-            .par_iter()
-            .map(|&d| Arc::new(self.compute(d)))
-            .collect();
-        for (d, t) in todo.into_iter().zip(tables) {
-            match self.topo.node_index().node(d) {
-                Some(node) => {
-                    let mut slot = self.tables[node.index()].write();
-                    if slot.is_none() {
-                        *slot = Some(t);
+        // Budgeted warming computes in bounded chunks so a huge
+        // destination list cannot transiently materialize far more
+        // than the budget before the stop check runs.
+        let chunk = match self.budget {
+            None => todo.len(),
+            Some(_) => 64,
+        };
+        'warm: for part in todo.chunks(chunk) {
+            let tables: Vec<(Asn, Arc<RoutingTable>)> = part
+                .par_iter()
+                .map(|&d| (d, Arc::new(self.compute(d))))
+                .collect();
+            for (d, t) in tables {
+                if let Some(budget) = self.budget {
+                    let next =
+                        self.resident_bytes.load(Ordering::Relaxed) + t.approx_bytes() as u64;
+                    if next > budget {
+                        break 'warm;
                     }
                 }
-                None => {
-                    self.other.write().entry(d).or_insert(t);
+                match self.topo.node_index().node(d) {
+                    Some(node) => {
+                        self.install(node, t);
+                    }
+                    None => {
+                        self.other.write().entry(d).or_insert(t);
+                    }
                 }
             }
         }
@@ -613,7 +841,11 @@ impl Router {
 
     /// Number of cached destination tables (diagnostics).
     pub fn cached_tables(&self) -> usize {
-        self.tables.iter().filter(|s| s.read().is_some()).count() + self.other.read().len()
+        self.slots
+            .iter()
+            .filter(|s| s.table.read().is_some())
+            .count()
+            + self.other.read().len()
     }
 }
 
@@ -1053,6 +1285,63 @@ mod tests {
                 assert_eq!(a.route(Asn(src)), b.route(Asn(src)), "dst {dst} src {src}");
             }
         }
+    }
+
+    #[test]
+    fn budgeted_router_evicts_and_recomputes_identically() {
+        let t = Arc::new(valley_topology());
+        // Room for two tables (plus slack below a third).
+        let budget = 2 * table_approx_bytes(6) + 8;
+        let bounded = Router::with_budget(Arc::clone(&t), RoutingPolicy::ValleyFree, Some(budget));
+        let unbounded = Router::new(Arc::clone(&t));
+        // Cycle through every destination several times: residency
+        // must stay within budget while every returned table matches
+        // the unbudgeted router's bit for bit.
+        for _ in 0..3 {
+            for dst in [1u32, 2, 3, 4, 5, 6] {
+                let a = bounded.table(Asn(dst));
+                let b = unbounded.table(Asn(dst));
+                for src in [1u32, 2, 3, 4, 5, 6] {
+                    assert_eq!(a.route(Asn(src)), b.route(Asn(src)), "dst {dst} src {src}");
+                    assert_eq!(a.as_path(Asn(src)), b.as_path(Asn(src)));
+                }
+                let s = bounded.stats();
+                assert!(
+                    s.resident_bytes <= budget,
+                    "residency {} exceeds budget {budget}",
+                    s.resident_bytes
+                );
+            }
+        }
+        let s = bounded.stats();
+        assert!(s.evictions > 0, "budget never forced an eviction: {s:?}");
+        assert!(
+            s.recomputes > 0,
+            "evictions never caused a recompute: {s:?}"
+        );
+        assert_eq!(
+            s.misses,
+            s.recomputes + 6,
+            "first touch of each dst is a cold miss"
+        );
+        assert_eq!(unbounded.stats().evictions, 0);
+        assert_eq!(unbounded.stats().resident_bytes, 6 * table_approx_bytes(6));
+    }
+
+    #[test]
+    fn budgeted_precompute_warms_front_to_back_and_stops() {
+        let t = Arc::new(valley_topology());
+        let budget = 2 * table_approx_bytes(6) + 8;
+        let r = Router::with_budget(Arc::clone(&t), RoutingPolicy::ValleyFree, Some(budget));
+        r.precompute(&[Asn(1), Asn(2), Asn(3), Asn(4), Asn(5), Asn(6)]);
+        // Exactly the two hottest (front-of-list) destinations warmed;
+        // nothing was warmed only to be evicted again.
+        assert_eq!(r.cached_tables(), 2);
+        let s = r.stats();
+        assert_eq!(s.evictions, 0);
+        assert!(s.resident_bytes <= budget);
+        // The cold destinations still resolve fine (recompute on miss).
+        assert!(r.as_path(Asn(5), Asn(6)).is_some());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Generator fingerprint canary.
+//!
+//! The generator is the root of the whole determinism story: every
+//! campaign seed, every CSV byte, and every cross-run equivalence
+//! proof assumes `Topology::generate(cfg, seed)` produces the same
+//! world forever. These tests pin an FNV-1a digest over everything a
+//! refactor could plausibly disturb — AS records, facility and IXP
+//! membership rosters, link count, and full adjacency — for the two
+//! shipped presets. The hashes were captured before the
+//! allocation-churn rewrite of `generate()` (scratch-buffer reuse,
+//! membership inversion, geometric-skip pair sampling) and must never
+//! change: a mismatch means the RNG call sequence moved and every
+//! downstream artifact silently changed with it.
+//!
+//! `TopologyConfig::scaled` worlds are deliberately *not* pinned — the
+//! sparse sampling path makes no stream-compatibility promise across
+//! scales, only self-determinism (checked below).
+
+use shortcuts_topology::generator::TopologyConfig;
+use shortcuts_topology::Topology;
+
+/// FNV-1a style digest over AS records, facility/IXP membership, link
+/// count, and adjacency, in deterministic topology order.
+fn fingerprint(t: &Topology) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for info in t.ases() {
+        mix(info.asn.0 as u64);
+        mix(info.pops.len() as u64);
+        mix(info.prefixes.len() as u64);
+        mix(info.user_share.to_bits());
+    }
+    for f in t.facilities() {
+        mix(f.members.len() as u64);
+        for m in &f.members {
+            mix(m.0 as u64);
+        }
+    }
+    for ix in t.ixps() {
+        mix(ix.members.len() as u64);
+        for m in &ix.members {
+            mix(m.0 as u64);
+        }
+    }
+    mix(t.link_count() as u64);
+    for info in t.ases() {
+        let adj = t.adjacency(info.asn);
+        for p in &adj.peers {
+            mix(p.0 as u64);
+        }
+        for p in &adj.providers {
+            mix(p.0 as u64);
+        }
+    }
+    h
+}
+
+/// The pinned digests. Captured on the pre-rewrite generator and
+/// reproduced bit-for-bit by the scratch-reuse/inversion rewrite.
+#[test]
+fn preset_fingerprints_are_pinned() {
+    for (label, cfg, seed, want_as, want_links, want_hash) in [
+        (
+            "small-7",
+            TopologyConfig::small(),
+            7u64,
+            326,
+            1621,
+            0x7c80618355b37767u64,
+        ),
+        (
+            "small-42",
+            TopologyConfig::small(),
+            42u64,
+            321,
+            1549,
+            0x31ed5910e1195d16,
+        ),
+        (
+            "paper-1",
+            TopologyConfig::paper_scale(),
+            1u64,
+            1317,
+            26762,
+            0x52ce1bce22640ec5,
+        ),
+    ] {
+        let t = Topology::generate(&cfg, seed);
+        assert_eq!(t.as_count(), want_as, "{label}: AS count drifted");
+        assert_eq!(t.link_count(), want_links, "{label}: link count drifted");
+        assert_eq!(
+            fingerprint(&t),
+            want_hash,
+            "{label}: generator fingerprint drifted — the RNG call \
+             sequence changed and every seeded artifact changed with it"
+        );
+    }
+}
+
+/// The presets must stay on the dense pair-sampling path: the sparse
+/// geometric-skip walk consumes a different RNG stream, and it only
+/// engages at >= 512 members per facility (or research networks).
+/// Paper scale tops out near ~90 members, far below the line.
+#[test]
+fn presets_stay_below_sparse_sampling_threshold() {
+    let t = Topology::generate(&TopologyConfig::paper_scale(), 1);
+    let max = t
+        .facilities()
+        .iter()
+        .map(|f| f.members.len())
+        .max()
+        .unwrap();
+    assert!(
+        max < 512,
+        "preset facility membership ({max}) crossed the sparse-sampling threshold"
+    );
+    let research = t
+        .ases()
+        .iter()
+        .filter(|a| matches!(a.as_type, shortcuts_topology::asys::AsType::Research))
+        .count();
+    assert!(
+        research < 512,
+        "preset research population ({research}) crossed the threshold"
+    );
+}
+
+/// `scaled(f)` grows the population as documented: linear in the bulk
+/// AS classes, sqrt in tier-1s, with peering probabilities divided by
+/// f so per-AS degree stays bounded.
+#[test]
+fn scaled_config_grows_populations() {
+    let base = TopologyConfig::paper_scale();
+    let s = TopologyConfig::scaled(4.0);
+    assert_eq!(s.n_tier2, base.n_tier2 * 4);
+    assert_eq!(s.n_content, base.n_content * 4);
+    assert_eq!(s.n_enterprise, base.n_enterprise * 4);
+    assert_eq!(s.n_research, base.n_research * 4);
+    assert_eq!(s.n_tier1, ((base.n_tier1 as f64) * 2.0).round() as usize);
+    assert!((s.peering_scale - base.peering_scale / 4.0).abs() < 1e-12);
+    assert!((s.research_mesh_prob - base.research_mesh_prob / 4.0).abs() < 1e-12);
+    // Identity: scaled(1) is exactly the paper preset.
+    let one = TopologyConfig::scaled(1.0);
+    assert_eq!(one.n_tier1, base.n_tier1);
+    assert_eq!(one.n_tier2, base.n_tier2);
+    assert!((one.peering_scale - base.peering_scale).abs() < 1e-12);
+}
+
+/// A research population past the sparse threshold takes the
+/// geometric-skip mesh path and still generates deterministically.
+#[test]
+fn sparse_mesh_path_is_deterministic() {
+    let mut cfg = TopologyConfig::paper_scale();
+    cfg.n_research = 600;
+    cfg.research_mesh_prob = 0.01;
+    let t1 = Topology::generate(&cfg, 3);
+    let t2 = Topology::generate(&cfg, 3);
+    assert_eq!(fingerprint(&t1), fingerprint(&t2));
+    let research = t1
+        .ases()
+        .iter()
+        .filter(|a| matches!(a.as_type, shortcuts_topology::asys::AsType::Research))
+        .count();
+    assert_eq!(research, 600);
+}
+
+/// Scaled worlds are self-deterministic (same config + seed => same
+/// world), which is all the budget benches need from them.
+#[test]
+fn scaled_world_generates_deterministically() {
+    let cfg = TopologyConfig::scaled(3.0);
+    let t1 = Topology::generate(&cfg, 9);
+    let t2 = Topology::generate(&cfg, 9);
+    assert_eq!(t1.as_count(), t2.as_count());
+    assert_eq!(t1.link_count(), t2.link_count());
+    assert_eq!(fingerprint(&t1), fingerprint(&t2));
+    // And the population actually grew ~3x over the paper preset.
+    let paper = Topology::generate(&TopologyConfig::paper_scale(), 9);
+    assert!(t1.as_count() > 2 * paper.as_count());
+}

@@ -5,10 +5,13 @@
 //! colo-shortcuts funnel     [--seed S]
 //! colo-shortcuts campaign   [--seed S] [--world-seed W] [--rounds N]
 //!                           [--out DIR] [--serial | --rounds-in-flight N]
+//!                           [--memory-budget B]
 //! colo-shortcuts sweep      [--seed S] [--seeds S1,S2,..] [--rounds N]
 //!                           [--jobs-in-flight N] [--out DIR]
+//!                           [--memory-budget B]
 //! colo-shortcuts serve      [--addr A] [--max-sessions N]
 //!                           [--world-scale small|paper] [--seed S]
+//!                           [--memory-budget B]
 //! colo-shortcuts client     --addr A [--stats] [--seed S | --seeds ..]
 //!                           [--rounds N] [--world-seed W] [--out DIR]
 //! ```
@@ -33,6 +36,17 @@
 //! overwrite each other), and the run ends with an engine-health
 //! summary line (pair-cache hit rate, resident routing tables, pings).
 //!
+//! `--memory-budget B` (bytes, with binary `K`/`M`/`G` suffixes, or
+//! `unbounded`) caps the run's cache residency: the router's
+//! destination-table cache and the pair cache evict under the budget
+//! and transparently recompute on re-touch — results are
+//! **byte-identical** to an unbounded run, only peak memory and
+//! throughput change. Budgets too small to hold even a couple of
+//! routing tables (or one pair entry per cache shard) are rejected
+//! up front with the minimum workable size. On `serve` the budget
+//! additionally bounds the world pool itself: idle engine stacks are
+//! evicted whole, least-recently-used first.
+//!
 //! `serve` turns the same machinery into a long-lived measurement
 //! service ([`shortcuts_service`]): clients connect over TCP, submit
 //! `RUN`/`SWEEP` requests, stream per-round progress and fetch the
@@ -48,6 +62,8 @@ use shortcuts_core::workflow::{Campaign, CampaignConfig};
 use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_core::RelayType;
 use shortcuts_service::{Client, Server, ServiceConfig, StreamEvent};
+use shortcuts_topology::routing::table_approx_bytes;
+use shortcuts_topology::MemoryBudget;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -64,6 +80,7 @@ struct Args {
     max_sessions: usize,
     world_scale: String,
     stats: bool,
+    memory_budget: MemoryBudget,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -82,6 +99,7 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         max_sessions: 8,
         world_scale: "paper".to_string(),
         stats: false,
+        memory_budget: MemoryBudget::unbounded(),
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -144,6 +162,13 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
                 args.stats = true;
                 i += 1;
             }
+            "--memory-budget" => {
+                args.memory_budget = MemoryBudget::parse(need_value(i)).unwrap_or_else(|msg| {
+                    eprintln!("--memory-budget: {msg}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
             "--rounds-in-flight" => {
                 args.rounds_in_flight = Some(
                     need_value(i)
@@ -179,7 +204,8 @@ fn main() {
                 "usage: colo-shortcuts <world-info|funnel|campaign|sweep|serve|client> \
                  [--seed S] [--seeds S1,S2,..] [--rounds N] [--out DIR] \
                  [--serial | --rounds-in-flight N] [--jobs-in-flight N] \
-                 [--addr HOST:PORT] [--max-sessions N] [--world-scale small|paper] [--stats]"
+                 [--addr HOST:PORT] [--max-sessions N] [--world-scale small|paper] [--stats] \
+                 [--memory-budget BYTES|K|M|G|unbounded]"
             );
             std::process::exit(2);
         }
@@ -193,6 +219,22 @@ fn build(args: &Args) -> World {
     let seed = args.world_seed.unwrap_or(args.seed);
     eprintln!("building world (seed {seed}) ...");
     World::build(&WorldConfig::paper_scale(), seed)
+}
+
+/// Rejects a `--memory-budget` this world cannot run under — a router
+/// share below a couple of routing tables, or a pair share below one
+/// entry per cache shard — before any measurement starts. The error
+/// names the minimum workable budget.
+fn check_budget(budget: MemoryBudget, world: &World) {
+    if let Err(msg) = budget.ensure_fits(
+        table_approx_bytes(world.topo.node_index().len()),
+        2,
+        shortcuts_netsim::ping::pair_entry_min_bytes(),
+        shortcuts_netsim::ping::CACHE_SHARDS as u64,
+    ) {
+        eprintln!("--memory-budget: {msg}");
+        std::process::exit(2);
+    }
 }
 
 fn world_info(args: &Args) {
@@ -233,9 +275,11 @@ fn funnel(args: &Args) {
 
 fn campaign(args: &Args) {
     let w = build(args);
+    check_budget(args.memory_budget, &w);
     let mut cfg = CampaignConfig::paper();
     cfg.rounds = args.rounds;
     cfg.seed = args.seed;
+    cfg.memory = args.memory_budget;
     let mode = if args.serial {
         cfg.exec = shortcuts_core::ExecMode::Serial;
         "serial".to_string()
@@ -313,8 +357,10 @@ fn sweep(args: &Args) {
         }
     }
     let w = Arc::new(build(args));
+    check_budget(args.memory_budget, &w);
     let mut base = CampaignConfig::paper();
     base.rounds = args.rounds;
+    base.memory = args.memory_budget;
     let mut cfg = SweepConfig::from_seeds(&base, seeds);
     cfg.jobs_in_flight = args.jobs_in_flight;
     let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
@@ -325,8 +371,9 @@ fn sweep(args: &Args) {
         cfg.jobs_in_flight,
     );
     // Build the shared engine stack explicitly so its health counters
-    // can be reported once the sweep is done.
-    let engine = w.shared().engine(base.routing);
+    // can be reported once the sweep is done. Under --memory-budget it
+    // comes cache-bounded; results are byte-identical either way.
+    let engine = w.shared().engine_budgeted(base.routing, base.memory);
     // One line per completed (scenario, round): each scenario streams
     // in round order while the others are still measuring.
     let outcome = Sweep::with_engine(Arc::clone(&w), Arc::clone(&engine), cfg).run_streaming(
@@ -364,7 +411,11 @@ fn sweep(args: &Args) {
         );
     }
     write("sweep.csv", outcome.comparison_csv());
-    eprintln!("engine: {}", engine.engine_stats().summary());
+    eprintln!(
+        "engine: {} memory_budget={}",
+        engine.engine_stats().summary(),
+        args.memory_budget,
+    );
 }
 
 fn serve(args: &Args) {
@@ -378,16 +429,31 @@ fn serve(args: &Args) {
     };
     cfg.max_sessions = args.max_sessions;
     cfg.default_world_seed = args.world_seed.unwrap_or(args.seed);
+    cfg.memory = args.memory_budget;
+    // Worlds are built lazily per requested seed, so the exact table
+    // size is unknown here — still reject budgets whose pair share
+    // cannot hold one entry per cache shard.
+    if let Err(msg) = args.memory_budget.ensure_fits(
+        0,
+        0,
+        shortcuts_netsim::ping::pair_entry_min_bytes(),
+        shortcuts_netsim::ping::CACHE_SHARDS as u64,
+    ) {
+        eprintln!("--memory-budget: {msg}");
+        std::process::exit(2);
+    }
     let max_sessions = cfg.max_sessions;
     let server = Server::start(args.addr.as_str(), cfg).unwrap_or_else(|e| {
         eprintln!("bind {}: {e}", args.addr);
         std::process::exit(1);
     });
     eprintln!(
-        "shortcuts-service listening on {} ({} scale world, max {} sessions)",
+        "shortcuts-service listening on {} ({} scale world, max {} sessions, \
+         memory budget {})",
         server.local_addr(),
         args.world_scale,
         max_sessions,
+        args.memory_budget,
     );
     eprintln!(
         "try: colo-shortcuts client --addr {} --seed 2017 --rounds 4",

@@ -20,6 +20,14 @@ fn run(world: &World, exec: ExecMode) -> CampaignResults {
     let mut cfg = CampaignConfig::small();
     cfg.rounds = 2;
     cfg.exec = exec;
+    // CI re-runs this suite with COLO_MEMORY_BUDGET small enough to
+    // force cache eviction: every execution mode then evicts and
+    // recomputes under its own schedule, and the bit-identity
+    // assertions prove the budget is unobservable in the results.
+    if let Ok(s) = std::env::var("COLO_MEMORY_BUDGET") {
+        cfg.memory =
+            colo_shortcuts::topology::MemoryBudget::parse(&s).expect("bad COLO_MEMORY_BUDGET");
+    }
     Campaign::new(world, cfg).run()
 }
 

@@ -13,12 +13,20 @@ use colo_shortcuts::core::report::cases_csv;
 use colo_shortcuts::core::sweep::{Sweep, SweepConfig, SweepScenario};
 use colo_shortcuts::core::workflow::{Campaign, CampaignConfig, RoundSummary};
 use colo_shortcuts::core::world::{World, WorldConfig};
+use colo_shortcuts::topology::MemoryBudget;
 use proptest::prelude::*;
 use std::sync::Arc;
 
 fn base_cfg(rounds: u32) -> CampaignConfig {
     let mut cfg = CampaignConfig::small();
     cfg.rounds = rounds;
+    // CI re-runs this whole suite with COLO_MEMORY_BUDGET set small
+    // enough to force cache eviction; every solo and swept run then
+    // carries the budget, proving budgeted scheduling stays
+    // byte-transparent at any worker count.
+    if let Ok(s) = std::env::var("COLO_MEMORY_BUDGET") {
+        cfg.memory = MemoryBudget::parse(&s).expect("bad COLO_MEMORY_BUDGET");
+    }
     cfg
 }
 
@@ -102,6 +110,38 @@ proptest! {
     }
 }
 
+/// The tentpole's determinism contract: a sweep squeezed into a byte
+/// budget whose router share holds only ~4 destination tables (and
+/// whose pair share is a handful of entries per shard) evicts and
+/// recomputes constantly — and still streams CSVs **byte-identical**
+/// to fully unbudgeted solo runs. Budgets bound residency, never
+/// results.
+#[test]
+fn tiny_budget_sweep_matches_unbudgeted_solo_runs_bytewise() {
+    use colo_shortcuts::topology::routing::table_approx_bytes;
+
+    let world = Arc::new(World::build(&WorldConfig::small(), 94));
+    let mut base = CampaignConfig::small();
+    base.rounds = 2;
+    let table = table_approx_bytes(world.topo.node_index().len());
+    // Total sized so the 45% router share is ~4 tables.
+    base.memory = MemoryBudget::bytes(9 * table);
+    let cfg = SweepConfig::from_seeds(&base, [2017, 2018, 2019, 2020]);
+    let sweep = Sweep::new(Arc::clone(&world), cfg.clone()).run();
+    for (sc, swept) in cfg.scenarios.iter().zip(&sweep.scenarios) {
+        let mut solo_cfg = sc.config.clone();
+        solo_cfg.memory = MemoryBudget::unbounded();
+        let solo = Campaign::new(&world, solo_cfg).run();
+        assert_eq!(
+            cases_csv(&swept.results),
+            cases_csv(&solo),
+            "{} diverged under a ~4-table budget",
+            sc.label
+        );
+        assert_eq!(swept.results.pings_sent, solo.pings_sent, "{}", sc.label);
+    }
+}
+
 /// Scenario-level fault plans stay scenario-level even though the
 /// engine is shared: the clean twin matches a solo clean run exactly.
 #[test]
@@ -127,6 +167,7 @@ fn faulty_scenario_never_contaminates_its_clean_twin() {
             },
         ],
         jobs_in_flight: 4,
+        memory: clean.memory,
     };
     let sweep = Sweep::new(Arc::clone(&world), cfg).run();
     let solo_clean = Campaign::new(&world, clean).run();
