@@ -1,0 +1,208 @@
+//! Incremental routing repair under topology churn vs. the full
+//! per-destination recompute it replaces, at paper scale.
+//!
+//! Three delta shapes matter:
+//!
+//! - **Single link down** — the common churn event. Most destination
+//!   tables don't route over the lost link, so repair proves them
+//!   untouched in one relevance scan; the few that do get a
+//!   restricted three-phase sweep over their dirty cut. The
+//!   acceptance bar is ≥ 5× vs. recomputing every table.
+//! - **Eight links down in one batch** — a correlated failure (a
+//!   facility outage taking several adjacencies at once).
+//! - **One AS down** — the widest deletion: every table holding a
+//!   route through the downed AS has a dirty cut.
+//!
+//! A wall-clock speedup table over `SHORTCUTS_BENCH_TABLES`
+//! destinations (default 64) prints alongside the criterion numbers —
+//! the measured rows feed the README's churn-bench table. Every timed
+//! repair is cross-checked entry-for-entry against the full
+//! [`repair::compute_table_view`] sweep it must reproduce.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_topology::routing::{repair, RoutingTable};
+use shortcuts_topology::{Asn, DeltaView, Topology, TopologyConfig, TopologyDelta};
+use std::time::Instant;
+
+fn table_count() -> usize {
+    std::env::var("SHORTCUTS_BENCH_TABLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn paper_topology() -> std::sync::Arc<Topology> {
+    std::sync::Arc::new(Topology::generate(&TopologyConfig::paper_scale(), 1))
+}
+
+/// All base links, canonically ordered — the pool churn draws from.
+fn base_links(topo: &Topology) -> Vec<(Asn, Asn)> {
+    let mut links = std::collections::BTreeSet::new();
+    for info in topo.ases().iter() {
+        let adj = topo.adjacency(info.asn);
+        for &other in adj
+            .providers
+            .iter()
+            .chain(adj.customers.iter())
+            .chain(adj.peers.iter())
+        {
+            links.insert((info.asn.min(other), info.asn.max(other)));
+        }
+    }
+    links.into_iter().collect()
+}
+
+/// A link guaranteed to carry traffic toward `dst`: one of the
+/// destination's own adjacencies. Downing it forces a real repair on
+/// `dst`'s table instead of an all-clean relevance pass.
+fn link_at(topo: &Topology, dst: Asn) -> (Asn, Asn) {
+    let adj = topo.adjacency(dst);
+    let other = adj
+        .providers
+        .iter()
+        .chain(adj.peers.iter())
+        .chain(adj.customers.iter())
+        .next()
+        .copied()
+        .expect("paper-scale eyeball AS has at least one adjacency");
+    (dst, other)
+}
+
+/// The three delta batches the report times, derived from `topo`.
+fn batches(topo: &Topology, dsts: &[Asn]) -> Vec<(&'static str, Vec<TopologyDelta>)> {
+    let links = base_links(topo);
+    let (a, b) = link_at(topo, dsts[0]);
+    let single = vec![TopologyDelta::LinkDown { a, b }];
+    // Eight links spread across the link list, plus the hot one, so
+    // the batch mixes carried and idle adjacencies.
+    let mut eight = vec![TopologyDelta::LinkDown { a, b }];
+    let stride = (links.len() / 8).max(1);
+    for (la, lb) in links.iter().step_by(stride).take(7) {
+        eight.push(TopologyDelta::LinkDown { a: *la, b: *lb });
+    }
+    // Down a transit AS that is not itself a measured destination.
+    let hub = topo
+        .ases()
+        .iter()
+        .map(|i| i.asn)
+        .find(|asn| !dsts.contains(asn) && !topo.adjacency(*asn).customers.is_empty())
+        .expect("paper-scale topology has a transit AS outside the destination set");
+    let as_down = vec![TopologyDelta::AsDown { asn: hub }];
+    vec![
+        ("single link", single),
+        ("8-link batch", eight),
+        ("AS down", as_down),
+    ]
+}
+
+fn bench_single_link(c: &mut Criterion) {
+    let topo = paper_topology();
+    let eyes = topo.eyeball_asns();
+    let dsts: Vec<Asn> = eyes.iter().cycle().take(table_count()).copied().collect();
+    let tables: Vec<RoutingTable> = dsts
+        .iter()
+        .map(|&d| shortcuts_topology::routing::compute_table(&topo, d))
+        .collect();
+    let (a, b) = link_at(&topo, dsts[0]);
+    let batch = vec![TopologyDelta::LinkDown { a, b }];
+    let old_view = DeltaView::empty();
+    let new_view = old_view.applied(&topo, &batch);
+
+    c.bench_function("churn/repair_single_link", |bch| {
+        let mut i = 0;
+        bch.iter(|| {
+            let t = &tables[i % tables.len()];
+            i += 1;
+            black_box(repair::repair_table(&topo, &old_view, &new_view, &batch, t))
+        })
+    });
+    c.bench_function("churn/recompute_single_link", |bch| {
+        let mut i = 0;
+        bch.iter(|| {
+            let dst = dsts[i % dsts.len()];
+            i += 1;
+            black_box(repair::compute_table_view(&topo, &new_view, dst))
+        })
+    });
+}
+
+/// One timed repair-all / recompute-all run per delta shape, with the
+/// explicit speedup table the README quotes. Every repaired table is
+/// cross-checked against the full view sweep, so the speedup rows are
+/// guaranteed to compare identical outputs.
+fn bench_repair_report(c: &mut Criterion) {
+    let topo = paper_topology();
+    let eyes = topo.eyeball_asns();
+    let dsts: Vec<Asn> = eyes.iter().cycle().take(table_count()).copied().collect();
+    let tables: Vec<RoutingTable> = dsts
+        .iter()
+        .map(|&d| shortcuts_topology::routing::compute_table(&topo, d))
+        .collect();
+    let old_view = DeltaView::empty();
+
+    println!(
+        "churn/repair speedup ({} tables, {} ASes, single thread):",
+        dsts.len(),
+        topo.as_count(),
+    );
+    for (name, batch) in batches(&topo, &dsts) {
+        let new_view = old_view.applied(&topo, &batch);
+
+        let t = Instant::now();
+        let repaired: Vec<(Option<RoutingTable>, repair::RepairOutcome)> = tables
+            .iter()
+            .map(|old| repair::repair_table(&topo, &old_view, &new_view, &batch, old))
+            .collect();
+        let repair_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let full: Vec<RoutingTable> = dsts
+            .iter()
+            .map(|&d| repair::compute_table_view(&topo, &new_view, d))
+            .collect();
+        let full_secs = t.elapsed().as_secs_f64();
+
+        // Canary: repair (or the provably untouched original) must
+        // agree with the full sweep entry for entry.
+        let (mut untouched, mut swept, mut rebuilt) = (0usize, 0usize, 0usize);
+        for ((out, outcome), (old, want)) in repaired.iter().zip(tables.iter().zip(&full)) {
+            match outcome {
+                repair::RepairOutcome::Unchanged => untouched += 1,
+                repair::RepairOutcome::Repaired { .. } => swept += 1,
+                repair::RepairOutcome::FullRebuild => rebuilt += 1,
+            }
+            let got = out.as_ref().unwrap_or(old);
+            assert_eq!(got.reachable_count(), want.reachable_count());
+            for info in topo.ases().iter() {
+                assert_eq!(got.route(info.asn), want.route(info.asn));
+            }
+        }
+
+        println!(
+            "  {name:>13}: repair {repair_secs:8.4}s  full {full_secs:8.4}s  \
+             ({:5.1}x; {untouched} untouched, {swept} re-swept, {rebuilt} rebuilt of {})",
+            full_secs / repair_secs,
+            tables.len(),
+        );
+    }
+
+    // Keep a criterion entry so `--test` smoke mode exercises the
+    // widest shape too (one repair under the AS-down batch).
+    let batch = batches(&topo, &dsts).pop().expect("three shapes").1;
+    let new_view = old_view.applied(&topo, &batch);
+    c.bench_function("churn/repair_as_down", |bch| {
+        let mut i = 0;
+        bch.iter(|| {
+            let t = &tables[i % tables.len()];
+            i += 1;
+            black_box(repair::repair_table(&topo, &old_view, &new_view, &batch, t))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_single_link, bench_repair_report
+}
+criterion_main!(benches);

@@ -93,6 +93,12 @@ pub trait MeasurementBackend: Sync {
 
     /// Total pings this backend has sent so far (diagnostics).
     fn pings_sent(&self) -> u64;
+
+    /// Applies one churn batch to the world the backend measures on.
+    /// Called between round segments, never concurrently with
+    /// `measure`. The default is a no-op so trace/analytical backends
+    /// that have no mutable world remain trivially correct.
+    fn apply_delta(&self, _batch: &[shortcuts_topology::TopologyDelta]) {}
 }
 
 /// The netsim-backed implementation: each task runs one ping window
@@ -140,6 +146,10 @@ impl MeasurementBackend for NetsimBackend {
 
     fn pings_sent(&self) -> u64 {
         self.handle.pings_sent()
+    }
+
+    fn apply_delta(&self, batch: &[shortcuts_topology::TopologyDelta]) {
+        self.handle.engine().apply_delta(batch);
     }
 }
 

@@ -175,6 +175,28 @@ pub fn run_interleaved<B, P, F>(
     rounds: &[u32],
     jobs_in_flight: usize,
     planner: P,
+    on_round: F,
+) where
+    B: MeasurementBackend + ?Sized,
+    P: Fn(u32, u32) -> RoundPlan + Sync,
+    F: FnMut(u32, CompletedRound),
+{
+    let ranges: Vec<(u32, u32)> = rounds.iter().map(|&r| (0, r)).collect();
+    run_interleaved_ranges(backends, &ranges, jobs_in_flight, planner, on_round);
+}
+
+/// [`run_interleaved`] over per-campaign **round ranges**: campaign
+/// `c` contributes jobs for rounds `ranges[c].0 .. ranges[c].1`. This
+/// is the churn-segment primitive — a caller applying topology deltas
+/// between round segments runs one ranged batch per segment (the call
+/// boundary is the barrier that keeps every in-flight window on one
+/// epoch), with `(0, rounds)` ranges degenerating to exactly the
+/// classic whole-campaign admission order.
+pub fn run_interleaved_ranges<B, P, F>(
+    backends: &[&B],
+    ranges: &[(u32, u32)],
+    jobs_in_flight: usize,
+    planner: P,
     mut on_round: F,
 ) where
     B: MeasurementBackend + ?Sized,
@@ -183,21 +205,22 @@ pub fn run_interleaved<B, P, F>(
 {
     assert_eq!(
         backends.len(),
-        rounds.len(),
+        ranges.len(),
         "one backend per campaign in the sweep"
     );
-    let total_jobs: u32 = rounds.iter().sum();
+    let total_jobs: u32 = ranges.iter().map(|&(s, e)| e.saturating_sub(s)).sum();
     if total_jobs == 0 {
         return;
     }
     // Admission order: round-major across campaigns, so every campaign
     // of a sweep makes progress (and streams) from its first round
-    // instead of campaigns running back to back.
+    // instead of campaigns running back to back. Rounds are absolute —
+    // a segment's jobs carry their true campaign round numbers.
     let mut jobs: Vec<(u32, u32)> = Vec::with_capacity(total_jobs as usize);
-    let max_rounds = rounds.iter().copied().max().unwrap_or(0);
-    for round in 0..max_rounds {
-        for (campaign, &r) in rounds.iter().enumerate() {
-            if round < r {
+    let max_end = ranges.iter().map(|&(_, e)| e).max().unwrap_or(0);
+    for round in 0..max_end {
+        for (campaign, &(start, end)) in ranges.iter().enumerate() {
+            if start <= round && round < end {
                 jobs.push((campaign as u32, round));
             }
         }

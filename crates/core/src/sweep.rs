@@ -49,14 +49,14 @@
 
 use crate::analysis::improvement::ImprovementAnalysis;
 use crate::relays::RelayType;
-use crate::shard::run_interleaved;
+use crate::shard::run_interleaved_ranges;
 use crate::stitch::{ResultsBuilder, RoundReorder};
 use crate::workflow::{Campaign, CampaignConfig, CampaignResults, CampaignSetup, RoundSummary};
 use crate::world::World;
 use crate::{NetsimBackend, RoundPlan};
 use rayon::prelude::*;
 use shortcuts_netsim::{PingEngine, PingHandle};
-use shortcuts_topology::{Asn, MemoryBudget};
+use shortcuts_topology::{Asn, ChurnSchedule, MemoryBudget};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -87,6 +87,13 @@ pub struct SweepConfig {
     /// Ignored under [`Sweep::with_engine`] — the engine's builder
     /// chose its budget.
     pub memory: MemoryBudget,
+    /// Topology churn applied to the **shared** world at round
+    /// boundaries, seen by every scenario at once (the sweep shares
+    /// one engine, so the world cannot churn per scenario — scenarios
+    /// carrying their own [`CampaignConfig::churn`] are rejected).
+    /// Deltas permanently advance the engine's epoch, so a churning
+    /// sweep must run on a private engine, never a pooled one.
+    pub churn: ChurnSchedule,
 }
 
 impl SweepConfig {
@@ -110,6 +117,9 @@ impl SweepConfig {
                 );
                 let mut config = base.clone();
                 config.seed = seed;
+                // Churn lives at sweep level (the world is shared);
+                // the base config's schedule is lifted there below.
+                config.churn = ChurnSchedule::none();
                 SweepScenario {
                     label: format!("seed-{seed}"),
                     config,
@@ -120,6 +130,7 @@ impl SweepConfig {
             scenarios,
             jobs_in_flight: 8,
             memory: base.memory,
+            churn: base.churn.clone(),
         }
     }
 }
@@ -265,6 +276,12 @@ impl Sweep {
                  would overwrite each other",
                 sc.label
             );
+            assert!(
+                sc.config.churn.is_empty(),
+                "scenario {:?} carries per-scenario churn, but the sweep shares one \
+                 world; set sweep-level churn (SweepConfig::churn) instead",
+                sc.label
+            );
         }
     }
 
@@ -344,23 +361,38 @@ impl Sweep {
                 round,
             )
         };
-        run_interleaved(
-            &backend_refs,
-            &rounds,
-            self.cfg.jobs_in_flight,
-            planner,
-            |campaign, done| {
-                let c = campaign as usize;
-                let summary = builders[c].absorb_round(
-                    &done.plan,
-                    &done.overlay,
-                    &done.direct,
-                    &done.reverse,
-                    &done.links,
-                );
-                reorder[c].push(summary, |s| on_round(c, s));
-            },
-        );
+        // The round loop runs in contiguous segments between the
+        // sweep's churn batches; every scenario sees each delta at the
+        // same absolute round (clipped to its own round count). Each
+        // `run_interleaved_ranges` call is a barrier, so no window of
+        // epoch `e` is ever in flight when batch `e+1` mutates the
+        // engine. A churn-free schedule yields one full-range segment
+        // — the byte-identical classic schedule.
+        let max_rounds = rounds.iter().copied().max().unwrap_or(0);
+        for (start, end, batch) in self.cfg.churn.segments(max_rounds) {
+            if !batch.is_empty() {
+                engine.apply_delta(batch);
+            }
+            let ranges: Vec<(u32, u32)> =
+                rounds.iter().map(|&r| (start.min(r), end.min(r))).collect();
+            run_interleaved_ranges(
+                &backend_refs,
+                &ranges,
+                self.cfg.jobs_in_flight,
+                planner,
+                |campaign, done| {
+                    let c = campaign as usize;
+                    let summary = builders[c].absorb_round(
+                        &done.plan,
+                        &done.overlay,
+                        &done.direct,
+                        &done.reverse,
+                        &done.links,
+                    );
+                    reorder[c].push(summary, |s| on_round(c, s));
+                },
+            );
+        }
 
         // Stitch each scenario independently, with its own funnel and
         // its own ping count.
@@ -476,6 +508,7 @@ mod tests {
             ],
             jobs_in_flight: 4,
             memory: MemoryBudget::unbounded(),
+            churn: ChurnSchedule::none(),
         };
         let report = Sweep::new(Arc::clone(&world), cfg).run();
         let solo_clean = Campaign::new(&world, clean).run();

@@ -61,7 +61,7 @@ use crate::eyeball::{select_eyeballs, EndpointPool};
 use crate::measure::WindowConfig;
 use crate::plan::{plan_overlay, plan_round_for, warmup_destinations};
 use crate::relays::{RelayPools, RelayType};
-use crate::shard::run_sharded;
+use crate::shard::run_interleaved_ranges;
 use crate::stitch::{ResultsBuilder, RoundReorder};
 use crate::world::World;
 use rand::rngs::StdRng;
@@ -70,7 +70,7 @@ use shortcuts_geo::{CityId, CountryCode};
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::{FaultPlan, HostId, PingHandle, Pinger};
 use shortcuts_topology::routing::RoutingPolicy;
-use shortcuts_topology::{Asn, FacilityId, MemoryBudget};
+use shortcuts_topology::{Asn, ChurnSchedule, FacilityId, MemoryBudget};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -96,6 +96,14 @@ pub struct CampaignConfig {
     /// through the campaign's private [`PingHandle`], never the shared
     /// engine — campaigns of a sweep each see only their own plan.
     pub faults: FaultPlan,
+    /// Topology churn: delta batches applied at round boundaries. The
+    /// round loop splits into contiguous epochs at the batch rounds;
+    /// each batch is applied to the backend's world *before* its
+    /// segment's first round measures. Unlike faults this **mutates
+    /// the engine** (the router's view advances permanently), so
+    /// churning campaigns must run on a private engine, never a pooled
+    /// one. An empty schedule is byte-identical to no schedule.
+    pub churn: ChurnSchedule,
     /// Master seed for all per-round randomness.
     pub seed: u64,
     /// Task scheduling. Every mode yields bit-identical results for
@@ -123,6 +131,7 @@ impl CampaignConfig {
             symmetry_sample_prob: 0.1,
             routing: RoutingPolicy::ValleyFree,
             faults: FaultPlan::none(),
+            churn: ChurnSchedule::none(),
             seed: 2017,
             exec: ExecMode::Parallel,
             memory: MemoryBudget::unbounded(),
@@ -425,6 +434,13 @@ impl<'w> Campaign<'w> {
         let cfg = &self.cfg;
         let mut builder = ResultsBuilder::new();
 
+        // The round loop runs in contiguous segments between churn
+        // batches; each batch mutates the backend's world before its
+        // segment's first round measures. A churn-free schedule yields
+        // one `(0, rounds, [])` segment — byte-identical to the plain
+        // loop. Round plans and per-task RNG streams depend only on
+        // (seed, round), never on churn, so a delta changes *measured
+        // RTTs*, not which windows exist.
         match cfg.exec {
             ExecMode::Sharded { rounds_in_flight } => {
                 // Round plans are pure functions of (seed, round), so
@@ -432,36 +448,54 @@ impl<'w> Campaign<'w> {
                 let planner = |round| plan_round_for(world, endpoint_pool, relay_pools, cfg, round);
                 // Rounds complete out of order; the builder does not
                 // care, but observers are promised round order, so
-                // buffer summaries until their turn.
+                // buffer summaries until their turn. The reorder
+                // buffer spans segments (segments run in order).
                 let mut reorder = RoundReorder::new();
-                run_sharded(backend, cfg.rounds, rounds_in_flight, planner, |done| {
-                    let summary = builder.absorb_round(
-                        &done.plan,
-                        &done.overlay,
-                        &done.direct,
-                        &done.reverse,
-                        &done.links,
+                for (start, end, batch) in cfg.churn.segments(cfg.rounds) {
+                    if !batch.is_empty() {
+                        backend.apply_delta(batch);
+                    }
+                    run_interleaved_ranges(
+                        &[backend],
+                        &[(start, end)],
+                        rounds_in_flight,
+                        |_, round| planner(round),
+                        |_, done| {
+                            let summary = builder.absorb_round(
+                                &done.plan,
+                                &done.overlay,
+                                &done.direct,
+                                &done.reverse,
+                                &done.links,
+                            );
+                            reorder.push(summary, &mut on_round);
+                        },
                     );
-                    reorder.push(summary, &mut on_round);
-                });
+                }
             }
             mode => {
-                for round in 0..cfg.rounds {
-                    // Plan: endpoints, pairs, relays — pure data.
-                    let plan = plan_round_for(world, endpoint_pool, relay_pools, cfg, round);
+                for (start, end, batch) in cfg.churn.segments(cfg.rounds) {
+                    if !batch.is_empty() {
+                        backend.apply_delta(batch);
+                    }
+                    for round in start..end {
+                        // Plan: endpoints, pairs, relays — pure data.
+                        let plan = plan_round_for(world, endpoint_pool, relay_pools, cfg, round);
 
-                    // Execute: direct and reverse windows.
-                    let direct = execute(backend, &plan.direct_tasks(), mode);
-                    let reverse = execute(backend, &plan.reverse_tasks(&direct), mode);
+                        // Execute: direct and reverse windows.
+                        let direct = execute(backend, &plan.direct_tasks(), mode);
+                        let reverse = execute(backend, &plan.reverse_tasks(&direct), mode);
 
-                    // Plan the overlay stage from the direct medians;
-                    // execute.
-                    let overlay = plan_overlay(&plan, &direct);
-                    let links = execute(backend, &overlay.link_tasks(&plan), mode);
+                        // Plan the overlay stage from the direct
+                        // medians; execute.
+                        let overlay = plan_overlay(&plan, &direct);
+                        let links = execute(backend, &overlay.link_tasks(&plan), mode);
 
-                    // Stitch.
-                    let summary = builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
-                    on_round(&summary);
+                        // Stitch.
+                        let summary =
+                            builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
+                        on_round(&summary);
+                    }
                 }
             }
         }

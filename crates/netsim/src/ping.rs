@@ -24,8 +24,8 @@ use crate::traceroute::Traceroute;
 use parking_lot::RwLock;
 use rand::Rng;
 use shortcuts_topology::routing::Router;
-use shortcuts_topology::{Asn, Topology};
-use std::collections::HashMap;
+use shortcuts_topology::{Asn, Topology, TopologyDelta};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,6 +38,10 @@ struct PairInfo {
     /// after construction, so it is shared — handing it out is a
     /// refcount bump, never a per-ping deep clone.
     as_path: Arc<[Asn]>,
+    /// Reverse AS-level path (the echo's return route). Kept so churn
+    /// revalidation can check *both* directions a cached base RTT
+    /// depends on against a delta's removed links.
+    rev_path: Arc<[Asn]>,
     /// Midpoint longitude for the diurnal term.
     mid_lon: f64,
 }
@@ -98,6 +102,19 @@ pub struct EngineStats {
     pub pair_resident_bytes: u64,
     /// Pair entries dropped by the per-shard byte budget.
     pub pair_evictions: u64,
+    /// Stale routing tables brought current by incremental repair
+    /// (rather than a full per-destination recompute).
+    pub tables_repaired: u64,
+    /// Route entries re-examined by incremental repairs — the actual
+    /// sweep work churn cost, vs. a full rebuild's `O(nodes)` each.
+    pub entries_rescanned: u64,
+    /// Stale routing tables that fell back to a full view recompute
+    /// (restoration batches, majority-dirty tables, ablation policy).
+    pub full_rebuilds: u64,
+    /// Stale pair entries revalidated in place — their stored forward
+    /// and reverse paths crossed no dirty link, so the recompute was
+    /// skipped entirely.
+    pub pair_revalidated: u64,
 }
 
 impl EngineStats {
@@ -117,7 +134,9 @@ impl EngineStats {
         format!(
             "pair_hits={} pair_misses={} pair_hit_rate={:.4} pair_entries={} \
              tables_resident={} pings_sent={} tables_bytes={} table_evictions={} \
-             table_recomputes={} pair_bytes={} pair_evictions={}",
+             table_recomputes={} pair_bytes={} pair_evictions={} \
+             tables_repaired={} entries_rescanned={} full_rebuilds={} \
+             pair_revalidated={}",
             self.pair_cache_hits,
             self.pair_cache_misses,
             self.pair_cache_hit_rate(),
@@ -129,6 +148,10 @@ impl EngineStats {
             self.router_recomputes,
             self.pair_resident_bytes,
             self.pair_evictions,
+            self.tables_repaired,
+            self.entries_rescanned,
+            self.full_rebuilds,
+            self.pair_revalidated,
         )
     }
 }
@@ -151,6 +174,23 @@ struct CacheEntry {
     referenced: AtomicBool,
     /// Bytes this entry is accounted at (fixed at insert).
     bytes: u32,
+    /// Churn epoch the entry is known valid at. Lookups under a newer
+    /// engine epoch come back [`PairLookup::Stale`]; entries whose
+    /// paths dodge every intervening delta are re-stamped in place
+    /// (atomic, under the shard's *read* lock), the rest recomputed.
+    epoch: AtomicU64,
+}
+
+/// Outcome of an epoch-aware pair-cache lookup.
+enum PairLookup {
+    /// Resident and current: use as-is (counted as a hit).
+    Hit(Option<Arc<PairInfo>>),
+    /// Resident but stamped at an older epoch. The caller decides —
+    /// revalidate against the dirty history, or recompute — so this
+    /// outcome alone counts neither hit nor miss.
+    Stale(Option<Arc<PairInfo>>, u64),
+    /// Not resident (counted as a miss).
+    Miss,
 }
 
 /// Resident pair facts of one shard.
@@ -164,9 +204,11 @@ fn entry_bytes(info: &Option<Arc<PairInfo>>) -> u32 {
         + 16; // hash-map slot overhead
     let payload = match info {
         None => 0,
-        // PairInfo + Arc refcounts + the shared AS-path array.
+        // PairInfo + Arc refcounts + both shared AS-path arrays.
         Some(p) => {
-            std::mem::size_of::<PairInfo>() + 16 + p.as_path.len() * std::mem::size_of::<Asn>()
+            std::mem::size_of::<PairInfo>()
+                + 32
+                + (p.as_path.len() + p.rev_path.len()) * std::mem::size_of::<Asn>()
         }
     };
     (FIXED + payload) as u32
@@ -203,6 +245,9 @@ struct CacheShard {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Stale entries re-stamped in place after their paths checked
+    /// clean against the dirty history (each also counts as a hit).
+    revalidated: AtomicU64,
 }
 
 /// Pair cache: `Arc` per entry so a hit is a refcount bump, not a
@@ -244,41 +289,91 @@ impl PairCache {
         &self.shards[(z as usize) % CACHE_SHARDS]
     }
 
-    fn get(&self, key: (HostId, HostId)) -> Option<Option<Arc<PairInfo>>> {
+    fn get(&self, key: (HostId, HostId), epoch: u64) -> PairLookup {
         let shard = self.shard(key);
-        let cached = {
+        let lookup = {
             let st = shard.state.read();
-            st.map.get(&key).map(|e| {
-                e.referenced.store(true, Ordering::Relaxed);
-                e.info.clone()
-            })
+            match st.map.get(&key) {
+                Some(e) => {
+                    let stamp = e.epoch.load(Ordering::Relaxed);
+                    if stamp == epoch {
+                        e.referenced.store(true, Ordering::Relaxed);
+                        PairLookup::Hit(e.info.clone())
+                    } else {
+                        PairLookup::Stale(e.info.clone(), stamp)
+                    }
+                }
+                None => PairLookup::Miss,
+            }
         };
-        match cached {
-            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
-            None => shard.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        cached
+        match lookup {
+            PairLookup::Hit(_) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            PairLookup::Miss => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            PairLookup::Stale(..) => {}
+        }
+        lookup
     }
 
-    fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>) {
+    /// Re-stamps a stale entry whose paths survived every delta since
+    /// its stamp: the stored facts are still exact at `epoch`, so this
+    /// counts as a (revalidated) hit, not a miss.
+    fn refresh(&self, key: (HostId, HostId), epoch: u64) {
+        let shard = self.shard(key);
+        {
+            let st = shard.state.read();
+            if let Some(e) = st.map.get(&key) {
+                e.epoch.store(epoch, Ordering::Relaxed);
+                e.referenced.store(true, Ordering::Relaxed);
+            }
+        }
+        shard.hits.fetch_add(1, Ordering::Relaxed);
+        shard.revalidated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a stale entry that failed revalidation — the deferred
+    /// miss its recompute pays for.
+    fn count_miss(&self, key: (HostId, HostId)) {
+        self.shard(key).misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>, epoch: u64) {
         let shard = self.shard(key);
         let mut st = shard.state.write();
-        if st.map.contains_key(&key) {
-            // A racing expander won the slot; both computed the same
-            // deterministic facts, so keep the incumbent.
-            return;
-        }
         let bytes = entry_bytes(&info);
-        st.map.insert(
-            key,
-            CacheEntry {
+        if let Some(e) = st.map.get_mut(&key) {
+            if e.epoch.load(Ordering::Relaxed) >= epoch {
+                // A racing expander won the slot at the same (or a
+                // newer) epoch; both computed the same deterministic
+                // facts, so keep the incumbent.
+                return;
+            }
+            // Stale incumbent: replace in place. The key keeps its
+            // ring slot; only the byte gauge moves.
+            let old_bytes = e.bytes;
+            *e = CacheEntry {
                 info,
                 referenced: AtomicBool::new(true),
                 bytes,
-            },
-        );
-        st.ring.push(key);
-        st.bytes += u64::from(bytes);
+                epoch: AtomicU64::new(epoch),
+            };
+            st.bytes = st.bytes - u64::from(old_bytes) + u64::from(bytes);
+        } else {
+            st.map.insert(
+                key,
+                CacheEntry {
+                    info,
+                    referenced: AtomicBool::new(true),
+                    bytes,
+                    epoch: AtomicU64::new(epoch),
+                },
+            );
+            st.ring.push(key);
+            st.bytes += u64::from(bytes);
+        }
         if let Some(budget) = self.shard_budget {
             evict_shard_over_budget(&mut st, budget, key, &shard.evictions);
         }
@@ -309,6 +404,14 @@ impl PairCache {
         self.shards
             .iter()
             .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Stale entries revalidated in place, across all shards.
+    fn revalidated(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.revalidated.load(Ordering::Relaxed))
             .sum()
     }
 }
@@ -351,11 +454,59 @@ fn evict_shard_over_budget(
     }
 }
 
+/// What one applied delta batch dirtied, in AS terms: the removed
+/// links (canonical `(min, max)` endpoint order) and downed ASes a
+/// cached pair path must be checked against, plus whether the batch
+/// restored anything (restorations can *improve* routes, so no stored
+/// path proves a cached entry still optimal — everything stale is
+/// recomputed).
+#[derive(Debug, Default)]
+struct DirtyEpoch {
+    removed: HashSet<(Asn, Asn)>,
+    down: HashSet<Asn>,
+    restored: bool,
+}
+
+impl DirtyEpoch {
+    fn from_batch(batch: &[TopologyDelta]) -> Self {
+        let mut d = DirtyEpoch::default();
+        for delta in batch {
+            match *delta {
+                TopologyDelta::LinkDown { a, b } => {
+                    d.removed.insert((a.min(b), a.max(b)));
+                }
+                TopologyDelta::AsDown { asn } => {
+                    d.down.insert(asn);
+                }
+                TopologyDelta::LinkUp { .. } | TopologyDelta::AsUp { .. } => d.restored = true,
+            }
+        }
+        d
+    }
+
+    /// Does `path` cross anything this batch took down?
+    fn crosses(&self, path: &[Asn]) -> bool {
+        if !self.down.is_empty() && path.iter().any(|a| self.down.contains(a)) {
+            return true;
+        }
+        !self.removed.is_empty()
+            && path
+                .windows(2)
+                .any(|w| self.removed.contains(&(w[0].min(w[1]), w[0].max(w[1]))))
+    }
+}
+
 /// The ping engine. `Sync`: all interior mutability is a read-mostly
 /// sharded pair cache behind per-shard `RwLock`s plus atomic counters,
 /// so one engine is shared by every measurement worker thread — and,
 /// since it co-owns its inputs and carries no per-campaign state, by
 /// every campaign of a sweep.
+///
+/// Under topology churn ([`PingEngine::apply_delta`]) the engine stays
+/// shareable but is no longer *stateless*: applied deltas permanently
+/// advance its epoch and its router's view. Campaigns that churn must
+/// therefore run on a private engine, never one pooled across
+/// unrelated sessions.
 pub struct PingEngine {
     topo: Arc<Topology>,
     router: Arc<Router>,
@@ -363,6 +514,15 @@ pub struct PingEngine {
     model: LatencyModel,
     cache: PairCache,
     stats: StatCounters,
+    /// Current churn epoch == number of delta batches applied. Pair
+    /// entries are stamped with the epoch they were computed (or last
+    /// revalidated) at.
+    epoch: AtomicU64,
+    /// Per-epoch dirty summaries, indexed by the epoch they *created*
+    /// (`dirty[e]` is the batch that moved the engine from epoch `e`
+    /// to `e + 1`). Read on every stale lookup, written once per
+    /// batch.
+    dirty: RwLock<Vec<DirtyEpoch>>,
 }
 
 impl PingEngine {
@@ -406,7 +566,49 @@ impl PingEngine {
             model,
             cache: PairCache::new(pair_budget_bytes),
             stats: StatCounters::default(),
+            epoch: AtomicU64::new(0),
+            dirty: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Applies one batch of topology deltas: the router advances its
+    /// epoch (stale destination tables are repaired lazily on access)
+    /// and the engine records the batch's dirty summary so cached
+    /// pairs whose paths dodge every dirty link survive churn without
+    /// recomputation.
+    ///
+    /// Same-AS pairs never consult the router, so an `AsDown` leaves
+    /// intra-AS pings working — hosts inside a withdrawn AS still
+    /// reach each other, they just stop being routable from outside.
+    pub fn apply_delta(&self, batch: &[TopologyDelta]) {
+        self.router.apply_delta(batch);
+        let mut dirty = self.dirty.write();
+        dirty.push(DirtyEpoch::from_batch(batch));
+        self.epoch.store(dirty.len() as u64, Ordering::Release);
+    }
+
+    /// Current churn epoch (batches applied so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Do a stale pair's stored facts survive every delta batch from
+    /// `stamp` (exclusive of nothing — `dirty[stamp..cur]` is exactly
+    /// the history it missed) to `cur`? Unroutable pairs survive any
+    /// deletion-only span: removing links never creates a route.
+    fn paths_still_valid(&self, info: &Option<Arc<PairInfo>>, stamp: u64, cur: u64) -> bool {
+        let dirty = self.dirty.read();
+        for batch in &dirty[stamp as usize..cur as usize] {
+            if batch.restored {
+                return false;
+            }
+            if let Some(p) = info {
+                if batch.crosses(&p.as_path) || batch.crosses(&p.rev_path) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// The topology the engine routes over.
@@ -459,13 +661,31 @@ impl PingEngine {
             router_recomputes: router.recomputes,
             pair_resident_bytes: self.cache.resident_bytes(),
             pair_evictions: self.cache.evictions(),
+            tables_repaired: router.tables_repaired,
+            entries_rescanned: router.entries_rescanned,
+            full_rebuilds: router.full_rebuilds,
+            pair_revalidated: self.cache.revalidated(),
         }
     }
 
-    /// Deterministic path facts for a pair, computed once.
+    /// Deterministic path facts for a pair, computed once per epoch —
+    /// and far less often than that in practice: a stale entry whose
+    /// forward and reverse paths cross no dirty link is revalidated in
+    /// place instead of re-expanded.
     fn pair_info(&self, src: HostId, dst: HostId) -> Option<Arc<PairInfo>> {
-        if let Some(cached) = self.cache.get((src, dst)) {
-            return cached;
+        let epoch = self.epoch();
+        match self.cache.get((src, dst), epoch) {
+            PairLookup::Hit(cached) => return cached,
+            PairLookup::Stale(cached, stamp) => {
+                if self.paths_still_valid(&cached, stamp, epoch) {
+                    self.cache.refresh((src, dst), epoch);
+                    return cached;
+                }
+                // The stored paths crossed a dirty link — this is the
+                // recompute the delta actually forced.
+                self.cache.count_miss((src, dst));
+            }
+            PairLookup::Miss => {}
         }
         let s = self.hosts.get(src);
         let d = self.hosts.get(dst);
@@ -478,9 +698,11 @@ impl PingEngine {
                 d.location,
                 &self.model.expand,
             );
+            let as_path: Arc<[Asn]> = Arc::from([s.asn].as_slice());
             Some(Arc::new(PairInfo {
                 base_ms: self.model.base_rtt_ms(&path) + access,
-                as_path: Arc::from([s.asn].as_slice()),
+                rev_path: Arc::clone(&as_path),
+                as_path,
                 mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
             }))
         } else {
@@ -511,13 +733,14 @@ impl PingEngine {
                     Some(Arc::new(PairInfo {
                         base_ms: self.model.base_rtt_two_way(&fwd, &rev) + access,
                         as_path: fwd_as.into(),
+                        rev_path: rev_as.into(),
                         mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
                     }))
                 }
                 _ => None,
             }
         };
-        self.cache.insert((src, dst), info.clone());
+        self.cache.insert((src, dst), info.clone(), epoch);
         info
     }
 
@@ -838,8 +1061,11 @@ mod tests {
         let cache = PairCache::new(None);
         for i in 0..500u32 {
             let key = (HostId(i), HostId(i ^ 0xABC));
-            cache.insert(key, None);
-            assert!(cache.get(key).is_some(), "inserted pair must be found");
+            cache.insert(key, None, 0);
+            assert!(
+                matches!(cache.get(key, 0), PairLookup::Hit(_)),
+                "inserted pair must be found"
+            );
         }
         // The shard hash must actually spread pairs; a constant hash
         // would silently restore single-lock contention.
@@ -858,7 +1084,7 @@ mod tests {
         let budget = 2 * per_entry * CACHE_SHARDS as u64;
         let cache = PairCache::new(Some(budget));
         for i in 0..2000u32 {
-            cache.insert((HostId(i), HostId(i)), None);
+            cache.insert((HostId(i), HostId(i)), None, 0);
         }
         assert!(cache.evictions() > 0, "budget never forced an eviction");
         for s in &cache.shards {
@@ -960,6 +1186,73 @@ mod tests {
             "pair_misses=1",
             "pair_entries=1",
             "pings_sent=10",
+        ] {
+            assert!(line.contains(key), "{line} missing {key}");
+        }
+    }
+
+    #[test]
+    fn churn_revalidates_untouched_pairs_and_recomputes_crossing_ones() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        let path = engine.as_path(a, b).expect("routable fixture pair");
+        let before = engine.engine_stats();
+        assert_eq!(before.pair_cache_misses, 1);
+
+        // Down a link the pair's path does NOT use: the stale entry
+        // must revalidate in place, never re-expand.
+        let on_path: std::collections::HashSet<(Asn, Asn)> = path
+            .windows(2)
+            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+            .collect();
+        let spare = f
+            .topo
+            .ases()
+            .iter()
+            .flat_map(|info| {
+                let adj = f.topo.adjacency(info.asn);
+                adj.peers
+                    .iter()
+                    .chain(adj.providers.iter())
+                    .map(|&o| (info.asn.min(o), info.asn.max(o)))
+                    .collect::<Vec<_>>()
+            })
+            .find(|l| !on_path.contains(l))
+            .expect("small topology has links off this path");
+        engine.apply_delta(&[TopologyDelta::LinkDown {
+            a: spare.0,
+            b: spare.1,
+        }]);
+        let same = engine.as_path(a, b).expect("still routable");
+        assert_eq!(same.to_vec(), path.to_vec(), "untouched path must survive");
+        let stats = engine.engine_stats();
+        assert_eq!(stats.pair_revalidated, 1, "{stats:?}");
+        assert_eq!(stats.pair_cache_misses, 1, "revalidation is not a miss");
+
+        // Down a link the path DOES use: the entry must recompute, and
+        // the new path must dodge the dirty link.
+        let used = (path[0].min(path[1]), path[0].max(path[1]));
+        engine.apply_delta(&[TopologyDelta::LinkDown {
+            a: used.0,
+            b: used.1,
+        }]);
+        if let Some(new_path) = engine.as_path(a, b) {
+            assert!(
+                new_path
+                    .windows(2)
+                    .all(|w| (w[0].min(w[1]), w[0].max(w[1])) != used),
+                "recomputed path still crosses the downed link"
+            );
+        }
+        let stats = engine.engine_stats();
+        assert_eq!(stats.pair_cache_misses, 2, "{stats:?}");
+        assert!(stats.tables_repaired + stats.full_rebuilds > 0, "{stats:?}");
+        let line = stats.summary();
+        for key in [
+            "tables_repaired=",
+            "entries_rescanned=",
+            "full_rebuilds=",
+            "pair_revalidated=1",
         ] {
             assert!(line.contains(key), "{line} missing {key}");
         }

@@ -10,9 +10,9 @@
 //!
 //! ```text
 //! RUN seed=<u64> [rounds=<u32>] [world-seed=<u64>] [policy=<p>]
-//!     [label=<name>] [rounds-in-flight=<n>]
+//!     [label=<name>] [rounds-in-flight=<n>] [churn=<spec>]
 //! SWEEP seeds=<u64,u64,..> [rounds=<u32>] [world-seed=<u64>]
-//!     [policy=<p>] [jobs-in-flight=<n>]
+//!     [policy=<p>] [jobs-in-flight=<n>] [churn=<spec>]
 //! CSV cases [<label>]
 //! CSV sweep
 //! STATS
@@ -21,7 +21,12 @@
 //!
 //! `policy` is `valley-free` (default) or `shortest-path`. `world-seed`
 //! defaults to the server's configured default world. `rounds` defaults
-//! to 4. Labels default to `seed-<seed>`.
+//! to 4. Labels default to `seed-<seed>`. `churn` is a comma-separated
+//! [`ChurnSchedule`] spec — e.g.
+//! `churn=link-down:AS1-AS2@round3,as-down:AS5@7` — applying topology
+//! deltas at round boundaries; churn requests run on a **private**
+//! engine stack (deltas permanently advance an engine's epoch, so the
+//! pooled stacks never see them).
 //!
 //! ## Responses
 //!
@@ -49,6 +54,7 @@
 //!   includes this line.
 
 use shortcuts_topology::routing::RoutingPolicy;
+use shortcuts_topology::ChurnSchedule;
 
 /// Greeting the server sends on every admitted connection.
 pub const GREETING: &str = "OK shortcuts-service ready";
@@ -70,6 +76,9 @@ pub enum Request {
         label: Option<String>,
         /// Rounds kept in flight (server-clamped).
         rounds_in_flight: Option<usize>,
+        /// Topology churn schedule (empty = none). Non-empty schedules
+        /// run the campaign on a private engine stack.
+        churn: ChurnSchedule,
     },
     /// Run a multi-scenario sweep, streaming all scenarios' rounds.
     Sweep {
@@ -83,6 +92,10 @@ pub enum Request {
         policy: RoutingPolicy,
         /// `(campaign, round)` jobs kept in flight (server-clamped).
         jobs_in_flight: Option<usize>,
+        /// Sweep-level topology churn, seen by every scenario at the
+        /// same rounds (empty = none). Non-empty schedules run the
+        /// sweep on a private engine stack.
+        churn: ChurnSchedule,
     },
     /// Fetch the cases CSV of the session's last run — of scenario
     /// `label`, or of the only/first scenario when `None`.
@@ -145,6 +158,7 @@ impl Request {
                 let mut policy = RoutingPolicy::default();
                 let mut label = None;
                 let mut rounds_in_flight = None;
+                let mut churn = ChurnSchedule::none();
                 for tok in rest {
                     let (k, v) = split_kv(tok)?;
                     match k {
@@ -159,6 +173,7 @@ impl Request {
                         "rounds-in-flight" => {
                             rounds_in_flight = Some(parse_num("rounds-in-flight", v)?);
                         }
+                        "churn" => churn = ChurnSchedule::parse(v)?,
                         other => return Err(format!("unknown RUN option {other:?}")),
                     }
                 }
@@ -169,6 +184,7 @@ impl Request {
                     policy,
                     label,
                     rounds_in_flight,
+                    churn,
                 })
             }
             "SWEEP" => {
@@ -177,6 +193,7 @@ impl Request {
                 let mut world_seed = None;
                 let mut policy = RoutingPolicy::default();
                 let mut jobs_in_flight = None;
+                let mut churn = ChurnSchedule::none();
                 for tok in rest {
                     let (k, v) = split_kv(tok)?;
                     match k {
@@ -190,6 +207,7 @@ impl Request {
                         "jobs-in-flight" => {
                             jobs_in_flight = Some(parse_num("jobs-in-flight", v)?);
                         }
+                        "churn" => churn = ChurnSchedule::parse(v)?,
                         other => return Err(format!("unknown SWEEP option {other:?}")),
                     }
                 }
@@ -199,6 +217,7 @@ impl Request {
                     world_seed,
                     policy,
                     jobs_in_flight,
+                    churn,
                 })
             }
             "CSV" => match rest.as_slice() {
@@ -240,6 +259,7 @@ mod tests {
                 policy: RoutingPolicy::ValleyFree,
                 label: None,
                 rounds_in_flight: None,
+                churn: ChurnSchedule::none(),
             }
         );
     }
@@ -259,8 +279,29 @@ mod tests {
                 policy: RoutingPolicy::ShortestPath,
                 label: Some("x".into()),
                 rounds_in_flight: Some(3),
+                churn: ChurnSchedule::none(),
             }
         );
+    }
+
+    #[test]
+    fn churn_specs_parse_on_run_and_sweep() {
+        let r = Request::parse("RUN seed=1 churn=link-down:AS1-AS2@round3,as-down:AS5@7").unwrap();
+        match r {
+            Request::Run { churn, .. } => {
+                assert!(!churn.is_empty());
+                let batches: Vec<_> = churn.batches().collect();
+                assert_eq!(batches.len(), 2);
+                assert_eq!(batches[0].0, 3);
+                assert_eq!(batches[1].0, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse("SWEEP seeds=1,2 churn=as-down:AS9@2").unwrap();
+        match r {
+            Request::Sweep { churn, .. } => assert!(!churn.is_empty()),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -297,6 +338,9 @@ mod tests {
             "CSV",
             "CSV nonsense",
             "STATS now",
+            "RUN seed=1 churn=bogus",
+            "RUN seed=1 churn=link-down:AS1-AS2",
+            "SWEEP seeds=1 churn=teleport:AS1@2",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
         }

@@ -25,7 +25,7 @@ use shortcuts_core::report::cases_csv;
 use shortcuts_core::sweep::{Sweep, SweepConfig, SweepReport};
 use shortcuts_core::workflow::CampaignConfig;
 use shortcuts_core::world::WorldConfig;
-use shortcuts_topology::MemoryBudget;
+use shortcuts_topology::{ChurnSchedule, MemoryBudget};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -250,14 +250,16 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 policy,
                 label,
                 rounds_in_flight,
+                churn,
             } => {
-                let mut cfg = sweep_config(mgr, &[seed], rounds, policy, rounds_in_flight);
+                let mut cfg = sweep_config(mgr, &[seed], rounds, policy, rounds_in_flight, churn);
                 if let Some(label) = label {
                     cfg.scenarios[0].label = label;
                 }
-                let report = stream_batch(mgr, &mut writer, world_seed, policy, cfg)?;
-                last = Some(LastRun { report });
-                writeln!(writer, "OK run 1")?;
+                if let Some(report) = stream_batch(mgr, &mut writer, world_seed, policy, cfg)? {
+                    last = Some(LastRun { report });
+                    writeln!(writer, "OK run 1")?;
+                }
                 writer.flush()?;
             }
             Request::Sweep {
@@ -266,12 +268,14 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 world_seed,
                 policy,
                 jobs_in_flight,
+                churn,
             } => {
                 let n = seeds.len();
-                let cfg = sweep_config(mgr, &seeds, rounds, policy, jobs_in_flight);
-                let report = stream_batch(mgr, &mut writer, world_seed, policy, cfg)?;
-                last = Some(LastRun { report });
-                writeln!(writer, "OK sweep {n}")?;
+                let cfg = sweep_config(mgr, &seeds, rounds, policy, jobs_in_flight, churn);
+                if let Some(report) = stream_batch(mgr, &mut writer, world_seed, policy, cfg)? {
+                    last = Some(LastRun { report });
+                    writeln!(writer, "OK sweep {n}")?;
+                }
                 writer.flush()?;
             }
         }
@@ -286,6 +290,7 @@ fn sweep_config(
     rounds: u32,
     policy: shortcuts_topology::routing::RoutingPolicy,
     jobs_in_flight: Option<usize>,
+    churn: ChurnSchedule,
 ) -> SweepConfig {
     let mut base = mgr.cfg.base_campaign.clone();
     base.rounds = rounds;
@@ -297,6 +302,7 @@ fn sweep_config(
     cfg.jobs_in_flight = jobs_in_flight
         .unwrap_or(cfg.jobs_in_flight)
         .clamp(1, mgr.cfg.max_jobs_in_flight);
+    cfg.churn = churn;
     cfg
 }
 
@@ -313,13 +319,28 @@ fn stream_batch(
     world_seed: Option<u64>,
     policy: shortcuts_topology::routing::RoutingPolicy,
     cfg: SweepConfig,
-) -> std::io::Result<SweepReport> {
+) -> std::io::Result<Option<SweepReport>> {
     let world_seed = world_seed.unwrap_or(mgr.cfg.default_world_seed);
     // Lease the stack for the whole batch: the pool's evictor never
     // reclaims a leased world, and the lease drop at the end of this
     // function is what stamps the LRU detach tick.
     let lease = mgr.pool.checkout(world_seed, policy);
     let (world, engine) = (Arc::clone(&lease.world), Arc::clone(&lease.engine));
+    let engine = if cfg.churn.is_empty() {
+        engine
+    } else {
+        // Reject bad schedules with a protocol error before any round
+        // runs, not a mid-batch panic.
+        if let Err(msg) = cfg.churn.validate(&world.topo) {
+            writeln!(writer, "ERR {msg}")?;
+            writer.flush()?;
+            return Ok(None);
+        }
+        // Churn permanently advances an engine's epoch, so a churning
+        // batch measures on a PRIVATE engine stack over the pooled
+        // (immutable) world — the pooled engine never sees a delta.
+        world.shared().engine_budgeted(policy, mgr.cfg.memory)
+    };
     let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
 
     // Stream rounds as they complete. Write failures (the client went
@@ -363,7 +384,7 @@ fn stream_batch(
         )?;
     }
     writer.flush()?;
-    Ok(report)
+    Ok(Some(report))
 }
 
 /// Sends one length-prefixed CSV payload: `CSV <name> <len>` then the
@@ -411,11 +432,12 @@ mod tests {
         let mut service_cfg = ServiceConfig::small();
         service_cfg.max_jobs_in_flight = 4;
         let mgr = SessionManager::new(service_cfg);
-        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(1000));
+        let churn = ChurnSchedule::none;
+        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(1000), churn());
         assert_eq!(cfg.jobs_in_flight, 4);
-        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(0));
+        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(0), churn());
         assert_eq!(cfg.jobs_in_flight, 1);
-        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(3));
+        let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(3), churn());
         assert_eq!(cfg.jobs_in_flight, 3);
     }
 }

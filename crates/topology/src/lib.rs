@@ -31,6 +31,10 @@
 //! - [`budget`] — byte budgets for the engine's caches
 //!   ([`MemoryBudget`]); the router enforces its share with CLOCK
 //!   eviction over the destination-table cache.
+//! - [`delta`] — topology churn: [`TopologyDelta`] link/AS up-down
+//!   events, [`ChurnSchedule`] round→batch schedules, and the
+//!   [`DeltaView`] copy-on-write mask routing sweeps consult; the
+//!   incremental table repair lives in [`routing::repair`].
 //!
 //! ## Example
 //!
@@ -50,6 +54,7 @@
 
 pub mod asys;
 pub mod budget;
+pub mod delta;
 pub mod facility;
 pub mod generator;
 pub mod graph;
@@ -59,6 +64,7 @@ pub mod routing;
 
 pub use asys::{AsInfo, AsType, Pop};
 pub use budget::MemoryBudget;
+pub use delta::{ChurnSchedule, DeltaView, TopologyDelta};
 pub use facility::{Facility, Ixp};
 pub use generator::TopologyConfig;
 pub use graph::{CsrAdjacency, NodeIndex, Relationship, Topology};

@@ -55,6 +55,7 @@
 //! its plan can touch before round 0 instead of serializing table
 //! construction behind the first round's pair cache.
 
+use crate::delta::{DeltaView, TopologyDelta};
 use crate::graph::{NodeIndex, Topology};
 use crate::ids::{Asn, NodeId};
 use parking_lot::{Mutex, RwLock};
@@ -62,6 +63,8 @@ use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+pub mod repair;
 
 /// Preference class of a route, ordered best-first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -179,6 +182,10 @@ pub struct RoutingTable {
     dst_entry: RouteEntry,
     /// Number of ASes with a route (including the destination).
     reachable: usize,
+    /// Churn epoch this table is valid for (0 = the base topology).
+    /// Stamped by the [`Router`]; a table whose stamp lags the
+    /// router's current epoch is repaired lazily on access.
+    epoch: AtomicU64,
 }
 
 impl RoutingTable {
@@ -222,6 +229,17 @@ impl RoutingTable {
         std::mem::size_of::<Self>()
             + self.entries.len() * std::mem::size_of::<RouteEntry>()
             + self.next_node.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// The churn epoch this table reflects (0 = base topology).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the table as valid for churn epoch `e` (monotone; only
+    /// the router's repair path calls this).
+    fn set_epoch(&self, e: u64) {
+        self.epoch.store(e, Ordering::Relaxed);
     }
 
     /// As [`RoutingTable::as_path`], from a dense node id — no ASN
@@ -280,6 +298,7 @@ impl SweepState {
             next_node: self.next_node,
             dst_entry,
             reachable,
+            epoch: AtomicU64::new(0),
         }
     }
 }
@@ -526,6 +545,16 @@ pub struct RouterStats {
     pub resident_bytes: u64,
     /// The enforced byte budget, `None` when unbounded.
     pub budget_bytes: Option<u64>,
+    /// Stale tables brought up to date by the incremental repair
+    /// (restricted sweep over the dirty cut).
+    pub tables_repaired: u64,
+    /// Edge offers the restricted sweeps examined across all repairs —
+    /// the work actually done, vs. a full sweep's whole-CSR scan.
+    pub entries_rescanned: u64,
+    /// Stale tables rebuilt from scratch instead of repaired
+    /// (restoration batches, oversized dirty cuts, shortest-path
+    /// policy).
+    pub full_rebuilds: u64,
 }
 
 /// Thread-safe, per-destination-cached route computation over a
@@ -578,6 +607,23 @@ pub struct Router {
     misses: AtomicU64,
     evictions: AtomicU64,
     recomputes: AtomicU64,
+    /// Current churn epoch (number of delta batches applied). Read on
+    /// every lookup as the staleness fast path; 0 means no churn ever.
+    epoch: AtomicU64,
+    /// The applied delta batches and the per-epoch views they
+    /// accumulate to (`views[e]` is the link mask after batch `e`;
+    /// `views[0]` is empty). Write-locked only by [`Router::apply_delta`].
+    churn: RwLock<ChurnState>,
+    tables_repaired: AtomicU64,
+    entries_rescanned: AtomicU64,
+    full_rebuilds: AtomicU64,
+}
+
+/// Applied churn history: one batch and one accumulated [`DeltaView`]
+/// per epoch.
+struct ChurnState {
+    batches: Vec<Vec<TopologyDelta>>,
+    views: Vec<DeltaView>,
 }
 
 impl Router {
@@ -615,6 +661,14 @@ impl Router {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             recomputes: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            churn: RwLock::new(ChurnState {
+                batches: Vec::new(),
+                views: vec![DeltaView::empty()],
+            }),
+            tables_repaired: AtomicU64::new(0),
+            entries_rescanned: AtomicU64::new(0),
+            full_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -644,14 +698,118 @@ impl Router {
                 + self.other.read().len() as u64,
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             budget_bytes: self.budget,
+            tables_repaired: self.tables_repaired.load(Ordering::Relaxed),
+            entries_rescanned: self.entries_rescanned.load(Ordering::Relaxed),
+            full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
         }
     }
 
-    fn compute(&self, dst: Asn) -> RoutingTable {
-        match self.policy {
-            RoutingPolicy::ValleyFree => compute_table(&self.topo, dst),
-            RoutingPolicy::ShortestPath => compute_table_shortest(&self.topo, dst),
+    /// Applies one churn batch: the new epoch's view is the previous
+    /// one plus `batch`. Cached tables are **not** touched here — each
+    /// stale table is repaired lazily on its next access, so a batch
+    /// is O(batch) however many tables are resident.
+    ///
+    /// Churn mutates the router's routing state permanently; engines
+    /// shared across unrelated runs (service pools) must not see this
+    /// — churn requests get a private engine stack.
+    pub fn apply_delta(&self, batch: &[TopologyDelta]) {
+        let mut churn = self.churn.write();
+        let next = churn
+            .views
+            .last()
+            .expect("views[0] always exists")
+            .applied(&self.topo, batch);
+        churn.batches.push(batch.to_vec());
+        churn.views.push(next);
+        self.epoch
+            .store(churn.batches.len() as u64, Ordering::Release);
+    }
+
+    /// The current churn epoch (number of batches applied so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The accumulated [`DeltaView`] at the current epoch (a clone;
+    /// views are small — the delta footprint, not the graph).
+    pub fn current_view(&self) -> DeltaView {
+        let epoch = self.epoch() as usize;
+        self.churn.read().views[epoch].clone()
+    }
+
+    /// Computes a fresh table for `dst` valid at `epoch` (under that
+    /// epoch's accumulated view).
+    fn compute_at(&self, dst: Asn, epoch: u64) -> RoutingTable {
+        if epoch == 0 {
+            return match self.policy {
+                RoutingPolicy::ValleyFree => compute_table(&self.topo, dst),
+                RoutingPolicy::ShortestPath => compute_table_shortest(&self.topo, dst),
+            };
         }
+        let churn = self.churn.read();
+        let view = &churn.views[epoch as usize];
+        let t = match self.policy {
+            RoutingPolicy::ValleyFree => repair::compute_table_view(&self.topo, view, dst),
+            RoutingPolicy::ShortestPath => {
+                repair::compute_table_shortest_view(&self.topo, view, dst)
+            }
+        };
+        t.set_epoch(epoch);
+        t
+    }
+
+    fn compute(&self, dst: Asn) -> RoutingTable {
+        self.compute_at(dst, self.epoch())
+    }
+
+    /// Walks `old` forward one epoch at a time until it is valid at
+    /// `target_epoch`, repairing incrementally where the dirty cut is
+    /// small and rebuilding fresh otherwise. Untouched epochs only
+    /// move the stamp (safe: stamps are monotone and the slot write
+    /// lock serializes repairs of one destination).
+    fn repair_to(&self, old: &Arc<RoutingTable>, target_epoch: u64) -> Arc<RoutingTable> {
+        let churn = self.churn.read();
+        let mut cur = Arc::clone(old);
+        for e in (cur.epoch() + 1)..=target_epoch {
+            if self.policy == RoutingPolicy::ShortestPath {
+                // No incremental form for the ablation policy.
+                let t = repair::compute_table_shortest_view(
+                    &self.topo,
+                    &churn.views[e as usize],
+                    cur.destination,
+                );
+                t.set_epoch(e);
+                self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+                cur = Arc::new(t);
+                continue;
+            }
+            let (repaired, outcome) = repair::repair_table(
+                &self.topo,
+                &churn.views[e as usize - 1],
+                &churn.views[e as usize],
+                &churn.batches[e as usize - 1],
+                &cur,
+            );
+            match (repaired, outcome) {
+                (None, _) => cur.set_epoch(e),
+                (Some(t), outcome) => {
+                    t.set_epoch(e);
+                    match outcome {
+                        repair::RepairOutcome::Repaired { rescanned } => {
+                            self.tables_repaired.fetch_add(1, Ordering::Relaxed);
+                            self.entries_rescanned
+                                .fetch_add(rescanned, Ordering::Relaxed);
+                        }
+                        repair::RepairOutcome::FullRebuild => {
+                            self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        repair::RepairOutcome::Unchanged => {}
+                    }
+                    cur = Arc::new(t);
+                }
+            }
+        }
+        cur
     }
 
     /// Stores `table` in its dense slot unless a racing thread beat us
@@ -724,13 +882,46 @@ impl Router {
     /// Routing table toward the destination at dense id `dst`,
     /// computed once and cached — an array slot away, no hashing.
     /// Under a byte budget the table may have been evicted since it
-    /// was last seen; it is then recomputed here, bit-identical.
+    /// was last seen; it is then recomputed here, bit-identical. Under
+    /// churn, a resident table stamped with an older epoch is repaired
+    /// in place (incrementally where possible) before being returned;
+    /// an *evicted* stale table simply misses and is rebuilt fresh
+    /// under the current view — repair composes with eviction for
+    /// free.
     pub fn table_at(&self, dst: NodeId) -> Arc<RoutingTable> {
+        let epoch = self.epoch();
         let slot = &self.slots[dst.index()];
         if let Some(t) = slot.table.read().as_ref() {
-            slot.referenced.store(true, Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(t);
+            if t.epoch() == epoch {
+                slot.referenced.store(true, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(t);
+            }
+        }
+        if epoch > 0 {
+            // Stale (or raced): repair under the slot write lock so
+            // one thread walks the table forward per destination.
+            let mut guard = slot.table.write();
+            match guard.as_ref() {
+                Some(t) if t.epoch() == epoch => {
+                    let t = Arc::clone(t);
+                    drop(guard);
+                    slot.referenced.store(true, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return t;
+                }
+                Some(t) => {
+                    // Same node count before and after, so resident
+                    // byte accounting is unchanged by the swap.
+                    let repaired = self.repair_to(t, epoch);
+                    *guard = Some(Arc::clone(&repaired));
+                    drop(guard);
+                    slot.referenced.store(true, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return repaired;
+                }
+                None => {}
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         if slot.ever_resident.load(Ordering::Relaxed) {
@@ -740,7 +931,7 @@ impl Router {
         // the work, but tables are identical and the loser's copy is
         // simply dropped — readers of other destinations never block
         // behind a construction).
-        let table = Arc::new(self.compute(self.topo.node_index().asn(dst)));
+        let table = Arc::new(self.compute_at(self.topo.node_index().asn(dst), epoch));
         let table = self.install(dst, table);
         self.enforce_budget(dst);
         table

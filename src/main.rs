@@ -5,10 +5,10 @@
 //! colo-shortcuts funnel     [--seed S]
 //! colo-shortcuts campaign   [--seed S] [--world-seed W] [--rounds N]
 //!                           [--out DIR] [--serial | --rounds-in-flight N]
-//!                           [--memory-budget B]
+//!                           [--memory-budget B] [--churn SPEC]
 //! colo-shortcuts sweep      [--seed S] [--seeds S1,S2,..] [--rounds N]
 //!                           [--jobs-in-flight N] [--out DIR]
-//!                           [--memory-budget B]
+//!                           [--memory-budget B] [--churn SPEC]
 //! colo-shortcuts serve      [--addr A] [--max-sessions N]
 //!                           [--world-scale small|paper] [--seed S]
 //!                           [--memory-budget B]
@@ -47,6 +47,16 @@
 //! additionally bounds the world pool itself: idle engine stacks are
 //! evicted whole, least-recently-used first.
 //!
+//! `--churn SPEC` injects topology churn between measurement rounds:
+//! a comma-separated list of `<event>@[round]<N>` entries, e.g.
+//! `link-down:AS1-AS2@round3,as-down:AS5@7`. Events are `link-down`,
+//! `link-up`, `as-down`, `as-up`. Routing tables are repaired
+//! incrementally (not recomputed from scratch) and only cached pairs
+//! whose paths cross a dirty link are re-measured; an empty or absent
+//! spec is byte-identical to today's churn-free runs. On `sweep` the
+//! schedule is sweep-level: all scenarios share one world, so churn
+//! hits every scenario at the same absolute round.
+//!
 //! `serve` turns the same machinery into a long-lived measurement
 //! service ([`shortcuts_service`]): clients connect over TCP, submit
 //! `RUN`/`SWEEP` requests, stream per-round progress and fetch the
@@ -63,7 +73,7 @@ use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_core::RelayType;
 use shortcuts_service::{Client, Server, ServiceConfig, StreamEvent};
 use shortcuts_topology::routing::table_approx_bytes;
-use shortcuts_topology::MemoryBudget;
+use shortcuts_topology::{ChurnSchedule, MemoryBudget};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -81,6 +91,7 @@ struct Args {
     world_scale: String,
     stats: bool,
     memory_budget: MemoryBudget,
+    churn: ChurnSchedule,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -100,6 +111,7 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         world_scale: "paper".to_string(),
         stats: false,
         memory_budget: MemoryBudget::unbounded(),
+        churn: ChurnSchedule::none(),
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -169,6 +181,13 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
                 });
                 i += 2;
             }
+            "--churn" => {
+                args.churn = ChurnSchedule::parse(need_value(i)).unwrap_or_else(|msg| {
+                    eprintln!("--churn: {msg}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
             "--rounds-in-flight" => {
                 args.rounds_in_flight = Some(
                     need_value(i)
@@ -205,7 +224,7 @@ fn main() {
                  [--seed S] [--seeds S1,S2,..] [--rounds N] [--out DIR] \
                  [--serial | --rounds-in-flight N] [--jobs-in-flight N] \
                  [--addr HOST:PORT] [--max-sessions N] [--world-scale small|paper] [--stats] \
-                 [--memory-budget BYTES|K|M|G|unbounded]"
+                 [--memory-budget BYTES|K|M|G|unbounded] [--churn SPEC]"
             );
             std::process::exit(2);
         }
@@ -273,13 +292,24 @@ fn funnel(args: &Args) {
     print!("{}", report::funnel_csv(&pool.funnel));
 }
 
+/// Rejects a `--churn` schedule naming ASes or links the built world
+/// does not have, before any measurement starts.
+fn check_churn(churn: &ChurnSchedule, world: &World) {
+    if let Err(msg) = churn.validate(&world.topo) {
+        eprintln!("--churn: {msg}");
+        std::process::exit(2);
+    }
+}
+
 fn campaign(args: &Args) {
     let w = build(args);
     check_budget(args.memory_budget, &w);
+    check_churn(&args.churn, &w);
     let mut cfg = CampaignConfig::paper();
     cfg.rounds = args.rounds;
     cfg.seed = args.seed;
     cfg.memory = args.memory_budget;
+    cfg.churn = args.churn.clone();
     let mode = if args.serial {
         cfg.exec = shortcuts_core::ExecMode::Serial;
         "serial".to_string()
@@ -358,9 +388,13 @@ fn sweep(args: &Args) {
     }
     let w = Arc::new(build(args));
     check_budget(args.memory_budget, &w);
+    check_churn(&args.churn, &w);
     let mut base = CampaignConfig::paper();
     base.rounds = args.rounds;
     base.memory = args.memory_budget;
+    // from_seeds lifts the base schedule to sweep level: scenarios
+    // share one world, so churn hits them at the same absolute round.
+    base.churn = args.churn.clone();
     let mut cfg = SweepConfig::from_seeds(&base, seeds);
     cfg.jobs_in_flight = args.jobs_in_flight;
     let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
@@ -491,16 +525,24 @@ fn client(args: &Args) {
         .world_seed
         .map(|w| format!(" world-seed={w}"))
         .unwrap_or_default();
+    let churn = if args.churn.is_empty() {
+        String::new()
+    } else {
+        format!(" churn={}", args.churn)
+    };
     let (request, labels): (String, Vec<String>) = if args.seeds.is_empty() {
         (
-            format!("RUN seed={} rounds={}{world}", args.seed, args.rounds),
+            format!(
+                "RUN seed={} rounds={}{world}{churn}",
+                args.seed, args.rounds
+            ),
             vec![format!("seed-{}", args.seed)],
         )
     } else {
         let seeds: Vec<String> = args.seeds.iter().map(u64::to_string).collect();
         (
             format!(
-                "SWEEP seeds={} rounds={}{world} jobs-in-flight={}",
+                "SWEEP seeds={} rounds={}{world} jobs-in-flight={}{churn}",
                 seeds.join(","),
                 args.rounds,
                 args.jobs_in_flight

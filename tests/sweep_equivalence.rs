@@ -168,6 +168,7 @@ fn faulty_scenario_never_contaminates_its_clean_twin() {
         ],
         jobs_in_flight: 4,
         memory: clean.memory,
+        churn: colo_shortcuts::topology::ChurnSchedule::none(),
     };
     let sweep = Sweep::new(Arc::clone(&world), cfg).run();
     let solo_clean = Campaign::new(&world, clean).run();
