@@ -1,0 +1,194 @@
+//! Service capacity: SUBSCRIBE fan-out vs solo RUNs.
+//!
+//! The broadcast hub's reason to exist is that N clients asking the
+//! same question should cost one execution, not N. This bench pins
+//! that down: 8 subscribers attached to one broadcast (rounds executed
+//! once, fanned out) must deliver at least 3x the aggregate rounds/sec
+//! of 8 independent `RUN` sessions computing the same campaign — and
+//! every fanned-out stream must be byte-identical to a solo run, with
+//! one tap negotiated onto binary framing to prove the frame codec is
+//! unobservable in the payloads.
+//!
+//! Knobs: `SHORTCUTS_CAPACITY_SUBSCRIBERS` (default 8) sessions per
+//! schedule, `SHORTCUTS_BENCH_ROUNDS` (default 6) rounds per campaign,
+//! `SHORTCUTS_CAPACITY_MIN_SPEEDUP` (default 3.0; 0 disables the
+//! assertion) the required fan-out advantage, `RAYON_NUM_THREADS`
+//! caps each run's worker count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_core::report::cases_csv;
+use shortcuts_core::workflow::{Campaign, CampaignConfig};
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_service::{Client, CreditConfig, Framing, Server, ServiceConfig, StreamEvent};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const WORLD_SEED: u64 = 7;
+const CAMPAIGN_SEED: u64 = 2017;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn subscribers() -> usize {
+    env_f64("SHORTCUTS_CAPACITY_SUBSCRIBERS", 8.0) as usize
+}
+
+fn rounds() -> u32 {
+    env_f64("SHORTCUTS_BENCH_ROUNDS", 6.0) as u32
+}
+
+/// Starts a server with generous credits (the bench measures serving,
+/// not admission) and warms the world's engine stack.
+fn warmed_server() -> Server {
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = 64;
+    cfg.default_world_seed = WORLD_SEED;
+    cfg.credits = CreditConfig::generous();
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    run_session(server.local_addr(), "RUN", Framing::Text, 1);
+    server
+}
+
+/// One full session: request, stream, fetch the cases CSV, quit.
+/// Returns the ordered stream events plus the CSV bytes.
+fn run_session(
+    addr: SocketAddr,
+    verb: &str,
+    framing: Framing,
+    seed: u64,
+) -> (Vec<String>, Vec<u8>) {
+    let mut client = Client::connect(addr).expect("session admitted");
+    if framing != Framing::Text {
+        client.negotiate(framing).expect("HELLO framing");
+    }
+    let mut events = Vec::new();
+    client
+        .run_streaming(
+            &format!(
+                "{verb} seed={seed} rounds={} world-seed={WORLD_SEED}",
+                rounds()
+            ),
+            |e| match e {
+                StreamEvent::Round(p) => events.push(format!("ROUND {p}")),
+                StreamEvent::End(p) => events.push(format!("END {p}")),
+            },
+        )
+        .expect(verb);
+    let (_, bytes) = client.fetch_csv("cases").expect("csv");
+    client.quit();
+    (events, bytes)
+}
+
+/// N sessions issuing the same request concurrently; one tap of the
+/// SUBSCRIBE schedule runs on binary framing to keep the codec honest.
+fn concurrent_sessions(addr: SocketAddr, verb: &str) -> Vec<(Vec<String>, Vec<u8>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..subscribers())
+            .map(|i| {
+                let framing = if verb == "SUBSCRIBE" && i == 1 {
+                    Framing::Binary
+                } else {
+                    Framing::Text
+                };
+                scope.spawn(move || run_session(addr, verb, framing, CAMPAIGN_SEED))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Timed solo-RUNs-vs-fan-out comparison with byte-identity canaries
+/// and the >= 3x capacity assertion.
+fn bench_capacity_report(c: &mut Criterion) {
+    let server = warmed_server();
+    let addr = server.local_addr();
+    let n = subscribers();
+    let rounds = rounds();
+
+    // Fan-out goes first so its one execution is really executed:
+    // running the solo RUNs first would leave the broadcast in the
+    // done-cache and the subscribers would replay it for free. RUN
+    // never taps a broadcast, so the solo phase is unaffected by
+    // whatever the fan-out phase cached.
+    let t = Instant::now();
+    let fanned = concurrent_sessions(addr, "SUBSCRIBE");
+    let fanned_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let solo = concurrent_sessions(addr, "RUN");
+    let solo_secs = t.elapsed().as_secs_f64();
+
+    // Canary 1: every stream — solo or fanned, text or binary — is the
+    // same byte sequence; the fan-out is unobservable in the payloads.
+    let reference = &solo[0];
+    for (i, s) in solo.iter().chain(fanned.iter()).enumerate() {
+        assert_eq!(s.0, reference.0, "stream {i} events diverged");
+        assert_eq!(s.1, reference.1, "stream {i} CSV diverged");
+    }
+    assert_eq!(reference.0.len() as u32, rounds + 1, "rounds + END");
+
+    // Canary 2: the service reproduces a direct solo campaign byte for
+    // byte — pooling, broadcasting and framing never leak into results.
+    let world = World::build(&WorldConfig::small(), WORLD_SEED);
+    let mut solo_cfg = CampaignConfig::small();
+    solo_cfg.seed = CAMPAIGN_SEED;
+    solo_cfg.rounds = rounds;
+    let direct = cases_csv(&Campaign::new(&world, solo_cfg).run());
+    assert_eq!(
+        direct.as_bytes(),
+        &reference.1[..],
+        "service CSV diverged from the solo campaign"
+    );
+
+    let total_rounds = (n as u64 * u64::from(rounds)) as f64;
+    let solo_rate = total_rounds / solo_secs;
+    let fanned_rate = total_rounds / fanned_secs;
+    let speedup = fanned_rate / solo_rate;
+    println!(
+        "service_capacity ({n} sessions x {rounds} rounds, one warmed world, \
+         {} worker thread(s) per run):",
+        rayon::current_num_threads(),
+    );
+    for (name, secs, rate) in [
+        ("solo RUNs", solo_secs, solo_rate),
+        ("SUBSCRIBE fan-out", fanned_secs, fanned_rate),
+    ] {
+        println!("  {name:>17}: {secs:6.2}s  {rate:8.2} rounds/s delivered");
+    }
+    println!("  fan-out advantage: {speedup:.2}x");
+
+    let min_speedup = env_f64("SHORTCUTS_CAPACITY_MIN_SPEEDUP", 3.0);
+    if min_speedup > 0.0 {
+        assert!(
+            speedup >= min_speedup,
+            "fan-out delivered only {speedup:.2}x the solo aggregate \
+             rounds/sec (required {min_speedup:.1}x)"
+        );
+    }
+
+    // Keep criterion's ledger aware this ran.
+    c.bench_function("service_capacity/report_noop", |b| b.iter(|| black_box(0)));
+}
+
+/// Criterion-sampled fan-out schedule, for trend tracking.
+fn bench_fanout(c: &mut Criterion) {
+    let server = warmed_server();
+    let addr = server.local_addr();
+    c.bench_function("service_capacity/subscribe_fanout", |b| {
+        b.iter(|| black_box(concurrent_sessions(addr, "SUBSCRIBE")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(20))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_capacity_report, bench_fanout
+}
+criterion_main!(benches);

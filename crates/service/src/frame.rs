@@ -1,0 +1,459 @@
+//! Wire framing: the text protocol's hot-path twin.
+//!
+//! The line protocol ([`crate::protocol`]) is telnet-friendly but pays
+//! for it on the serving hot path: every `ROUND` line is formatted
+//! with `write!` and pushed through an unbuffered stream. A session
+//! that negotiates `HELLO framing=binary` keeps sending **text
+//! requests** (they are rare and tiny) but receives every response as
+//! a length-prefixed binary frame:
+//!
+//! ```text
+//! [kind: u8][len: u32 LE][payload: len bytes]
+//! ```
+//!
+//! | kind | payload |
+//! |---|---|
+//! | `R` | round record: `round u32, endpoints u64, pairs u64, cases u64, unresponsive u64, links_measured u64, links_planned u64, symmetry u64` (all LE), then `label_len u16 LE` + label bytes |
+//! | `E` | UTF-8 `END` payload (everything after `END ` in text mode) |
+//! | `O` | UTF-8 `OK` detail |
+//! | `X` | UTF-8 `ERR` message |
+//! | `S` | UTF-8 `STATS` payload |
+//! | `C` | `name_len u16 LE` + name bytes + raw CSV bytes |
+//!
+//! Both framings carry the same information: a binary `R` frame
+//! decodes to exactly the text `ROUND` payload via
+//! [`RoundLine::payload`], which is what lets the e2e suite assert the
+//! two framings byte-identical at the event level.
+//!
+//! [`ResponseWriter`] is the server side: one `BufWriter` per session
+//! (writes coalesce, **one flush per round** instead of one syscall
+//! per protocol line) encoding into whichever framing the session
+//! negotiated.
+
+use shortcuts_core::workflow::RoundSummary;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::TcpStream;
+
+/// Response framing a session negotiates via `HELLO framing=<f>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Framing {
+    /// Line-oriented text (the default; `nc`-friendly).
+    #[default]
+    Text,
+    /// Length-prefixed binary frames (responses only).
+    Binary,
+}
+
+impl Framing {
+    /// Parses the `HELLO framing=` value.
+    pub fn parse(s: &str) -> Option<Framing> {
+        match s {
+            "text" => Some(Framing::Text),
+            "binary" => Some(Framing::Binary),
+            _ => None,
+        }
+    }
+
+    /// The wire name (`text` / `binary`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Framing::Text => "text",
+            Framing::Binary => "binary",
+        }
+    }
+}
+
+/// Frame kind bytes.
+pub const KIND_ROUND: u8 = b'R';
+pub const KIND_END: u8 = b'E';
+pub const KIND_OK: u8 = b'O';
+pub const KIND_ERR: u8 = b'X';
+pub const KIND_STATS: u8 = b'S';
+pub const KIND_CSV: u8 = b'C';
+
+/// Upper bound on a frame payload; a corrupt length prefix must not
+/// become an allocation bomb.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// One `ROUND` record, framing-agnostic: the server encodes it as a
+/// text line or a binary frame, the client decodes either back into
+/// the same canonical payload string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundLine {
+    /// Scenario label (`seed-<n>` unless overridden).
+    pub label: String,
+    /// Round index.
+    pub round: u32,
+    /// Endpoints sampled this round.
+    pub endpoints: u64,
+    /// Direct pairs planned.
+    pub pairs: u64,
+    /// Cases emitted.
+    pub cases: u64,
+    /// Pairs without a valid direct median.
+    pub unresponsive: u64,
+    /// Overlay links measured.
+    pub links_measured: u64,
+    /// Overlay links planned.
+    pub links_planned: u64,
+    /// Symmetry samples recorded.
+    pub symmetry: u64,
+}
+
+impl RoundLine {
+    /// Builds the record from a streamed [`RoundSummary`].
+    pub fn from_summary(label: &str, s: &RoundSummary) -> RoundLine {
+        RoundLine {
+            label: label.to_string(),
+            round: s.round,
+            endpoints: s.endpoints as u64,
+            pairs: s.pairs as u64,
+            cases: s.cases as u64,
+            unresponsive: s.unresponsive_pairs,
+            links_measured: s.links_measured as u64,
+            links_planned: s.links_planned as u64,
+            symmetry: s.symmetry_samples as u64,
+        }
+    }
+
+    /// The canonical text payload — everything after `ROUND ` on a
+    /// text-mode line. Binary-mode clients reconstruct exactly this
+    /// string, so streams compare byte-for-byte across framings.
+    pub fn payload(&self) -> String {
+        format!(
+            "{} {} endpoints={} pairs={} cases={} unresponsive={} links={}/{} symmetry={}",
+            self.label,
+            self.round,
+            self.endpoints,
+            self.pairs,
+            self.cases,
+            self.unresponsive,
+            self.links_measured,
+            self.links_planned,
+            self.symmetry,
+        )
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let label = self.label.as_bytes();
+        let mut out = Vec::with_capacity(4 + 7 * 8 + 2 + label.len());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        for v in [
+            self.endpoints,
+            self.pairs,
+            self.cases,
+            self.unresponsive,
+            self.links_measured,
+            self.links_planned,
+            self.symmetry,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(label.len() as u16).to_le_bytes());
+        out.extend_from_slice(label);
+        out
+    }
+
+    fn decode(payload: &[u8]) -> io::Result<RoundLine> {
+        let fixed = 4 + 7 * 8 + 2;
+        if payload.len() < fixed {
+            return Err(bad_frame("truncated ROUND frame"));
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(payload[i..i + 4].try_into().unwrap());
+        let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().unwrap());
+        let label_len = u16::from_le_bytes(payload[fixed - 2..fixed].try_into().unwrap()) as usize;
+        if payload.len() != fixed + label_len {
+            return Err(bad_frame("ROUND frame label length mismatch"));
+        }
+        let label = std::str::from_utf8(&payload[fixed..])
+            .map_err(|_| bad_frame("ROUND frame label is not UTF-8"))?
+            .to_string();
+        Ok(RoundLine {
+            label,
+            round: u32_at(0),
+            endpoints: u64_at(4),
+            pairs: u64_at(12),
+            cases: u64_at(20),
+            unresponsive: u64_at(28),
+            links_measured: u64_at(36),
+            links_planned: u64_at(44),
+            symmetry: u64_at(52),
+        })
+    }
+}
+
+/// One decoded server→client frame (either framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A completed round.
+    Round(RoundLine),
+    /// An `END <payload>` scenario summary.
+    End(String),
+    /// An `OK <detail>` terminator.
+    Ok(String),
+    /// An `ERR <message>`.
+    Err(String),
+    /// A `STATS <payload>` line.
+    Stats(String),
+    /// A CSV payload.
+    Csv {
+        /// Server-chosen file name.
+        name: String,
+        /// Raw CSV bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+fn bad_frame(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Writes one binary frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let (kind, payload): (u8, Vec<u8>) = match frame {
+        Frame::Round(r) => (KIND_ROUND, r.encode()),
+        Frame::End(s) => (KIND_END, s.as_bytes().to_vec()),
+        Frame::Ok(s) => (KIND_OK, s.as_bytes().to_vec()),
+        Frame::Err(s) => (KIND_ERR, s.as_bytes().to_vec()),
+        Frame::Stats(s) => (KIND_STATS, s.as_bytes().to_vec()),
+        Frame::Csv { name, bytes } => {
+            let nb = name.as_bytes();
+            let mut p = Vec::with_capacity(2 + nb.len() + bytes.len());
+            p.extend_from_slice(&(nb.len() as u16).to_le_bytes());
+            p.extend_from_slice(nb);
+            p.extend_from_slice(bytes);
+            (KIND_CSV, p)
+        }
+    };
+    let mut header = [0u8; 5];
+    header[0] = kind;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&payload)
+}
+
+/// Reads one binary frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let kind = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_frame("frame length exceeds the 64 MiB cap"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let text =
+        |p: Vec<u8>| String::from_utf8(p).map_err(|_| bad_frame("frame payload is not UTF-8"));
+    match kind {
+        KIND_ROUND => Ok(Frame::Round(RoundLine::decode(&payload)?)),
+        KIND_END => Ok(Frame::End(text(payload)?)),
+        KIND_OK => Ok(Frame::Ok(text(payload)?)),
+        KIND_ERR => Ok(Frame::Err(text(payload)?)),
+        KIND_STATS => Ok(Frame::Stats(text(payload)?)),
+        KIND_CSV => {
+            if payload.len() < 2 {
+                return Err(bad_frame("truncated CSV frame"));
+            }
+            let name_len = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
+            if payload.len() < 2 + name_len {
+                return Err(bad_frame("CSV frame name length mismatch"));
+            }
+            let name = std::str::from_utf8(&payload[2..2 + name_len])
+                .map_err(|_| bad_frame("CSV frame name is not UTF-8"))?
+                .to_string();
+            let bytes = payload[2 + name_len..].to_vec();
+            Ok(Frame::Csv { name, bytes })
+        }
+        other => Err(bad_frame(&format!("unknown frame kind {other:#04x}"))),
+    }
+}
+
+/// The server side of a session's response stream: one buffered writer
+/// encoding into whichever framing the session negotiated.
+///
+/// Buffering discipline: nothing here flushes implicitly. Sessions
+/// flush **once per round event** on the streaming path and once per
+/// finished response otherwise, so a multi-line response (END block,
+/// STATS block, CSV header + body) costs one syscall instead of one
+/// per protocol line.
+pub struct ResponseWriter {
+    w: BufWriter<TcpStream>,
+    framing: Framing,
+}
+
+impl ResponseWriter {
+    /// Wraps a session's stream; starts in text framing.
+    pub fn new(stream: TcpStream) -> ResponseWriter {
+        ResponseWriter {
+            w: BufWriter::new(stream),
+            framing: Framing::Text,
+        }
+    }
+
+    /// The currently negotiated framing.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Switches framing (after a successful `HELLO` handshake).
+    pub fn set_framing(&mut self, framing: Framing) {
+        self.framing = framing;
+    }
+
+    /// Writes a raw text line regardless of framing — the greeting and
+    /// the `HELLO` reply are always text, so a client can negotiate
+    /// before it has to speak frames.
+    pub fn text_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.w, "{line}")
+    }
+
+    fn emit(&mut self, prefix: &str, payload: &str, frame: Frame) -> io::Result<()> {
+        match self.framing {
+            Framing::Text => writeln!(self.w, "{prefix} {payload}"),
+            Framing::Binary => write_frame(&mut self.w, &frame),
+        }
+    }
+
+    /// An `OK <detail>` terminator.
+    pub fn ok(&mut self, detail: &str) -> io::Result<()> {
+        self.emit("OK", detail, Frame::Ok(detail.to_string()))
+    }
+
+    /// An `ERR <message>`.
+    pub fn err(&mut self, msg: &str) -> io::Result<()> {
+        self.emit("ERR", msg, Frame::Err(msg.to_string()))
+    }
+
+    /// A `STATS <payload>` line.
+    pub fn stats(&mut self, payload: &str) -> io::Result<()> {
+        self.emit("STATS", payload, Frame::Stats(payload.to_string()))
+    }
+
+    /// An `END <payload>` scenario summary.
+    pub fn end(&mut self, payload: &str) -> io::Result<()> {
+        self.emit("END", payload, Frame::End(payload.to_string()))
+    }
+
+    /// One completed round.
+    pub fn round(&mut self, r: &RoundLine) -> io::Result<()> {
+        match self.framing {
+            Framing::Text => writeln!(self.w, "ROUND {}", r.payload()),
+            Framing::Binary => write_frame(&mut self.w, &Frame::Round(r.clone())),
+        }
+    }
+
+    /// A CSV payload (header + raw bytes in text mode, one frame in
+    /// binary mode).
+    pub fn csv(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        match self.framing {
+            Framing::Text => {
+                writeln!(self.w, "CSV {name} {}", bytes.len())?;
+                self.w.write_all(bytes)
+            }
+            Framing::Binary => write_frame(
+                &mut self.w,
+                &Frame::Csv {
+                    name: name.to_string(),
+                    bytes: bytes.to_vec(),
+                },
+            ),
+        }
+    }
+
+    /// Flushes buffered output to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_round() -> RoundLine {
+        RoundLine {
+            label: "seed-2017".into(),
+            round: 3,
+            endpoints: 120,
+            pairs: 456,
+            cases: 440,
+            unresponsive: 16,
+            links_measured: 70,
+            links_planned: 72,
+            symmetry: 9,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_bitwise() {
+        let frames = [
+            Frame::Round(sample_round()),
+            Frame::End("seed-2017 seed=2017 cases=9 pings=1 unresponsive=0".into()),
+            Frame::Ok("run 1".into()),
+            Frame::Err("credits need=8 have=0 retry-after-ms=125".into()),
+            Frame::Stats("pool worlds=1 engines=1".into()),
+            Frame::Csv {
+                name: "cases_seed-2017.csv".into(),
+                bytes: b"a,b\n1,2\n".to_vec(),
+            },
+        ];
+        for frame in frames {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            let decoded = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn round_payload_matches_the_text_protocol() {
+        let r = sample_round();
+        assert_eq!(
+            r.payload(),
+            "seed-2017 3 endpoints=120 pairs=456 cases=440 unresponsive=16 \
+             links=70/72 symmetry=9"
+        );
+    }
+
+    #[test]
+    fn corrupt_frames_error_instead_of_panicking() {
+        // Unknown kind.
+        let mut buf = Vec::new();
+        buf.push(b'Z');
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // Oversized length prefix.
+        let mut buf = Vec::new();
+        buf.push(KIND_OK);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // Truncated ROUND payload.
+        let mut buf = Vec::new();
+        buf.push(KIND_ROUND);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // CSV with a lying name length.
+        let mut buf = Vec::new();
+        buf.push(KIND_CSV);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&200u16.to_le_bytes());
+        buf.push(b'x');
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // Truncated stream (EOF mid-frame).
+        let mut buf = Vec::new();
+        buf.push(KIND_OK);
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn framing_parses_its_wire_names() {
+        assert_eq!(Framing::parse("text"), Some(Framing::Text));
+        assert_eq!(Framing::parse("binary"), Some(Framing::Binary));
+        assert_eq!(Framing::parse("carrier-pigeon"), None);
+        assert_eq!(Framing::Binary.label(), "binary");
+    }
+}

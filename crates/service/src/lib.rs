@@ -55,8 +55,27 @@
 //!   vendored); within a request the existing
 //!   `shard::run_interleaved` pool provides all the parallelism the
 //!   hardware has.
+//! - [`broadcast::BroadcastHub`] deduplicates identical batches: the
+//!   first session asking for a `(world seed, policy, seeds, rounds)`
+//!   key executes and **publishes** every `ROUND`/`END` event; later
+//!   `SUBSCRIBE` sessions tap the broadcast through bounded
+//!   per-subscriber queues and receive a byte-identical stream without
+//!   re-executing anything. A tap that falls behind is shed with
+//!   `ERR lagged` — the producer never blocks on a slow consumer.
+//! - [`credits::CreditLedger`] prices work per client IP
+//!   (`rounds × scenarios` per request, taps cost 1, probes cost 0)
+//!   with continuously refilling token buckets — `ERR credits` plus a
+//!   `retry-after-ms` hint instead of queueing cheap requests behind
+//!   heavy ones.
+//! - [`frame`] is the negotiated response framing: text lines by
+//!   default, length-prefixed binary frames after
+//!   `HELLO framing=binary`, both fed through one `BufWriter` per
+//!   session with per-round (not per-line) flushes.
 //! - [`client::Client`] is the blocking client the CLI `client`
-//!   subcommand, the e2e tests and the `service_throughput` bench use.
+//!   subcommand, the e2e tests, the `service_throughput` /
+//!   `service_capacity` benches and the `loadgen` harness use; it
+//!   retries `ERR busy` / `ERR credits` with jittered exponential
+//!   backoff ([`client::RetryPolicy`]).
 //!
 //! ## Example
 //!
@@ -83,13 +102,19 @@
 //! server.shutdown();
 //! ```
 
+pub mod broadcast;
 pub mod client;
+pub mod credits;
+pub mod frame;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, StreamEvent};
+pub use broadcast::{BroadcastHub, BroadcastKey, ServiceStats};
+pub use client::{Client, RetryPolicy, StreamEvent};
+pub use credits::{CreditConfig, CreditLedger};
+pub use frame::Framing;
 pub use pool::{PoolStats, WorldPool};
 pub use protocol::Request;
 pub use server::Server;

@@ -9,15 +9,34 @@
 //! ## Requests
 //!
 //! ```text
+//! HELLO [framing=text|binary]
 //! RUN seed=<u64> [rounds=<u32>] [world-seed=<u64>] [policy=<p>]
 //!     [label=<name>] [rounds-in-flight=<n>] [churn=<spec>]
 //! SWEEP seeds=<u64,u64,..> [rounds=<u32>] [world-seed=<u64>]
 //!     [policy=<p>] [jobs-in-flight=<n>] [churn=<spec>]
+//! SUBSCRIBE seed=<u64>|seeds=<u64,u64,..> [rounds=<u32>]
+//!     [world-seed=<u64>] [policy=<p>] [jobs-in-flight=<n>]
 //! CSV cases [<label>]
 //! CSV sweep
 //! STATS
 //! QUIT
 //! ```
+//!
+//! `HELLO` negotiates response framing: the reply is always the text
+//! line `OK hello framing=<f>`, after which every response uses the
+//! negotiated framing (see [`crate::frame`] for the binary layout).
+//! Requests stay text in both framings.
+//!
+//! `SUBSCRIBE` asks for the *bytes* of a batch rather than an
+//! execution: if a RUN/SWEEP/SUBSCRIBE with the same
+//! `(world-seed, policy, seeds, rounds)` key is in flight (or recently
+//! finished), the session taps its broadcast and receives the
+//! identical stream without re-executing; otherwise the session
+//! becomes the producer and executes normally. Options that change
+//! the stream bytes (`label`, `churn`) are rejected — a relabelled or
+//! churning batch is not shareable. `jobs-in-flight` is accepted but
+//! excluded from the key (scheduling never changes bytes). A tap that
+//! falls too far behind the producer is shed with `ERR lagged`.
 //!
 //! `policy` is `valley-free` (default) or `shortest-path`. `world-seed`
 //! defaults to the server's configured default world. `rounds` defaults
@@ -50,9 +69,18 @@
 //! - `STATS pool worlds=<n> engines=<n> bytes=<b> stack_evictions=<n>
 //!   budget=<b|unbounded>` — one aggregate line after the per-engine
 //!   lines: whole-stack residency against the service's memory budget
-//!   (`--memory-budget` on `serve`). The count in `OK stats <n>`
-//!   includes this line.
+//!   (`--memory-budget` on `serve`).
+//! - `STATS service subscribers=<n> broadcasts=<n>
+//!   rounds_fanned_out=<n> subscribers_shed=<n> credits_denied=<n>` —
+//!   the fan-out and admission counters, one line after the pool line.
+//!   The count in `OK stats <n>` includes the pool and service lines.
+//! - `ERR credits need=<n> have=<n> retry-after-ms=<ms>` — the request
+//!   exceeded the client's credit balance; the session stays usable
+//!   and the hint says when the bucket will cover the cost.
+//! - `ERR lagged ...` — this subscriber fell behind the broadcast and
+//!   was shed; re-request to resubscribe.
 
+use crate::frame::Framing;
 use shortcuts_topology::routing::RoutingPolicy;
 use shortcuts_topology::ChurnSchedule;
 
@@ -96,6 +124,26 @@ pub enum Request {
         /// same rounds (empty = none). Non-empty schedules run the
         /// sweep on a private engine stack.
         churn: ChurnSchedule,
+    },
+    /// Attach to the broadcast of a batch: tap an in-flight (or
+    /// recently finished) identical batch, or become its producer.
+    Subscribe {
+        /// One campaign seed per scenario; duplicates are rejected.
+        seeds: Vec<u64>,
+        /// Rounds per scenario.
+        rounds: u32,
+        /// World to run against (server default when absent).
+        world_seed: Option<u64>,
+        /// Routing policy (part of the broadcast key).
+        policy: RoutingPolicy,
+        /// Scheduling bound if this session ends up producing; never
+        /// part of the broadcast key.
+        jobs_in_flight: Option<usize>,
+    },
+    /// Negotiate response framing for the rest of the session.
+    Hello {
+        /// Requested framing.
+        framing: Framing,
     },
     /// Fetch the cases CSV of the session's last run — of scenario
     /// `label`, or of the only/first scenario when `None`.
@@ -220,6 +268,57 @@ impl Request {
                     churn,
                 })
             }
+            "SUBSCRIBE" => {
+                let mut seeds = None;
+                let mut rounds = 4u32;
+                let mut world_seed = None;
+                let mut policy = RoutingPolicy::default();
+                let mut jobs_in_flight = None;
+                for tok in rest {
+                    let (k, v) = split_kv(tok)?;
+                    match k {
+                        "seed" => seeds = Some(vec![parse_num("seed", v)?]),
+                        "seeds" => seeds = Some(parse_seeds(v)?),
+                        "rounds" => rounds = parse_num("rounds", v)?,
+                        "world-seed" => world_seed = Some(parse_num("world-seed", v)?),
+                        "policy" => {
+                            policy = RoutingPolicy::parse(v)
+                                .ok_or_else(|| format!("unknown policy {v:?}"))?;
+                        }
+                        "jobs-in-flight" => {
+                            jobs_in_flight = Some(parse_num("jobs-in-flight", v)?);
+                        }
+                        "label" | "churn" => {
+                            return Err(format!(
+                                "SUBSCRIBE does not take {k}: it changes the stream \
+                                 bytes, so the batch would not be shareable"
+                            ));
+                        }
+                        other => return Err(format!("unknown SUBSCRIBE option {other:?}")),
+                    }
+                }
+                Ok(Request::Subscribe {
+                    seeds: seeds.ok_or("SUBSCRIBE requires seed=<u64> or seeds=<u64,u64,..>")?,
+                    rounds,
+                    world_seed,
+                    policy,
+                    jobs_in_flight,
+                })
+            }
+            "HELLO" => {
+                let mut framing = Framing::Text;
+                for tok in rest {
+                    let (k, v) = split_kv(tok)?;
+                    match k {
+                        "framing" => {
+                            framing = Framing::parse(v)
+                                .ok_or_else(|| format!("unknown framing {v:?} (text|binary)"))?;
+                        }
+                        other => return Err(format!("unknown HELLO option {other:?}")),
+                    }
+                }
+                Ok(Request::Hello { framing })
+            }
             "CSV" => match rest.as_slice() {
                 ["cases"] => Ok(Request::CsvCases { label: None }),
                 ["cases", label] => Ok(Request::CsvCases {
@@ -237,7 +336,8 @@ impl Request {
             }
             "QUIT" => Ok(Request::Quit),
             other => Err(format!(
-                "unknown command {other:?} (try RUN, SWEEP, CSV, STATS, QUIT)"
+                "unknown command {other:?} \
+                 (try HELLO, RUN, SWEEP, SUBSCRIBE, CSV, STATS, QUIT)"
             )),
         }
     }
@@ -320,6 +420,63 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn subscribe_parses_seed_and_seed_lists() {
+        let r = Request::parse("SUBSCRIBE seed=7 rounds=2").unwrap();
+        assert_eq!(
+            r,
+            Request::Subscribe {
+                seeds: vec![7],
+                rounds: 2,
+                world_seed: None,
+                policy: RoutingPolicy::ValleyFree,
+                jobs_in_flight: None,
+            }
+        );
+        let r = Request::parse("SUBSCRIBE seeds=1,2 world-seed=9 policy=shortest-path").unwrap();
+        assert_eq!(
+            r,
+            Request::Subscribe {
+                seeds: vec![1, 2],
+                rounds: 4,
+                world_seed: Some(9),
+                policy: RoutingPolicy::ShortestPath,
+                jobs_in_flight: None,
+            }
+        );
+    }
+
+    #[test]
+    fn subscribe_rejects_stream_changing_options() {
+        for bad in [
+            "SUBSCRIBE",
+            "SUBSCRIBE seed=1 label=x",
+            "SUBSCRIBE seed=1 churn=as-down:AS9@2",
+            "SUBSCRIBE seeds=1,1",
+            "SUBSCRIBE seed=1 bogus=2",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn hello_negotiates_framing() {
+        assert_eq!(
+            Request::parse("HELLO").unwrap(),
+            Request::Hello {
+                framing: Framing::Text
+            }
+        );
+        assert_eq!(
+            Request::parse("HELLO framing=binary").unwrap(),
+            Request::Hello {
+                framing: Framing::Binary
+            }
+        );
+        assert!(Request::parse("HELLO framing=morse").is_err());
+        assert!(Request::parse("HELLO compression=zstd").is_err());
     }
 
     #[test]

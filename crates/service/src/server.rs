@@ -11,8 +11,15 @@
 //! Panic containment: each session runs under `catch_unwind`. A
 //! panicking request (a bug, a poisoned assumption) kills only its own
 //! session — the admission permit is released by its drop guard, the
-//! world pool's non-poisoning locks stay usable, and the accept loop
-//! keeps serving everyone else.
+//! world pool's non-poisoning locks stay usable, a producing session's
+//! broadcast is failed by its guard so taps never hang, and the accept
+//! loop keeps serving everyone else.
+//!
+//! Admission here is only the *connection* bound (`max_sessions`,
+//! `ERR busy` with a retry hint); the *work* bound is the per-client
+//! credit ledger enforced inside the session loop (`ERR credits`), so
+//! a connected client issuing cheap `STATS` probes is never refused
+//! just because heavy sweeps are running.
 
 use crate::session::{run_session, ServiceConfig, SessionManager};
 use std::io::Write;
@@ -120,11 +127,12 @@ fn accept_loop(listener: TcpListener, mgr: Arc<SessionManager>, shutdown: Arc<At
             }
             None => {
                 // Over capacity: refuse loudly and hang up. The
-                // client sees ERR instead of the greeting.
+                // client sees ERR instead of the greeting; the hint
+                // feeds the client-side backoff.
                 let mut stream = stream;
                 let _ = writeln!(
                     stream,
-                    "ERR busy: {} sessions active (max {})",
+                    "ERR busy: {} sessions active (max {}) retry-after-ms=100",
                     mgr.active_sessions(),
                     mgr.config().max_sessions
                 );

@@ -1,24 +1,40 @@
 //! Sessions: bounded admission plus the per-connection request loop.
 //!
 //! A session is one TCP connection driven by one thread. The
-//! [`SessionManager`] owns what sessions share — the [`WorldPool`] and
-//! the admission counter — while everything request-scoped (the last
-//! run's results, the half-parsed line) lives on the session thread's
-//! stack, so a dying session takes nothing shared down with it:
+//! [`SessionManager`] owns what sessions share — the [`WorldPool`],
+//! the admission counter, the [`BroadcastHub`] and the
+//! [`CreditLedger`] — while everything request-scoped (the last run's
+//! results, the half-parsed line, the negotiated framing) lives on the
+//! session thread's stack, so a dying session takes nothing shared
+//! down with it:
 //!
 //! - admission is released by a [`SessionPermit`] drop guard, which
 //!   runs during unwinding too;
 //! - the pool's locks are non-poisoning (`parking_lot`), so a panic
 //!   mid-`world()` cannot wedge other sessions;
+//! - a producing session that dies fails its broadcast via
+//!   [`ProducerGuard`]'s drop, so taps report `ERR broadcast aborted`
+//!   instead of hanging;
 //! - the measurement scheduler ([`shortcuts_core::shard`]) already
 //!   propagates worker panics as a panic of the calling (session)
 //!   thread instead of deadlocking the pool.
 //!
 //! Requests execute synchronously on the session thread; concurrency
-//! across sessions comes from the thread-per-connection server, and
-//! concurrency *within* a request from the sharded
-//! `(campaign, round)` scheduler every run uses.
+//! across sessions comes from the thread-per-connection server,
+//! concurrency *within* a request from the sharded `(campaign, round)`
+//! scheduler every run uses, and *deduplication* across sessions from
+//! the broadcast hub: identical batches execute once and fan out.
+//!
+//! Admission is two-tier. `max_sessions` still bounds concurrent
+//! connections (`ERR busy` at accept), but *work* is priced by
+//! credits: each RUN/SWEEP costs `rounds × scenarios` from the
+//! client's bucket, a SUBSCRIBE tap costs a flat 1, and
+//! STATS/CSV/HELLO are free — so cheap probes never starve behind
+//! heavy sweeps and one greedy client cannot monopolize the engines.
 
+use crate::broadcast::{Attach, BroadcastHub, BroadcastKey, ProducerGuard, ServiceCounters};
+use crate::credits::{request_cost, Charge, CreditConfig, CreditLedger, TAP_COST};
+use crate::frame::{ResponseWriter, RoundLine};
 use crate::pool::WorldPool;
 use crate::protocol::{Request, GREETING};
 use shortcuts_core::report::cases_csv;
@@ -26,8 +42,8 @@ use shortcuts_core::sweep::{Sweep, SweepConfig, SweepReport};
 use shortcuts_core::workflow::CampaignConfig;
 use shortcuts_core::world::WorldConfig;
 use shortcuts_topology::{ChurnSchedule, MemoryBudget};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader};
+use std::net::{IpAddr, Ipv4Addr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -52,6 +68,13 @@ pub struct ServiceConfig {
     /// *and* the pool's aggregate stack residency. Unbounded by
     /// default.
     pub memory: MemoryBudget,
+    /// Live-event headroom per broadcast subscriber: a tap more than
+    /// this many events behind the producer is shed with `ERR lagged`.
+    pub subscriber_lag: usize,
+    /// Finished broadcasts kept for SUBSCRIBE replay (0 disables).
+    pub broadcast_cache: usize,
+    /// Per-client credit admission policy.
+    pub credits: CreditConfig,
 }
 
 impl ServiceConfig {
@@ -64,6 +87,9 @@ impl ServiceConfig {
             default_world_seed: 2017,
             base_campaign: CampaignConfig::paper(),
             memory: MemoryBudget::unbounded(),
+            subscriber_lag: 256,
+            broadcast_cache: 2,
+            credits: CreditConfig::default(),
         }
     }
 
@@ -83,21 +109,35 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Shared session state: the pool and the admission counter.
+/// Shared session state: the pool, the admission counter, the
+/// broadcast hub and the credit ledger.
 pub struct SessionManager {
     cfg: ServiceConfig,
     pool: WorldPool,
     active: AtomicUsize,
+    hub: BroadcastHub,
+    credits: CreditLedger,
+    counters: Arc<ServiceCounters>,
 }
 
 impl SessionManager {
     /// Creates a manager (and its world pool) from a config.
     pub fn new(cfg: ServiceConfig) -> Self {
         let pool = WorldPool::with_budget(cfg.world.clone(), cfg.memory);
+        let counters = Arc::new(ServiceCounters::default());
+        let hub = BroadcastHub::new(
+            cfg.subscriber_lag,
+            cfg.broadcast_cache,
+            Arc::clone(&counters),
+        );
+        let credits = CreditLedger::new(cfg.credits);
         SessionManager {
             cfg,
             pool,
             active: AtomicUsize::new(0),
+            hub,
+            credits,
+            counters,
         }
     }
 
@@ -109,6 +149,21 @@ impl SessionManager {
     /// The shared world pool.
     pub fn pool(&self) -> &WorldPool {
         &self.pool
+    }
+
+    /// The broadcast hub (tests attach through it directly).
+    pub fn hub(&self) -> &BroadcastHub {
+        &self.hub
+    }
+
+    /// The credit ledger.
+    pub fn credits(&self) -> &CreditLedger {
+        &self.credits
+    }
+
+    /// The service-wide fan-out and admission counters.
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.counters
     }
 
     /// Sessions currently admitted.
@@ -155,9 +210,30 @@ impl Drop for SessionPermit {
     }
 }
 
-/// The session's memory of its last finished batch, for `CSV` fetches.
-struct LastRun {
-    report: SweepReport,
+/// Charges the client's bucket; on denial writes `ERR credits` with a
+/// retry hint and returns `false` (the session stays usable).
+fn charge(
+    mgr: &SessionManager,
+    w: &mut ResponseWriter,
+    who: IpAddr,
+    cost: f64,
+) -> std::io::Result<bool> {
+    match mgr.credits.try_charge(who, cost) {
+        Charge::Ok { .. } => Ok(true),
+        Charge::Denied {
+            need,
+            have,
+            retry_after,
+        } => {
+            mgr.counters.credit_denied();
+            w.err(&format!(
+                "credits need={need:.0} have={have:.0} retry-after-ms={}",
+                retry_after.as_millis().max(1)
+            ))?;
+            w.flush()?;
+            Ok(false)
+        }
+    }
 }
 
 /// Runs one session to completion: greeting, then the request loop
@@ -165,12 +241,19 @@ struct LastRun {
 /// end the session silently; protocol errors are reported as `ERR`
 /// lines and the loop continues.
 pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
+    // Credit buckets key on the peer IP; a socket without one (already
+    // disconnected) gets the loopback bucket and will error on first
+    // write anyway.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
+    let mut w = ResponseWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
-    writeln!(writer, "{GREETING}")?;
-    writer.flush()?;
+    w.text_line(GREETING)?;
+    w.flush()?;
 
-    let mut last: Option<LastRun> = None;
+    let mut last: Option<Arc<SweepReport>> = None;
     let mut line = String::new();
     loop {
         line.clear();
@@ -184,63 +267,72 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
         let request = match Request::parse(trimmed) {
             Ok(r) => r,
             Err(msg) => {
-                writeln!(writer, "ERR {msg}")?;
-                writer.flush()?;
+                w.err(&msg)?;
+                w.flush()?;
                 continue;
             }
         };
         match request {
             Request::Quit => {
-                writeln!(writer, "OK bye")?;
-                return writer.flush();
+                w.ok("bye")?;
+                return w.flush();
+            }
+            Request::Hello { framing } => {
+                // The reply is always text so a client can negotiate
+                // before it has to speak frames; everything after it
+                // uses the new framing.
+                w.text_line(&format!("OK hello framing={}", framing.label()))?;
+                w.flush()?;
+                w.set_framing(framing);
             }
             Request::Stats => {
                 let stats = mgr.pool.stats();
                 for (seed, policy, s) in &stats {
-                    writeln!(
-                        writer,
-                        "STATS world={seed} policy={} {}",
+                    w.stats(&format!(
+                        "world={seed} policy={} {}",
                         policy.label(),
                         s.summary()
-                    )?;
+                    ))?;
                 }
-                // One aggregate pool line after the per-engine lines:
-                // residency, stack evictions and the budget itself.
-                writeln!(writer, "STATS pool {}", mgr.pool.pool_stats().summary())?;
-                writeln!(writer, "OK stats {}", stats.len() + 1)?;
-                writer.flush()?;
+                // Aggregate pool residency, then the service-wide
+                // fan-out / admission counters.
+                w.stats(&format!("pool {}", mgr.pool.pool_stats().summary()))?;
+                w.stats(&format!("service {}", mgr.counters.snapshot().summary()))?;
+                w.ok(&format!("stats {}", stats.len() + 2))?;
+                w.flush()?;
             }
             Request::CsvCases { label } => {
-                let Some(run) = &last else {
-                    writeln!(writer, "ERR no finished run in this session")?;
-                    writer.flush()?;
+                let Some(report) = &last else {
+                    w.err("no finished run in this session")?;
+                    w.flush()?;
                     continue;
                 };
                 let scenario = match &label {
-                    Some(l) => run.report.scenarios.iter().find(|s| &s.label == l),
-                    None => run.report.scenarios.first(),
+                    Some(l) => report.scenarios.iter().find(|s| &s.label == l),
+                    None => report.scenarios.first(),
                 };
                 match scenario {
                     Some(sc) => {
-                        send_csv(&mut writer, &format!("cases_{}.csv", sc.label), {
-                            cases_csv(&sc.results).as_bytes()
-                        })?;
+                        w.csv(
+                            &format!("cases_{}.csv", sc.label),
+                            cases_csv(&sc.results).as_bytes(),
+                        )?;
+                        w.flush()?;
                     }
                     None => {
-                        writeln!(writer, "ERR no scenario labelled {:?}", label.unwrap())?;
-                        writer.flush()?;
+                        w.err(&format!("no scenario labelled {:?}", label.unwrap()))?;
+                        w.flush()?;
                     }
                 }
             }
             Request::CsvSweep => match &last {
-                Some(run) => {
-                    send_csv(&mut writer, "sweep.csv", {
-                        run.report.comparison_csv().as_bytes()
-                    })?;
+                Some(report) => {
+                    w.csv("sweep.csv", report.comparison_csv().as_bytes())?;
+                    w.flush()?;
                 }
                 None => {
-                    writeln!(writer, "ERR no finished run in this session")?;
-                    writer.flush()?;
+                    w.err("no finished run in this session")?;
+                    w.flush()?;
                 }
             },
             Request::Run {
@@ -252,15 +344,27 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 rounds_in_flight,
                 churn,
             } => {
+                if !charge(mgr, &mut w, peer, request_cost(rounds, 1))? {
+                    continue;
+                }
                 let mut cfg = sweep_config(mgr, &[seed], rounds, policy, rounds_in_flight, churn);
+                let relabelled = label.is_some();
                 if let Some(label) = label {
                     cfg.scenarios[0].label = label;
                 }
-                if let Some(report) = stream_batch(mgr, &mut writer, world_seed, policy, cfg)? {
-                    last = Some(LastRun { report });
-                    writeln!(writer, "OK run 1")?;
+                // Register the execution as a broadcast when the key
+                // is free and the stream is shareable (default label,
+                // no churn), so concurrent SUBSCRIBEs ride it.
+                let producer = if !relabelled && cfg.churn.is_empty() {
+                    mgr.hub
+                        .try_produce(batch_key(mgr, world_seed, policy, &cfg))
+                } else {
+                    None
+                };
+                if let Some(report) = stream_batch(mgr, &mut w, world_seed, cfg, "run 1", producer)?
+                {
+                    last = Some(report);
                 }
-                writer.flush()?;
             }
             Request::Sweep {
                 seeds,
@@ -271,12 +375,69 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 churn,
             } => {
                 let n = seeds.len();
-                let cfg = sweep_config(mgr, &seeds, rounds, policy, jobs_in_flight, churn);
-                if let Some(report) = stream_batch(mgr, &mut writer, world_seed, policy, cfg)? {
-                    last = Some(LastRun { report });
-                    writeln!(writer, "OK sweep {n}")?;
+                if !charge(mgr, &mut w, peer, request_cost(rounds, n))? {
+                    continue;
                 }
-                writer.flush()?;
+                let cfg = sweep_config(mgr, &seeds, rounds, policy, jobs_in_flight, churn);
+                let producer = if cfg.churn.is_empty() {
+                    mgr.hub
+                        .try_produce(batch_key(mgr, world_seed, policy, &cfg))
+                } else {
+                    None
+                };
+                let ok = format!("sweep {n}");
+                if let Some(report) = stream_batch(mgr, &mut w, world_seed, cfg, &ok, producer)? {
+                    last = Some(report);
+                }
+            }
+            Request::Subscribe {
+                seeds,
+                rounds,
+                world_seed,
+                policy,
+                jobs_in_flight,
+            } => {
+                let n = seeds.len();
+                let cfg = sweep_config(
+                    mgr,
+                    &seeds,
+                    rounds,
+                    policy,
+                    jobs_in_flight,
+                    ChurnSchedule::none(),
+                );
+                let key = batch_key(mgr, world_seed, policy, &cfg);
+                let ok = if n == 1 {
+                    "run 1".to_string()
+                } else {
+                    format!("sweep {n}")
+                };
+                match mgr.hub.attach(key) {
+                    Attach::Producer(producer) => {
+                        // First subscriber executes and pays the full
+                        // measurement cost. Denial drops the guard,
+                        // which aborts the broadcast for any tap that
+                        // raced in behind us.
+                        if !charge(mgr, &mut w, peer, request_cost(rounds, n))? {
+                            continue;
+                        }
+                        if let Some(report) =
+                            stream_batch(mgr, &mut w, world_seed, cfg, &ok, Some(producer))?
+                        {
+                            last = Some(report);
+                        }
+                    }
+                    Attach::Tap(sub) => {
+                        // Tapping consumes fan-out bandwidth, not
+                        // measurement: a flat 1 credit.
+                        if !charge(mgr, &mut w, peer, TAP_COST)? {
+                            continue;
+                        }
+                        if let Some(report) = serve_subscription(&mut w, &sub)? {
+                            last = Some(report);
+                        }
+                    }
+                }
             }
         }
     }
@@ -306,21 +467,47 @@ fn sweep_config(
     cfg
 }
 
-/// Runs one batch on the pooled engine stack, streaming `ROUND` lines
-/// as rounds complete and `END` lines per scenario at the end.
-///
-/// A client that disconnects mid-stream stops receiving lines but the
-/// batch runs to completion — the shared engine and scheduler are
-/// never interrupted mid-flight — and the session ends right after
-/// with the write error.
-fn stream_batch(
+/// The broadcast identity of a batch: resolved world seed, policy,
+/// campaign seeds and rounds. Scheduling knobs are excluded — they
+/// never change the stream bytes.
+fn batch_key(
     mgr: &SessionManager,
-    writer: &mut TcpStream,
     world_seed: Option<u64>,
     policy: shortcuts_topology::routing::RoutingPolicy,
+    cfg: &SweepConfig,
+) -> BroadcastKey {
+    BroadcastKey {
+        world_seed: world_seed.unwrap_or(mgr.cfg.default_world_seed),
+        policy,
+        seeds: cfg.scenarios.iter().map(|s| s.config.seed).collect(),
+        rounds: cfg.scenarios.first().map(|s| s.config.rounds).unwrap_or(0),
+    }
+}
+
+/// Runs one batch on the pooled engine stack, streaming `ROUND` events
+/// as rounds complete and `END` events per scenario at the end,
+/// terminated by `OK <ok_detail>`. When `producer` is set, every event
+/// is also published to the broadcast so taps receive the identical
+/// stream.
+///
+/// A client that disconnects mid-stream stops receiving events but the
+/// batch runs to completion — the shared engine and scheduler are
+/// never interrupted mid-flight, and the broadcast still finishes for
+/// its taps — and the session ends right after with the write error.
+fn stream_batch(
+    mgr: &SessionManager,
+    w: &mut ResponseWriter,
+    world_seed: Option<u64>,
     cfg: SweepConfig,
-) -> std::io::Result<Option<SweepReport>> {
+    ok_detail: &str,
+    mut producer: Option<ProducerGuard<'_>>,
+) -> std::io::Result<Option<Arc<SweepReport>>> {
     let world_seed = world_seed.unwrap_or(mgr.cfg.default_world_seed);
+    let policy = cfg
+        .scenarios
+        .first()
+        .map(|s| s.config.routing)
+        .unwrap_or_default();
     // Lease the stack for the whole batch: the pool's evictor never
     // reclaims a leased world, and the lease drop at the end of this
     // function is what stamps the LRU detach tick.
@@ -332,8 +519,11 @@ fn stream_batch(
         // Reject bad schedules with a protocol error before any round
         // runs, not a mid-batch panic.
         if let Err(msg) = cfg.churn.validate(&world.topo) {
-            writeln!(writer, "ERR {msg}")?;
-            writer.flush()?;
+            if let Some(p) = producer.as_mut() {
+                p.finish_err(&msg);
+            }
+            w.err(&msg)?;
+            w.flush()?;
             return Ok(None);
         }
         // Churn permanently advances an engine's epoch, so a churning
@@ -343,56 +533,96 @@ fn stream_batch(
     };
     let labels: Vec<String> = cfg.scenarios.iter().map(|s| s.label.clone()).collect();
 
-    // Stream rounds as they complete. Write failures (the client went
-    // away) are remembered rather than propagated mid-run: the
-    // scheduler finishes the batch, then the error ends the session.
+    // Stream rounds as they complete: one buffered write + one flush
+    // per round. Write failures (the client went away) are remembered
+    // rather than propagated mid-run: the scheduler finishes the
+    // batch — and the broadcast keeps publishing for its taps — then
+    // the error ends the session.
     let mut write_err: Option<std::io::Error> = None;
     let report = Sweep::with_engine(world, engine, cfg).run_streaming(|scenario, s| {
+        let round = RoundLine::from_summary(&labels[scenario], s);
+        if let Some(p) = &producer {
+            p.publish_round(&round);
+        }
         if write_err.is_some() {
             return;
         }
-        let outcome = writeln!(
-            writer,
-            "ROUND {} {} endpoints={} pairs={} cases={} unresponsive={} links={}/{} symmetry={}",
-            labels[scenario],
-            s.round,
-            s.endpoints,
-            s.pairs,
-            s.cases,
-            s.unresponsive_pairs,
-            s.links_measured,
-            s.links_planned,
-            s.symmetry_samples,
-        )
-        .and_then(|()| writer.flush());
-        if let Err(e) = outcome {
+        if let Err(e) = w.round(&round).and_then(|()| w.flush()) {
             write_err = Some(e);
         }
     });
-    if let Some(e) = write_err {
-        return Err(e);
-    }
+    let report = Arc::new(report);
+    // END lines batch into one flush with the OK terminator.
     for sc in &report.scenarios {
-        writeln!(
-            writer,
-            "END {} seed={} cases={} pings={} unresponsive={}",
+        let payload = format!(
+            "{} seed={} cases={} pings={} unresponsive={}",
             sc.label,
             sc.seed,
             sc.results.total_cases(),
             sc.results.pings_sent,
             sc.results.unresponsive_pairs,
-        )?;
+        );
+        if let Some(p) = &producer {
+            p.publish_end(&payload);
+        }
+        if write_err.is_none() {
+            if let Err(e) = w.end(&payload) {
+                write_err = Some(e);
+            }
+        }
     }
-    writer.flush()?;
+    if let Some(p) = producer.as_mut() {
+        p.finish_ok(ok_detail, Arc::clone(&report));
+    }
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    w.ok(ok_detail)?;
+    w.flush()?;
     Ok(Some(report))
 }
 
-/// Sends one length-prefixed CSV payload: `CSV <name> <len>` then the
-/// raw bytes.
-fn send_csv(writer: &mut TcpStream, name: &str, bytes: &[u8]) -> std::io::Result<()> {
-    writeln!(writer, "CSV {name} {}", bytes.len())?;
-    writer.write_all(bytes)?;
-    writer.flush()
+/// Rides an existing broadcast: replays the backlog, then streams live
+/// events until the terminal one. Returns the shared report so `CSV`
+/// fetches work identically to a solo run.
+fn serve_subscription(
+    w: &mut ResponseWriter,
+    sub: &crate::broadcast::Subscription,
+) -> std::io::Result<Option<Arc<SweepReport>>> {
+    use crate::broadcast::BroadcastEvent;
+    loop {
+        match sub.recv() {
+            Some(BroadcastEvent::Round(r)) => {
+                w.round(&r)?;
+                w.flush()?;
+            }
+            Some(BroadcastEvent::End(payload)) => {
+                // END events batch; the terminal event flushes them.
+                w.end(&payload)?;
+            }
+            Some(BroadcastEvent::Done { ok, report }) => {
+                w.ok(&ok)?;
+                w.flush()?;
+                return Ok(Some(report));
+            }
+            Some(BroadcastEvent::Failed(msg)) => {
+                w.err(&msg)?;
+                w.flush()?;
+                return Ok(None);
+            }
+            None => {
+                let msg = if sub.was_shed() {
+                    "lagged: subscriber fell behind the broadcast and was shed; \
+                     re-request to resubscribe"
+                } else {
+                    "broadcast aborted: producer session died"
+                };
+                w.err(msg)?;
+                w.flush()?;
+                return Ok(None);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -439,5 +669,22 @@ mod tests {
         assert_eq!(cfg.jobs_in_flight, 1);
         let cfg = sweep_config(&mgr, &[1, 2], 1, Default::default(), Some(3), churn());
         assert_eq!(cfg.jobs_in_flight, 3);
+    }
+
+    #[test]
+    fn batch_keys_resolve_defaults_and_ignore_scheduling() {
+        let mgr = SessionManager::new(ServiceConfig::small());
+        let policy = Default::default();
+        let a = sweep_config(&mgr, &[1, 2], 3, policy, Some(2), ChurnSchedule::none());
+        let b = sweep_config(&mgr, &[1, 2], 3, policy, Some(16), ChurnSchedule::none());
+        let default_seed = mgr.config().default_world_seed;
+        let ka = batch_key(&mgr, None, policy, &a);
+        let kb = batch_key(&mgr, Some(default_seed), policy, &b);
+        assert_eq!(
+            ka, kb,
+            "elided default world seed and jobs-in-flight must not split keys"
+        );
+        let kc = batch_key(&mgr, Some(default_seed + 1), policy, &a);
+        assert_ne!(ka, kc);
     }
 }

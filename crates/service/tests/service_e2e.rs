@@ -10,7 +10,7 @@
 use shortcuts_core::report::cases_csv;
 use shortcuts_core::workflow::{Campaign, CampaignConfig};
 use shortcuts_core::world::{World, WorldConfig};
-use shortcuts_service::{Client, Server, ServiceConfig, StreamEvent};
+use shortcuts_service::{BroadcastKey, Client, Framing, Server, ServiceConfig, StreamEvent};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -257,9 +257,10 @@ fn admission_limit_refuses_and_recovers() {
     let mut client = admitted.unwrap();
     let resp = client.stats().expect("stats on recovered slot");
     // No run yet in this server: no engine stacks pooled — only the
-    // aggregate pool line.
-    assert_eq!(resp.len(), 1, "{resp:?}");
+    // aggregate pool line and the service counters line.
+    assert_eq!(resp.len(), 2, "{resp:?}");
     assert!(resp[0].starts_with("pool "), "{resp:?}");
+    assert!(resp[1].starts_with("service "), "{resp:?}");
     client.quit();
     server.shutdown();
 }
@@ -272,8 +273,8 @@ fn stats_report_the_pooled_engine_health() {
         .run_streaming("RUN seed=11 rounds=1 world-seed=90", |_| {})
         .unwrap();
     let stats = client.stats().unwrap();
-    // One engine line plus the aggregate pool line.
-    assert_eq!(stats.len(), 2, "{stats:?}");
+    // One engine line, the aggregate pool line, the service line.
+    assert_eq!(stats.len(), 3, "{stats:?}");
     let line = &stats[0];
     assert!(line.starts_with("world=90 policy=valley-free "), "{line}");
     for key in [
@@ -288,6 +289,16 @@ fn stats_report_the_pooled_engine_health() {
     let pool_line = &stats[1];
     assert!(pool_line.starts_with("pool worlds=1 "), "{pool_line}");
     assert!(pool_line.contains("budget=unbounded"), "{pool_line}");
+    let service_line = &stats[2];
+    for key in [
+        "subscribers=",
+        "broadcasts=",
+        "rounds_fanned_out=",
+        "subscribers_shed=",
+        "credits_denied=",
+    ] {
+        assert!(service_line.contains(key), "{service_line} missing {key}");
+    }
     // The engine did real work.
     let pings: u64 = line
         .split("pings_sent=")
@@ -300,6 +311,301 @@ fn stats_report_the_pooled_engine_health() {
         .unwrap();
     assert!(pings > 0);
     client.quit();
+    server.shutdown();
+}
+
+/// Collects one full response stream (`ROUND`/`END` events in order)
+/// plus the terminating `OK` detail.
+fn collect_stream(client: &mut Client, request: &str) -> (Vec<String>, String) {
+    let mut events = Vec::new();
+    let ok = client
+        .run_streaming(request, |e| {
+            events.push(match e {
+                StreamEvent::Round(p) => format!("ROUND {p}"),
+                StreamEvent::End(p) => format!("END {p}"),
+            });
+        })
+        .expect("stream");
+    (events, ok)
+}
+
+/// Parses one counter off the `service …` STATS line.
+fn service_counter(stats: &[String], key: &str) -> u64 {
+    let line = stats
+        .iter()
+        .find(|l| l.starts_with("service "))
+        .expect("service stats line");
+    line.split(&format!("{key}="))
+        .nth(1)
+        .unwrap_or_else(|| panic!("{line} missing {key}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+/// The tentpole contract: SUBSCRIBE clients riding one broadcast
+/// receive event streams and CSVs byte-identical to a solo RUN — in
+/// text framing and in binary framing — while the campaign executes
+/// exactly once.
+#[test]
+fn subscribers_get_streams_byte_identical_to_a_solo_run() {
+    let server = small_server(8);
+    let addr = server.local_addr();
+
+    // The solo baseline stream: a plain RUN on a different server so
+    // its execution shares nothing with the broadcast under test.
+    let baseline_server = small_server(2);
+    let mut solo = Client::connect(baseline_server.local_addr()).unwrap();
+    let (solo_events, solo_ok) = collect_stream(&mut solo, "RUN seed=4242 rounds=2 world-seed=90");
+    let (_, solo_csv) = solo.fetch_csv("cases").unwrap();
+    solo.quit();
+    baseline_server.shutdown();
+    assert_eq!(solo_ok, "run 1");
+
+    // Producer subscriber on a background thread; taps attach once the
+    // broadcast key is live, one in text framing and one in binary.
+    let producer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("producer admitted");
+        let (events, ok) = collect_stream(&mut c, "SUBSCRIBE seed=4242 rounds=2 world-seed=90");
+        let (_, csv) = c.fetch_csv("cases").expect("producer csv");
+        c.quit();
+        (events, ok, csv)
+    });
+    let key = BroadcastKey {
+        world_seed: 90,
+        policy: Default::default(),
+        seeds: vec![4242],
+        rounds: 2,
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !server.manager().hub().has_live(&key) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "producer never registered its broadcast"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let taps: Vec<_> = [Framing::Text, Framing::Binary]
+        .into_iter()
+        .map(|framing| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("tap admitted");
+                c.negotiate(framing).expect("HELLO");
+                let (events, ok) =
+                    collect_stream(&mut c, "SUBSCRIBE seed=4242 rounds=2 world-seed=90");
+                let (_, csv) = c.fetch_csv("cases").expect("tap csv");
+                c.quit();
+                (events, ok, csv)
+            })
+        })
+        .collect();
+
+    let (producer_events, producer_ok, producer_csv) = producer.join().unwrap();
+    assert_eq!(producer_ok, "run 1");
+    assert_eq!(
+        producer_events, solo_events,
+        "producer stream diverged from the solo RUN"
+    );
+    assert_eq!(producer_csv, solo_csv);
+    for (i, tap) in taps.into_iter().enumerate() {
+        let (events, ok, csv) = tap.join().unwrap();
+        assert_eq!(ok, "run 1", "tap {i}");
+        assert_eq!(events, solo_events, "tap {i} stream diverged");
+        assert_eq!(csv, solo_csv, "tap {i} CSV diverged");
+    }
+
+    // Fan-out counters: one broadcast, two taps, each fed both rounds
+    // (live or via backlog replay — the count is the same).
+    let mut probe = Client::connect(addr).unwrap();
+    let stats = probe.stats().unwrap();
+    assert_eq!(service_counter(&stats, "broadcasts"), 1);
+    assert_eq!(service_counter(&stats, "rounds_fanned_out"), 4);
+    assert_eq!(service_counter(&stats, "subscribers_shed"), 0);
+    assert_eq!(service_counter(&stats, "subscribers"), 0, "gauge drains");
+    probe.quit();
+    server.shutdown();
+}
+
+/// A SUBSCRIBE arriving after the batch finished replays it from the
+/// broadcast done-cache — full stream, `OK`, working CSV — without a
+/// second execution.
+#[test]
+fn late_subscribers_replay_a_finished_run_from_the_cache() {
+    let server = small_server(4);
+    let addr = server.local_addr();
+    let mut first = Client::connect(addr).unwrap();
+    let (run_events, _) = collect_stream(&mut first, "RUN seed=31 rounds=2 world-seed=90");
+    first.quit();
+
+    let mut late = Client::connect(addr).unwrap();
+    let (events, ok) = collect_stream(&mut late, "SUBSCRIBE seed=31 rounds=2 world-seed=90");
+    assert_eq!(ok, "run 1");
+    assert_eq!(events, run_events, "replay diverged from the live stream");
+    let (_, bytes) = late.fetch_csv("cases").unwrap();
+    assert_eq!(String::from_utf8(bytes).unwrap(), solo_cases_csv(90, 31, 2));
+    let stats = late.stats().unwrap();
+    assert_eq!(
+        service_counter(&stats, "broadcasts"),
+        1,
+        "the replay must not have re-executed"
+    );
+    late.quit();
+    server.shutdown();
+}
+
+/// With zero subscriber lag every live event overflows a tap's queue:
+/// the tap is shed with `ERR lagged`, the producer finishes untouched,
+/// and the shed session stays usable.
+#[test]
+fn lagged_subscribers_are_shed_without_stalling_the_producer() {
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = 4;
+    cfg.default_world_seed = 90;
+    cfg.subscriber_lag = 0;
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let producer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("producer admitted");
+        let (events, ok) = collect_stream(&mut c, "SUBSCRIBE seed=55 rounds=2 world-seed=90");
+        c.quit();
+        (events, ok)
+    });
+    let key = BroadcastKey {
+        world_seed: 90,
+        policy: Default::default(),
+        seeds: vec![55],
+        rounds: 2,
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !server.manager().hub().has_live(&key) {
+        assert!(std::time::Instant::now() < deadline, "no live broadcast");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The tap attaches while the producer is still building the world:
+    // empty backlog + lag 0 = queue capacity 0, so the first published
+    // round sheds it deterministically.
+    let mut tap = Client::connect(addr).expect("tap admitted");
+    let err = tap
+        .run_streaming("SUBSCRIBE seed=55 rounds=2 world-seed=90", |_| {})
+        .expect_err("zero-lag tap must be shed");
+    assert!(err.to_string().contains("lagged"), "{err}");
+
+    let (producer_events, producer_ok) = producer.join().unwrap();
+    assert_eq!(producer_ok, "run 1", "producer must be unaffected");
+    assert_eq!(producer_events.len(), 2 + 1, "2 rounds + 1 END");
+
+    // The shed session is still usable, and the shed is counted.
+    let stats = tap.stats().expect("session survives the shed");
+    assert_eq!(service_counter(&stats, "subscribers_shed"), 1);
+    let (_, bytes) = {
+        let ok = tap
+            .run_streaming("RUN seed=55 rounds=2 world-seed=90", |_| {})
+            .expect("shed session can still run");
+        assert_eq!(ok, "run 1");
+        tap.fetch_csv("cases").unwrap()
+    };
+    assert_eq!(String::from_utf8(bytes).unwrap(), solo_cases_csv(90, 55, 2));
+    tap.quit();
+    server.shutdown();
+}
+
+/// Credit admission: a client that outruns its bucket gets
+/// `ERR credits` with a usable retry-after hint, free probes keep
+/// working while broke, and the bucket refills on the clock.
+#[test]
+fn exhausted_credits_deny_refill_and_recover() {
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = 2;
+    cfg.default_world_seed = 90;
+    // A 4-credit bucket refilling at 20/s: a denied 4-round run is
+    // re-admittable in at most ~200 ms.
+    cfg.credits = shortcuts_service::CreditConfig::new(4.0, 20.0);
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let ok = client
+        .run_streaming("RUN seed=9 rounds=4 world-seed=90", |_| {})
+        .unwrap();
+    assert_eq!(ok, "run 1");
+
+    // The first run's own execution time refills the bucket, so drain
+    // it through the ledger to below one credit: the denial below must
+    // not depend on how fast the run happened to execute.
+    let ledger = server.manager().credits();
+    let ip: std::net::IpAddr = "127.0.0.1".parse().unwrap();
+    while matches!(
+        ledger.try_charge(ip, 1.0),
+        shortcuts_service::credits::Charge::Ok { .. }
+    ) {}
+
+    // Broke: the next run is denied without executing, with a hint.
+    let err = client
+        .run_streaming("RUN seed=10 rounds=4 world-seed=90", |_| {})
+        .expect_err("bucket is empty");
+    assert!(err.to_string().contains("ERR credits"), "{err}");
+    let hint = shortcuts_service::client::retry_after(&err).expect("retry-after-ms hint");
+    assert!(hint <= Duration::from_secs(1), "{hint:?}");
+
+    // STATS is free: it works while broke, and counts the denial.
+    let stats = client.stats().expect("free probe while broke");
+    assert!(service_counter(&stats, "credits_denied") >= 1);
+
+    // CSV of the last successful run is free too.
+    let (_, bytes) = client.fetch_csv("cases").unwrap();
+    assert_eq!(String::from_utf8(bytes).unwrap(), solo_cases_csv(90, 9, 4));
+
+    // After the hinted wait the bucket covers a smaller run.
+    std::thread::sleep(hint + Duration::from_millis(150));
+    let ok = client
+        .run_streaming("RUN seed=11 rounds=2 world-seed=90", |_| {})
+        .expect("refilled bucket must admit");
+    assert_eq!(ok, "run 1");
+
+    // And the retry helper rides the denial without manual sleeping.
+    let ok = client
+        .run_streaming_with_retry(
+            "RUN seed=12 rounds=2 world-seed=90",
+            shortcuts_service::RetryPolicy::with_attempts(10),
+            |_| {},
+        )
+        .expect("backoff retry must eventually admit");
+    assert_eq!(ok, "run 1");
+    client.quit();
+    server.shutdown();
+}
+
+/// Binary framing carries every response type: streams, CSVs and
+/// STATS decode to exactly what text framing produces.
+#[test]
+fn binary_framing_is_indistinguishable_at_the_event_level() {
+    let server = small_server(2);
+    let mut text = Client::connect(server.local_addr()).unwrap();
+    let (text_events, text_ok) = collect_stream(&mut text, "RUN seed=77 rounds=2 world-seed=90");
+    let (text_name, text_csv) = text.fetch_csv("cases").unwrap();
+    text.quit();
+
+    let mut bin = Client::connect(server.local_addr()).unwrap();
+    bin.negotiate(Framing::Binary).unwrap();
+    assert_eq!(bin.framing(), Framing::Binary);
+    let (bin_events, bin_ok) = collect_stream(&mut bin, "RUN seed=77 rounds=2 world-seed=90");
+    let (bin_name, bin_csv) = bin.fetch_csv("cases").unwrap();
+    assert_eq!(bin_ok, text_ok);
+    assert_eq!(bin_events, text_events, "framings must carry equal events");
+    assert_eq!(bin_name, text_name);
+    assert_eq!(bin_csv, text_csv, "framings must carry equal CSV bytes");
+    assert_eq!(
+        String::from_utf8(bin_csv).unwrap(),
+        solo_cases_csv(90, 77, 2)
+    );
+    // Errors and stats cross the binary framing too.
+    let stats = bin.stats().unwrap();
+    assert!(stats.iter().any(|l| l.starts_with("pool ")), "{stats:?}");
+    let err = bin.fetch_csv("cases no-such-label").unwrap_err();
+    assert!(err.to_string().contains("no scenario"), "{err}");
+    bin.quit();
     server.shutdown();
 }
 
@@ -339,8 +645,10 @@ fn budgeted_server_evicts_idle_stacks_and_stays_bytewise_correct() {
         "idle stacks must be evicted under the pool budget"
     );
     let stats = client.stats().unwrap();
-    let pool_line = stats.last().expect("pool line");
-    assert!(pool_line.starts_with("pool "), "{pool_line}");
+    let pool_line = stats
+        .iter()
+        .find(|l| l.starts_with("pool "))
+        .expect("pool line");
     let evictions: u64 = pool_line
         .split("stack_evictions=")
         .nth(1)

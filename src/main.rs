@@ -11,9 +11,13 @@
 //!                           [--memory-budget B] [--churn SPEC]
 //! colo-shortcuts serve      [--addr A] [--max-sessions N]
 //!                           [--world-scale small|paper] [--seed S]
-//!                           [--memory-budget B]
+//!                           [--memory-budget B] [--credits CAP]
+//!                           [--credit-refill PER_SEC]
+//!                           [--subscriber-lag N]
 //! colo-shortcuts client     --addr A [--stats] [--seed S | --seeds ..]
 //!                           [--rounds N] [--world-seed W] [--out DIR]
+//!                           [--subscribe] [--framing text|binary]
+//!                           [--retries N]
 //! ```
 //!
 //! `campaign` runs the paper's measurement campaign — streaming a
@@ -59,9 +63,20 @@
 //!
 //! `serve` turns the same machinery into a long-lived measurement
 //! service ([`shortcuts_service`]): clients connect over TCP, submit
-//! `RUN`/`SWEEP` requests, stream per-round progress and fetch the
-//! final CSVs — sessions touching the same world share one warmed
-//! engine stack. `client` is the matching scripting front end.
+//! `RUN`/`SWEEP`/`SUBSCRIBE` requests, stream per-round progress and
+//! fetch the final CSVs — sessions touching the same world share one
+//! warmed engine stack, and identical batches execute once and fan
+//! out. Work admission is credit-based (`--credits` bucket capacity,
+//! `--credit-refill` per second, per client IP; cost =
+//! rounds × scenarios); `--subscriber-lag` bounds how far a broadcast
+//! subscriber may fall behind before it is shed with `ERR lagged`.
+//!
+//! `client` is the matching scripting front end: `--subscribe` sends
+//! `SUBSCRIBE` instead of `RUN`/`SWEEP` (attaching to an identical
+//! in-flight batch when one exists), `--framing binary` negotiates
+//! length-prefixed binary response frames, and `--retries N` retries
+//! `ERR busy`/`ERR credits` refusals with jittered exponential backoff
+//! honoring the server's `retry-after-ms` hint.
 
 use shortcuts_core::analysis::improvement::ImprovementAnalysis;
 use shortcuts_core::analysis::threshold::ThresholdCurve;
@@ -71,7 +86,7 @@ use shortcuts_core::sweep::{Sweep, SweepConfig};
 use shortcuts_core::workflow::{Campaign, CampaignConfig};
 use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_core::RelayType;
-use shortcuts_service::{Client, Server, ServiceConfig, StreamEvent};
+use shortcuts_service::{Client, Framing, RetryPolicy, Server, ServiceConfig, StreamEvent};
 use shortcuts_topology::routing::table_approx_bytes;
 use shortcuts_topology::{ChurnSchedule, MemoryBudget};
 use std::path::PathBuf;
@@ -92,6 +107,12 @@ struct Args {
     stats: bool,
     memory_budget: MemoryBudget,
     churn: ChurnSchedule,
+    subscribe: bool,
+    framing: Framing,
+    retries: u32,
+    credits: Option<f64>,
+    credit_refill: Option<f64>,
+    subscriber_lag: Option<usize>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -112,6 +133,12 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         stats: false,
         memory_budget: MemoryBudget::unbounded(),
         churn: ChurnSchedule::none(),
+        subscribe: false,
+        framing: Framing::Text,
+        retries: 0,
+        credits: None,
+        credit_refill: None,
+        subscriber_lag: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -188,6 +215,41 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
                 });
                 i += 2;
             }
+            "--subscribe" => {
+                args.subscribe = true;
+                i += 1;
+            }
+            "--framing" => {
+                args.framing = Framing::parse(need_value(i)).unwrap_or_else(|| {
+                    eprintln!("--framing takes `text` or `binary`");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--retries" => {
+                args.retries = need_value(i).parse().expect("--retries takes a u32");
+                i += 2;
+            }
+            "--credits" => {
+                args.credits = Some(need_value(i).parse().expect("--credits takes a number"));
+                i += 2;
+            }
+            "--credit-refill" => {
+                args.credit_refill = Some(
+                    need_value(i)
+                        .parse()
+                        .expect("--credit-refill takes a number"),
+                );
+                i += 2;
+            }
+            "--subscriber-lag" => {
+                args.subscriber_lag = Some(
+                    need_value(i)
+                        .parse()
+                        .expect("--subscriber-lag takes a usize"),
+                );
+                i += 2;
+            }
             "--rounds-in-flight" => {
                 args.rounds_in_flight = Some(
                     need_value(i)
@@ -224,7 +286,9 @@ fn main() {
                  [--seed S] [--seeds S1,S2,..] [--rounds N] [--out DIR] \
                  [--serial | --rounds-in-flight N] [--jobs-in-flight N] \
                  [--addr HOST:PORT] [--max-sessions N] [--world-scale small|paper] [--stats] \
-                 [--memory-budget BYTES|K|M|G|unbounded] [--churn SPEC]"
+                 [--memory-budget BYTES|K|M|G|unbounded] [--churn SPEC] \
+                 [--subscribe] [--framing text|binary] [--retries N] \
+                 [--credits CAP] [--credit-refill PER_SEC] [--subscriber-lag N]"
             );
             std::process::exit(2);
         }
@@ -464,6 +528,16 @@ fn serve(args: &Args) {
     cfg.max_sessions = args.max_sessions;
     cfg.default_world_seed = args.world_seed.unwrap_or(args.seed);
     cfg.memory = args.memory_budget;
+    if let Some(cap) = args.credits {
+        cfg.credits.capacity = cap;
+    }
+    if let Some(rate) = args.credit_refill {
+        cfg.credits.refill_per_sec = rate;
+    }
+    if let Some(lag) = args.subscriber_lag {
+        cfg.subscriber_lag = lag;
+    }
+    let credits = cfg.credits;
     // Worlds are built lazily per requested seed, so the exact table
     // size is unknown here — still reject budgets whose pair share
     // cannot hold one entry per cache shard.
@@ -483,11 +557,13 @@ fn serve(args: &Args) {
     });
     eprintln!(
         "shortcuts-service listening on {} ({} scale world, max {} sessions, \
-         memory budget {})",
+         memory budget {}, credits {}/client refilling {}/s)",
         server.local_addr(),
         args.world_scale,
         max_sessions,
         args.memory_budget,
+        credits.capacity,
+        credits.refill_per_sec,
     );
     eprintln!(
         "try: colo-shortcuts client --addr {} --seed 2017 --rounds 4",
@@ -500,10 +576,17 @@ fn serve(args: &Args) {
 }
 
 fn client(args: &Args) {
-    let mut client = Client::connect(args.addr.as_str()).unwrap_or_else(|e| {
+    let retry = RetryPolicy::with_attempts(args.retries);
+    let mut client = Client::connect_with_retry(args.addr.as_str(), retry).unwrap_or_else(|e| {
         eprintln!("connect {}: {e}", args.addr);
         std::process::exit(1);
     });
+    if args.framing != Framing::Text {
+        if let Err(e) = client.negotiate(args.framing) {
+            eprintln!("HELLO framing={} failed: {e}", args.framing.label());
+            std::process::exit(1);
+        }
+    }
 
     if args.stats {
         // Stats-only probe: print one line per pooled engine stack.
@@ -530,7 +613,31 @@ fn client(args: &Args) {
     } else {
         format!(" churn={}", args.churn)
     };
-    let (request, labels): (String, Vec<String>) = if args.seeds.is_empty() {
+    let (request, labels): (String, Vec<String>) = if args.subscribe {
+        // SUBSCRIBE shares one execution with every identical request;
+        // churn is rejected server-side (not shareable), so it is not
+        // offered here.
+        if !args.churn.is_empty() {
+            eprintln!("--subscribe does not take --churn: churning runs are not shareable");
+            std::process::exit(2);
+        }
+        let (seeds_opt, labels) = if args.seeds.is_empty() {
+            (
+                format!("seed={}", args.seed),
+                vec![format!("seed-{}", args.seed)],
+            )
+        } else {
+            let seeds: Vec<String> = args.seeds.iter().map(u64::to_string).collect();
+            (
+                format!("seeds={}", seeds.join(",")),
+                args.seeds.iter().map(|s| format!("seed-{s}")).collect(),
+            )
+        };
+        (
+            format!("SUBSCRIBE {seeds_opt} rounds={}{world}", args.rounds),
+            labels,
+        )
+    } else if args.seeds.is_empty() {
         (
             format!(
                 "RUN seed={} rounds={}{world}{churn}",
@@ -551,7 +658,7 @@ fn client(args: &Args) {
         )
     };
     eprintln!("> {request}");
-    let outcome = client.run_streaming(&request, |event| match event {
+    let outcome = client.run_streaming_with_retry(&request, retry, |event| match event {
         StreamEvent::Round(line) => eprintln!("round {line}"),
         StreamEvent::End(line) => eprintln!("done  {line}"),
     });
