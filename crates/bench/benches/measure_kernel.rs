@@ -1,0 +1,133 @@
+//! Scalar vs batched measurement kernel, on the stage the campaign
+//! actually executes: a round's direct-task list handed to
+//! [`NetsimBackend::measure_batch`].
+//!
+//! The scalar oracle resolves every pair through the cache once per
+//! *window* and walks pings one at a time; the batched kernel resolves
+//! the whole stage's distinct pairs in one shard-grouped pass
+//! ([`resolve_pairs`]: one lock round per cache shard, one routing
+//! table per destination-AS group) and then samples windows off the
+//! struct-of-arrays [`PairBlock`] with no per-window allocation. Both
+//! produce bit-identical medians — asserted here as a canary on every
+//! run — so the ratio between the two rows is pure kernel overhead
+//! removed.
+//!
+//! Scales: `round` is one paper-shaped round on the small world;
+//! `10x` concatenates ten rounds' stages into one batch (more distinct
+//! pairs, deeper cache pressure). `RAYON_NUM_THREADS` caps workers.
+//!
+//! [`resolve_pairs`]: shortcuts_netsim::PingEngine::resolve_pairs
+//! [`PairBlock`]: shortcuts_netsim::PairBlock
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shortcuts_core::backend::{MeasureTask, MeasurementBackend, NetsimBackend};
+use shortcuts_core::plan::plan_round_for;
+use shortcuts_core::workflow::{CampaignConfig, CampaignSetup};
+use shortcuts_core::world::{World, WorldConfig};
+use shortcuts_netsim::{FaultPlan, PingHandle};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bit-level identity of two stage results — the canary that keeps
+/// this benchmark honest: a kernel that drifts from the oracle has no
+/// speedup worth reporting.
+fn assert_identical(a: &[Option<f64>], b: &[Option<f64>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: result count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        match (x, y) {
+            (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits(), "{what}: task {i}"),
+            (None, None) => {}
+            other => panic!("{what}: task {i} diverged: {other:?}"),
+        }
+    }
+}
+
+fn bench_measure_kernel(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::small(), 7);
+    let cfg = CampaignConfig::paper();
+    let engine = world.shared().engine(cfg.routing);
+    let setup_handle = PingHandle::with_faults(Arc::clone(&engine), FaultPlan::none());
+    let setup = CampaignSetup::prepare(&world, &setup_handle, &cfg);
+    engine.router().precompute(&setup.warmup());
+
+    // Ten rounds of direct stages, planned exactly as the campaign
+    // plans them (pure functions of (seed, round)).
+    let stages: Vec<Vec<MeasureTask>> = (0..10)
+        .map(|r| plan_round_for(&world, &setup.endpoints, &setup.relays, &cfg, r).direct_tasks())
+        .collect();
+    let round: Vec<MeasureTask> = stages[0].clone();
+    let tenx: Vec<MeasureTask> = stages.iter().flatten().copied().collect();
+
+    // Two backends over ONE shared engine (same warmed pair cache, so
+    // neither side pays cold-resolution cost the other skips); only the
+    // measurement strategy differs. RNG streams are per-task, so
+    // results match bit for bit.
+    let batched = NetsimBackend::new(
+        PingHandle::with_faults(Arc::clone(&engine), FaultPlan::none()),
+        cfg.window,
+        cfg.seed,
+    )
+    .with_scalar_oracle(false);
+    let scalar = NetsimBackend::new(
+        PingHandle::with_faults(Arc::clone(&engine), FaultPlan::none()),
+        cfg.window,
+        cfg.seed,
+    )
+    .with_scalar_oracle(true);
+
+    // Warm the cache and run the identity canary at both scales.
+    assert_identical(
+        &batched.measure_batch(&round, true),
+        &scalar.measure_batch(&round, true),
+        "paper round",
+    );
+    assert_identical(
+        &batched.measure_batch(&tenx, true),
+        &scalar.measure_batch(&tenx, true),
+        "10x stage",
+    );
+
+    c.bench_function("measure_kernel/scalar_round", |b| {
+        b.iter(|| black_box(scalar.measure_batch(&round, true)))
+    });
+    c.bench_function("measure_kernel/batched_round", |b| {
+        b.iter(|| black_box(batched.measure_batch(&round, true)))
+    });
+    c.bench_function("measure_kernel/scalar_10x", |b| {
+        b.iter(|| black_box(scalar.measure_batch(&tenx, true)))
+    });
+    c.bench_function("measure_kernel/batched_10x", |b| {
+        b.iter(|| black_box(batched.measure_batch(&tenx, true)))
+    });
+
+    // Explicit wall-clock speedup table (the acceptance number: the
+    // batched row must clear 1.5x at paper scale).
+    for (label, tasks, iters) in [("round", &round, 30u32), ("10x", &tenx, 6u32)] {
+        let time = |backend: &NetsimBackend| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(backend.measure_batch(tasks, true));
+            }
+            start.elapsed().as_secs_f64() / f64::from(iters)
+        };
+        let s = time(&scalar);
+        let b = time(&batched);
+        println!(
+            "measure_kernel speedup [{label}] tasks={} scalar={:.2}ms batched={:.2}ms speedup={:.2}x",
+            tasks.len(),
+            s * 1e3,
+            b * 1e3,
+            s / b
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_measure_kernel
+}
+criterion_main!(benches);

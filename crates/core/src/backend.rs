@@ -14,12 +14,19 @@
 //! engine); recorded-trace or analytical backends can slot in without
 //! touching planning or stitching.
 
-use crate::measure::{measure_pair, WindowConfig};
+use crate::measure::{measure_pair, window_median, with_reply_scratch, WindowConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use shortcuts_netsim::clock::SimTime;
-use shortcuts_netsim::{HostId, PingHandle};
+use shortcuts_netsim::{HostId, PingHandle, SampleTally};
+use std::sync::OnceLock;
+
+/// Windows per worker chunk in the batched kernel. Large enough to
+/// amortize scheduling and the per-chunk stats flush down to noise,
+/// small enough that a stage of a few thousand windows still splits
+/// across every core.
+const KERNEL_CHUNK: usize = 64;
 
 /// What a measurement window is for (part of the task's RNG identity:
 /// a direct pair and an overlay link between the same two hosts get
@@ -99,6 +106,45 @@ pub trait MeasurementBackend: Sync {
     /// `measure`. The default is a no-op so trace/analytical backends
     /// that have no mutable world remain trivially correct.
     fn apply_delta(&self, _batch: &[shortcuts_topology::TopologyDelta]) {}
+
+    /// Hands the backend a whole stage's task list before its windows
+    /// are measured one by one, so shared state can be resolved in
+    /// bulk (the netsim backend batch-resolves the stage's pair set —
+    /// each cache shard locked once, misses expanded data-parallel).
+    /// A pure performance hook: results never depend on whether it ran,
+    /// and the default is a no-op.
+    fn prepare(&self, _tasks: &[MeasureTask]) {}
+
+    /// Measures a whole task list, returning results in task order;
+    /// `parallel` picks the rayon pool over the calling thread. The
+    /// default prepares once and maps [`MeasurementBackend::measure`];
+    /// backends with a batched kernel override this to keep the whole
+    /// stage in flat passes. Any override must stay bit-identical to
+    /// the default — per-task RNG derivation makes that checkable.
+    fn measure_batch(&self, tasks: &[MeasureTask], parallel: bool) -> Vec<Option<f64>> {
+        self.prepare(tasks);
+        if parallel {
+            tasks.par_iter().map(|t| self.measure(t)).collect()
+        } else {
+            tasks.iter().map(|t| self.measure(t)).collect()
+        }
+    }
+}
+
+/// True when `COLO_SCALAR_MEASURE` is set (non-empty, not `"0"`):
+/// every [`NetsimBackend`] then measures through the scalar per-ping
+/// path instead of the batched kernel. The equivalence suites run once
+/// under this flag in CI — the batched kernel's output must be
+/// byte-identical either way. Read once; the process-global env var is
+/// not meant to be toggled at runtime (tests use
+/// [`NetsimBackend::with_scalar_oracle`] instead).
+fn scalar_measure_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("COLO_SCALAR_MEASURE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
 }
 
 /// The netsim-backed implementation: each task runs one ping window
@@ -113,16 +159,32 @@ pub struct NetsimBackend {
     handle: PingHandle,
     window: WindowConfig,
     campaign_seed: u64,
+    /// Measure through the scalar per-ping path instead of the batched
+    /// kernel. The scalar path is the equivalence *oracle*: slower,
+    /// but definitionally correct — the batched default must match it
+    /// byte for byte.
+    scalar: bool,
 }
 
 impl NetsimBackend {
-    /// Wraps a campaign's engine handle as a backend.
+    /// Wraps a campaign's engine handle as a backend. Measures through
+    /// the batched kernel unless `COLO_SCALAR_MEASURE` forces the
+    /// scalar oracle process-wide.
     pub fn new(handle: PingHandle, window: WindowConfig, campaign_seed: u64) -> Self {
         NetsimBackend {
             handle,
             window,
             campaign_seed,
+            scalar: scalar_measure_forced(),
         }
+    }
+
+    /// Forces (or un-forces) the scalar per-ping oracle for this
+    /// backend, regardless of the environment — how equivalence tests
+    /// pit the two paths against each other inside one process.
+    pub fn with_scalar_oracle(mut self, scalar: bool) -> Self {
+        self.scalar = scalar;
+        self
     }
 
     /// The campaign's engine handle.
@@ -134,14 +196,33 @@ impl NetsimBackend {
 impl MeasurementBackend for NetsimBackend {
     fn measure(&self, task: &MeasureTask) -> Option<f64> {
         let mut rng = task.rng(self.campaign_seed);
-        measure_pair(
-            &self.handle,
-            task.src,
-            task.dst,
-            task.start,
-            &self.window,
-            &mut rng,
-        )
+        if self.scalar {
+            return measure_pair(
+                &self.handle,
+                task.src,
+                task.dst,
+                task.start,
+                &self.window,
+                &mut rng,
+            );
+        }
+        // Batched single-task path: one cache lookup per window (not
+        // per ping) and the thread's scratch buffer for replies. The
+        // sharded scheduler lands here after `prepare` has already
+        // bulk-resolved the stage's pairs, so the lookup is a shard
+        // read-lock hit.
+        with_reply_scratch(|replies| {
+            self.handle.sample_window(
+                task.src,
+                task.dst,
+                task.start,
+                self.window.pings,
+                self.window.interval_secs,
+                &mut rng,
+                replies,
+            );
+            window_median(replies, self.window.min_valid)
+        })
     }
 
     fn pings_sent(&self) -> u64 {
@@ -151,12 +232,85 @@ impl MeasurementBackend for NetsimBackend {
     fn apply_delta(&self, batch: &[shortcuts_topology::TopologyDelta]) {
         self.handle.engine().apply_delta(batch);
     }
+
+    fn prepare(&self, tasks: &[MeasureTask]) {
+        if self.scalar || tasks.len() < 2 {
+            return;
+        }
+        let pairs: Vec<(HostId, HostId)> = tasks.iter().map(|t| (t.src, t.dst)).collect();
+        let _ = self.handle.resolve_pairs(&pairs);
+    }
+
+    fn measure_batch(&self, tasks: &[MeasureTask], parallel: bool) -> Vec<Option<f64>> {
+        if self.scalar || tasks.len() < 2 {
+            // Oracle mode, or too small for batching to buy anything.
+            return if parallel {
+                tasks.par_iter().map(|t| self.measure(t)).collect()
+            } else {
+                tasks.iter().map(|t| self.measure(t)).collect()
+            };
+        }
+        // The batched kernel: resolve the stage's whole pair set in
+        // flat passes, then sample every window from the block's SoA
+        // rows. `resolve_pairs` snapshots the current epoch, which is
+        // exactly stage semantics — churn applies between stages.
+        //
+        // Windows go to workers in chunks, not one by one: a window is
+        // sub-microsecond, so per-window scheduling and per-window
+        // counter updates are a measurable fraction of the kernel. A
+        // chunk claims one scheduling slot, reuses one reply buffer,
+        // and flushes one stats tally.
+        let pairs: Vec<(HostId, HostId)> = tasks.iter().map(|t| (t.src, t.dst)).collect();
+        let (block, slots) = self.handle.resolve_pairs_indexed(&pairs);
+        let run_chunk = |offset: usize, chunk: &[MeasureTask]| -> Vec<Option<f64>> {
+            let mut tally = SampleTally::default();
+            let out = with_reply_scratch(|replies| {
+                chunk
+                    .iter()
+                    .zip(&slots[offset..offset + chunk.len()])
+                    .map(|(task, &slot)| {
+                        let mut rng = task.rng(self.campaign_seed);
+                        self.handle.sample_window_block_tally(
+                            &block,
+                            slot,
+                            task.start,
+                            self.window.pings,
+                            self.window.interval_secs,
+                            &mut rng,
+                            replies,
+                            &mut tally,
+                        );
+                        window_median(replies, self.window.min_valid)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            self.handle.flush_tally(&tally);
+            out
+        };
+        let chunks: Vec<(usize, &[MeasureTask])> = tasks
+            .chunks(KERNEL_CHUNK)
+            .enumerate()
+            .map(|(ci, c)| (ci * KERNEL_CHUNK, c))
+            .collect();
+        let nested: Vec<Vec<Option<f64>>> = if parallel {
+            chunks
+                .par_iter()
+                .map(|&(off, c)| run_chunk(off, c))
+                .collect()
+        } else {
+            chunks.iter().map(|&(off, c)| run_chunk(off, c)).collect()
+        };
+        nested.into_iter().flatten().collect()
+    }
 }
 
 /// How the campaign schedules measurement windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// One task after another on the calling thread.
+    /// One task after another on the calling thread. (A backend's
+    /// batched pair *resolution* may still use the rayon pool — pin
+    /// `RAYON_NUM_THREADS=1` for a strictly single-threaded run;
+    /// results are bit-identical either way.)
     Serial,
     /// Data-parallel across all available cores, with a full barrier
     /// between a round's stages.
@@ -180,17 +334,17 @@ pub enum ExecMode {
 /// produce bit-identical output — the per-task RNG derivation makes
 /// scheduling unobservable. `Sharded` governs the *round loop* (see
 /// [`crate::shard`]); over a flat task list it degrades to
-/// `Parallel`.
+/// `Parallel`. Each stage goes through the backend's
+/// [`MeasurementBackend::measure_batch`], so batched kernels see the
+/// whole task list at once.
 pub fn execute<B: MeasurementBackend + ?Sized>(
     backend: &B,
     tasks: &[MeasureTask],
     mode: ExecMode,
 ) -> Vec<Option<f64>> {
     match mode {
-        ExecMode::Serial => tasks.iter().map(|t| backend.measure(t)).collect(),
-        ExecMode::Parallel | ExecMode::Sharded { .. } => {
-            tasks.par_iter().map(|t| backend.measure(t)).collect()
-        }
+        ExecMode::Serial => backend.measure_batch(tasks, false),
+        ExecMode::Parallel | ExecMode::Sharded { .. } => backend.measure_batch(tasks, true),
     }
 }
 
@@ -295,6 +449,39 @@ mod tests {
             ..t
         };
         assert_ne!(t.rng_seed(5), rev.rng_seed(5));
+    }
+
+    #[test]
+    fn default_measure_batch_prepares_once_and_matches_execute() {
+        struct PrepCounting {
+            inner: SyntheticBackend,
+            preps: AtomicU64,
+        }
+        impl MeasurementBackend for PrepCounting {
+            fn measure(&self, task: &MeasureTask) -> Option<f64> {
+                self.inner.measure(task)
+            }
+            fn pings_sent(&self) -> u64 {
+                self.inner.pings_sent()
+            }
+            fn prepare(&self, tasks: &[MeasureTask]) {
+                assert_eq!(tasks.len(), 100, "prepare must see the whole stage");
+                self.preps.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let backend = PrepCounting {
+            inner: SyntheticBackend {
+                seed: 3,
+                pings: AtomicU64::new(0),
+            },
+            preps: AtomicU64::new(0),
+        };
+        let ts = tasks(100);
+        let serial = execute(&backend, &ts, ExecMode::Serial);
+        assert_eq!(backend.preps.load(Ordering::Relaxed), 1);
+        let parallel = execute(&backend, &ts, ExecMode::Parallel);
+        assert_eq!(backend.preps.load(Ordering::Relaxed), 2);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

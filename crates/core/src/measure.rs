@@ -10,6 +10,25 @@
 use rand::Rng;
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::{HostId, Pinger};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread reply buffer shared by every window measured on this
+    /// thread. A campaign measures millions of windows; reusing one
+    /// buffer per worker removes a `Vec<f64>` allocation per pair per
+    /// round from the hot loop.
+    static WINDOW_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's (cleared) window scratch buffer. Do not
+/// nest calls on one thread — the buffer is a single per-thread slot.
+pub fn with_reply_scratch<T>(f: impl FnOnce(&mut Vec<f64>) -> T) -> T {
+    WINDOW_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        f(&mut buf)
+    })
+}
 
 /// Parameters of a measurement window.
 #[derive(Debug, Clone, Copy)]
@@ -35,10 +54,10 @@ impl Default for WindowConfig {
 /// Median of a slice. `None` for an empty slice. Even lengths average
 /// the middle pair.
 ///
-/// Runs once per ping window — millions of times per campaign — so it
-/// selects in O(n) (`select_nth_unstable_by`) instead of sorting, and
-/// window-sized inputs (≤ 16 samples) use a stack buffer instead of
-/// allocating.
+/// Runs once per ping window — millions of times per campaign — so
+/// window-sized inputs (≤ 16 samples) use a stack buffer and a tiny
+/// insertion sort, and larger ones select in O(n)
+/// (`select_nth_unstable_by`) instead of sorting.
 pub fn median(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
@@ -52,10 +71,31 @@ pub fn median(values: &[f64]) -> Option<f64> {
     }
 }
 
-/// Selection-based median over a scratch buffer the caller lets us
-/// reorder.
+/// Median over a scratch buffer the caller lets us reorder.
+///
+/// Window-sized inputs (≤ 16, the overwhelmingly common case — every
+/// §2.5 window has at most 6 replies) take an insertion sort:
+/// `select_nth_unstable` carries pivot machinery that costs more than
+/// sorting this few elements outright. Both branches return the same
+/// order statistics, so which one runs is unobservable in results.
 fn median_in_place(v: &mut [f64]) -> f64 {
     let n = v.len();
+    if n <= 16 {
+        for i in 1..n {
+            let x = v[i];
+            let mut j = i;
+            while j > 0 && v[j - 1] > x {
+                v[j] = v[j - 1];
+                j -= 1;
+            }
+            v[j] = x;
+        }
+        return if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        };
+    }
     let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("RTTs are finite");
     let (lower, &mut upper_mid, _) = v.select_nth_unstable_by(n / 2, cmp);
     if n % 2 == 1 {
@@ -68,10 +108,23 @@ fn median_in_place(v: &mut [f64]) -> f64 {
     }
 }
 
+/// The window verdict over a reply buffer the caller lets us reorder:
+/// `None` when there are no replies or fewer than `min_valid`, the
+/// selection-based median otherwise. This is [`median`] fused with the
+/// §2.5 validity rule, minus `median`'s defensive copy — callers hand
+/// over a scratch buffer they are done with.
+pub fn window_median(replies: &mut [f64], min_valid: usize) -> Option<f64> {
+    if replies.is_empty() || replies.len() < min_valid {
+        return None;
+    }
+    Some(median_in_place(replies))
+}
+
 /// Measures one pair over a window: pings per [`WindowConfig`], median
 /// if enough replies, `None` otherwise. Generic over [`Pinger`], so it
 /// runs identically on a bare engine or a campaign's fault-carrying
-/// handle.
+/// handle. Replies land in the thread's scratch buffer
+/// ([`with_reply_scratch`]), so steady-state windows allocate nothing.
 pub fn measure_pair<P: Pinger, R: Rng + ?Sized>(
     engine: &P,
     src: HostId,
@@ -80,11 +133,18 @@ pub fn measure_pair<P: Pinger, R: Rng + ?Sized>(
     cfg: &WindowConfig,
     rng: &mut R,
 ) -> Option<f64> {
-    let replies = engine.ping_series(src, dst, window_start, cfg.pings, cfg.interval_secs, rng);
-    if replies.len() < cfg.min_valid {
-        return None;
-    }
-    median(&replies)
+    with_reply_scratch(|replies| {
+        engine.ping_series_into(
+            src,
+            dst,
+            window_start,
+            cfg.pings,
+            cfg.interval_secs,
+            rng,
+            replies,
+        );
+        window_median(replies, cfg.min_valid)
+    })
 }
 
 /// Stitches a one-relay overlay path from its two leg medians
@@ -119,6 +179,20 @@ mod tests {
     fn median_robust_to_one_spike() {
         let m = median(&[10.0, 10.2, 9.9, 10.1, 400.0, 10.0]).unwrap();
         assert!(m < 11.0, "median {m} should shrug off the spike");
+    }
+
+    #[test]
+    fn window_median_applies_validity_rule_in_place() {
+        assert_eq!(window_median(&mut [3.0, 1.0, 2.0], 3), Some(2.0));
+        assert_eq!(window_median(&mut [4.0, 1.0, 2.0, 3.0], 3), Some(2.5));
+        assert_eq!(window_median(&mut [3.0, 1.0], 3), None, "below min_valid");
+        assert_eq!(window_median(&mut [], 0), None, "no replies, no median");
+    }
+
+    #[test]
+    fn reply_scratch_is_cleared_between_windows() {
+        with_reply_scratch(|b| b.extend([1.0, 2.0, 3.0]));
+        with_reply_scratch(|b| assert!(b.is_empty(), "stale replies leaked"));
     }
 
     #[test]

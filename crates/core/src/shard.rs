@@ -337,8 +337,12 @@ where
                 });
                 if n == 0 {
                     // Degenerate round with nothing to measure.
-                    advance_job(coord, job);
+                    advance_job(coord, backends, job);
                 } else {
+                    // Let the campaign's backend batch-resolve the
+                    // stage's pair set before its windows fan out as
+                    // individual measure items.
+                    backends[campaign as usize].prepare(&direct_tasks);
                     enqueue_measures(coord, job, Dest::Direct, direct_tasks);
                 }
             }
@@ -364,7 +368,7 @@ where
                 let stage_drained = st.remaining == 0;
                 drop(slot);
                 if stage_drained {
-                    advance_job(coord, job);
+                    advance_job(coord, backends, job);
                 }
             }
         }
@@ -392,7 +396,10 @@ fn enqueue_measures(coord: &Coordination, job: u32, dest: Dest, tasks: Vec<Measu
 /// Advances a job whose current stage has no outstanding windows:
 /// direct → tail (reverse + overlay links), tail → complete. Runs on
 /// the worker that landed the stage's last window.
-fn advance_job(coord: &Coordination, job: u32) {
+fn advance_job<B>(coord: &Coordination, backends: &[&B], job: u32)
+where
+    B: MeasurementBackend + ?Sized,
+{
     let mut slot = coord.slots[job as usize].lock().expect("slot lock");
     let st = slot.as_mut().expect("advanced job is in flight");
     debug_assert_eq!(st.remaining, 0, "stage still has outstanding windows");
@@ -410,6 +417,9 @@ fn advance_job(coord: &Coordination, job: u32) {
         st.in_tail = true;
         if st.remaining > 0 {
             drop(slot);
+            let backend = backends[coord.jobs[job as usize].0 as usize];
+            backend.prepare(&reverse_tasks);
+            backend.prepare(&link_tasks);
             enqueue_measures(coord, job, Dest::Reverse, reverse_tasks);
             enqueue_measures(coord, job, Dest::Link, link_tasks);
             return;

@@ -1,0 +1,100 @@
+//! Deterministic fast hashing for small fixed-width keys.
+//!
+//! The pair cache and the batched kernel hash `(HostId, HostId)` keys
+//! on every probe, dedupe and slot lookup — millions of times per
+//! campaign. `std`'s default SipHash is DoS-resistant but ~an order of
+//! magnitude slower than needed for 8-byte keys that never come from
+//! an attacker (host ids are dense indices the world builder assigns).
+//! [`FastHasher`] is the usual multiply-rotate scheme (as in rustc's
+//! FxHash): one rotate + xor + multiply per written word.
+//!
+//! Unlike `RandomState`, this hasher is **deterministic across runs**,
+//! which the engine does not rely on for results (map iteration order
+//! is never observable in outputs — eviction walks an explicit clock
+//! ring) but which keeps any future diagnostic that *does* iterate a
+//! map stable from run to run.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher for integer-shaped keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+/// The FxHash multiplier (a prime close to the golden ratio in 64
+/// bits, chosen upstream for its bit-mixing behavior under `wrapping_mul`).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuild = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by trusted fixed-width keys.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreads() {
+        let mut map: FastMap<(u32, u32), u32> = FastMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i ^ 7), i);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&(i, i ^ 7)), Some(&i));
+        }
+        // Same key, same hash, across hasher instances.
+        use std::hash::BuildHasher;
+        let build = FastBuild::default();
+        let hash_of = |k: (u32, u32)| build.hash_one(k);
+        assert_eq!(hash_of((3, 9)), hash_of((3, 9)));
+        assert_ne!(hash_of((3, 9)), hash_of((9, 3)));
+    }
+}

@@ -64,6 +64,7 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// Deterministic base RTT of an expanded path, in ms, assuming the
     /// reply retraces the same route.
+    #[inline]
     pub fn base_rtt_ms(&self, path: &RouterPath) -> f64 {
         let prop_one_way = path.total_km() * self.circuity / FIBER_KM_PER_MS;
         2.0 * prop_one_way + f64::from(path.router_hops) * self.per_hop_ms
@@ -74,6 +75,7 @@ impl LatencyModel {
     /// each direction's expanded path, plus the per-hop charge averaged
     /// over the two directions. Symmetric by construction:
     /// `base_rtt_two_way(f, r) == base_rtt_two_way(r, f)`.
+    #[inline]
     pub fn base_rtt_two_way(&self, fwd: &RouterPath, rev: &RouterPath) -> f64 {
         let prop = (fwd.total_km() + rev.total_km()) * self.circuity / FIBER_KM_PER_MS;
         let hops = f64::from(fwd.router_hops + rev.router_hops) / 2.0;
@@ -81,6 +83,7 @@ impl LatencyModel {
     }
 
     /// Diurnal load factor in `[0, 1]`, peaking at 20:00 local time.
+    #[inline]
     pub fn diurnal_load(&self, t: SimTime, mid_longitude: f64) -> f64 {
         let h = t.local_hour(mid_longitude);
         0.5 * (1.0 + (std::f64::consts::TAU * (h - 14.0) / 24.0).sin())
@@ -90,6 +93,11 @@ impl LatencyModel {
     ///
     /// `mid_longitude` locates the path for the diurnal term (use the
     /// average of the endpoint longitudes).
+    ///
+    /// `#[inline]`: this is the innermost call of every measurement
+    /// window; letting it inline into the batched sampling loop keeps
+    /// the per-ping cost at the arithmetic itself.
+    #[inline]
     pub fn sample_rtt<R: Rng + ?Sized>(
         &self,
         base_ms: f64,
@@ -114,6 +122,7 @@ impl LatencyModel {
 
 /// Standard normal via Box–Muller (avoids pulling in rand_distr; `rand`
 /// alone has no normal distribution).
+#[inline]
 fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);

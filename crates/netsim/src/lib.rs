@@ -49,6 +49,7 @@
 //! ```
 
 pub mod clock;
+pub mod fasthash;
 pub mod fault;
 pub mod host;
 pub mod latency;
@@ -61,5 +62,5 @@ pub use fault::FaultPlan;
 pub use host::{Host, HostId, HostKind, HostRegistry};
 pub use latency::LatencyModel;
 pub use path::{expand_path, RouterPath};
-pub use ping::{EngineStats, PingEngine, PingHandle, Pinger};
+pub use ping::{EngineStats, PairBlock, PingEngine, PingHandle, Pinger, SampleTally};
 pub use traceroute::{Traceroute, TracerouteHop};

@@ -14,8 +14,26 @@
 //! (a fault plan, ping accounting) live in [`PingHandle`], a cheap
 //! per-campaign view of the shared engine. The [`Pinger`] trait
 //! abstracts over the two so measurement code works with either.
+//!
+//! ## The batched kernel
+//!
+//! Scalar pings ([`PingEngine::ping`]) resolve the pair on every call:
+//! a shard lock, a hash probe, an `Arc` bump — six times per
+//! measurement window. Round execution instead batches:
+//! [`PingEngine::resolve_pairs`] resolves a whole round's pair set in
+//! grouped flat passes (each cache shard locked once, misses expanded
+//! data-parallel per destination AS, one bulk insert per shard) into a
+//! [`PairBlock`] — a struct-of-arrays snapshot of the resolved facts —
+//! and [`PingEngine::sample_window_block`] then samples a window from
+//! a block row in a tight, allocation-free loop. RNG draws are
+//! replicated exactly, so batched results are bit-identical to the
+//! scalar path; the scalar path survives as the equivalence oracle.
+//! AS paths are interned ([`PathInterner`]) so the heavily shared
+//! forward/reverse arrays are stored — and churn-checked — once per
+//! distinct path instead of once per pair.
 
 use crate::clock::SimTime;
+use crate::fasthash::FastMap;
 use crate::fault::FaultPlan;
 use crate::host::{HostId, HostRegistry};
 use crate::latency::LatencyModel;
@@ -23,9 +41,10 @@ use crate::path::expand_path;
 use crate::traceroute::Traceroute;
 use parking_lot::RwLock;
 use rand::Rng;
+use rayon::prelude::*;
 use shortcuts_topology::routing::Router;
-use shortcuts_topology::{Asn, Topology, TopologyDelta};
-use std::collections::{HashMap, HashSet};
+use shortcuts_topology::{Asn, NodeId, PathInterner, Topology, TopologyDelta};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -68,6 +87,45 @@ struct StatCounters {
     replies: AtomicU64,
     losses: AtomicU64,
     unroutable: AtomicU64,
+}
+
+impl StatCounters {
+    /// Adds a locally accumulated tally, skipping zero fields — a
+    /// tally flush is the only counter traffic the batched kernel
+    /// generates, so flushes should be as cheap as the common case
+    /// (no losses, no unroutables) allows.
+    fn flush(&self, t: &SampleTally) {
+        if t.attempts > 0 {
+            self.attempts.fetch_add(t.attempts, Ordering::Relaxed);
+        }
+        if t.replies > 0 {
+            self.replies.fetch_add(t.replies, Ordering::Relaxed);
+        }
+        if t.losses > 0 {
+            self.losses.fetch_add(t.losses, Ordering::Relaxed);
+        }
+        if t.unroutable > 0 {
+            self.unroutable.fetch_add(t.unroutable, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Locally accumulated window statistics. The batched kernel samples
+/// windows in chunks per worker; accumulating into one of these and
+/// flushing per chunk ([`PingHandle::flush_tally`]) replaces four
+/// shared-cache-line `fetch_add`s *per window* with a handful per
+/// chunk. Totals are identical to per-window accounting — the shared
+/// counters are relaxed, so only the flush granularity changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleTally {
+    /// Pings attempted.
+    pub attempts: u64,
+    /// Pings that returned a reply.
+    pub replies: u64,
+    /// Pings lost to noise or faults.
+    pub losses: u64,
+    /// Pings that failed because no route exists.
+    pub unroutable: u64,
 }
 
 /// Health snapshot of a (possibly long-lived, shared) engine stack:
@@ -115,6 +173,12 @@ pub struct EngineStats {
     /// and reverse paths crossed no dirty link, so the recompute was
     /// skipped entirely.
     pub pair_revalidated: u64,
+    /// Distinct AS paths interned fresh (each owns one shared
+    /// allocation all pairs using that path point at).
+    pub paths_interned: u64,
+    /// Path-interning requests served by an already-live allocation —
+    /// pair entries whose path arrays cost zero additional bytes.
+    pub path_dedup_hits: u64,
 }
 
 impl EngineStats {
@@ -136,7 +200,7 @@ impl EngineStats {
              tables_resident={} pings_sent={} tables_bytes={} table_evictions={} \
              table_recomputes={} pair_bytes={} pair_evictions={} \
              tables_repaired={} entries_rescanned={} full_rebuilds={} \
-             pair_revalidated={}",
+             pair_revalidated={} paths_interned={} path_dedup_hits={}",
             self.pair_cache_hits,
             self.pair_cache_misses,
             self.pair_cache_hit_rate(),
@@ -152,6 +216,8 @@ impl EngineStats {
             self.entries_rescanned,
             self.full_rebuilds,
             self.pair_revalidated,
+            self.paths_interned,
+            self.path_dedup_hits,
         )
     }
 }
@@ -194,21 +260,29 @@ enum PairLookup {
 }
 
 /// Resident pair facts of one shard.
-type PairMap = HashMap<(HostId, HostId), CacheEntry>;
+type PairMap = FastMap<(HostId, HostId), CacheEntry>;
+
+/// One freshly expanded batch entry awaiting publication: the pair's
+/// slot in the [`PairBlock`], its facts (`None` = unroutable), and the
+/// bytes its cache entry will be charged.
+type ComputedEntry = (u32, Option<Arc<PairInfo>>, u32);
 
 /// Approximate bytes one cached pair costs: key, entry, hash-map and
-/// clock-ring bookkeeping, plus the shared path payload when routable.
-fn entry_bytes(info: &Option<Arc<PairInfo>>) -> u32 {
+/// clock-ring bookkeeping, plus the path payload this entry is
+/// *charged* for. Paths are interned, so an entry pays only for the
+/// ASN array bytes its own interning created fresh
+/// (`charged_path_asns`); an entry pointing at paths another resident
+/// pair already owns charges zero for them — the allocation exists
+/// once, so the gauge counts it once.
+fn entry_bytes(info: &Option<Arc<PairInfo>>, charged_path_asns: usize) -> u32 {
     const FIXED: usize = 2 * std::mem::size_of::<(HostId, HostId)>() // map key + ring slot
         + std::mem::size_of::<CacheEntry>()
         + 16; // hash-map slot overhead
     let payload = match info {
         None => 0,
-        // PairInfo + Arc refcounts + both shared AS-path arrays.
-        Some(p) => {
-            std::mem::size_of::<PairInfo>()
-                + 32
-                + (p.as_path.len() + p.rev_path.len()) * std::mem::size_of::<Asn>()
+        // PairInfo + Arc refcounts + freshly interned path bytes.
+        Some(_) => {
+            std::mem::size_of::<PairInfo>() + 32 + charged_path_asns * std::mem::size_of::<Asn>()
         }
     };
     (FIXED + payload) as u32
@@ -218,7 +292,7 @@ fn entry_bytes(info: &Option<Arc<PairInfo>>) -> u32 {
 /// what `MemoryBudget::ensure_fits` should charge per shard when a
 /// front end validates a budget before running.
 pub fn pair_entry_min_bytes() -> u64 {
-    u64::from(entry_bytes(&None))
+    u64::from(entry_bytes(&None, 0))
 }
 
 /// Write-locked state of one shard: the resident map plus its CLOCK
@@ -278,15 +352,23 @@ impl PairCache {
         }
     }
 
-    /// The shard owning a pair: a SplitMix64 finalizer over both host
-    /// ids, so pairs sharing a source still spread across shards.
-    fn shard(&self, key: (HostId, HostId)) -> &CacheShard {
+    /// The shard index owning a pair: a SplitMix64 finalizer over both
+    /// host ids, so pairs sharing a source still spread across shards.
+    /// Exposed separately from [`PairCache::shard`] so the batch
+    /// resolver can group a round's pairs per shard before touching
+    /// any lock.
+    fn shard_index(key: (HostId, HostId)) -> usize {
         let mut z = (u64::from(key.0 .0) << 32) | u64::from(key.1 .0);
         z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        &self.shards[(z as usize) % CACHE_SHARDS]
+        (z as usize) % CACHE_SHARDS
+    }
+
+    /// The shard owning a pair.
+    fn shard(&self, key: (HostId, HostId)) -> &CacheShard {
+        &self.shards[Self::shard_index(key)]
     }
 
     fn get(&self, key: (HostId, HostId), epoch: u64) -> PairLookup {
@@ -340,42 +422,37 @@ impl PairCache {
         self.shard(key).misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>, epoch: u64) {
+    /// Inserts one freshly computed entry. `bytes` is the charge the
+    /// expansion computed (fixed cost + freshly interned path bytes) —
+    /// precomputed by the caller because only the interning site knows
+    /// which path allocations this entry created.
+    fn insert(&self, key: (HostId, HostId), info: Option<Arc<PairInfo>>, epoch: u64, bytes: u32) {
         let shard = self.shard(key);
         let mut st = shard.state.write();
-        let bytes = entry_bytes(&info);
-        if let Some(e) = st.map.get_mut(&key) {
-            if e.epoch.load(Ordering::Relaxed) >= epoch {
-                // A racing expander won the slot at the same (or a
-                // newer) epoch; both computed the same deterministic
-                // facts, so keep the incumbent.
-                return;
-            }
-            // Stale incumbent: replace in place. The key keeps its
-            // ring slot; only the byte gauge moves.
-            let old_bytes = e.bytes;
-            *e = CacheEntry {
-                info,
-                referenced: AtomicBool::new(true),
-                bytes,
-                epoch: AtomicU64::new(epoch),
-            };
-            st.bytes = st.bytes - u64::from(old_bytes) + u64::from(bytes);
-        } else {
-            st.map.insert(
-                key,
-                CacheEntry {
-                    info,
-                    referenced: AtomicBool::new(true),
-                    bytes,
-                    epoch: AtomicU64::new(epoch),
-                },
-            );
-            st.ring.push(key);
-            st.bytes += u64::from(bytes);
-        }
+        insert_locked(&mut st, key, info, epoch, bytes);
         if let Some(budget) = self.shard_budget {
             evict_shard_over_budget(&mut st, budget, key, &shard.evictions);
+        }
+    }
+
+    /// Bulk insert: all entries of one shard under a single write
+    /// lock. Entry semantics (incumbent handling, byte gauge, CLOCK
+    /// eviction pressure) are identical to per-entry [`insert`] —
+    /// the batch only amortizes the lock acquisition.
+    fn insert_many(
+        &self,
+        shard_idx: usize,
+        entries: impl Iterator<Item = ((HostId, HostId), Option<Arc<PairInfo>>, u32)>,
+        epoch: u64,
+    ) {
+        let shard = &self.shards[shard_idx];
+        let mut st = shard.state.write();
+        for (key, info, bytes) in entries {
+            debug_assert_eq!(Self::shard_index(key), shard_idx);
+            insert_locked(&mut st, key, info, epoch, bytes);
+            if let Some(budget) = self.shard_budget {
+                evict_shard_over_budget(&mut st, budget, key, &shard.evictions);
+            }
         }
     }
 
@@ -413,6 +490,48 @@ impl PairCache {
             .iter()
             .map(|s| s.revalidated.load(Ordering::Relaxed))
             .sum()
+    }
+}
+
+/// Insert/replace one entry in a shard whose write lock the caller
+/// holds — the shared body of [`PairCache::insert`] and
+/// [`PairCache::insert_many`].
+fn insert_locked(
+    st: &mut ShardState,
+    key: (HostId, HostId),
+    info: Option<Arc<PairInfo>>,
+    epoch: u64,
+    bytes: u32,
+) {
+    if let Some(e) = st.map.get_mut(&key) {
+        if e.epoch.load(Ordering::Relaxed) >= epoch {
+            // A racing expander won the slot at the same (or a
+            // newer) epoch; both computed the same deterministic
+            // facts, so keep the incumbent.
+            return;
+        }
+        // Stale incumbent: replace in place. The key keeps its
+        // ring slot; only the byte gauge moves.
+        let old_bytes = e.bytes;
+        *e = CacheEntry {
+            info,
+            referenced: AtomicBool::new(true),
+            bytes,
+            epoch: AtomicU64::new(epoch),
+        };
+        st.bytes = st.bytes - u64::from(old_bytes) + u64::from(bytes);
+    } else {
+        st.map.insert(
+            key,
+            CacheEntry {
+                info,
+                referenced: AtomicBool::new(true),
+                bytes,
+                epoch: AtomicU64::new(epoch),
+            },
+        );
+        st.ring.push(key);
+        st.bytes += u64::from(bytes);
     }
 }
 
@@ -496,6 +615,80 @@ impl DirtyEpoch {
     }
 }
 
+/// Struct-of-arrays snapshot of one batch's resolved pair facts — the
+/// output of [`PingEngine::resolve_pairs`] and the input of
+/// [`PingEngine::sample_window_block`].
+///
+/// Each distinct `(src, dst)` pair of the batch owns one row (slot):
+/// base RTT, diurnal midpoint longitude and the shared forward AS
+/// path, laid out in parallel arrays so a round's sampling loop walks
+/// flat `f64` slices instead of chasing `Arc<PairInfo>` pointers
+/// through the cache on every window. Unroutable pairs hold a row
+/// with no path. The block is a *snapshot*: it pins the facts at the
+/// epoch `resolve_pairs` ran at, which is exactly the semantics a
+/// round wants (churn applies between rounds, never mid-round).
+pub struct PairBlock {
+    /// Row index per distinct pair, in first-seen batch order.
+    slots: FastMap<(HostId, HostId), u32>,
+    /// Base RTT per row, ms (unspecified for unroutable rows).
+    base_ms: Vec<f64>,
+    /// Diurnal midpoint longitude per row.
+    mid_lon: Vec<f64>,
+    /// Forward AS path per row; `None` = unroutable pair.
+    paths: Vec<Option<Arc<[Asn]>>>,
+}
+
+impl PairBlock {
+    fn with_capacity(n: usize) -> Self {
+        PairBlock {
+            slots: FastMap::with_capacity_and_hasher(n, Default::default()),
+            base_ms: Vec::with_capacity(n),
+            mid_lon: Vec::with_capacity(n),
+            paths: Vec::with_capacity(n),
+        }
+    }
+
+    /// Sizes the row arrays for `n` slots of unroutable defaults;
+    /// [`PairBlock::set_row`] then fills routable rows in place. Rows
+    /// are written at their slot index (not pushed) so the resolver's
+    /// passes can fill them in whatever order the shards come up.
+    fn size_rows(&mut self, n: usize) {
+        self.base_ms.resize(n, f64::NAN);
+        self.mid_lon.resize(n, 0.0);
+        self.paths.resize(n, None);
+    }
+
+    fn set_row(&mut self, slot: u32, info: Option<&PairInfo>) {
+        if let Some(p) = info {
+            let i = slot as usize;
+            self.base_ms[i] = p.base_ms;
+            self.mid_lon[i] = p.mid_lon;
+            self.paths[i] = Some(Arc::clone(&p.as_path));
+        }
+    }
+
+    /// The row holding `(src, dst)`'s facts, or `None` if the pair was
+    /// not part of the batch this block resolved.
+    pub fn slot(&self, src: HostId, dst: HostId) -> Option<u32> {
+        self.slots.get(&(src, dst)).copied()
+    }
+
+    /// Whether the row's pair is routable (has a forward path).
+    pub fn is_routable(&self, slot: u32) -> bool {
+        self.paths[slot as usize].is_some()
+    }
+
+    /// Distinct pairs resolved in this block.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when the block resolved no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
 /// The ping engine. `Sync`: all interior mutability is a read-mostly
 /// sharded pair cache behind per-shard `RwLock`s plus atomic counters,
 /// so one engine is shared by every measurement worker thread — and,
@@ -513,6 +706,11 @@ pub struct PingEngine {
     hosts: Arc<HostRegistry>,
     model: LatencyModel,
     cache: PairCache,
+    /// Content-addressed store of the live AS-path population: every
+    /// `PairInfo` path is interned here, so pairs sharing a route
+    /// share one allocation (and one byte charge, and one churn
+    /// check).
+    interner: PathInterner,
     stats: StatCounters,
     /// Current churn epoch == number of delta batches applied. Pair
     /// entries are stamped with the epoch they were computed (or last
@@ -565,6 +763,7 @@ impl PingEngine {
             hosts,
             model,
             cache: PairCache::new(pair_budget_bytes),
+            interner: PathInterner::new(),
             stats: StatCounters::default(),
             epoch: AtomicU64::new(0),
             dirty: RwLock::new(Vec::new()),
@@ -650,6 +849,7 @@ impl PingEngine {
     pub fn engine_stats(&self) -> EngineStats {
         let (pair_cache_hits, pair_cache_misses) = self.cache.hit_miss();
         let router = self.router.stats();
+        let intern = self.interner.stats();
         EngineStats {
             pair_cache_hits,
             pair_cache_misses,
@@ -665,6 +865,8 @@ impl PingEngine {
             entries_rescanned: router.entries_rescanned,
             full_rebuilds: router.full_rebuilds,
             pair_revalidated: self.cache.revalidated(),
+            paths_interned: intern.interned,
+            path_dedup_hits: intern.dedup_hits,
         }
     }
 
@@ -687,61 +889,489 @@ impl PingEngine {
             }
             PairLookup::Miss => {}
         }
+        let (info, bytes) = self.compute_pair(src, dst);
+        self.cache.insert((src, dst), info.clone(), epoch, bytes);
+        info
+    }
+
+    /// Expands one pair from scratch (routes, router-level expansion,
+    /// base RTT, interned paths). Returns the facts plus the bytes the
+    /// cache should charge this entry for — fixed cost plus whatever
+    /// path allocations *this* expansion interned fresh.
+    fn compute_pair(&self, src: HostId, dst: HostId) -> (Option<Arc<PairInfo>>, u32) {
+        let s = self.hosts.get(src);
+        let d = self.hosts.get(dst);
+        if s.asn == d.asn {
+            return self.expand_same_as(src, dst);
+        }
+        // An echo round trip traverses the forward route AND the
+        // (possibly different) return route; base RTT sums both
+        // one-way expansions, which also makes RTT(a,b) == RTT(b,a)
+        // exactly — matching the paper's symmetry observation.
+        // Hosts carry their AS's dense node id, so the table
+        // lookups skip the Asn→NodeId hash entirely.
+        let fwd_as = self.router.as_path_between(s.node, d.node);
+        let rev_as = self.router.as_path_between(d.node, s.node);
+        match (fwd_as, rev_as) {
+            (Some(fwd_as), Some(rev_as)) => self.expand_cross_as(src, dst, &fwd_as, &rev_as),
+            _ => (None, entry_bytes(&None, 0)),
+        }
+    }
+
+    /// Same-AS pair facts: intra-AS pings never consult the router.
+    fn expand_same_as(&self, src: HostId, dst: HostId) -> (Option<Arc<PairInfo>>, u32) {
         let s = self.hosts.get(src);
         let d = self.hosts.get(dst);
         let access = s.access_ms + d.access_ms;
-        let info = if s.asn == d.asn {
-            let path = expand_path(
-                &self.topo,
-                &[s.asn],
-                s.location,
-                d.location,
-                &self.model.expand,
-            );
-            let as_path: Arc<[Asn]> = Arc::from([s.asn].as_slice());
-            Some(Arc::new(PairInfo {
-                base_ms: self.model.base_rtt_ms(&path) + access,
-                rev_path: Arc::clone(&as_path),
-                as_path,
-                mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
-            }))
-        } else {
-            // An echo round trip traverses the forward route AND the
-            // (possibly different) return route; base RTT sums both
-            // one-way expansions, which also makes RTT(a,b) == RTT(b,a)
-            // exactly — matching the paper's symmetry observation.
-            // Hosts carry their AS's dense node id, so the table
-            // lookups skip the Asn→NodeId hash entirely.
-            let fwd_as = self.router.as_path_between(s.node, d.node);
-            let rev_as = self.router.as_path_between(d.node, s.node);
-            match (fwd_as, rev_as) {
-                (Some(fwd_as), Some(rev_as)) => {
-                    let fwd = expand_path(
-                        &self.topo,
-                        &fwd_as,
-                        s.location,
-                        d.location,
-                        &self.model.expand,
-                    );
-                    let rev = expand_path(
-                        &self.topo,
-                        &rev_as,
-                        d.location,
-                        s.location,
-                        &self.model.expand,
-                    );
-                    Some(Arc::new(PairInfo {
-                        base_ms: self.model.base_rtt_two_way(&fwd, &rev) + access,
-                        as_path: fwd_as.into(),
-                        rev_path: rev_as.into(),
-                        mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
-                    }))
-                }
-                _ => None,
+        let path = expand_path(
+            &self.topo,
+            &[s.asn],
+            s.location,
+            d.location,
+            &self.model.expand,
+        );
+        let (as_path, fresh) = self.interner.intern(&[s.asn]);
+        let charged = if fresh { as_path.len() } else { 0 };
+        let info = Some(Arc::new(PairInfo {
+            base_ms: self.model.base_rtt_ms(&path) + access,
+            rev_path: Arc::clone(&as_path),
+            as_path,
+            mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
+        }));
+        let bytes = entry_bytes(&info, charged);
+        (info, bytes)
+    }
+
+    /// Cross-AS pair facts once both AS-level routes are known (the
+    /// batch resolver computes routes group-wise before calling this).
+    fn expand_cross_as(
+        &self,
+        src: HostId,
+        dst: HostId,
+        fwd_as: &[Asn],
+        rev_as: &[Asn],
+    ) -> (Option<Arc<PairInfo>>, u32) {
+        let s = self.hosts.get(src);
+        let d = self.hosts.get(dst);
+        let access = s.access_ms + d.access_ms;
+        let fwd = expand_path(
+            &self.topo,
+            fwd_as,
+            s.location,
+            d.location,
+            &self.model.expand,
+        );
+        let rev = expand_path(
+            &self.topo,
+            rev_as,
+            d.location,
+            s.location,
+            &self.model.expand,
+        );
+        let (as_path, fwd_fresh) = self.interner.intern(fwd_as);
+        let (rev_path, rev_fresh) = self.interner.intern(rev_as);
+        let charged =
+            if fwd_fresh { as_path.len() } else { 0 } + if rev_fresh { rev_path.len() } else { 0 };
+        let info = Some(Arc::new(PairInfo {
+            base_ms: self.model.base_rtt_two_way(&fwd, &rev) + access,
+            as_path,
+            rev_path,
+            mid_lon: mid_longitude(s.location.lon(), d.location.lon()),
+        }));
+        let bytes = entry_bytes(&info, charged);
+        (info, bytes)
+    }
+
+    /// Resolves a whole batch of pairs (typically one round's plan) in
+    /// flat passes and returns the facts as a [`PairBlock`]:
+    ///
+    /// 1. **Probe** — the batch is deduped and grouped by cache shard;
+    ///    each shard's read lock is taken once for all its pairs, and
+    ///    hit/miss counters are bumped once per shard, not per pair.
+    /// 2. **Revalidate** — stale entries are checked against the dirty
+    ///    history with results memoized per *unique path allocation*
+    ///    (interning makes paths shared, so churn work scales with the
+    ///    distinct-path population, not the pair count); survivors are
+    ///    re-stamped shard-wise under one read lock each.
+    /// 3. **Expand** — misses are split same-AS vs. cross-AS and the
+    ///    cross-AS remainder grouped by destination node, so each
+    ///    group resolves against one routing table; groups expand
+    ///    data-parallel.
+    /// 4. **Publish** — freshly expanded entries are bulk-inserted per
+    ///    shard (one write lock each, identical per-entry semantics to
+    ///    the scalar path's inserts, including eviction pressure).
+    ///
+    /// Every outcome counts in the cache telemetry exactly as the
+    /// scalar path would count it — hit, revalidated-hit, or miss —
+    /// once per distinct pair in the batch.
+    pub fn resolve_pairs(&self, pairs: &[(HostId, HostId)]) -> PairBlock {
+        self.resolve_pairs_indexed(pairs).0
+    }
+
+    /// [`PingEngine::resolve_pairs`] plus the slot of every *input*
+    /// position (`index[j]` is the row of `pairs[j]`, duplicates
+    /// included). The index falls out of the dedupe pass for free; the
+    /// batched kernel uses it to map tasks to rows without re-hashing
+    /// each pair through [`PairBlock::slot`].
+    pub fn resolve_pairs_indexed(&self, pairs: &[(HostId, HostId)]) -> (PairBlock, Vec<u32>) {
+        let epoch = self.epoch();
+        let mut block = PairBlock::with_capacity(pairs.len());
+        let mut keys: Vec<(HostId, HostId)> = Vec::with_capacity(pairs.len());
+        let mut index: Vec<u32> = Vec::with_capacity(pairs.len());
+        for &key in pairs {
+            let next = keys.len() as u32;
+            let slot = *block.slots.entry(key).or_insert_with(|| {
+                keys.push(key);
+                next
+            });
+            index.push(slot);
+        }
+        // Rows start as unroutable defaults; the passes below fill
+        // routable facts in place at their slot index.
+        block.size_rows(keys.len());
+
+        // Pass 1: probe each shard once for all its pairs.
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); CACHE_SHARDS];
+        for (i, &key) in keys.iter().enumerate() {
+            by_shard[PairCache::shard_index(key)].push(i as u32);
+        }
+        let mut stale: Vec<(u32, Option<Arc<PairInfo>>, u64)> = Vec::new();
+        let mut misses: Vec<u32> = Vec::new();
+        for (sidx, members) in by_shard.iter().enumerate() {
+            if members.is_empty() {
+                continue;
             }
+            let shard = &self.cache.shards[sidx];
+            let mut hits = 0u64;
+            let mut missed = 0u64;
+            {
+                let st = shard.state.read();
+                for &i in members {
+                    match st.map.get(&keys[i as usize]) {
+                        Some(e) => {
+                            let stamp = e.epoch.load(Ordering::Relaxed);
+                            if stamp == epoch {
+                                e.referenced.store(true, Ordering::Relaxed);
+                                block.set_row(i, e.info.as_deref());
+                                hits += 1;
+                            } else {
+                                stale.push((i, e.info.clone(), stamp));
+                            }
+                        }
+                        None => {
+                            misses.push(i);
+                            missed += 1;
+                        }
+                    }
+                }
+            }
+            if hits > 0 {
+                shard.hits.fetch_add(hits, Ordering::Relaxed);
+            }
+            if missed > 0 {
+                shard.misses.fetch_add(missed, Ordering::Relaxed);
+            }
+        }
+
+        // Pass 2: revalidate stale entries against the dirty history,
+        // memoizing per (path allocation, stamp) — shared paths are
+        // checked once, however many pairs point at them.
+        if !stale.is_empty() {
+            let mut refresh_by_shard: Vec<Vec<u32>> = vec![Vec::new(); CACHE_SHARDS];
+            let mut invalid_by_shard = [0u64; CACHE_SHARDS];
+            {
+                let dirty = self.dirty.read();
+                let mut span_restored: FastMap<u64, bool> = FastMap::default();
+                let mut path_ok: FastMap<(usize, u64), bool> = FastMap::default();
+                for (i, info, stamp) in stale.drain(..) {
+                    let span = &dirty[stamp as usize..epoch as usize];
+                    let restored = *span_restored
+                        .entry(stamp)
+                        .or_insert_with(|| span.iter().any(|b| b.restored));
+                    let valid = !restored
+                        && match &info {
+                            // Unroutable pairs survive any deletion-only
+                            // span: removing links never creates a route.
+                            None => true,
+                            Some(p) => {
+                                let mut ok = |path: &Arc<[Asn]>| {
+                                    let ptr = Arc::as_ptr(path).cast::<Asn>() as usize;
+                                    *path_ok
+                                        .entry((ptr, stamp))
+                                        .or_insert_with(|| !span.iter().any(|b| b.crosses(path)))
+                                };
+                                ok(&p.as_path) && ok(&p.rev_path)
+                            }
+                        };
+                    if valid {
+                        let key = keys[i as usize];
+                        refresh_by_shard[PairCache::shard_index(key)].push(i);
+                        block.set_row(i, info.as_deref());
+                    } else {
+                        // Failed revalidation: the recompute below pays
+                        // the miss the delta deferred.
+                        invalid_by_shard[PairCache::shard_index(keys[i as usize])] += 1;
+                        misses.push(i);
+                    }
+                }
+            }
+            for (sidx, &n) in invalid_by_shard.iter().enumerate() {
+                if n > 0 {
+                    self.cache.shards[sidx]
+                        .misses
+                        .fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            for (sidx, members) in refresh_by_shard.iter().enumerate() {
+                if members.is_empty() {
+                    continue;
+                }
+                let shard = &self.cache.shards[sidx];
+                {
+                    let st = shard.state.read();
+                    for &i in members {
+                        if let Some(e) = st.map.get(&keys[i as usize]) {
+                            e.epoch.store(epoch, Ordering::Relaxed);
+                            e.referenced.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let k = members.len() as u64;
+                shard.hits.fetch_add(k, Ordering::Relaxed);
+                shard.revalidated.fetch_add(k, Ordering::Relaxed);
+            }
+        }
+
+        // Pass 3: expand the misses. Same-AS pairs never touch the
+        // router; cross-AS pairs group by destination node so each
+        // group pins one routing table for all its sources. Failed
+        // revalidations land here too — count their deferred miss now.
+        let mut local: Vec<u32> = Vec::new();
+        let mut groups: FastMap<NodeId, Vec<u32>> = FastMap::default();
+        for &i in &misses {
+            let (src, dst) = keys[i as usize];
+            let s = self.hosts.get(src);
+            let d = self.hosts.get(dst);
+            if s.asn == d.asn {
+                local.push(i);
+            } else {
+                groups.entry(d.node).or_default().push(i);
+            }
+        }
+        let mut computed: Vec<ComputedEntry> = Vec::with_capacity(misses.len());
+        for &i in &local {
+            let (src, dst) = keys[i as usize];
+            let (info, bytes) = self.expand_same_as(src, dst);
+            computed.push((i, info, bytes));
+        }
+        let mut group_list: Vec<(NodeId, Vec<u32>)> = groups.into_iter().collect();
+        group_list.sort_unstable_by_key(|(node, _)| *node);
+        let expanded: Vec<Vec<ComputedEntry>> = group_list
+            .par_iter()
+            .map(|(dst_node, members)| {
+                let table = self.router.table_at(*dst_node);
+                members
+                    .iter()
+                    .map(|&i| {
+                        let (src, dst) = keys[i as usize];
+                        let s = self.hosts.get(src);
+                        let d = self.hosts.get(dst);
+                        let fwd_as = table.as_path_from(s.node);
+                        let rev_as = self.router.as_path_between(d.node, s.node);
+                        match (fwd_as, rev_as) {
+                            (Some(fwd_as), Some(rev_as)) => {
+                                let (info, bytes) =
+                                    self.expand_cross_as(src, dst, &fwd_as, &rev_as);
+                                (i, info, bytes)
+                            }
+                            _ => (i, None, entry_bytes(&None, 0)),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        computed.extend(expanded.into_iter().flatten());
+
+        // Pass 4: publish per shard — one write lock each — and fill
+        // the remaining rows.
+        let mut insert_by_shard: Vec<Vec<ComputedEntry>> = vec![Vec::new(); CACHE_SHARDS];
+        for (i, info, bytes) in computed {
+            block.set_row(i, info.as_deref());
+            insert_by_shard[PairCache::shard_index(keys[i as usize])].push((i, info, bytes));
+        }
+        for (sidx, entries) in insert_by_shard.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            self.cache.insert_many(
+                sidx,
+                entries
+                    .into_iter()
+                    .map(|(i, info, bytes)| (keys[i as usize], info, bytes)),
+                epoch,
+            );
+        }
+
+        (block, index)
+    }
+
+    /// Samples one measurement window — `pings` pings spaced
+    /// `interval_secs` apart from `start` — against already-resolved
+    /// pair facts, appending replies to `out` (cleared first). This is
+    /// the allocation-free inner loop of the batched kernel: no cache
+    /// probe, no `Arc` chase, no per-window `Vec`.
+    ///
+    /// RNG draws replicate [`PingEngine::ping_faulted`] exactly —
+    /// same draws, same order, same skips — so a window sampled here
+    /// is bit-identical to the scalar path under the same RNG stream.
+    /// Engine counters advance by the same totals (batched where the
+    /// scalar path bumps per ping).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window_resolved<R: Rng + ?Sized>(
+        &self,
+        resolved: Option<(&[Asn], f64, f64)>,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        faults: &FaultPlan,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        let mut tally = SampleTally::default();
+        self.sample_window_resolved_tally(
+            resolved,
+            start,
+            pings,
+            interval_secs,
+            faults,
+            rng,
+            out,
+            &mut tally,
+        );
+        self.stats.flush(&tally);
+    }
+
+    /// [`PingEngine::sample_window_resolved`] with counter updates
+    /// deferred into `tally` instead of hitting the shared atomics —
+    /// the chunked form the batched kernel uses, flushing once per
+    /// worker chunk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window_resolved_tally<R: Rng + ?Sized>(
+        &self,
+        resolved: Option<(&[Asn], f64, f64)>,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        faults: &FaultPlan,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+        tally: &mut SampleTally,
+    ) {
+        out.clear();
+        tally.attempts += pings as u64;
+        let Some((path, base_ms, mid_lon)) = resolved else {
+            tally.unroutable += pings as u64;
+            return;
         };
-        self.cache.insert((src, dst), info.clone(), epoch);
-        info
+        let have_faults = !faults.is_empty();
+        // `path_extra_loss` is time-independent, so hoist it out of the
+        // loop; the scalar path only draws its `gen_bool` when the rate
+        // is positive, so hoisting changes no RNG stream.
+        let extra = if have_faults {
+            faults.path_extra_loss(path)
+        } else {
+            0.0
+        };
+        for i in 0..pings {
+            let t = start.plus_secs(i as f64 * interval_secs);
+            if have_faults {
+                if faults.path_down(path, t) {
+                    continue;
+                }
+                if extra > 0.0 && rng.gen_bool(extra.min(1.0)) {
+                    continue;
+                }
+            }
+            if let Some(rtt) = self.model.sample_rtt(base_ms, t, mid_lon, rng) {
+                out.push(rtt);
+            }
+        }
+        tally.replies += out.len() as u64;
+        tally.losses += pings as u64 - out.len() as u64;
+    }
+
+    /// Samples one window for a pair, resolving it through the cache
+    /// first (one lookup per *window*, not per ping — the scalar
+    /// path's remaining five lookups were pure overhead).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        faults: &FaultPlan,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        let info = self.pair_info(src, dst);
+        let resolved = info
+            .as_ref()
+            .map(|p| (&p.as_path[..], p.base_ms, p.mid_lon));
+        self.sample_window_resolved(resolved, start, pings, interval_secs, faults, rng, out);
+    }
+
+    /// Samples one window from a [`PairBlock`] row — the innermost
+    /// loop of batched round execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window_block<R: Rng + ?Sized>(
+        &self,
+        block: &PairBlock,
+        slot: u32,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        faults: &FaultPlan,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        let i = slot as usize;
+        let resolved = block.paths[i]
+            .as_ref()
+            .map(|p| (&p[..], block.base_ms[i], block.mid_lon[i]));
+        self.sample_window_resolved(resolved, start, pings, interval_secs, faults, rng, out);
+    }
+
+    /// [`PingEngine::sample_window_block`] with deferred counters (see
+    /// [`PingEngine::sample_window_resolved_tally`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window_block_tally<R: Rng + ?Sized>(
+        &self,
+        block: &PairBlock,
+        slot: u32,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        faults: &FaultPlan,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+        tally: &mut SampleTally,
+    ) {
+        let i = slot as usize;
+        let resolved = block.paths[i]
+            .as_ref()
+            .map(|p| (&p[..], block.base_ms[i], block.mid_lon[i]));
+        self.sample_window_resolved_tally(
+            resolved,
+            start,
+            pings,
+            interval_secs,
+            faults,
+            rng,
+            out,
+            tally,
+        );
     }
 
     /// The deterministic base RTT between two hosts, ms (`None` if
@@ -861,9 +1491,32 @@ pub trait Pinger: Sync {
         interval_secs: f64,
         rng: &mut R,
     ) -> Vec<f64> {
-        (0..n)
-            .filter_map(|i| self.ping(src, dst, t.plus_secs(i as f64 * interval_secs), rng))
-            .collect()
+        let mut out = Vec::with_capacity(n);
+        self.ping_series_into(src, dst, t, n, interval_secs, rng, &mut out);
+        out
+    }
+
+    /// As [`Pinger::ping_series`], but appends the replies into a
+    /// caller-owned buffer (cleared first) — the allocation-free
+    /// variant measurement loops feed with a per-thread scratch
+    /// buffer. RNG draws are identical to `ping_series`.
+    #[allow(clippy::too_many_arguments)]
+    fn ping_series_into<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        t: SimTime,
+        n: usize,
+        interval_secs: f64,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        for i in 0..n {
+            if let Some(rtt) = self.ping(src, dst, t.plus_secs(i as f64 * interval_secs), rng) {
+                out.push(rtt);
+            }
+        }
     }
 }
 
@@ -951,6 +1604,111 @@ impl PingHandle {
     /// AS path between two hosts (see [`PingEngine::as_path`]).
     pub fn as_path(&self, src: HostId, dst: HostId) -> Option<Arc<[Asn]>> {
         self.engine.as_path(src, dst)
+    }
+
+    /// Batch-resolves a round's pair set on the shared engine (see
+    /// [`PingEngine::resolve_pairs`]). Resolution sends no pings, so
+    /// the handle's accounting is untouched.
+    pub fn resolve_pairs(&self, pairs: &[(HostId, HostId)]) -> PairBlock {
+        self.engine.resolve_pairs(pairs)
+    }
+
+    /// Indexed batch resolution (see
+    /// [`PingEngine::resolve_pairs_indexed`]).
+    pub fn resolve_pairs_indexed(&self, pairs: &[(HostId, HostId)]) -> (PairBlock, Vec<u32>) {
+        self.engine.resolve_pairs_indexed(pairs)
+    }
+
+    /// Samples one measurement window under this handle's fault plan
+    /// (see [`PingEngine::sample_window`]); counts `pings` attempts on
+    /// the handle, exactly as `pings` scalar [`Pinger::ping`] calls
+    /// would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window<R: Rng + ?Sized>(
+        &self,
+        src: HostId,
+        dst: HostId,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        self.attempts.fetch_add(pings as u64, Ordering::Relaxed);
+        self.engine.sample_window(
+            src,
+            dst,
+            start,
+            pings,
+            interval_secs,
+            &self.faults,
+            rng,
+            out,
+        );
+    }
+
+    /// Samples one window from a [`PairBlock`] row under this handle's
+    /// fault plan (see [`PingEngine::sample_window_block`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window_block<R: Rng + ?Sized>(
+        &self,
+        block: &PairBlock,
+        slot: u32,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        self.attempts.fetch_add(pings as u64, Ordering::Relaxed);
+        self.engine.sample_window_block(
+            block,
+            slot,
+            start,
+            pings,
+            interval_secs,
+            &self.faults,
+            rng,
+            out,
+        );
+    }
+
+    /// [`PingHandle::sample_window_block`] with counter updates
+    /// deferred into `tally`; pair with one [`PingHandle::flush_tally`]
+    /// per worker chunk. Skipping the flush under-counts both the
+    /// handle's and the engine's traffic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_window_block_tally<R: Rng + ?Sized>(
+        &self,
+        block: &PairBlock,
+        slot: u32,
+        start: SimTime,
+        pings: usize,
+        interval_secs: f64,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+        tally: &mut SampleTally,
+    ) {
+        self.engine.sample_window_block_tally(
+            block,
+            slot,
+            start,
+            pings,
+            interval_secs,
+            &self.faults,
+            rng,
+            out,
+            tally,
+        );
+    }
+
+    /// Publishes a deferred tally: the handle's attempt share and the
+    /// engine-wide counters, in one `fetch_add` per non-zero field.
+    pub fn flush_tally(&self, tally: &SampleTally) {
+        if tally.attempts > 0 {
+            self.attempts.fetch_add(tally.attempts, Ordering::Relaxed);
+        }
+        self.engine.stats.flush(tally);
     }
 }
 
@@ -1061,7 +1819,7 @@ mod tests {
         let cache = PairCache::new(None);
         for i in 0..500u32 {
             let key = (HostId(i), HostId(i ^ 0xABC));
-            cache.insert(key, None, 0);
+            cache.insert(key, None, 0, entry_bytes(&None, 0));
             assert!(
                 matches!(cache.get(key, 0), PairLookup::Hit(_)),
                 "inserted pair must be found"
@@ -1080,11 +1838,11 @@ mod tests {
     #[test]
     fn budgeted_pair_cache_bounds_each_shard_and_still_answers() {
         // Room for roughly two unroutable entries per shard.
-        let per_entry = u64::from(entry_bytes(&None));
+        let per_entry = u64::from(entry_bytes(&None, 0));
         let budget = 2 * per_entry * CACHE_SHARDS as u64;
         let cache = PairCache::new(Some(budget));
         for i in 0..2000u32 {
-            cache.insert((HostId(i), HostId(i)), None, 0);
+            cache.insert((HostId(i), HostId(i)), None, 0, entry_bytes(&None, 0));
         }
         assert!(cache.evictions() > 0, "budget never forced an eviction");
         for s in &cache.shards {
@@ -1416,5 +2174,208 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         assert!(engine.ping(a, c, SimTime(0.0), &mut rng).is_none());
         assert_eq!(engine.stats().unroutable, 1);
+
+        // The batch resolver agrees: the pair gets a row, but an
+        // unroutable one, and a sampled window consumes no RNG.
+        let block = engine.resolve_pairs(&[(a, c)]);
+        let slot = block.slot(a, c).unwrap();
+        assert!(!block.is_routable(slot));
+        let mut out = vec![1.0; 4];
+        engine.sample_window_resolved(
+            None,
+            SimTime(0.0),
+            6,
+            300.0,
+            &FaultPlan::NONE,
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.is_empty(), "unroutable window must clear the buffer");
+        assert_eq!(engine.stats().unroutable, 1 + 6);
+    }
+
+    /// Registry with `n` hosts spread over distinct eyeball ASes.
+    fn many_hosts(f: &Fixture, n: usize) -> (Arc<HostRegistry>, Vec<HostId>) {
+        let mut reg = HostRegistry::new();
+        let eyes = f.topo.eyeball_asns();
+        let hosts: Vec<HostId> = eyes
+            .iter()
+            .step_by((eyes.len() / n).max(1))
+            .take(n)
+            .map(|&asn| reg.add_host_in_as(&f.topo, asn, None).unwrap())
+            .collect();
+        (Arc::new(reg), hosts)
+    }
+
+    #[test]
+    fn resolve_pairs_matches_scalar_resolution() {
+        let f = fixture();
+        let (reg, hosts) = many_hosts(&f, 8);
+        let batched = PingEngine::new(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            Arc::clone(&reg),
+            LatencyModel::default(),
+        );
+        let scalar = PingEngine::new(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            reg,
+            LatencyModel::default(),
+        );
+        // Every ordered pair, each listed twice: the resolver must
+        // dedupe and still answer for both occurrences.
+        let mut pairs = Vec::new();
+        for &s in &hosts {
+            for &d in &hosts {
+                if s != d {
+                    pairs.push((s, d));
+                    pairs.push((s, d));
+                }
+            }
+        }
+        let unique = pairs.len() / 2;
+        let block = batched.resolve_pairs(&pairs);
+        assert_eq!(block.len(), unique);
+        for &(s, d) in &pairs {
+            let slot = block.slot(s, d).expect("batched pair must have a row");
+            let i = slot as usize;
+            match scalar.base_rtt(s, d) {
+                Some(base) => {
+                    assert!(block.is_routable(slot));
+                    assert_eq!(block.base_ms[i], base, "base RTT must match scalar");
+                    assert_eq!(
+                        block.paths[i].as_ref().unwrap().to_vec(),
+                        scalar.as_path(s, d).unwrap().to_vec(),
+                    );
+                }
+                None => assert!(!block.is_routable(slot)),
+            }
+        }
+        // One miss per distinct pair, batch-counted.
+        let stats = batched.engine_stats();
+        assert_eq!(stats.pair_cache_misses, unique as u64, "{stats:?}");
+        assert_eq!(stats.pair_cache_hits, 0, "{stats:?}");
+        // A warm re-resolve is pure hits, again one per distinct pair.
+        let again = batched.resolve_pairs(&pairs);
+        assert_eq!(again.len(), unique);
+        let stats = batched.engine_stats();
+        assert_eq!(stats.pair_cache_hits, unique as u64, "{stats:?}");
+        assert_eq!(stats.pair_cache_misses, unique as u64, "{stats:?}");
+    }
+
+    #[test]
+    fn sample_window_block_is_bit_identical_to_scalar_pings() {
+        let f = fixture();
+        let (engine, a, b) = two_hosts(&f);
+        let engine = Arc::new(engine);
+
+        // Fault-free: block sampling vs. the scalar series primitive.
+        let block = engine.resolve_pairs(&[(a, b)]);
+        let slot = block.slot(a, b).unwrap();
+        let mut out = Vec::new();
+        engine.sample_window_block(
+            &block,
+            slot,
+            SimTime(0.0),
+            6,
+            300.0,
+            &FaultPlan::NONE,
+            &mut StdRng::seed_from_u64(42),
+            &mut out,
+        );
+        let series =
+            engine.ping_series(a, b, SimTime(0.0), 6, 300.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(
+            out, series,
+            "batched window must replicate scalar RNG draws"
+        );
+
+        // Under a fault plan (outage + extra loss), through handles —
+        // including the per-handle attempts accounting.
+        let path = engine.as_path(a, b).unwrap();
+        let faults = FaultPlan::none().with_lossy_as(path[0], 0.5).with_outage(
+            path[0],
+            SimTime(300.0),
+            SimTime(700.0),
+        );
+        let scalar_handle = PingHandle::with_faults(Arc::clone(&engine), faults.clone());
+        let batched_handle = PingHandle::with_faults(Arc::clone(&engine), faults);
+        let mut rng = StdRng::seed_from_u64(7);
+        let scalar: Vec<f64> = (0..6)
+            .filter_map(|i| {
+                scalar_handle.ping(a, b, SimTime(0.0).plus_secs(i as f64 * 300.0), &mut rng)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        batched_handle.sample_window_block(
+            &block,
+            slot,
+            SimTime(0.0),
+            6,
+            300.0,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out, scalar, "faulted window must replicate scalar draws");
+        assert!(out.len() < 6, "the outage must eat mid-window pings");
+        assert_eq!(scalar_handle.pings_sent(), batched_handle.pings_sent());
+    }
+
+    #[test]
+    fn interning_shares_paths_across_mirror_pairs() {
+        let f = fixture();
+        let (reg, hosts) = many_hosts(&f, 8);
+        let engine = PingEngine::new(
+            Arc::clone(&f.topo),
+            Arc::clone(&f.router),
+            reg,
+            LatencyModel::default(),
+        );
+        let mut fwd = Vec::new();
+        let mut mirror = Vec::new();
+        for i in 0..hosts.len() {
+            for j in (i + 1)..hosts.len() {
+                fwd.push((hosts[i], hosts[j]));
+                mirror.push((hosts[j], hosts[i]));
+            }
+        }
+        let _ = engine.resolve_pairs(&fwd);
+        let s1 = engine.engine_stats();
+        assert!(s1.paths_interned > 0, "{s1:?}");
+
+        // Every mirror pair's forward path is the forward pair's
+        // reverse path (and vice versa) — both already interned — so
+        // mirror entries charge exactly the fixed entry cost, zero
+        // path bytes. That is the interning win the byte budget sees.
+        let block = engine.resolve_pairs(&mirror);
+        let s2 = engine.engine_stats();
+        assert_eq!(s2.pair_cache_entries, 2 * s1.pair_cache_entries, "{s2:?}");
+        assert!(
+            s2.path_dedup_hits >= s1.path_dedup_hits + mirror.len() as u64,
+            "{s2:?} vs {s1:?}"
+        );
+        assert_eq!(
+            s2.paths_interned, s1.paths_interned,
+            "mirror resolution must intern nothing fresh"
+        );
+        let routable = (0..block.len() as u32)
+            .filter(|&k| block.is_routable(k))
+            .count() as u64;
+        let unroutable = block.len() as u64 - routable;
+        assert!(routable > 0, "fixture should route most mirror pairs");
+        let dummy = Some(Arc::new(PairInfo {
+            base_ms: 0.0,
+            as_path: Arc::from([Asn(1)].as_slice()),
+            rev_path: Arc::from([Asn(1)].as_slice()),
+            mid_lon: 0.0,
+        }));
+        let fixed_routable = u64::from(entry_bytes(&dummy, 0));
+        let fixed_unroutable = u64::from(entry_bytes(&None, 0));
+        assert_eq!(
+            s2.pair_resident_bytes - s1.pair_resident_bytes,
+            routable * fixed_routable + unroutable * fixed_unroutable,
+            "mirror entries must be charged no path payload"
+        );
     }
 }

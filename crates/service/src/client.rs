@@ -301,7 +301,8 @@ impl Client {
     }
 
     /// Fetches the `STATS` payloads: one per pooled engine stack, then
-    /// the aggregate `pool …` line, then the `service …` counters.
+    /// the aggregate `pool …` line, the `service …` counters, and one
+    /// `credits …` balance line per metered client.
     pub fn stats(&mut self) -> std::io::Result<Vec<String>> {
         self.send("STATS")?;
         let mut out = Vec::new();

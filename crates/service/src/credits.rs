@@ -137,6 +137,26 @@ impl CreditLedger {
             }
         }
     }
+
+    /// Every client's current balance, refilled to now and sorted by
+    /// IP (so `STATS` output is stable). Zero-cost requests never
+    /// create buckets, so only clients that have paid for work appear.
+    pub fn balances(&self) -> Vec<(IpAddr, f64)> {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        let mut out: Vec<(IpAddr, f64)> = buckets
+            .iter_mut()
+            .map(|(ip, bucket)| {
+                let elapsed = now.saturating_duration_since(bucket.last_refill);
+                bucket.credits = (bucket.credits + elapsed.as_secs_f64() * self.cfg.refill_per_sec)
+                    .min(self.cfg.capacity);
+                bucket.last_refill = now;
+                (*ip, bucket.credits)
+            })
+            .collect();
+        out.sort_by_key(|(ip, _)| *ip);
+        out
+    }
 }
 
 /// Credit cost of a measurement request: `rounds × scenarios`. (The
@@ -251,6 +271,21 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn balances_refill_and_sort_by_ip() {
+        let ledger = CreditLedger::new(CreditConfig::new(10.0, 1000.0));
+        assert!(ledger.balances().is_empty(), "no charges, no buckets");
+        assert!(matches!(ledger.try_charge(ip(9), 10.0), Charge::Ok { .. }));
+        assert!(matches!(ledger.try_charge(ip(1), 4.0), Charge::Ok { .. }));
+        std::thread::sleep(Duration::from_millis(20));
+        let balances = ledger.balances();
+        assert_eq!(balances.len(), 2);
+        assert_eq!(balances[0].0, ip(1), "sorted by IP");
+        assert_eq!(balances[1].0, ip(9));
+        // 20 ms at 1000/s refills both buckets to the 10-credit cap.
+        assert!(balances.iter().all(|(_, b)| (b - 10.0).abs() < 1e-9));
     }
 
     #[test]

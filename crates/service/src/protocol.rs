@@ -9,7 +9,7 @@
 //! ## Requests
 //!
 //! ```text
-//! HELLO [framing=text|binary]
+//! HELLO [framing=text|binary] [credits=on|off]
 //! RUN seed=<u64> [rounds=<u32>] [world-seed=<u64>] [policy=<p>]
 //!     [label=<name>] [rounds-in-flight=<n>] [churn=<spec>]
 //! SWEEP seeds=<u64,u64,..> [rounds=<u32>] [world-seed=<u64>]
@@ -25,7 +25,11 @@
 //! `HELLO` negotiates response framing: the reply is always the text
 //! line `OK hello framing=<f>`, after which every response uses the
 //! negotiated framing (see [`crate::frame`] for the binary layout).
-//! Requests stay text in both framings.
+//! Requests stay text in both framings. `credits=on` additionally opts
+//! this session into credit-spend feedback: each metered request's
+//! terminating `OK` gains a ` credits=<remaining>` suffix. The suffix
+//! is session-local — it is appended after broadcast fan-out, so taps
+//! of the same batch still receive byte-identical streams.
 //!
 //! `SUBSCRIBE` asks for the *bytes* of a batch rather than an
 //! execution: if a RUN/SWEEP/SUBSCRIBE with the same
@@ -73,7 +77,10 @@
 //! - `STATS service subscribers=<n> broadcasts=<n>
 //!   rounds_fanned_out=<n> subscribers_shed=<n> credits_denied=<n>` —
 //!   the fan-out and admission counters, one line after the pool line.
-//!   The count in `OK stats <n>` includes the pool and service lines.
+//! - `STATS credits ip=<addr> balance=<n>` — one per client that has
+//!   paid for metered work (free probes never create a bucket), sorted
+//!   by IP, refilled to now. The count in `OK stats <n>` includes the
+//!   pool, service and credits lines.
 //! - `ERR credits need=<n> have=<n> retry-after-ms=<ms>` — the request
 //!   exceeded the client's credit balance; the session stays usable
 //!   and the hint says when the bucket will cover the cost.
@@ -144,6 +151,10 @@ pub enum Request {
     Hello {
         /// Requested framing.
         framing: Framing,
+        /// Opt into per-request credit-spend feedback: metered `OK`
+        /// terminators gain a session-local ` credits=<remaining>`
+        /// suffix.
+        credits: bool,
     },
     /// Fetch the cases CSV of the session's last run — of scenario
     /// `label`, or of the only/first scenario when `None`.
@@ -307,6 +318,7 @@ impl Request {
             }
             "HELLO" => {
                 let mut framing = Framing::Text;
+                let mut credits = false;
                 for tok in rest {
                     let (k, v) = split_kv(tok)?;
                     match k {
@@ -314,10 +326,19 @@ impl Request {
                             framing = Framing::parse(v)
                                 .ok_or_else(|| format!("unknown framing {v:?} (text|binary)"))?;
                         }
+                        "credits" => {
+                            credits = match v {
+                                "on" => true,
+                                "off" => false,
+                                other => {
+                                    return Err(format!("credits takes on|off, got {other:?}"))
+                                }
+                            };
+                        }
                         other => return Err(format!("unknown HELLO option {other:?}")),
                     }
                 }
-                Ok(Request::Hello { framing })
+                Ok(Request::Hello { framing, credits })
             }
             "CSV" => match rest.as_slice() {
                 ["cases"] => Ok(Request::CsvCases { label: None }),
@@ -466,17 +487,38 @@ mod tests {
         assert_eq!(
             Request::parse("HELLO").unwrap(),
             Request::Hello {
-                framing: Framing::Text
+                framing: Framing::Text,
+                credits: false,
             }
         );
         assert_eq!(
             Request::parse("HELLO framing=binary").unwrap(),
             Request::Hello {
-                framing: Framing::Binary
+                framing: Framing::Binary,
+                credits: false,
             }
         );
         assert!(Request::parse("HELLO framing=morse").is_err());
         assert!(Request::parse("HELLO compression=zstd").is_err());
+    }
+
+    #[test]
+    fn hello_opts_into_credit_feedback() {
+        assert_eq!(
+            Request::parse("HELLO credits=on").unwrap(),
+            Request::Hello {
+                framing: Framing::Text,
+                credits: true,
+            }
+        );
+        assert_eq!(
+            Request::parse("HELLO framing=binary credits=off").unwrap(),
+            Request::Hello {
+                framing: Framing::Binary,
+                credits: false,
+            }
+        );
+        assert!(Request::parse("HELLO credits=maybe").is_err());
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //! client's bucket, a SUBSCRIBE tap costs a flat 1, and
 //! STATS/CSV/HELLO are free — so cheap probes never starve behind
 //! heavy sweeps and one greedy client cannot monopolize the engines.
+//! Spend is observable: `STATS` lists every metered client's refilled
+//! balance, and a session that opted in with `HELLO credits=on` gets a
+//! ` credits=<remaining>` suffix on each metered `OK` (appended after
+//! broadcast fan-out, so shared streams stay byte-identical).
 
 use crate::broadcast::{Attach, BroadcastHub, BroadcastKey, ProducerGuard, ServiceCounters};
 use crate::credits::{request_cost, Charge, CreditConfig, CreditLedger, TAP_COST};
@@ -210,16 +214,17 @@ impl Drop for SessionPermit {
     }
 }
 
-/// Charges the client's bucket; on denial writes `ERR credits` with a
-/// retry hint and returns `false` (the session stays usable).
+/// Charges the client's bucket; returns `Some(remaining)` on success.
+/// On denial writes `ERR credits` with a retry hint and returns `None`
+/// (the session stays usable).
 fn charge(
     mgr: &SessionManager,
     w: &mut ResponseWriter,
     who: IpAddr,
     cost: f64,
-) -> std::io::Result<bool> {
+) -> std::io::Result<Option<f64>> {
     match mgr.credits.try_charge(who, cost) {
-        Charge::Ok { .. } => Ok(true),
+        Charge::Ok { remaining } => Ok(Some(remaining)),
         Charge::Denied {
             need,
             have,
@@ -231,8 +236,20 @@ fn charge(
                 retry_after.as_millis().max(1)
             ))?;
             w.flush()?;
-            Ok(false)
+            Ok(None)
         }
+    }
+}
+
+/// The session-local ` credits=<remaining>` suffix for a metered `OK`
+/// terminator. Empty unless the session opted in with
+/// `HELLO credits=on`; zero-cost charges report an infinite balance,
+/// which is no information — they get no suffix either.
+fn credit_suffix(show: bool, remaining: f64) -> String {
+    if show && remaining.is_finite() {
+        format!(" credits={remaining:.0}")
+    } else {
+        String::new()
     }
 }
 
@@ -254,6 +271,7 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
     w.flush()?;
 
     let mut last: Option<Arc<SweepReport>> = None;
+    let mut show_credits = false;
     let mut line = String::new();
     loop {
         line.clear();
@@ -277,13 +295,14 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 w.ok("bye")?;
                 return w.flush();
             }
-            Request::Hello { framing } => {
+            Request::Hello { framing, credits } => {
                 // The reply is always text so a client can negotiate
                 // before it has to speak frames; everything after it
                 // uses the new framing.
                 w.text_line(&format!("OK hello framing={}", framing.label()))?;
                 w.flush()?;
                 w.set_framing(framing);
+                show_credits = credits;
             }
             Request::Stats => {
                 let stats = mgr.pool.stats();
@@ -294,11 +313,16 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                         s.summary()
                     ))?;
                 }
-                // Aggregate pool residency, then the service-wide
-                // fan-out / admission counters.
+                // Aggregate pool residency, the service-wide fan-out /
+                // admission counters, then one balance line per
+                // metered client.
                 w.stats(&format!("pool {}", mgr.pool.pool_stats().summary()))?;
                 w.stats(&format!("service {}", mgr.counters.snapshot().summary()))?;
-                w.ok(&format!("stats {}", stats.len() + 2))?;
+                let balances = mgr.credits.balances();
+                for (ip, balance) in &balances {
+                    w.stats(&format!("credits ip={ip} balance={balance:.0}"))?;
+                }
+                w.ok(&format!("stats {}", stats.len() + 2 + balances.len()))?;
                 w.flush()?;
             }
             Request::CsvCases { label } => {
@@ -344,9 +368,9 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 rounds_in_flight,
                 churn,
             } => {
-                if !charge(mgr, &mut w, peer, request_cost(rounds, 1))? {
+                let Some(remaining) = charge(mgr, &mut w, peer, request_cost(rounds, 1))? else {
                     continue;
-                }
+                };
                 let mut cfg = sweep_config(mgr, &[seed], rounds, policy, rounds_in_flight, churn);
                 let relabelled = label.is_some();
                 if let Some(label) = label {
@@ -361,7 +385,9 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 } else {
                     None
                 };
-                if let Some(report) = stream_batch(mgr, &mut w, world_seed, cfg, "run 1", producer)?
+                let suffix = credit_suffix(show_credits, remaining);
+                if let Some(report) =
+                    stream_batch(mgr, &mut w, world_seed, cfg, "run 1", &suffix, producer)?
                 {
                     last = Some(report);
                 }
@@ -375,9 +401,9 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                 churn,
             } => {
                 let n = seeds.len();
-                if !charge(mgr, &mut w, peer, request_cost(rounds, n))? {
+                let Some(remaining) = charge(mgr, &mut w, peer, request_cost(rounds, n))? else {
                     continue;
-                }
+                };
                 let cfg = sweep_config(mgr, &seeds, rounds, policy, jobs_in_flight, churn);
                 let producer = if cfg.churn.is_empty() {
                     mgr.hub
@@ -386,7 +412,10 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                     None
                 };
                 let ok = format!("sweep {n}");
-                if let Some(report) = stream_batch(mgr, &mut w, world_seed, cfg, &ok, producer)? {
+                let suffix = credit_suffix(show_credits, remaining);
+                if let Some(report) =
+                    stream_batch(mgr, &mut w, world_seed, cfg, &ok, &suffix, producer)?
+                {
                     last = Some(report);
                 }
             }
@@ -418,22 +447,31 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                         // measurement cost. Denial drops the guard,
                         // which aborts the broadcast for any tap that
                         // raced in behind us.
-                        if !charge(mgr, &mut w, peer, request_cost(rounds, n))? {
+                        let Some(remaining) = charge(mgr, &mut w, peer, request_cost(rounds, n))?
+                        else {
                             continue;
-                        }
-                        if let Some(report) =
-                            stream_batch(mgr, &mut w, world_seed, cfg, &ok, Some(producer))?
-                        {
+                        };
+                        let suffix = credit_suffix(show_credits, remaining);
+                        if let Some(report) = stream_batch(
+                            mgr,
+                            &mut w,
+                            world_seed,
+                            cfg,
+                            &ok,
+                            &suffix,
+                            Some(producer),
+                        )? {
                             last = Some(report);
                         }
                     }
                     Attach::Tap(sub) => {
                         // Tapping consumes fan-out bandwidth, not
                         // measurement: a flat 1 credit.
-                        if !charge(mgr, &mut w, peer, TAP_COST)? {
+                        let Some(remaining) = charge(mgr, &mut w, peer, TAP_COST)? else {
                             continue;
-                        }
-                        if let Some(report) = serve_subscription(&mut w, &sub)? {
+                        };
+                        let suffix = credit_suffix(show_credits, remaining);
+                        if let Some(report) = serve_subscription(&mut w, &sub, &suffix)? {
                             last = Some(report);
                         }
                     }
@@ -488,7 +526,9 @@ fn batch_key(
 /// as rounds complete and `END` events per scenario at the end,
 /// terminated by `OK <ok_detail>`. When `producer` is set, every event
 /// is also published to the broadcast so taps receive the identical
-/// stream.
+/// stream. `ok_suffix` (credit-spend feedback) is appended only to the
+/// session-local `OK` write, never to the broadcast's terminal event —
+/// balances are per-client, streams are shared.
 ///
 /// A client that disconnects mid-stream stops receiving events but the
 /// batch runs to completion — the shared engine and scheduler are
@@ -500,6 +540,7 @@ fn stream_batch(
     world_seed: Option<u64>,
     cfg: SweepConfig,
     ok_detail: &str,
+    ok_suffix: &str,
     mut producer: Option<ProducerGuard<'_>>,
 ) -> std::io::Result<Option<Arc<SweepReport>>> {
     let world_seed = world_seed.unwrap_or(mgr.cfg.default_world_seed);
@@ -577,17 +618,20 @@ fn stream_batch(
     if let Some(e) = write_err {
         return Err(e);
     }
-    w.ok(ok_detail)?;
+    w.ok(&format!("{ok_detail}{ok_suffix}"))?;
     w.flush()?;
     Ok(Some(report))
 }
 
 /// Rides an existing broadcast: replays the backlog, then streams live
 /// events until the terminal one. Returns the shared report so `CSV`
-/// fetches work identically to a solo run.
+/// fetches work identically to a solo run. `ok_suffix` carries the
+/// *tap's own* credit feedback — appended locally, the broadcast bytes
+/// stay shared.
 fn serve_subscription(
     w: &mut ResponseWriter,
     sub: &crate::broadcast::Subscription,
+    ok_suffix: &str,
 ) -> std::io::Result<Option<Arc<SweepReport>>> {
     use crate::broadcast::BroadcastEvent;
     loop {
@@ -601,7 +645,7 @@ fn serve_subscription(
                 w.end(&payload)?;
             }
             Some(BroadcastEvent::Done { ok, report }) => {
-                w.ok(&ok)?;
+                w.ok(&format!("{ok}{ok_suffix}"))?;
                 w.flush()?;
                 return Ok(Some(report));
             }

@@ -273,8 +273,9 @@ fn stats_report_the_pooled_engine_health() {
         .run_streaming("RUN seed=11 rounds=1 world-seed=90", |_| {})
         .unwrap();
     let stats = client.stats().unwrap();
-    // One engine line, the aggregate pool line, the service line.
-    assert_eq!(stats.len(), 3, "{stats:?}");
+    // One engine line, the aggregate pool line, the service line, and
+    // this client's credit balance (the RUN above paid for work).
+    assert_eq!(stats.len(), 4, "{stats:?}");
     let line = &stats[0];
     assert!(line.starts_with("world=90 policy=valley-free "), "{line}");
     for key in [
@@ -299,6 +300,9 @@ fn stats_report_the_pooled_engine_health() {
     ] {
         assert!(service_line.contains(key), "{service_line} missing {key}");
     }
+    let credits_line = &stats[3];
+    assert!(credits_line.starts_with("credits ip="), "{credits_line}");
+    assert!(credits_line.contains("balance="), "{credits_line}");
     // The engine did real work.
     let pings: u64 = line
         .split("pings_sent=")
@@ -509,6 +513,51 @@ fn lagged_subscribers_are_shed_without_stalling_the_producer() {
     };
     assert_eq!(String::from_utf8(bytes).unwrap(), solo_cases_csv(90, 55, 2));
     tap.quit();
+    server.shutdown();
+}
+
+/// Credit-spend feedback is opt-in per session: `HELLO credits=on`
+/// adds a ` credits=<remaining>` suffix to each metered `OK`
+/// terminator, the default session sees the unchanged protocol bytes,
+/// and `STATS` reports the same balance per client IP.
+#[test]
+fn credit_feedback_is_opt_in_and_session_local() {
+    let mut cfg = ServiceConfig::small();
+    cfg.max_sessions = 2;
+    cfg.default_world_seed = 90;
+    // No refill: the balances asserted below are exact.
+    cfg.credits = shortcuts_service::CreditConfig::new(100.0, 0.0);
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind ephemeral port");
+
+    // A session that does not opt in sees the unchanged terminator.
+    let mut plain = Client::connect(server.local_addr()).unwrap();
+    let ok = plain
+        .run_streaming("RUN seed=5 rounds=2 world-seed=90", |_| {})
+        .unwrap();
+    assert_eq!(ok, "run 1");
+    plain.quit();
+
+    // The opted-in session is metered against the same per-IP bucket
+    // (both connections come from 127.0.0.1): 100 − 2 spent above.
+    let mut verbose = Client::connect(server.local_addr()).unwrap();
+    let reply = verbose.round_trip("HELLO credits=on").unwrap();
+    assert_eq!(reply, "OK hello framing=text");
+    let ok = verbose
+        .run_streaming("RUN seed=6 rounds=2 world-seed=90", |_| {})
+        .unwrap();
+    assert_eq!(ok, "run 1 credits=96");
+    let ok = verbose
+        .run_streaming("SWEEP seeds=7,8 rounds=2 world-seed=90", |_| {})
+        .unwrap();
+    assert_eq!(ok, "sweep 2 credits=92");
+    // STATS agrees: no refill, so the balance is exactly what is left.
+    let stats = verbose.stats().unwrap();
+    let line = stats
+        .iter()
+        .find(|l| l.starts_with("credits ip="))
+        .expect("credits balance line");
+    assert!(line.ends_with("balance=92"), "{line}");
+    verbose.quit();
     server.shutdown();
 }
 

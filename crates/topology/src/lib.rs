@@ -35,6 +35,10 @@
 //!   events, [`ChurnSchedule`] round→batch schedules, and the
 //!   [`DeltaView`] copy-on-write mask routing sweeps consult; the
 //!   incremental table repair lives in [`routing::repair`].
+//! - [`intern`] — content-addressed AS-path interning
+//!   ([`PathInterner`]): one shared `Arc<[Asn]>` per distinct path, so
+//!   pair-level caches charge and revalidate per unique path instead of
+//!   per pair.
 //!
 //! ## Example
 //!
@@ -59,6 +63,7 @@ pub mod facility;
 pub mod generator;
 pub mod graph;
 pub mod ids;
+pub mod intern;
 pub mod ip;
 pub mod routing;
 
@@ -69,4 +74,5 @@ pub use facility::{Facility, Ixp};
 pub use generator::TopologyConfig;
 pub use graph::{CsrAdjacency, NodeIndex, Relationship, Topology};
 pub use ids::{Asn, FacilityId, IxpId, NodeId, PopId};
+pub use intern::{InternStats, PathInterner};
 pub use ip::{IpAllocator, Prefix};

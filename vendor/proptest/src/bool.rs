@@ -1,0 +1,61 @@
+//! Boolean strategies (`proptest::bool` subset).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniformly samples `true`/`false`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The canonical boolean strategy (`prop::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Samples `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_hits_both_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trues = (0..200).filter(|_| ANY.sample(&mut rng)).count();
+        assert!((50..150).contains(&trues), "{trues} of 200");
+    }
+
+    #[test]
+    fn weighted_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trues = (0..1000).filter(|_| weighted(0.9).sample(&mut rng)).count();
+        assert!(trues > 800, "{trues} of 1000 at p=0.9");
+        assert!((0..1000).all(|_| !weighted(0.0).sample(&mut rng)));
+    }
+}

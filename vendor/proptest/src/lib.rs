@@ -2,8 +2,8 @@
 //!
 //! Implements the surface the workspace's property tests use:
 //! [`proptest!`], [`prop_compose!`], `prop_assert!`/`prop_assert_eq!`/
-//! `prop_assume!`, [`ProptestConfig`], numeric-range strategies and
-//! `prop::collection::vec`.
+//! `prop_assume!`, [`ProptestConfig`], numeric-range and tuple
+//! strategies, `prop::bool::ANY` and `prop::collection::vec`.
 //!
 //! Differences from upstream, by design:
 //!
@@ -15,6 +15,7 @@
 //!   rejection tuning);
 //! - `PROPTEST_CASES` overrides the case count globally.
 
+pub mod bool;
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
@@ -132,6 +133,7 @@ pub mod prelude {
 
     /// The `prop::…` namespace (`prop::collection::vec` et al.).
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
     }
 }

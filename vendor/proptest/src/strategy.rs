@@ -34,6 +34,20 @@ macro_rules! range_strategies {
 
 range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),*)),*) => {$(
+        impl<$($S: Strategy),*> Strategy for ($($S,)*) {
+            type Value = ($($S::Value,)*);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)*)
+            }
+        }
+    )*};
+}
+
+tuple_strategies!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
 /// A strategy from a closure (used by `prop_compose!`).
 pub struct SFn<F> {
     f: F,
