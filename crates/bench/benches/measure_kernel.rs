@@ -120,6 +120,46 @@ fn bench_measure_kernel(c: &mut Criterion) {
             s / b
         );
     }
+
+    // Telemetry overhead canary: the batched kernel with pipeline
+    // spans enabled must stay within a few percent of spans disabled.
+    // Spans fire per *stage*, not per ping, so the budget is two clock
+    // reads and a couple of relaxed atomics per measure_batch call —
+    // the wide assertion bound only guards against a regression that
+    // puts work back on the per-ping path.
+    let tele = shortcuts_telemetry::global();
+    let was_enabled = tele.enabled();
+    let timed = |iters: u32| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(batched.measure_batch(&tenx, true));
+        }
+        start.elapsed().as_secs_f64() / f64::from(iters)
+    };
+    tele.set_enabled(false);
+    // One warm pass, then interleaved off/on blocks keeping each
+    // mode's best: a shared-runner CI machine drifts across seconds,
+    // and min-of-blocks discards the noise spikes that a single long
+    // sample averages in.
+    timed(2);
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        tele.set_enabled(false);
+        off = off.min(timed(3));
+        tele.set_enabled(true);
+        on = on.min(timed(3));
+    }
+    tele.set_enabled(was_enabled);
+    let overhead = (on / off - 1.0) * 100.0;
+    println!(
+        "measure_kernel telemetry overhead [10x] off={:.2}ms on={:.2}ms overhead={overhead:+.1}%",
+        off * 1e3,
+        on * 1e3,
+    );
+    assert!(
+        overhead < 15.0,
+        "telemetry-on measure kernel is {overhead:.1}% slower than off (budget: a few %)"
+    );
 }
 
 criterion_group! {

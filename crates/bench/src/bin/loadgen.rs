@@ -21,7 +21,9 @@
 //!
 //! Flags: `--addr HOST:PORT` | `--spawn`, `--sessions N`, `--rate R`
 //! (sessions/sec; 0 = all at once), `--rounds N`, `--mix SPEC`,
-//! `--world-seed S`, `--framing text|binary`, `--retries N`.
+//! `--world-seed S`, `--framing text|binary`, `--retries N`,
+//! `--json PATH` (write the summary as a machine-readable JSON
+//! object — same numbers as the printed report — for CI trending).
 //!
 //! `--rate 0` with more sessions than the listener's accept backlog
 //! (128 on Linux) deliberately provokes a thundering herd: the
@@ -57,6 +59,7 @@ struct Args {
     world_seed: u64,
     framing: Framing,
     retries: u32,
+    json: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
@@ -74,6 +77,7 @@ impl Default for Args {
             world_seed: WORLD_SEED_DEFAULT,
             framing: Framing::Text,
             retries: 6,
+            json: None,
         }
     }
 }
@@ -140,11 +144,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--retries: {e}"))?
             }
+            "--json" => args.json = Some(std::path::PathBuf::from(value("--json")?)),
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--addr HOST:PORT | --spawn] [--sessions N] [--rate R] \
                      [--rounds N] [--mix run=W,subscribe=W,stats=W] [--world-seed S] \
-                     [--framing text|binary] [--retries N]"
+                     [--framing text|binary] [--retries N] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -271,16 +276,32 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn print_percentiles(label: &str, mut samples: Vec<Duration>) {
-    samples.sort();
+fn print_percentiles(label: &str, sorted: &[Duration]) {
     println!(
         "  {label}: p50 {:8.2?}  p90 {:8.2?}  p99 {:8.2?}  max {:8.2?}  (n={})",
-        percentile(&samples, 50.0),
-        percentile(&samples, 90.0),
-        percentile(&samples, 99.0),
-        samples.last().copied().unwrap_or(Duration::ZERO),
-        samples.len(),
+        percentile(sorted, 50.0),
+        percentile(sorted, 90.0),
+        percentile(sorted, 99.0),
+        sorted.last().copied().unwrap_or(Duration::ZERO),
+        sorted.len(),
     );
+}
+
+/// Renders the percentile summary of a sorted sample set as a JSON
+/// object (seconds, `{:.6}` — same numbers as the printed report).
+fn json_percentiles(sorted: &[Duration]) -> String {
+    format!(
+        r#"{{"p50_s":{:.6},"p90_s":{:.6},"p99_s":{:.6},"max_s":{:.6},"n":{}}}"#,
+        percentile(sorted, 50.0).as_secs_f64(),
+        percentile(sorted, 90.0).as_secs_f64(),
+        percentile(sorted, 99.0).as_secs_f64(),
+        sorted
+            .last()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64(),
+        sorted.len(),
+    )
 }
 
 fn main() {
@@ -367,17 +388,43 @@ fn main() {
         rounds as f64 / wall,
         tally.peak_concurrent.load(Ordering::Relaxed),
     );
-    print_percentiles(
-        "round latency   ",
-        results
-            .iter()
-            .flat_map(|r| r.round_latencies.iter().copied())
-            .collect(),
-    );
-    print_percentiles(
-        "session duration",
-        results.iter().map(|r| r.duration).collect(),
-    );
+    let mut round_latencies: Vec<Duration> = results
+        .iter()
+        .flat_map(|r| r.round_latencies.iter().copied())
+        .collect();
+    round_latencies.sort();
+    let mut session_durations: Vec<Duration> = results.iter().map(|r| r.duration).collect();
+    session_durations.sort();
+    print_percentiles("round latency   ", &round_latencies);
+    print_percentiles("session duration", &session_durations);
+
+    if let Some(path) = &args.json {
+        // Machine-readable mirror of the printed report, for CI
+        // trending. Hand-rolled: every value is a number, so no
+        // escaping is needed and no JSON dependency is worth it.
+        let json = format!(
+            concat!(
+                "{{\"sessions\":{},\"ok\":{},\"lagged\":{},\"denied\":{},\"failed\":{},",
+                "\"rounds\":{},\"wall_s\":{:.3},\"sessions_per_s\":{:.3},",
+                "\"rounds_per_s\":{:.3},\"peak_concurrent\":{},",
+                "\"round_latency\":{},\"session_duration\":{}}}\n"
+            ),
+            args.sessions,
+            ok,
+            lagged,
+            denied,
+            failed,
+            rounds,
+            wall,
+            args.sessions as f64 / wall,
+            rounds as f64 / wall,
+            tally.peak_concurrent.load(Ordering::Relaxed),
+            json_percentiles(&round_latencies),
+            json_percentiles(&session_durations),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("wrote {}", path.display());
+    }
 
     if let Some(server) = spawned {
         server.shutdown();

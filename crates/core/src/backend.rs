@@ -20,6 +20,8 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use shortcuts_netsim::clock::SimTime;
 use shortcuts_netsim::{HostId, PingHandle, SampleTally};
+use shortcuts_telemetry as telemetry;
+use shortcuts_telemetry::Stage;
 use std::sync::OnceLock;
 
 /// Windows per worker chunk in the batched kernel. Large enough to
@@ -237,6 +239,8 @@ impl MeasurementBackend for NetsimBackend {
         if self.scalar || tasks.len() < 2 {
             return;
         }
+        let _span =
+            telemetry::global().span_for(Stage::ResolvePairs, telemetry::NO_LABEL, tasks[0].round);
         let pairs: Vec<(HostId, HostId)> = tasks.iter().map(|t| (t.src, t.dst)).collect();
         let _ = self.handle.resolve_pairs(&pairs);
     }
@@ -260,8 +264,14 @@ impl MeasurementBackend for NetsimBackend {
         // counter updates are a measurable fraction of the kernel. A
         // chunk claims one scheduling slot, reuses one reply buffer,
         // and flushes one stats tally.
+        let round = tasks[0].round;
         let pairs: Vec<(HostId, HostId)> = tasks.iter().map(|t| (t.src, t.dst)).collect();
-        let (block, slots) = self.handle.resolve_pairs_indexed(&pairs);
+        let (block, slots) = {
+            let _span =
+                telemetry::global().span_for(Stage::ResolvePairs, telemetry::NO_LABEL, round);
+            self.handle.resolve_pairs_indexed(&pairs)
+        };
+        let _sample_span = telemetry::global().span_for(Stage::Sample, telemetry::NO_LABEL, round);
         let run_chunk = |offset: usize, chunk: &[MeasureTask]| -> Vec<Option<f64>> {
             let mut tally = SampleTally::default();
             let out = with_reply_scratch(|replies| {

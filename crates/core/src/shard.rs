@@ -45,8 +45,11 @@
 
 use crate::backend::{MeasureTask, MeasurementBackend};
 use crate::plan::{plan_overlay, OverlayPlan, RoundPlan};
+use shortcuts_telemetry as telemetry;
+use shortcuts_telemetry::Stage;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// One finished round, exactly as the serial loop would have produced
 /// it: the plans plus every window median, position-aligned.
@@ -99,6 +102,11 @@ struct JobState {
     /// Whether the job has advanced past the direct stage into the
     /// reverse + overlay tail.
     in_tail: bool,
+    /// When the current measurement stage began fanning out windows —
+    /// telemetry only (`None` while telemetry is disabled). Feeds the
+    /// per-(campaign, round) `sample` stage histogram and trace dump;
+    /// never observable in results.
+    stage_started: Option<Instant>,
 }
 
 struct Queue {
@@ -314,6 +322,10 @@ where
                     return;
                 }
                 if let Some(item) = q.items.pop_front() {
+                    let tele = telemetry::global();
+                    if tele.enabled() {
+                        tele.queue_depth().set(q.items.len() as i64);
+                    }
                     break item;
                 }
                 q = coord.work_cv.wait(q).expect("queue lock");
@@ -322,7 +334,14 @@ where
         match item {
             Item::Plan(job) => {
                 let (campaign, round) = coord.jobs[job as usize];
-                let plan = planner(campaign, round);
+                let tele = telemetry::global();
+                if tele.enabled() {
+                    tele.jobs_in_flight().add(1);
+                }
+                let plan = {
+                    let _span = tele.span_for(Stage::Plan, campaign, round);
+                    planner(campaign, round)
+                };
                 debug_assert_eq!(plan.round, round, "planner must plan the asked round");
                 let direct_tasks = plan.direct_tasks();
                 let n = direct_tasks.len();
@@ -334,6 +353,7 @@ where
                     links: Vec::new(),
                     remaining: n,
                     in_tail: false,
+                    stage_started: (n > 0 && tele.enabled()).then(Instant::now),
                 });
                 if n == 0 {
                     // Degenerate round with nothing to measure.
@@ -389,6 +409,10 @@ fn enqueue_measures(coord: &Coordination, job: u32, dest: Dest, tasks: Vec<Measu
                     task,
                 }),
         );
+        let tele = telemetry::global();
+        if tele.enabled() {
+            tele.queue_depth().set(q.items.len() as i64);
+        }
     }
     coord.work_cv.notify_all();
 }
@@ -404,9 +428,14 @@ where
     let st = slot.as_mut().expect("advanced job is in flight");
     debug_assert_eq!(st.remaining, 0, "stage still has outstanding windows");
 
+    let tele = telemetry::global();
+    let (campaign_id, round) = coord.jobs[job as usize];
     if !st.in_tail {
         // Direct stage done: derive the tail from the complete direct
         // results with the same pure functions the serial loop uses.
+        if let Some(start) = st.stage_started.take() {
+            tele.record_stage(Stage::Sample, campaign_id, round, start);
+        }
         let reverse_tasks = st.plan.reverse_tasks(&st.direct);
         let overlay = plan_overlay(&st.plan, &st.direct);
         let link_tasks = overlay.link_tasks(&st.plan);
@@ -416,6 +445,7 @@ where
         st.overlay = Some(overlay);
         st.in_tail = true;
         if st.remaining > 0 {
+            st.stage_started = tele.enabled().then(Instant::now);
             drop(slot);
             let backend = backends[coord.jobs[job as usize].0 as usize];
             backend.prepare(&reverse_tasks);
@@ -429,6 +459,12 @@ where
 
     let st = slot.take().expect("completed job is in flight");
     drop(slot);
+    if let Some(start) = st.stage_started {
+        tele.record_stage(Stage::Sample, campaign_id, round, start);
+    }
+    if tele.enabled() {
+        tele.jobs_in_flight().sub(1);
+    }
     let bundle = CompletedRound {
         overlay: st.overlay.expect("tail stage set the overlay plan"),
         plan: st.plan,

@@ -382,6 +382,11 @@ impl Sweep {
                 planner,
                 |campaign, done| {
                     let c = campaign as usize;
+                    let _span = shortcuts_telemetry::global().span_for(
+                        shortcuts_telemetry::Stage::Stitch,
+                        campaign,
+                        done.plan.round,
+                    );
                     let summary = builders[c].absorb_round(
                         &done.plan,
                         &done.overlay,

@@ -461,13 +461,21 @@ impl<'w> Campaign<'w> {
                         rounds_in_flight,
                         |_, round| planner(round),
                         |_, done| {
-                            let summary = builder.absorb_round(
-                                &done.plan,
-                                &done.overlay,
-                                &done.direct,
-                                &done.reverse,
-                                &done.links,
-                            );
+                            let round = done.plan.round;
+                            let summary = {
+                                let _span = shortcuts_telemetry::global().span_for(
+                                    shortcuts_telemetry::Stage::Stitch,
+                                    shortcuts_telemetry::NO_LABEL,
+                                    round,
+                                );
+                                builder.absorb_round(
+                                    &done.plan,
+                                    &done.overlay,
+                                    &done.direct,
+                                    &done.reverse,
+                                    &done.links,
+                                )
+                            };
                             reorder.push(summary, &mut on_round);
                         },
                     );
@@ -479,8 +487,16 @@ impl<'w> Campaign<'w> {
                         backend.apply_delta(batch);
                     }
                     for round in start..end {
+                        let tele = shortcuts_telemetry::global();
                         // Plan: endpoints, pairs, relays — pure data.
-                        let plan = plan_round_for(world, endpoint_pool, relay_pools, cfg, round);
+                        let plan = {
+                            let _span = tele.span_for(
+                                shortcuts_telemetry::Stage::Plan,
+                                shortcuts_telemetry::NO_LABEL,
+                                round,
+                            );
+                            plan_round_for(world, endpoint_pool, relay_pools, cfg, round)
+                        };
 
                         // Execute: direct and reverse windows.
                         let direct = execute(backend, &plan.direct_tasks(), mode);
@@ -492,8 +508,14 @@ impl<'w> Campaign<'w> {
                         let links = execute(backend, &overlay.link_tasks(&plan), mode);
 
                         // Stitch.
-                        let summary =
-                            builder.absorb_round(&plan, &overlay, &direct, &reverse, &links);
+                        let summary = {
+                            let _span = tele.span_for(
+                                shortcuts_telemetry::Stage::Stitch,
+                                shortcuts_telemetry::NO_LABEL,
+                                round,
+                            );
+                            builder.absorb_round(&plan, &overlay, &direct, &reverse, &links)
+                        };
                         on_round(&summary);
                     }
                 }

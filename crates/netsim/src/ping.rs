@@ -42,6 +42,7 @@ use crate::traceroute::Traceroute;
 use parking_lot::RwLock;
 use rand::Rng;
 use rayon::prelude::*;
+use shortcuts_telemetry::Field;
 use shortcuts_topology::routing::Router;
 use shortcuts_topology::{Asn, NodeId, PathInterner, Topology, TopologyDelta};
 use std::collections::HashSet;
@@ -192,33 +193,36 @@ impl EngineStats {
         }
     }
 
+    /// The stats as a flat field list — the single source both the
+    /// `STATS` summary line and the `METRICS` exposition render from,
+    /// so the two surfaces cannot drift.
+    pub fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::int("pair_hits", self.pair_cache_hits),
+            Field::int("pair_misses", self.pair_cache_misses),
+            Field::rate("pair_hit_rate", self.pair_cache_hit_rate()),
+            Field::int("pair_entries", self.pair_cache_entries),
+            Field::int("tables_resident", self.router_tables_resident),
+            Field::int("pings_sent", self.pings_sent),
+            Field::int("tables_bytes", self.router_resident_bytes),
+            Field::int("table_evictions", self.router_evictions),
+            Field::int("table_recomputes", self.router_recomputes),
+            Field::int("pair_bytes", self.pair_resident_bytes),
+            Field::int("pair_evictions", self.pair_evictions),
+            Field::int("tables_repaired", self.tables_repaired),
+            Field::int("entries_rescanned", self.entries_rescanned),
+            Field::int("full_rebuilds", self.full_rebuilds),
+            Field::int("pair_revalidated", self.pair_revalidated),
+            Field::int("paths_interned", self.paths_interned),
+            Field::int("path_dedup_hits", self.path_dedup_hits),
+        ]
+    }
+
     /// One-line human/machine-readable summary, `key=value` separated
-    /// by spaces — the service's `STATS` payload format.
+    /// by spaces — the service's `STATS` payload format. Rendered from
+    /// [`EngineStats::fields`].
     pub fn summary(&self) -> String {
-        format!(
-            "pair_hits={} pair_misses={} pair_hit_rate={:.4} pair_entries={} \
-             tables_resident={} pings_sent={} tables_bytes={} table_evictions={} \
-             table_recomputes={} pair_bytes={} pair_evictions={} \
-             tables_repaired={} entries_rescanned={} full_rebuilds={} \
-             pair_revalidated={} paths_interned={} path_dedup_hits={}",
-            self.pair_cache_hits,
-            self.pair_cache_misses,
-            self.pair_cache_hit_rate(),
-            self.pair_cache_entries,
-            self.router_tables_resident,
-            self.pings_sent,
-            self.router_resident_bytes,
-            self.router_evictions,
-            self.router_recomputes,
-            self.pair_resident_bytes,
-            self.pair_evictions,
-            self.tables_repaired,
-            self.entries_rescanned,
-            self.full_rebuilds,
-            self.pair_revalidated,
-            self.paths_interned,
-            self.path_dedup_hits,
-        )
+        shortcuts_telemetry::kv_summary(&self.fields())
     }
 }
 

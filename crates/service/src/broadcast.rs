@@ -119,17 +119,23 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// The `STATS service` payload.
+    /// The stats as a flat field list — the single source for both the
+    /// `STATS service` line and the `METRICS` exposition.
+    pub fn fields(&self) -> Vec<shortcuts_telemetry::Field> {
+        use shortcuts_telemetry::Field;
+        vec![
+            Field::int("subscribers", self.subscribers),
+            Field::int("broadcasts", self.broadcasts),
+            Field::int("rounds_fanned_out", self.rounds_fanned_out),
+            Field::int("subscribers_shed", self.subscribers_shed),
+            Field::int("credits_denied", self.credits_denied),
+        ]
+    }
+
+    /// The `STATS service` payload. Rendered from
+    /// [`ServiceStats::fields`].
     pub fn summary(&self) -> String {
-        format!(
-            "subscribers={} broadcasts={} rounds_fanned_out={} \
-             subscribers_shed={} credits_denied={}",
-            self.subscribers,
-            self.broadcasts,
-            self.rounds_fanned_out,
-            self.subscribers_shed,
-            self.credits_denied,
-        )
+        shortcuts_telemetry::kv_summary(&self.fields())
     }
 }
 

@@ -109,6 +109,7 @@ enum Reply {
     Err(String),
     Stats(String),
     Csv { name: String, bytes: Vec<u8> },
+    Metrics(Vec<u8>),
 }
 
 /// A connected session.
@@ -208,6 +209,7 @@ impl Client {
                 Frame::Err(p) => Reply::Err(p),
                 Frame::Stats(p) => Reply::Stats(p),
                 Frame::Csv { name, bytes } => Reply::Csv { name, bytes },
+                Frame::Metrics(bytes) => Reply::Metrics(bytes),
             }),
             Framing::Text => {
                 let line = self.read_response_line()?;
@@ -234,6 +236,14 @@ impl Client {
                     let mut bytes = vec![0u8; len];
                     self.reader.read_exact(&mut bytes)?;
                     Ok(Reply::Csv { name, bytes })
+                } else if let Some(rest) = line.strip_prefix("METRICS ") {
+                    let len: usize = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| protocol_err("METRICS header missing length"))?;
+                    let mut bytes = vec![0u8; len];
+                    self.reader.read_exact(&mut bytes)?;
+                    Ok(Reply::Metrics(bytes))
                 } else {
                     Err(protocol_err(format!("unexpected line {line:?}")))
                 }
@@ -313,6 +323,21 @@ impl Client {
                 Reply::Err(msg) => return Err(protocol_err(format!("ERR {msg}"))),
                 _ => return Err(protocol_err("unexpected reply to STATS")),
             }
+        }
+    }
+
+    /// Fetches the `METRICS` exposition: Prometheus-style
+    /// `name{label="v"} value` text covering engine, scheduler, pool,
+    /// broadcast and credit metrics, including the per-stage latency
+    /// histograms.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send("METRICS")?;
+        match self.read_reply()? {
+            Reply::Metrics(bytes) => {
+                String::from_utf8(bytes).map_err(|_| protocol_err("METRICS payload is not UTF-8"))
+            }
+            Reply::Err(msg) => Err(protocol_err(format!("ERR {msg}"))),
+            _ => Err(protocol_err("unexpected reply to METRICS")),
         }
     }
 

@@ -19,6 +19,7 @@
 //! | `X` | UTF-8 `ERR` message |
 //! | `S` | UTF-8 `STATS` payload |
 //! | `C` | `name_len u16 LE` + name bytes + raw CSV bytes |
+//! | `M` | raw Prometheus-style `METRICS` exposition bytes |
 //!
 //! Both framings carry the same information: a binary `R` frame
 //! decodes to exactly the text `ROUND` payload via
@@ -70,6 +71,7 @@ pub const KIND_OK: u8 = b'O';
 pub const KIND_ERR: u8 = b'X';
 pub const KIND_STATS: u8 = b'S';
 pub const KIND_CSV: u8 = b'C';
+pub const KIND_METRICS: u8 = b'M';
 
 /// Upper bound on a frame payload; a corrupt length prefix must not
 /// become an allocation bomb.
@@ -202,6 +204,8 @@ pub enum Frame {
         /// Raw CSV bytes.
         bytes: Vec<u8>,
     },
+    /// A `METRICS` exposition payload (Prometheus text format).
+    Metrics(Vec<u8>),
 }
 
 fn bad_frame(msg: &str) -> io::Error {
@@ -224,6 +228,7 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
             p.extend_from_slice(bytes);
             (KIND_CSV, p)
         }
+        Frame::Metrics(bytes) => (KIND_METRICS, bytes.clone()),
     };
     let mut header = [0u8; 5];
     header[0] = kind;
@@ -265,6 +270,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
             let bytes = payload[2 + name_len..].to_vec();
             Ok(Frame::Csv { name, bytes })
         }
+        KIND_METRICS => Ok(Frame::Metrics(payload)),
         other => Err(bad_frame(&format!("unknown frame kind {other:#04x}"))),
     }
 }
@@ -361,6 +367,19 @@ impl ResponseWriter {
         }
     }
 
+    /// A `METRICS` exposition payload (length-prefixed raw bytes in
+    /// text mode — `METRICS <len>\n` then the bytes, like `CSV` — one
+    /// frame in binary mode).
+    pub fn metrics(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.framing {
+            Framing::Text => {
+                writeln!(self.w, "METRICS {}", bytes.len())?;
+                self.w.write_all(bytes)
+            }
+            Framing::Binary => write_frame(&mut self.w, &Frame::Metrics(bytes.to_vec())),
+        }
+    }
+
     /// Flushes buffered output to the socket.
     pub fn flush(&mut self) -> io::Result<()> {
         self.w.flush()
@@ -397,6 +416,7 @@ mod tests {
                 name: "cases_seed-2017.csv".into(),
                 bytes: b"a,b\n1,2\n".to_vec(),
             },
+            Frame::Metrics(b"colo_pool_worlds 1\ncolo_pool_engines 1\n".to_vec()),
         ];
         for frame in frames {
             let mut buf = Vec::new();

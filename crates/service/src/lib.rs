@@ -67,6 +67,13 @@
 //!   with continuously refilling token buckets — `ERR credits` plus a
 //!   `retry-after-ms` hint instead of queueing cheap requests behind
 //!   heavy ones.
+//! - `METRICS` is the machine-readable twin of `STATS`: a
+//!   Prometheus-style text exposition of the process-wide telemetry
+//!   (per-stage latency histograms and scheduler gauges from
+//!   `shortcuts_telemetry`, which a server always enables) plus
+//!   per-engine, pool, service and credit samples. Both surfaces
+//!   render the same `fields()` lists, so they cannot drift — pinned
+//!   by `tests/metrics_e2e.rs`.
 //! - [`frame`] is the negotiated response framing: text lines by
 //!   default, length-prefixed binary frames after
 //!   `HELLO framing=binary`, both fed through one `BufWriter` per

@@ -45,6 +45,7 @@
 use parking_lot::Mutex;
 use shortcuts_core::world::{World, WorldConfig};
 use shortcuts_netsim::{EngineStats, PingEngine};
+use shortcuts_telemetry::Field;
 use shortcuts_topology::routing::RoutingPolicy;
 use shortcuts_topology::MemoryBudget;
 use std::collections::HashMap;
@@ -83,14 +84,24 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// The numeric stats as a flat field list — the single source for
+    /// both the `STATS pool` line and the `METRICS` exposition. The
+    /// budget is excluded: it renders as `unbounded` in the summary
+    /// and as an optional dedicated gauge in the exposition.
+    pub fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::int("worlds", self.worlds_resident as u64),
+            Field::int("engines", self.engines_resident as u64),
+            Field::int("bytes", self.resident_bytes),
+            Field::int("stack_evictions", self.stack_evictions),
+        ]
+    }
+
     /// One-line summary, mirroring `EngineStats::summary` style.
     pub fn summary(&self) -> String {
         format!(
-            "worlds={} engines={} bytes={} stack_evictions={} budget={}",
-            self.worlds_resident,
-            self.engines_resident,
-            self.resident_bytes,
-            self.stack_evictions,
+            "{} budget={}",
+            shortcuts_telemetry::kv_summary(&self.fields()),
             match self.budget_bytes {
                 Some(b) => b.to_string(),
                 None => "unbounded".into(),

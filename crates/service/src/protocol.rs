@@ -19,6 +19,7 @@
 //! CSV cases [<label>]
 //! CSV sweep
 //! STATS
+//! METRICS
 //! QUIT
 //! ```
 //!
@@ -81,6 +82,15 @@
 //!   paid for metered work (free probes never create a bucket), sorted
 //!   by IP, refilled to now. The count in `OK stats <n>` includes the
 //!   pool, service and credits lines.
+//! - `METRICS <len>` followed by exactly `<len>` raw bytes — a
+//!   Prometheus-style text exposition (`name{label="v"} value` lines):
+//!   process-wide telemetry (per-stage `colo_stage_duration_ns`
+//!   latency histograms, `colo_shard_queue_depth` /
+//!   `colo_shard_jobs_in_flight` scheduler gauges) plus
+//!   `colo_engine_*{world=..,policy=..}`, `colo_pool_*`,
+//!   `colo_service_*` and `colo_credits_balance{ip=..}` samples
+//!   rendered from the same field lists as the `STATS` lines, so the
+//!   two surfaces cannot disagree.
 //! - `ERR credits need=<n> have=<n> retry-after-ms=<ms>` — the request
 //!   exceeded the client's credit balance; the session stays usable
 //!   and the hint says when the bucket will cover the cost.
@@ -167,6 +177,11 @@ pub enum Request {
     /// Engine-stack health of every pooled `(world, policy)` engine,
     /// plus one aggregate pool-residency line.
     Stats,
+    /// Prometheus-style exposition of every metric the server holds:
+    /// process-wide telemetry (per-stage latency histograms, scheduler
+    /// gauges) plus per-engine, pool, service and credit samples
+    /// derived from the same field lists `STATS` renders.
+    Metrics,
     /// Close the session.
     Quit,
 }
@@ -355,10 +370,17 @@ impl Request {
                     Err("STATS takes no options".into())
                 }
             }
+            "METRICS" => {
+                if rest.is_empty() {
+                    Ok(Request::Metrics)
+                } else {
+                    Err("METRICS takes no options".into())
+                }
+            }
             "QUIT" => Ok(Request::Quit),
             other => Err(format!(
                 "unknown command {other:?} \
-                 (try HELLO, RUN, SWEEP, SUBSCRIBE, CSV, STATS, QUIT)"
+                 (try HELLO, RUN, SWEEP, SUBSCRIBE, CSV, STATS, METRICS, QUIT)"
             )),
         }
     }

@@ -41,6 +41,11 @@ impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port)
     /// and starts accepting sessions on a background thread.
     pub fn start(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> std::io::Result<Server> {
+        // A server is an observability surface: turn telemetry on so
+        // `METRICS` serves live stage histograms and scheduler gauges.
+        // Record-path overhead is a few relaxed atomics per *stage*,
+        // and the e2e suite proves streamed CSVs stay byte-identical.
+        shortcuts_telemetry::global().set_enabled(true);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let mgr = Arc::new(SessionManager::new(cfg));

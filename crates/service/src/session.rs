@@ -45,6 +45,7 @@ use shortcuts_core::report::cases_csv;
 use shortcuts_core::sweep::{Sweep, SweepConfig, SweepReport};
 use shortcuts_core::workflow::CampaignConfig;
 use shortcuts_core::world::WorldConfig;
+use shortcuts_telemetry as telemetry;
 use shortcuts_topology::{ChurnSchedule, MemoryBudget};
 use std::io::{BufRead, BufReader};
 use std::net::{IpAddr, Ipv4Addr, TcpStream};
@@ -323,6 +324,51 @@ pub fn run_session(mgr: &SessionManager, stream: TcpStream) -> std::io::Result<(
                     w.stats(&format!("credits ip={ip} balance={balance:.0}"))?;
                 }
                 w.ok(&format!("stats {}", stats.len() + 2 + balances.len()))?;
+                w.flush()?;
+            }
+            Request::Metrics => {
+                // Prometheus-style exposition. Process-wide telemetry
+                // first (stage latency histograms, scheduler gauges),
+                // then per-engine / pool / service / credit samples
+                // rendered from the *same* `fields()` lists the STATS
+                // arm formats — one source, two surfaces.
+                let mut out = String::new();
+                telemetry::global().render_into(&mut out);
+                for (seed, policy, s) in &mgr.pool.stats() {
+                    let world = seed.to_string();
+                    telemetry::prom_fields(
+                        &mut out,
+                        "colo_engine",
+                        &[("world", world.as_str()), ("policy", policy.label())],
+                        &s.fields(),
+                    );
+                }
+                let pool = mgr.pool.pool_stats();
+                telemetry::prom_fields(&mut out, "colo_pool", &[], &pool.fields());
+                if let Some(budget) = pool.budget_bytes {
+                    telemetry::prom_line(
+                        &mut out,
+                        "colo_pool_budget_bytes",
+                        &[],
+                        telemetry::FieldValue::Int(budget),
+                    );
+                }
+                telemetry::prom_fields(
+                    &mut out,
+                    "colo_service",
+                    &[],
+                    &mgr.counters.snapshot().fields(),
+                );
+                for (ip, balance) in &mgr.credits.balances() {
+                    let ip = ip.to_string();
+                    telemetry::prom_line(
+                        &mut out,
+                        "colo_credits_balance",
+                        &[("ip", ip.as_str())],
+                        telemetry::FieldValue::Rate(*balance),
+                    );
+                }
+                w.metrics(out.as_bytes())?;
                 w.flush()?;
             }
             Request::CsvCases { label } => {

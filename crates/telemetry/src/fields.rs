@@ -1,0 +1,204 @@
+//! One stats source, two renderings.
+//!
+//! Subsystem stats structs (`EngineStats`, `PoolStats`, `ServiceStats`)
+//! describe themselves as a flat list of [`Field`]s. The legacy `STATS`
+//! line is formatted from that list by [`kv_summary`], and the
+//! Prometheus-style `METRICS` surface is formatted from the *same* list
+//! by [`prom_fields`] — so the two surfaces cannot drift: adding a
+//! field to `fields()` adds it to both.
+
+use crate::metrics::{bucket_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// A single named statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An exact integer (counter or gauge reading).
+    Int(u64),
+    /// A derived ratio, rendered with four decimal places in both the
+    /// `STATS` summary and the `METRICS` exposition.
+    Rate(f64),
+}
+
+/// A named statistic, as exported by a subsystem's `fields()` method.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Field {
+    pub name: &'static str,
+    pub value: FieldValue,
+}
+
+impl Field {
+    pub fn int(name: &'static str, value: u64) -> Self {
+        Self {
+            name,
+            value: FieldValue::Int(value),
+        }
+    }
+
+    pub fn rate(name: &'static str, value: f64) -> Self {
+        Self {
+            name,
+            value: FieldValue::Rate(value),
+        }
+    }
+}
+
+/// Render fields as the classic `name=value name=value` STATS line.
+pub fn kv_summary(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match f.value {
+            FieldValue::Int(v) => {
+                let _ = write!(out, "{}={v}", f.name);
+            }
+            FieldValue::Rate(v) => {
+                let _ = write!(out, "{}={v:.4}", f.name);
+            }
+        }
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text format (backslash,
+/// double quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a `{k="v",...}` label block ("" when there are no labels).
+pub fn format_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Append one `name{labels} value` exposition line.
+pub fn prom_line(out: &mut String, name: &str, labels: &[(&str, &str)], value: FieldValue) {
+    let labels = format_labels(labels);
+    match value {
+        FieldValue::Int(v) => {
+            let _ = writeln!(out, "{name}{labels} {v}");
+        }
+        FieldValue::Rate(v) => {
+            let _ = writeln!(out, "{name}{labels} {v:.4}");
+        }
+    }
+}
+
+/// Append one exposition line per field, named `{prefix}_{field}`.
+pub fn prom_fields(out: &mut String, prefix: &str, labels: &[(&str, &str)], fields: &[Field]) {
+    for f in fields {
+        prom_line(out, &format!("{prefix}_{}", f.name), labels, f.value);
+    }
+}
+
+/// Append a histogram in Prometheus convention: cumulative
+/// `name_bucket{le="..."}` lines (up to the highest occupied bucket,
+/// then `+Inf`), plus `name_sum` and `name_count`.
+pub fn prom_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    let highest = snap
+        .counts
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|i| (i + 1).min(HISTOGRAM_BUCKETS - 1))
+        .unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.counts.iter().enumerate().take(highest + 1) {
+        cumulative += c;
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        let bound = bucket_bound(i).to_string();
+        with_le.push(("le", &bound));
+        let _ = writeln!(out, "{name}_bucket{} {cumulative}", format_labels(&with_le));
+    }
+    let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+    with_inf.push(("le", "+Inf"));
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        format_labels(&with_inf),
+        snap.count()
+    );
+    let plain = format_labels(labels);
+    let _ = writeln!(out, "{name}_sum{plain} {}", snap.sum);
+    let _ = writeln!(out, "{name}_count{plain} {}", snap.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn kv_summary_formats_ints_and_rates() {
+        let fields = [
+            Field::int("hits", 3),
+            Field::rate("hit_rate", 0.75),
+            Field::int("misses", 1),
+        ];
+        assert_eq!(kv_summary(&fields), "hits=3 hit_rate=0.7500 misses=1");
+    }
+
+    #[test]
+    fn prom_fields_share_the_same_source() {
+        let fields = [Field::int("hits", 3), Field::rate("hit_rate", 0.75)];
+        let mut out = String::new();
+        prom_fields(&mut out, "colo_cache", &[("shard", "0")], &fields);
+        assert_eq!(
+            out,
+            "colo_cache_hits{shard=\"0\"} 3\ncolo_cache_hit_rate{shard=\"0\"} 0.7500\n"
+        );
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(
+            format_labels(&[("path", "a\"b\\c\nd")]),
+            "{path=\"a\\\"b\\\\c\\nd\"}"
+        );
+        assert_eq!(format_labels(&[]), "");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_with_inf() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let mut out = String::new();
+        prom_histogram(&mut out, "lat", &[("stage", "plan")], &h.snapshot());
+        let expected = "lat_bucket{stage=\"plan\",le=\"0\"} 0\n\
+                        lat_bucket{stage=\"plan\",le=\"1\"} 1\n\
+                        lat_bucket{stage=\"plan\",le=\"3\"} 3\n\
+                        lat_bucket{stage=\"plan\",le=\"7\"} 3\n\
+                        lat_bucket{stage=\"plan\",le=\"+Inf\"} 3\n\
+                        lat_sum{stage=\"plan\"} 7\n\
+                        lat_count{stage=\"plan\"} 3\n";
+        assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,274 @@
+//! Lock-free metric primitives: counters, gauges, and log₂ histograms.
+//!
+//! Everything on the record path is a single relaxed atomic RMW — no
+//! locks, no allocation, no branching beyond the bucket index. Reads
+//! take a [`HistogramSnapshot`] (a plain copy of the bucket counts) so
+//! observation never stalls recording.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per bit length
+/// of a `u64` (1..=64). Bucket `i` (for `i >= 1`) holds values whose
+/// bit length is `i`, i.e. the range `[2^(i-1), 2^i - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions (queue depths,
+/// jobs in flight, resident bytes).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for a value: 0 for 0, otherwise the bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (`2^i - 1`; bucket 0 holds only
+/// zero, bucket 64 tops out at `u64::MAX`).
+pub fn bucket_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-bucket log₂ histogram with a lock-free record path.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Two relaxed RMWs; no allocation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Copy out the current bucket counts. Concurrent records may land
+    /// between bucket reads; each individual count is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram, mergeable across sources.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulate another snapshot into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`p` in `[0, 1]`). Returns 0 for an empty histogram. The
+    /// estimate errs high by at most one bucket width (2x).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..64 {
+            let v = 1u64 << i;
+            assert_eq!(bucket_index(v), i + 1, "2^{i}");
+            if v > 1 {
+                assert_eq!(bucket_index(v - 1), i, "2^{i} - 1");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_powers_of_two() {
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        // Every value falls inside its own bucket's bound and above
+        // the previous bucket's bound.
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_bound(i));
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.sum, 1005);
+        assert_eq!(snap.counts[0], 1); // 0
+        assert_eq!(snap.counts[1], 2); // 1, 1
+        assert_eq!(snap.counts[2], 1); // 3
+        assert_eq!(snap.counts[10], 1); // 1000
+    }
+
+    #[test]
+    fn snapshot_merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(5);
+        b.record(7);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.sum, 117);
+        assert_eq!(merged.counts[3], 3); // 5, 5, 7
+        assert_eq!(merged.counts[7], 1); // 100
+    }
+
+    #[test]
+    fn percentiles_return_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, bound 15
+        }
+        h.record(1 << 20); // bucket 21, bound 2^21 - 1
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.5), 15);
+        assert_eq!(snap.percentile(0.99), 15);
+        assert_eq!(snap.percentile(1.0), (1 << 21) - 1);
+        assert_eq!(HistogramSnapshot::empty().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+}

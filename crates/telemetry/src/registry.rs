@@ -1,0 +1,144 @@
+//! A named metric registry with deterministic exposition order.
+//!
+//! Registration is get-or-create: asking twice for the same
+//! `(name, labels)` returns the same underlying atomic, so call sites
+//! can register at setup time, stash the `Arc`, and record with zero
+//! lookups on the hot path.
+
+use crate::fields::{format_labels, prom_histogram, prom_line, FieldValue};
+use crate::metrics::{Counter, Gauge, Histogram};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+type Key = (&'static str, Vec<(String, String)>);
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metrics, rendered in sorted `(name, labels)` order so the
+/// exposition text is deterministic run to run.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<Key, Metric>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register a counter. Panics if the name is already
+    /// registered as a different metric kind.
+    pub fn counter(&self, name: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = (name, owned_labels(labels));
+        if let Some(Metric::Counter(c)) = self.inner.read().get(&key) {
+            return Arc::clone(c);
+        }
+        let mut map = self.inner.write();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = (name, owned_labels(labels));
+        if let Some(Metric::Gauge(g)) = self.inner.read().get(&key) {
+            return Arc::clone(g);
+        }
+        let mut map = self.inner.write();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register a histogram.
+    pub fn histogram(&self, name: &'static str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = (name, owned_labels(labels));
+        if let Some(Metric::Histogram(h)) = self.inner.read().get(&key) {
+            return Arc::clone(h);
+        }
+        let mut map = self.inner.write();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Render every registered metric as Prometheus exposition text.
+    pub fn render_into(&self, out: &mut String) {
+        let map = self.inner.read();
+        for ((name, labels), metric) in map.iter() {
+            let borrowed: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match metric {
+                Metric::Counter(c) => {
+                    prom_line(out, name, &borrowed, FieldValue::Int(c.get()));
+                }
+                Metric::Gauge(g) => {
+                    let labels = format_labels(&borrowed);
+                    let _ = writeln!(out, "{name}{labels} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    prom_histogram(out, name, &borrowed, &h.snapshot());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("shard", "0")]);
+        let b = r.counter("hits", &[("shard", "0")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same (name, labels) shares one atomic");
+        let other = r.counter("hits", &[("shard", "1")]);
+        assert_eq!(other.get(), 0, "different labels are distinct");
+    }
+
+    #[test]
+    fn render_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.gauge("z_depth", &[]).set(-3);
+        r.counter("a_hits", &[]).add(7);
+        r.histogram("m_lat", &[]).record(2);
+        let mut out = String::new();
+        r.render_into(&mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "a_hits 7");
+        assert!(lines[1].starts_with("m_lat_bucket{le=\"0\"} 0"));
+        assert_eq!(*lines.last().unwrap(), "z_depth -3");
+    }
+}

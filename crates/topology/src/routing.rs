@@ -768,6 +768,7 @@ impl Router {
     /// move the stamp (safe: stamps are monotone and the slot write
     /// lock serializes repairs of one destination).
     fn repair_to(&self, old: &Arc<RoutingTable>, target_epoch: u64) -> Arc<RoutingTable> {
+        let _span = shortcuts_telemetry::global().span(shortcuts_telemetry::Stage::Repair);
         let churn = self.churn.read();
         let mut cur = Arc::clone(old);
         for e in (cur.epoch() + 1)..=target_epoch {

@@ -6,15 +6,18 @@
 //! colo-shortcuts campaign   [--seed S] [--world-seed W] [--rounds N]
 //!                           [--out DIR] [--serial | --rounds-in-flight N]
 //!                           [--memory-budget B] [--churn SPEC]
+//!                           [--metrics-out PATH] [--trace-out PATH]
 //! colo-shortcuts sweep      [--seed S] [--seeds S1,S2,..] [--rounds N]
 //!                           [--jobs-in-flight N] [--out DIR]
 //!                           [--memory-budget B] [--churn SPEC]
+//!                           [--metrics-out PATH] [--trace-out PATH]
 //! colo-shortcuts serve      [--addr A] [--max-sessions N]
 //!                           [--world-scale small|paper] [--seed S]
 //!                           [--memory-budget B] [--credits CAP]
 //!                           [--credit-refill PER_SEC]
 //!                           [--subscriber-lag N]
-//! colo-shortcuts client     --addr A [--stats] [--seed S | --seeds ..]
+//! colo-shortcuts client     --addr A [--stats] [--metrics]
+//!                           [--seed S | --seeds ..]
 //!                           [--rounds N] [--world-seed W] [--out DIR]
 //!                           [--subscribe] [--framing text|binary]
 //!                           [--retries N]
@@ -71,6 +74,17 @@
 //! rounds × scenarios); `--subscriber-lag` bounds how far a broadcast
 //! subscriber may fall behind before it is shed with `ERR lagged`.
 //!
+//! Observability: `--metrics-out PATH` (on `campaign` and `sweep`)
+//! enables telemetry and writes a Prometheus-style exposition of the
+//! run's metrics — per-stage latency histograms, scheduler gauges and
+//! the engine's cache counters — once the run finishes; `--trace-out
+//! PATH` additionally records every pipeline span and dumps a
+//! chrome://tracing-compatible JSON file (open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>). Telemetry
+//! observes durations only — output CSVs are byte-identical with it
+//! on or off. Against a running server, `client --metrics` fetches
+//! the same exposition live over the `METRICS` verb.
+//!
 //! `client` is the matching scripting front end: `--subscribe` sends
 //! `SUBSCRIBE` instead of `RUN`/`SWEEP` (attaching to an identical
 //! in-flight batch when one exists), `--framing binary` negotiates
@@ -113,6 +127,9 @@ struct Args {
     credits: Option<f64>,
     credit_refill: Option<f64>,
     subscriber_lag: Option<usize>,
+    metrics: bool,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> (String, Args) {
@@ -139,6 +156,9 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
         credits: None,
         credit_refill: None,
         subscriber_lag: None,
+        metrics: false,
+        metrics_out: None,
+        trace_out: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -200,6 +220,18 @@ fn parse_args(mut argv: std::env::Args) -> (String, Args) {
             "--stats" => {
                 args.stats = true;
                 i += 1;
+            }
+            "--metrics" => {
+                args.metrics = true;
+                i += 1;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(need_value(i)));
+                i += 2;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(need_value(i)));
+                i += 2;
             }
             "--memory-budget" => {
                 args.memory_budget = MemoryBudget::parse(need_value(i)).unwrap_or_else(|msg| {
@@ -288,7 +320,8 @@ fn main() {
                  [--addr HOST:PORT] [--max-sessions N] [--world-scale small|paper] [--stats] \
                  [--memory-budget BYTES|K|M|G|unbounded] [--churn SPEC] \
                  [--subscribe] [--framing text|binary] [--retries N] \
-                 [--credits CAP] [--credit-refill PER_SEC] [--subscriber-lag N]"
+                 [--credits CAP] [--credit-refill PER_SEC] [--subscriber-lag N] \
+                 [--metrics] [--metrics-out PATH] [--trace-out PATH]"
             );
             std::process::exit(2);
         }
@@ -365,7 +398,47 @@ fn check_churn(churn: &ChurnSchedule, world: &World) {
     }
 }
 
+/// Turns telemetry on for this process when `--metrics-out` or
+/// `--trace-out` asked for it. Must run before any measurement so the
+/// stage spans actually record.
+fn telemetry_setup(args: &Args) {
+    if args.metrics_out.is_some() || args.trace_out.is_some() {
+        shortcuts_telemetry::global().set_enabled(true);
+    }
+    if args.trace_out.is_some() {
+        shortcuts_telemetry::global().start_trace();
+    }
+}
+
+/// Writes the `--metrics-out` exposition (global registry plus the
+/// run's engine counters) and the `--trace-out` chrome-trace JSON.
+fn telemetry_finish(args: &Args, engine: &shortcuts_netsim::PingEngine, world_seed: u64) {
+    if let Some(path) = &args.metrics_out {
+        let mut out = String::new();
+        let tele = shortcuts_telemetry::global();
+        tele.render_into(&mut out);
+        let world = world_seed.to_string();
+        shortcuts_telemetry::prom_fields(
+            &mut out,
+            "colo_engine",
+            &[
+                ("world", world.as_str()),
+                ("policy", engine.router().policy().label()),
+            ],
+            &engine.engine_stats().fields(),
+        );
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        let json = shortcuts_telemetry::global().finish_trace_json();
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn campaign(args: &Args) {
+    telemetry_setup(args);
     let w = build(args);
     check_budget(args.memory_budget, &w);
     check_churn(&args.churn, &w);
@@ -386,9 +459,12 @@ fn campaign(args: &Args) {
         "parallel".to_string()
     };
     eprintln!("running {} rounds ({mode}) ...", cfg.rounds);
+    // Build the engine explicitly (exactly what run_streaming would do)
+    // so its cache counters can feed --metrics-out after the run.
+    let engine = w.shared().engine_budgeted(cfg.routing, cfg.memory);
     // Stream per-round progress: summaries arrive in round order as
     // rounds complete, long before the campaign finishes.
-    let results = Campaign::new(&w, cfg).run_streaming(|s| {
+    let results = Campaign::new(&w, cfg).run_streaming_on(&engine, |s| {
         eprintln!(
             "round {:>3}: {} endpoints, {} cases ({} unresponsive), \
              {} of {} links, {} symmetry samples",
@@ -430,9 +506,11 @@ fn campaign(args: &Args) {
     }
     write("threshold.csv", report::threshold_csv(&curves));
     write("funnel.csv", report::funnel_csv(&results.colo_pool.funnel));
+    telemetry_finish(args, &engine, w.seed);
 }
 
 fn sweep(args: &Args) {
+    telemetry_setup(args);
     let seeds: Vec<u64> = if args.seeds.is_empty() {
         // Default: four seeds starting at --seed.
         (args.seed..args.seed + 4).collect()
@@ -514,6 +592,7 @@ fn sweep(args: &Args) {
         engine.engine_stats().summary(),
         args.memory_budget,
     );
+    telemetry_finish(args, &engine, w.seed);
 }
 
 fn serve(args: &Args) {
@@ -595,6 +674,21 @@ fn client(args: &Args) {
             Ok(lines) => lines.iter().for_each(|l| println!("{l}")),
             Err(e) => {
                 eprintln!("STATS failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        client.quit();
+        return;
+    }
+
+    if args.metrics {
+        // Metrics-only probe: dump the server's Prometheus-style
+        // exposition (stage histograms, gauges, engine/pool/credit
+        // counters) and leave.
+        match client.metrics() {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("METRICS failed: {e}");
                 std::process::exit(1);
             }
         }
